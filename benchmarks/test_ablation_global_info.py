@@ -1,0 +1,70 @@
+"""Ablation — the warning system's global-information check.
+
+Section 4.1: when every replica of an application deviates the same way
+at the same time, the deviation is a workload change, not interference.
+This ablation evaluates the same cluster-wide shift with and without the
+sibling vectors and counts the analyzer invocations each mode would pay.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.config import DeepDiveConfig
+from repro.core.repository import BehaviorRepository
+from repro.core.warning import WarningAction, WarningSystem
+from repro.metrics.counters import CounterSample
+from repro.metrics.sample import MetricVector
+
+
+def _vector(scale=1.0, cpi=2.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    inst = 1e9
+    sample = CounterSample(
+        cpu_unhalted=cpi * inst * (1 + noise * rng.normal()),
+        inst_retired=inst,
+        l1d_repl=0.02 * inst * scale * (1 + noise * rng.normal()),
+        l2_lines_in=0.005 * inst * scale,
+        mem_load=0.3 * inst,
+        resource_stalls=1.0 * inst * scale,
+        bus_tran_any=0.008 * inst * scale,
+        br_miss_pred=0.004 * inst,
+        disk_stall_cycles=0.1 * inst,
+        net_stall_cycles=0.02 * inst,
+    )
+    return MetricVector.from_sample(sample)
+
+
+def test_ablation_global_information(benchmark):
+    def run_ablation():
+        rng = np.random.default_rng(2)
+        repo = BehaviorRepository(seed=2)
+        repo.add_normal_batch(
+            "app",
+            [_vector(noise=0.02, seed=int(rng.integers(1e6))) for _ in range(24)],
+            refit=True,
+        )
+        system = WarningSystem(repo, DeepDiveConfig())
+
+        # A qualitative workload change hitting ten replicas at once.
+        shifted = [_vector(scale=2.2, cpi=3.2, noise=0.015, seed=100 + i) for i in range(10)]
+        with_global = 0
+        without_global = 0
+        for i, vector in enumerate(shifted):
+            siblings = {f"vm{j}": shifted[j] for j in range(len(shifted)) if j != i}
+            decision = system.evaluate(f"vm{i}", "app", vector, siblings)
+            if decision.action is WarningAction.ANALYZE:
+                with_global += 1
+            decision_local = system.evaluate(f"vm{i}", "app", vector, sibling_vectors={})
+            if decision_local.action is WarningAction.ANALYZE:
+                without_global += 1
+        return with_global, without_global
+
+    with_global, without_global = run_once(benchmark, run_ablation)
+    print()
+    print(f"[Ablation/global] analyzer invocations with global information   : {with_global}/10")
+    print(f"[Ablation/global] analyzer invocations without global information: {without_global}/10")
+
+    # Global information suppresses the cluster-wide false alarms entirely;
+    # without it every replica would have been profiled.
+    assert with_global == 0
+    assert without_global == 10

@@ -1,0 +1,27 @@
+"""Figure 1 — interference periodically degrades a cloud service.
+
+Paper: a Cassandra VM on EC2 under a fixed workload shows periodic
+throughput drops / latency spikes attributed to co-located VMs.
+Reproduced shape: throughput during injected interference episodes drops
+by tens of percent and latency rises sharply, while quiet periods stay
+flat.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(benchmark):
+    result = run_once(benchmark, fig01_motivation.run, epochs=288)
+
+    print("\n[Fig 1] mean throughput (quiet)      :", round(result.mean_throughput_quiet, 1))
+    print("[Fig 1] mean throughput (interfered) :", round(result.mean_throughput_interfered, 1))
+    print("[Fig 1] throughput drop              :", f"{result.throughput_drop_fraction():.1%}")
+    print("[Fig 1] latency increase             :", f"{result.latency_increase_fraction():.1%}")
+
+    # Interference episodes must be clearly visible in both metrics.
+    assert result.throughput_drop_fraction() > 0.2
+    assert result.latency_increase_fraction() > 0.5
+    # Quiet periods keep serving the offered load.
+    assert result.mean_throughput_quiet > 0

@@ -1,0 +1,38 @@
+"""Figure 4 — normalised metrics separate interference from normal behaviour.
+
+Paper: across load intensities and workload parameters, the
+no-interference points cluster on one side of the (L1, L2, memory)
+space; interference shifts them clearly.  Reproduced shape: the
+Fisher-style separation score between the two point clouds is well above
+the visual-separability threshold (~2) for all three cloud workloads.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig04_clusters
+from repro.experiments.common import CLOUD_WORKLOADS
+
+
+def test_fig04_cluster_separation(benchmark):
+    result = run_once(
+        benchmark,
+        fig04_clusters.run,
+        load_levels=(0.3, 0.5, 0.7, 0.9),
+        variations_per_workload=3,
+        interference_levels=(0.5, 0.75, 1.0),
+        epochs=8,
+    )
+
+    print()
+    for workload in CLOUD_WORKLOADS:
+        entry = result.per_workload[workload]
+        print(
+            f"[Fig 4] {workload:15s} normal={len(entry.normal_points):4d} points, "
+            f"interference={len(entry.interference_points):4d} points, "
+            f"separation={entry.separation:6.2f}"
+        )
+
+    assert set(result.per_workload) == set(CLOUD_WORKLOADS)
+    for workload, entry in result.per_workload.items():
+        assert entry.separation > 2.0, f"{workload} clusters are not separable"
+    assert result.min_separation() > 2.0

@@ -1,0 +1,27 @@
+"""Figure 5 — global information separates interfered PMs from the rest.
+
+Paper: Data Analytics runs on nine PMs; iperf interference on a subset
+makes those PMs' normalised network/CPU/CPI metrics deviate clearly from
+the other PMs running the same code.  Reproduced shape: the interfered
+hosts' point cloud is well separated from the quiet hosts'.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig05_global
+
+
+def test_fig05_global_information(benchmark):
+    result = run_once(
+        benchmark, fig05_global.run, num_hosts=9, num_interfered=3, epochs=10
+    )
+
+    print()
+    print("[Fig 5] hosts                :", result.num_hosts)
+    print("[Fig 5] interfered hosts     :", result.interfered_hosts)
+    print("[Fig 5] separation (quiet vs interfered):", round(result.separation, 2))
+
+    assert len(result.interfered_hosts) == 3
+    assert len(result.quiet_vectors()) > 0
+    assert len(result.interfered_vectors()) > 0
+    assert result.separation > 3.0

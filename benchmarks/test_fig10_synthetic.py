@@ -1,0 +1,42 @@
+"""Figure 10 — the synthetic benchmark mimics the real VM's sensitivity.
+
+Paper: the degradation a VM's synthetic representation suffers when
+co-located with the stress workloads closely tracks the real VM's
+degradation — median estimation error 8%, mean 10%.  Reproduced shape:
+the same error bounds hold across the workload x stressor grid, and the
+synthetic ranking (which stressor hurts more) matches the real ranking.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_synthetic
+
+
+def test_fig10_synthetic_benchmark_accuracy(benchmark):
+    result = run_once(benchmark, fig10_synthetic.run, epochs=12, training_samples=200)
+
+    print()
+    for point in result.points:
+        print(
+            f"[Fig 10] {point.workload:15s} vs {point.stress_kind:7s} "
+            f"{point.stress_setting}: real={point.real_degradation:.2f} "
+            f"synthetic={point.synthetic_degradation:.2f} "
+            f"error={point.absolute_error:.2f}"
+        )
+    print(
+        f"[Fig 10] median error={result.median_absolute_error():.3f} "
+        f"mean error={result.mean_absolute_error():.3f} "
+        f"(paper: median 8%, mean 10%)"
+    )
+
+    assert len(result.points) == 9
+    # Paper's headline numbers (median 8%, mean 10%).
+    assert result.median_absolute_error() <= 0.10
+    assert result.mean_absolute_error() <= 0.15
+    # Within each workload, stronger stress hurts both real and synthetic.
+    for workload in ("data_serving", "web_search", "data_analytics"):
+        points = [p for p in result.points if p.workload == workload]
+        real = [p.real_degradation for p in points]
+        synth = [p.synthetic_degradation for p in points]
+        assert real == sorted(real) or max(real) - min(real) < 0.1
+        assert synth == sorted(synth) or max(synth) - min(synth) < 0.1

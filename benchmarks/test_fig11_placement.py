@@ -1,0 +1,52 @@
+"""Figure 11 — the placement manager picks a good destination without migrating.
+
+Paper: the synthetic representation of the aggressive VM is run on every
+candidate destination PM; the chosen destination matches the best
+placement found by (impractically) trying every real migration, beating
+the average and worst placements.  Reproduced shape: the chosen
+destination's actual degradation equals the oracle best (or is within a
+small regret), and is no worse than the average placement.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11_placement
+
+
+def test_fig11_placement_robustness(benchmark):
+    result = run_once(
+        benchmark, fig11_placement.run, eval_epochs=12, training_samples=150
+    )
+
+    print()
+    for outcome in result.outcomes:
+        print(
+            f"[Fig 11] {outcome.host_name} ({outcome.resident_workload:14s}): "
+            f"actual degradation={outcome.actual_degradation:.2f} "
+            f"predicted score={outcome.predicted_score:.2f}"
+        )
+    print(
+        f"[Fig 11] chosen={result.chosen_host} ({result.chosen_degradation:.2f}) "
+        f"best={result.best_host} ({result.best_degradation:.2f}) "
+        f"average={result.average_degradation:.2f} worst={result.worst_degradation:.2f}"
+    )
+
+    assert len(result.outcomes) == 3
+    # The chosen destination is the oracle best (or within a small regret)...
+    assert result.chose_best or result.regret <= 0.05
+    # ...and never worse than the average or the worst placements.
+    assert result.chosen_degradation <= result.average_degradation + 1e-6
+    assert result.chosen_degradation <= result.worst_degradation + 1e-6
+
+
+def test_fig11_clone_based_upper_bound(benchmark):
+    """Ablation: evaluating candidates with a real clone (instead of the
+    synthetic benchmark) is the accuracy upper bound and must pick the best."""
+    result = run_once(
+        benchmark, fig11_placement.run, eval_epochs=10, use_synthetic=False
+    )
+    print(
+        f"\n[Fig 11/clone] chosen={result.chosen_host} best={result.best_host} "
+        f"regret={result.regret:.3f}"
+    )
+    assert result.chose_best or result.regret <= 0.02

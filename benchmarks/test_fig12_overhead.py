@@ -1,0 +1,44 @@
+"""Figure 12 — DeepDive's profiling overhead is low and flattens.
+
+Paper: over three trace days, DeepDive accumulates about twenty minutes
+of profiling and needs (almost) none after the first day, while
+baselines that re-profile on every >5/10/20% performance variation keep
+accumulating time and do so faster the tighter their threshold.
+Reproduced shape: DeepDive's final accumulated time is below every
+baseline, most of it is spent on day one, and the baselines order by
+threshold (5% > 10% > 20%).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_overhead
+
+
+def test_fig12_profiling_overhead(benchmark):
+    result = run_once(benchmark, fig12_overhead.run, days=3, epochs_per_day=48)
+
+    print()
+    day1 = result.deepdive.minutes_at_fraction(1.0 / 3.0)
+    print(
+        f"[Fig 12] DeepDive      : total={result.deepdive.final_minutes:6.1f} min "
+        f"(after day 1: {day1:.1f} min)"
+    )
+    for threshold, curve in sorted(result.baselines.items()):
+        print(f"[Fig 12] {curve.label:14s}: total={curve.final_minutes:6.1f} min")
+
+    # DeepDive beats every baseline.
+    for threshold, curve in result.baselines.items():
+        assert result.deepdive.final_minutes < curve.final_minutes, threshold
+    # Tighter baselines re-profile more.
+    assert (
+        result.baseline(0.05).final_minutes
+        >= result.baseline(0.10).final_minutes
+        >= result.baseline(0.20).final_minutes
+    )
+    # DeepDive's overhead flattens: the bulk of the profiling happens on day 1
+    # and the total stays in the tens of minutes (paper: ~20 min).
+    assert day1 >= 0.6 * result.deepdive.final_minutes
+    assert result.deepdive.final_minutes < 45.0
+    # Baselines keep growing after day 1.
+    baseline = result.baseline(0.05)
+    assert baseline.final_minutes > baseline.minutes_at_fraction(1.0 / 3.0) * 1.5

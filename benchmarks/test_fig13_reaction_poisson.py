@@ -1,0 +1,59 @@
+"""Figure 13 — profiling-pool reaction time under Poisson arrivals.
+
+Paper (1000 new VMs/day): (a) with only local information, four
+profiling servers keep the mean reaction time around four minutes even
+with 20% of VMs undergoing interference, while two servers become
+unstable at high interference fractions; (b) global information roughly
+halves the reaction time; (c) the benefit grows as the application
+popularity tail gets heavier (alpha -> 1), with alpha = infinity being
+the no-reuse limit.  Reproduced shape: all three orderings hold.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import fig13_reaction_poisson
+
+
+def test_fig13_reaction_time_poisson(benchmark):
+    result = run_once(benchmark, fig13_reaction_poisson.run, days=3.0)
+
+    print()
+    for servers in result.servers:
+        row = [
+            f"{p.mean_reaction_minutes:6.2f}{'*' if p.unstable else ' '}"
+            for p in result.local_only[servers]
+        ]
+        print(f"[Fig 13a] {servers:2d} servers, local only : {row}")
+    for servers in result.servers:
+        row = [f"{p.mean_reaction_minutes:6.2f}" for p in result.with_global[servers]]
+        print(f"[Fig 13b] {servers:2d} servers, with global: {row}")
+    for alpha in result.alpha_values:
+        row = [f"{p.mean_reaction_minutes:6.2f}" for p in result.alpha_sweep[alpha]]
+        label = "inf" if math.isinf(alpha) else f"{alpha:.1f}"
+        print(f"[Fig 13c] alpha={label:4s} (4 servers)  : {row}")
+
+    fractions = result.interference_fractions
+    # (a) More servers never hurt; 4 servers react within ~5 minutes at 20%.
+    for fraction in fractions:
+        assert result.mean_reaction("local", 16, fraction) <= result.mean_reaction(
+            "local", 2, fraction
+        ) + 1e-6
+    assert result.mean_reaction("local", 4, 0.2) < 5.0
+    # Two servers eventually saturate / become much slower than sixteen.
+    assert (
+        result.mean_reaction("local", 2, fractions[-1])
+        > 1.5 * result.mean_reaction("local", 16, fractions[-1])
+        or any(p.unstable for p in result.local_only[2])
+    )
+    # (b) Global information substantially improves the reaction time, and
+    # the benefit grows with the interference fraction (more reuse); at the
+    # top of the sweep the improvement approaches the paper's factor of two.
+    assert result.speedup_from_global(4, 0.4) > 1.2
+    assert result.speedup_from_global(4, fractions[-1]) > 1.6
+    # (c) Heavier tails benefit more; alpha=inf is the worst case.
+    heavy = result.mean_reaction("alpha", 1.0, 0.4)
+    light = result.mean_reaction("alpha", 2.5, 0.4)
+    none = result.mean_reaction("alpha", math.inf, 0.4)
+    assert heavy <= light <= none

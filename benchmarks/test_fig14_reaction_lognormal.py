@@ -1,0 +1,52 @@
+"""Figure 14 — reaction time under bursty (lognormal) VM arrivals.
+
+Paper: even with burstier arrivals, fewer than ten dedicated profiling
+machines suffice; global information again roughly halves the reaction
+time.  Reproduced shape: the same orderings as Figure 13 hold under the
+lognormal arrival process, burstiness makes reaction times no better
+than under Poisson, and the minimum acceptable pool stays below ten
+servers.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import fig13_reaction_poisson, fig14_reaction_lognormal
+
+
+def test_fig14_reaction_time_lognormal(benchmark):
+    result = run_once(benchmark, fig14_reaction_lognormal.run, days=3.0)
+
+    print()
+    for servers in result.servers:
+        row = [
+            f"{p.mean_reaction_minutes:6.2f}{'*' if p.unstable else ' '}"
+            for p in result.local_only[servers]
+        ]
+        print(f"[Fig 14a] {servers:2d} servers, local only : {row}")
+    for servers in result.servers:
+        row = [f"{p.mean_reaction_minutes:6.2f}" for p in result.with_global[servers]]
+        print(f"[Fig 14b] {servers:2d} servers, with global: {row}")
+
+    fractions = result.interference_fractions
+    for fraction in fractions:
+        assert result.mean_reaction("local", 16, fraction) <= result.mean_reaction(
+            "local", 2, fraction
+        ) + 1e-6
+    assert result.speedup_from_global(4, 0.4) > 1.2
+    assert result.speedup_from_global(4, fractions[-1]) > 1.5
+    heavy = result.mean_reaction("alpha", 1.0, 0.4)
+    none = result.mean_reaction("alpha", math.inf, 0.4)
+    assert heavy <= none
+
+
+def test_fig14_minimum_servers_under_burst(benchmark):
+    minimum = run_once(
+        benchmark,
+        fig14_reaction_lognormal.minimum_servers_under_burst,
+        interference_fraction=0.2,
+    )
+    print(f"\n[Fig 14] minimum acceptable profiling servers at 20% interference: {minimum}")
+    # The paper's claim: fewer than 10 dedicated profiling machines suffice.
+    assert minimum < 10

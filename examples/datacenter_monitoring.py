@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Datacenter-scale monitoring scenario (the Figure 8 setting).
+
+Replays a diurnal HotMail-like load trace against a Data Serving VM for
+two simulated days while a co-located memory-stress VM injects EC2-like
+interference episodes, and reports the day-by-day detection and
+false-positive rates plus the accumulated profiling cost — the shape of
+the paper's Figure 8 and Figure 12.
+
+Run with::
+
+    python examples/datacenter_monitoring.py
+"""
+
+from repro.experiments import fig08_detection, fig12_overhead
+
+
+def main() -> None:
+    print("Replaying two trace days for the Data Serving workload ...\n")
+    result = fig08_detection.run_workload(
+        "data_serving", days=2, epochs_per_day=48, seed=11
+    )
+
+    print(f"{'day':>4s} {'interference epochs':>20s} {'detected':>9s} "
+          f"{'detection rate':>15s} {'false-positive rate':>20s}")
+    for day in result.days:
+        print(f"{day.day:4d} {day.interference_epochs:20d} {day.detected_epochs:9d} "
+              f"{day.detection_rate:15.0%} {day.false_positive_rate:20.1%}")
+    print(f"\nMissed interference episodes : {result.missed_episodes}")
+    print(f"Total profiling time         : {result.total_profiling_seconds / 60:.1f} minutes")
+
+    print("\nComparing against always-reprofile baselines (Figure 12 setting) ...\n")
+    overhead = fig12_overhead.run(days=2, epochs_per_day=48, seed=11)
+    print(f"{'approach':>15s} {'profiling time (min)':>22s}")
+    print(f"{'DeepDive':>15s} {overhead.deepdive.final_minutes:22.1f}")
+    for threshold, curve in sorted(overhead.baselines.items()):
+        print(f"{curve.label:>15s} {curve.final_minutes:22.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Profiling-pool sizing scenario (the Figure 13/14 setting).
+
+Simulates a datacenter receiving 1000 new VMs per day (Poisson and
+bursty lognormal arrivals), with a configurable fraction of them
+eventually needing an analyzer run, and reports the mean reaction time
+for different profiling-pool sizes — with and without the
+global-information shortcut that lets popular applications reuse each
+other's profiling results.
+
+Run with::
+
+    python examples/profiler_scaling.py
+"""
+
+import math
+
+from repro.experiments import fig13_reaction_poisson, fig14_reaction_lognormal
+
+
+def _print_panel(title, curves, fractions):
+    print(title)
+    header = "  servers " + "".join(f"{f:>8.0%}" for f in fractions)
+    print(header)
+    for servers, points in sorted(curves.items()):
+        row = "".join(
+            f"{p.mean_reaction_minutes:7.1f}{'*' if p.unstable else ' '}" for p in points
+        )
+        print(f"  {servers:7d} {row}")
+    print("  (* = unstable: the profiling queue keeps growing)\n")
+
+
+def main() -> None:
+    fractions = (0.05, 0.2, 0.4, 0.8)
+    servers = (2, 4, 8, 16)
+
+    print("Poisson arrivals, 1000 new VMs/day (Figure 13)\n")
+    poisson = fig13_reaction_poisson.run(
+        interference_fractions=fractions, servers=servers,
+        alphas=(1.0, 2.0, math.inf), days=5.0,
+    )
+    _print_panel("Mean reaction time [min], local information only:",
+                 poisson.local_only, fractions)
+    _print_panel("Mean reaction time [min], with global information:",
+                 poisson.with_global, fractions)
+
+    print("Bursty lognormal arrivals (Figure 14)\n")
+    lognormal = fig14_reaction_lognormal.run(
+        interference_fractions=fractions, servers=servers,
+        alphas=(1.0, math.inf), days=5.0,
+    )
+    _print_panel("Mean reaction time [min], local information only:",
+                 lognormal.local_only, fractions)
+
+    minimum = fig14_reaction_lognormal.minimum_servers_under_burst()
+    print(f"Minimum acceptable pool under bursty arrivals at 20% interference: "
+          f"{minimum} profiling servers")
+
+
+if __name__ == "__main__":
+    main()

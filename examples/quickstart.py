@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Quickstart: detect and diagnose interference on one host.
+
+Builds the smallest interesting deployment — one Data Serving (Cassandra
+/ YCSB-like) VM on a simulated Xeon host watched by DeepDive, plus a
+memory-stress neighbour that switches on halfway through — and walks
+through the full pipeline:
+
+1. bootstrap the VM's interference-free behaviours in the sandbox,
+2. monitor it epoch by epoch through the warning system,
+3. confirm the injected interference with the analyzer,
+4. print the estimated degradation and the blamed resource.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DeepDive, DeepDiveConfig
+from repro.virt.cluster import Cluster
+from repro.virt.vm import VirtualMachine
+from repro.workloads.cloud import DataServingWorkload
+from repro.workloads.stress import MemoryStressWorkload
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # The production deployment: one monitored VM, one (initially idle)
+    # noisy neighbour on the same physical machine, a spare machine.
+    # ------------------------------------------------------------------
+    cluster = Cluster(num_hosts=2, seed=7, noise=0.01)
+    victim = VirtualMachine(
+        "cassandra-0", DataServingWorkload(key_skew=0.6), vcpus=2, memory_gb=2.0
+    )
+    neighbour = VirtualMachine(
+        "noisy-neighbour", MemoryStressWorkload(working_set_mb=192.0),
+        vcpus=2, memory_gb=1.0,
+    )
+    cluster.place_vm(victim, "pm0", load=0.7)
+    cluster.place_vm(neighbour, "pm0", load=0.0)
+
+    config = DeepDiveConfig(performance_threshold=0.20, profile_epochs=10)
+    deepdive = DeepDive(cluster, config=config)
+
+    # ------------------------------------------------------------------
+    # First contact with the application: the analyzer profiles it in the
+    # sandbox across load levels and seeds the behaviour repository.
+    # ------------------------------------------------------------------
+    print("Bootstrapping the interference-free behaviour set ...")
+    deepdive.bootstrap_vm(victim.name)
+    print(f"  learned {deepdive.repository.normal_count(victim.app_id)} normal behaviours "
+          f"({deepdive.repository_size_bytes()} bytes)\n")
+
+    # ------------------------------------------------------------------
+    # Monitor: ten quiet epochs, then the neighbour wakes up.
+    # ------------------------------------------------------------------
+    print(f"{'epoch':>5s} {'neighbour':>10s} {'warning':>20s} {'analyzer verdict':>30s}")
+    for epoch in range(20):
+        interfering = epoch >= 10
+        cluster.get_host("pm0").set_load(neighbour.name, 1.0 if interfering else 0.0)
+        cluster.step(loads={victim.name: 0.7})
+        report = deepdive.observe_epoch(loads={victim.name: 0.7})
+        observation = report.observations[victim.name]
+
+        verdict = ""
+        if observation.analysis is not None:
+            verdict = (
+                f"{observation.analysis.verdict.value} "
+                f"(degradation {observation.analysis.degradation:.0%}, "
+                f"culprit {observation.analysis.culprit})"
+            )
+        elif observation.known_interference:
+            verdict = "known interference signature"
+        print(f"{epoch:5d} {'ON' if interfering else 'off':>10s} "
+              f"{observation.warning.action.value:>20s} {verdict:>30s}")
+
+    # ------------------------------------------------------------------
+    # Summary.
+    # ------------------------------------------------------------------
+    detections = deepdive.events.detections()
+    print("\nSummary")
+    print(f"  analyzer invocations : {deepdive.analyzer_invocations()}")
+    print(f"  profiling time       : {deepdive.total_profiling_seconds():.0f} s")
+    print(f"  interference reports : {len(detections)}")
+    if detections:
+        last = detections[-1]
+        print(f"  last detection       : degradation {last.degradation:.0%}, "
+              f"culprit resource '{last.culprit}'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Reproduction of DeepDive (Novakovic et al., USENIX ATC 2013).
+
+DeepDive transparently identifies and manages performance interference
+between virtual machines co-located on the same physical machine.  The
+package is organised as follows:
+
+``repro.metrics``
+    The low-level metric layer: hardware-performance-counter definitions
+    (Table 1 of the paper), metric vectors, normalisation by instructions
+    retired, and the I/O-augmented CPI-stack performance models.
+
+``repro.hardware``
+    The physical-machine contention substrate: cores, shared caches,
+    front-side bus / QPI memory interconnect, disks and NICs, plus the
+    architecture specifications used in the paper (Xeon X5472 and the
+    Core-i7 NUMA port).
+
+``repro.virt``
+    The virtualisation substrate: virtual machines, the hypervisor that
+    pins vCPUs to cores and virtualises counters, clusters of physical
+    machines, VM cloning, the sandboxed profiling environment and the
+    request-duplicating proxy.
+
+``repro.workloads``
+    CloudSuite-like workload models (Data Serving, Web Search, Data
+    Analytics), the stress workloads used to inject interference, the
+    synthetic mimicking benchmark, and load/interference trace generators.
+
+``repro.clustering``
+    Expectation-maximisation Gaussian-mixture clustering with cannot-link
+    constraints and automatic metric-threshold derivation.
+
+``repro.regression``
+    The regression machinery used to train the synthetic benchmark.
+
+``repro.core``
+    DeepDive proper: the warning system, the interference analyzer, the
+    VM behaviour repository, the placement manager, baselines, and the
+    top-level :class:`repro.core.DeepDive` orchestrator.
+
+``repro.queueing``
+    The profiling-server queueing simulator used for the scalability
+    study (Figures 12-14).
+
+``repro.experiments``
+    One module per figure of the paper's evaluation; each returns the
+    rows/series the paper reports.
+"""
+
+from repro.core.config import DeepDiveConfig
+from repro.core.deepdive import DeepDive
+
+__version__ = "1.0.0"
+
+__all__ = ["DeepDive", "DeepDiveConfig", "__version__"]

@@ -1,0 +1,32 @@
+"""Clustering machinery for the warning system.
+
+The paper uses the expectation-maximisation clustering algorithm (as
+implemented in Weka) to produce interference-free clusters in the
+N-dimensional metric space, enhanced with pairwise constraints so
+behaviours the analyzer has diagnosed as interference can never be
+absorbed into an interference-free cluster.  The clustering also yields
+the vector of per-metric classification thresholds MT that the warning
+system uses to decide whether a new measurement matches a known-normal
+behaviour.
+
+sklearn is not available in this environment, so the Gaussian-mixture EM
+is implemented from scratch on numpy.
+"""
+
+from repro.clustering.scaling import StandardScaler
+from repro.clustering.em import GaussianMixtureEM, GaussianMixtureModel
+from repro.clustering.constraints import (
+    CannotLinkConstraints,
+    ConstrainedGaussianMixtureEM,
+)
+from repro.clustering.thresholds import MetricThresholds, derive_thresholds
+
+__all__ = [
+    "StandardScaler",
+    "GaussianMixtureEM",
+    "GaussianMixtureModel",
+    "CannotLinkConstraints",
+    "ConstrainedGaussianMixtureEM",
+    "MetricThresholds",
+    "derive_thresholds",
+]

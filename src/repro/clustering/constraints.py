@@ -1,0 +1,118 @@
+"""Constrained (semi-supervised) clustering.
+
+DeepDive enhances the EM clustering with a set of constraints: when the
+analyzer has diagnosed a behaviour as interference, the algorithm is
+prevented from assigning that behaviour to an interference-free cluster
+(Section 4.1).  We implement this as *cannot-link-to-normal* exclusion
+points: the constrained EM fits the mixture on the normal behaviours
+only, and then verifies that no interference-labelled point sits inside
+any component's acceptance region; if one does, the offending
+component's variance is shrunk until the excluded point falls outside,
+which tightens the metric thresholds exactly where normal and
+interference behaviours would otherwise blur together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.clustering.em import GaussianMixtureEM, GaussianMixtureModel
+
+
+@dataclass
+class CannotLinkConstraints:
+    """Points that must never be considered part of a normal cluster."""
+
+    points: List[np.ndarray] = field(default_factory=list)
+
+    def add(self, point: np.ndarray) -> None:
+        point = np.asarray(point, dtype=float).ravel()
+        self.points.append(point)
+
+    def as_matrix(self, n_dims: int) -> np.ndarray:
+        if not self.points:
+            return np.empty((0, n_dims))
+        return np.vstack(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class ConstrainedGaussianMixtureEM:
+    """EM clustering of normal behaviours with interference exclusions.
+
+    Parameters
+    ----------
+    acceptance_sigma:
+        Mahalanobis radius (per component, diagonal covariance) inside
+        which a point is considered to match the component.  Excluded
+        (interference) points must end up outside this radius for every
+        component.
+    shrink_factor:
+        Multiplicative variance shrink applied per iteration while an
+        excluded point is still inside some component's acceptance region.
+    max_shrink_iter:
+        Safety bound on shrink iterations.
+    """
+
+    def __init__(
+        self,
+        n_components: Optional[int] = None,
+        max_components: int = 6,
+        acceptance_sigma: float = 3.0,
+        shrink_factor: float = 0.7,
+        max_shrink_iter: int = 60,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if acceptance_sigma <= 0:
+            raise ValueError("acceptance_sigma must be positive")
+        if not 0.0 < shrink_factor < 1.0:
+            raise ValueError("shrink_factor must be in (0, 1)")
+        self.acceptance_sigma = acceptance_sigma
+        self.shrink_factor = shrink_factor
+        self.max_shrink_iter = max_shrink_iter
+        self._em = GaussianMixtureEM(
+            n_components=n_components, max_components=max_components, seed=seed
+        )
+
+    def fit(
+        self,
+        normal_data: np.ndarray,
+        constraints: Optional[CannotLinkConstraints] = None,
+    ) -> GaussianMixtureModel:
+        """Fit on interference-free data, honouring the exclusion constraints."""
+        normal_data = np.atleast_2d(np.asarray(normal_data, dtype=float))
+        model = self._em.fit(normal_data)
+        if constraints is None or len(constraints) == 0:
+            return model
+        excluded = constraints.as_matrix(normal_data.shape[1])
+        variances = model.variances.copy()
+        for _ in range(self.max_shrink_iter):
+            offending = self._offending_components(model.means, variances, excluded)
+            if not offending:
+                break
+            for j in offending:
+                variances[j] = variances[j] * self.shrink_factor
+        return GaussianMixtureModel(
+            weights=model.weights,
+            means=model.means,
+            variances=variances,
+            log_likelihood=model.log_likelihood,
+            n_iter=model.n_iter,
+            converged=model.converged,
+        )
+
+    def _offending_components(
+        self, means: np.ndarray, variances: np.ndarray, excluded: np.ndarray
+    ) -> List[int]:
+        """Components whose acceptance region still contains an excluded point."""
+        offending: List[int] = []
+        for j in range(means.shape[0]):
+            diff = excluded - means[j]
+            dist = np.sqrt(np.sum(diff * diff / variances[j], axis=1))
+            if np.any(dist <= self.acceptance_sigma):
+                offending.append(j)
+        return offending

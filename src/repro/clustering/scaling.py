@@ -1,0 +1,63 @@
+"""Per-dimension standardisation.
+
+The warning-system metrics live on wildly different scales (a CPI of 2
+versus 40 bus transactions per kilo-instruction versus a utilisation in
+[0, 1]).  Clustering and distance computations standardise each
+dimension to zero mean and unit variance first; the scaler is fitted on
+the interference-free behaviours and reused for every later query, so a
+shift caused by interference is *not* normalised away.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaler with degenerate-dimension care."""
+
+    def __init__(self, min_std: float = 1e-8) -> None:
+        self.min_std = min_std
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Fit the scaler on an ``(n, d)`` data matrix."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("fit expects a non-empty (n, d) matrix")
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        # Dimensions with (near-)zero variance would blow up the
+        # transform; give them a unit scale instead so they contribute a
+        # plain difference-from-mean.
+        std = np.where(std < self.min_std, 1.0, std)
+        self.std_ = std
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("scaler is not fitted")
+        data = np.asarray(data, dtype=float)
+        single = data.ndim == 1
+        data = np.atleast_2d(data)
+        out = (data - self.mean_) / self.std_
+        return out[0] if single else out
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("scaler is not fitted")
+        data = np.asarray(data, dtype=float)
+        single = data.ndim == 1
+        data = np.atleast_2d(data)
+        out = data * self.std_ + self.mean_
+        return out[0] if single else out

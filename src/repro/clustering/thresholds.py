@@ -1,0 +1,118 @@
+"""Automatic derivation of the metric-classification thresholds MT.
+
+The warning system needs, for every metric dimension, a threshold that
+separates benign statistical variation of a normal behaviour from the
+deviation caused by interference.  The paper states that the clustering
+algorithm sets these thresholds automatically while producing the
+interference-free clusters.  We derive them from the fitted mixture: the
+threshold for a dimension is a multiple of the largest per-cluster
+standard deviation along that dimension (the widest spread any normal
+behaviour exhibits), optionally tightened so that known interference
+points fall outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.em import GaussianMixtureModel
+
+
+@dataclass
+class MetricThresholds:
+    """The per-metric classification threshold vector MT.
+
+    ``thresholds[name]`` is the maximum absolute deviation (in raw metric
+    units) from a normal-cluster mean along dimension ``name`` that is
+    still considered a match for that cluster.
+    """
+
+    thresholds: Dict[str, float]
+    #: The sigma multiplier used to derive the thresholds.
+    sigma: float
+
+    def as_array(self, dimensions: Sequence[str]) -> np.ndarray:
+        return np.array([self.thresholds[d] for d in dimensions], dtype=float)
+
+    def __getitem__(self, name: str) -> float:
+        return self.thresholds[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.thresholds
+
+    def scaled(self, factor: float) -> "MetricThresholds":
+        """Return a copy with every threshold multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return MetricThresholds(
+            thresholds={k: v * factor for k, v in self.thresholds.items()},
+            sigma=self.sigma * factor,
+        )
+
+    def matches(
+        self,
+        candidate: Mapping[str, float],
+        reference: Mapping[str, float],
+    ) -> bool:
+        """Whether ``candidate`` is within MT of ``reference`` on every dimension."""
+        for name, limit in self.thresholds.items():
+            if abs(candidate[name] - reference[name]) > limit:
+                return False
+        return True
+
+    def violated_dimensions(
+        self,
+        candidate: Mapping[str, float],
+        reference: Mapping[str, float],
+    ) -> Tuple[str, ...]:
+        """The dimensions on which ``candidate`` deviates beyond MT."""
+        return tuple(
+            name
+            for name, limit in self.thresholds.items()
+            if abs(candidate[name] - reference[name]) > limit
+        )
+
+
+def derive_thresholds(
+    model: GaussianMixtureModel,
+    dimensions: Sequence[str],
+    sigma: float = 3.0,
+    floor_fraction: float = 0.02,
+    floors: Optional[Mapping[str, float]] = None,
+) -> MetricThresholds:
+    """Derive MT from a fitted interference-free mixture.
+
+    Parameters
+    ----------
+    model:
+        The mixture fitted on normal behaviours (after constraint
+        shrinking, if any).
+    dimensions:
+        Names of the metric dimensions, in the order of the model's columns.
+    sigma:
+        Threshold multiplier on the per-dimension standard deviation.
+    floor_fraction:
+        Minimum threshold expressed as a fraction of the dimension's mean
+        magnitude, so near-constant dimensions do not produce a zero
+        threshold that would fire on measurement noise.
+    floors:
+        Optional absolute per-dimension minimum thresholds.
+    """
+    if len(dimensions) != model.n_dimensions:
+        raise ValueError(
+            f"model has {model.n_dimensions} dimensions, got {len(dimensions)} names"
+        )
+    stds = np.sqrt(model.variances)  # (k, d)
+    widest = stds.max(axis=0)
+    mean_mag = np.abs(model.means).max(axis=0)
+    thresholds: Dict[str, float] = {}
+    for i, name in enumerate(dimensions):
+        value = sigma * widest[i]
+        value = max(value, floor_fraction * mean_mag[i])
+        if floors and name in floors:
+            value = max(value, floors[name])
+        thresholds[name] = float(value)
+    return MetricThresholds(thresholds=thresholds, sigma=sigma)

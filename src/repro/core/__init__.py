@@ -1,0 +1,55 @@
+"""DeepDive proper.
+
+The paper's primary contribution: the warning system that cheaply spots
+suspicious behaviour, the interference analyzer that confirms it and
+pinpoints the culprit resource, the behaviour repository both rely on,
+the VM placement manager that resolves confirmed interference by
+migrating the aggressor to a vetted destination, the threshold baselines
+used in the overhead comparison, and the :class:`DeepDive` orchestrator
+that wires everything together.
+"""
+
+from repro.core.config import DeepDiveConfig
+from repro.core.repository import BehaviorRepository, AppBehaviorEntry
+from repro.core.warning import WarningSystem, WarningDecision, WarningAction
+from repro.core.analyzer import InterferenceAnalyzer, AnalysisResult, AnalysisVerdict
+from repro.core.placement import (
+    PlacementManager,
+    PlacementDecision,
+    CandidateEvaluation,
+)
+from repro.core.baselines import ThresholdBaseline, BaselineDecision
+from repro.core.controller import PersistenceController, ControllerDecision
+from repro.core.deepdive import DeepDive, VMObservation, EpochReport
+from repro.core.events import (
+    AnalyzerInvocationEvent,
+    InterferenceDetectedEvent,
+    MigrationEvent,
+    EventLog,
+)
+
+__all__ = [
+    "DeepDiveConfig",
+    "BehaviorRepository",
+    "AppBehaviorEntry",
+    "WarningSystem",
+    "WarningDecision",
+    "WarningAction",
+    "InterferenceAnalyzer",
+    "AnalysisResult",
+    "AnalysisVerdict",
+    "PlacementManager",
+    "PlacementDecision",
+    "CandidateEvaluation",
+    "ThresholdBaseline",
+    "BaselineDecision",
+    "PersistenceController",
+    "ControllerDecision",
+    "DeepDive",
+    "VMObservation",
+    "EpochReport",
+    "AnalyzerInvocationEvent",
+    "InterferenceDetectedEvent",
+    "MigrationEvent",
+    "EventLog",
+]

@@ -1,0 +1,258 @@
+"""The interference analyzer (Section 4.2, Algorithm 2).
+
+When the warning system suspects interference, the analyzer obtains the
+ground truth: it clones the VM into the sandbox, replays the same client
+load through the request-duplicating proxy, and compares the
+instruction-retirement rates in production and in isolation.  If the
+estimated degradation stays below the operator-defined performance
+threshold, the suspicion was a false alarm and the new behaviour is
+added to the repository's normal set.  Otherwise the analyzer builds the
+I/O-augmented CPI stack for both environments, ranks the per-resource
+degradation factors, and hands the result to the placement manager.
+
+The analyzer also implements the *bootstrap* path: the first time an
+application is seen, a sweep over load levels in the sandbox seeds the
+repository with interference-free behaviours and lets the clustering
+derive the metric thresholds MT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DeepDiveConfig
+from repro.core.repository import BehaviorRepository
+from repro.metrics.counters import CounterSample
+from repro.metrics.cpi import (
+    CPIStack,
+    CPIStackModel,
+    Resource,
+    degradation_from_instructions,
+)
+from repro.metrics.normalization import aggregate_samples
+from repro.metrics.sample import MetricVector
+from repro.virt.sandbox import SandboxEnvironment, SandboxRun
+from repro.virt.vm import VirtualMachine
+
+
+class AnalysisVerdict(str, enum.Enum):
+    """Outcome of one analyzer invocation."""
+
+    #: Degradation below the operator threshold: false alarm / benign.
+    NO_INTERFERENCE = "no_interference"
+    #: Degradation above the threshold: interference confirmed.
+    INTERFERENCE = "interference"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the analyzer learned from one invocation."""
+
+    vm_name: str
+    app_id: str
+    verdict: AnalysisVerdict
+    #: Estimated degradation (0 = none, 0.3 = 30% slower than isolation).
+    degradation: float
+    #: The resource blamed for the degradation (None when no interference).
+    culprit: Optional[Resource]
+    #: Per-resource degradation factors from the CPI-stack comparison.
+    factors: Dict[Resource, float]
+    #: The production-vs-isolation CPI stack (for reporting / plots).
+    cpi_stack: Optional[CPIStack]
+    #: Aggregate production counters the analysis used.
+    production_counters: CounterSample
+    #: Aggregate isolation counters from the sandbox run.
+    isolation_counters: CounterSample
+    #: Sandbox run bookkeeping (profiling cost).
+    sandbox_run: Optional[SandboxRun]
+    #: Seconds of profiling this invocation cost.
+    profiling_seconds: float
+
+    @property
+    def confirmed(self) -> bool:
+        return self.verdict is AnalysisVerdict.INTERFERENCE
+
+
+class InterferenceAnalyzer:
+    """VM cloning + workload duplication + CPI-stack attribution."""
+
+    def __init__(
+        self,
+        sandbox: SandboxEnvironment,
+        repository: BehaviorRepository,
+        config: Optional[DeepDiveConfig] = None,
+        cpi_model: Optional[CPIStackModel] = None,
+    ) -> None:
+        self.sandbox = sandbox
+        self.repository = repository
+        self.config = config or DeepDiveConfig()
+        self.cpi_model = cpi_model or CPIStackModel.for_architecture(
+            sandbox.spec.architecture.name
+        )
+        #: Number of analyzer invocations (excluding bootstraps).
+        self.invocations = 0
+        #: Number of bootstrap sweeps performed.
+        self.bootstraps = 0
+        #: Total profiling seconds consumed (invocations + bootstraps).
+        self.total_profiling_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Bootstrap: learn the ground-truth normal behaviours in isolation
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self,
+        vm: VirtualMachine,
+        load_levels: Optional[Sequence[float]] = None,
+    ) -> List[MetricVector]:
+        """Profile a newly seen application across load levels in isolation.
+
+        Returns the metric vectors added to the repository.  The sweep
+        spans the load range the application is expected to see, so later
+        quantitative load changes fall inside the learned clusters.
+        """
+        if load_levels is None:
+            levels = np.linspace(0.2, 1.0, self.config.bootstrap_load_levels)
+        else:
+            levels = np.asarray(list(load_levels), dtype=float)
+        vectors: List[MetricVector] = []
+        profiling = 0.0
+        for level in levels:
+            run = self.sandbox.profile(
+                vm,
+                loads=[float(level)] * self.config.bootstrap_epochs_per_level,
+                profile_epochs=self.config.bootstrap_epochs_per_level,
+            )
+            profiling += run.total_seconds
+            for sample in run.epoch_counters:
+                vectors.append(MetricVector.from_sample(sample, label=vm.app_id))
+        self.repository.add_normal_batch(vm.app_id, vectors, refit=True)
+        self.bootstraps += 1
+        self.total_profiling_seconds += profiling
+        return vectors
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: production vs isolation comparison
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        vm: VirtualMachine,
+        production_samples: Sequence[CounterSample],
+        replay_loads: Sequence[float],
+        performance_threshold: Optional[float] = None,
+        triggering_vector: Optional[MetricVector] = None,
+    ) -> AnalysisResult:
+        """Confirm or reject an interference suspicion for one VM.
+
+        Parameters
+        ----------
+        vm:
+            The production VM under suspicion (it will be cloned).
+        production_samples:
+            The recent per-epoch counter samples collected in production
+            (the window the warning system found suspicious).
+        replay_loads:
+            The offered-load stream (fractions of nominal) the proxy
+            recorded over that window; replayed to the sandbox clone.
+        performance_threshold:
+            Override of the operator threshold (defaults to the config).
+        triggering_vector:
+            The normalised metric vector that made the warning system
+            fire.  When provided it is the behaviour recorded in the
+            repository (as a new normal behaviour on a false alarm, or as
+            an interference signature on a confirmation); the aggregated
+            window is used otherwise.
+        """
+        if not production_samples:
+            raise ValueError("analyze needs at least one production sample")
+        if not replay_loads:
+            raise ValueError("analyze needs the replayed load stream")
+        threshold = (
+            performance_threshold
+            if performance_threshold is not None
+            else self.config.performance_threshold
+        )
+
+        production = aggregate_samples(production_samples)
+        run = self.sandbox.profile(
+            vm,
+            loads=list(replay_loads),
+            profile_epochs=len(replay_loads),
+        )
+        isolation = run.counters
+
+        degradation = degradation_from_instructions(production, isolation)
+        stack = self.cpi_model.compare(production, isolation)
+        factors = stack.factors()
+
+        self.invocations += 1
+        self.total_profiling_seconds += run.total_seconds
+
+        label_vector = triggering_vector or MetricVector.from_sample(
+            production, label=vm.app_id
+        )
+        if degradation < threshold:
+            # False alarm: certify the production behaviour as normal so
+            # the warning system will not fire on it again.
+            self.repository.add_normal(vm.app_id, label_vector, refit=True)
+            return AnalysisResult(
+                vm_name=vm.name,
+                app_id=vm.app_id,
+                verdict=AnalysisVerdict.NO_INTERFERENCE,
+                degradation=degradation,
+                culprit=None,
+                factors=factors,
+                cpi_stack=stack,
+                production_counters=production,
+                isolation_counters=isolation,
+                sandbox_run=run,
+                profiling_seconds=run.total_seconds,
+            )
+
+        # Interference confirmed: label the behaviour so the clustering
+        # can never absorb it, identify the culprit, escalate.
+        self.repository.add_interference(vm.app_id, label_vector)
+        culprit = self._culprit(stack)
+        return AnalysisResult(
+            vm_name=vm.name,
+            app_id=vm.app_id,
+            verdict=AnalysisVerdict.INTERFERENCE,
+            degradation=degradation,
+            culprit=culprit,
+            factors=factors,
+            cpi_stack=stack,
+            production_counters=production,
+            isolation_counters=isolation,
+            sandbox_run=run,
+            profiling_seconds=run.total_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _culprit(self, stack: CPIStack) -> Resource:
+        """Pick the culprit among the non-core resources.
+
+        The core component is excluded from the vote: extra "core" time
+        per instruction reflects the victim's own computation, while
+        interference by definition comes from a *shared* resource (cache,
+        interconnect, disk, network).
+        """
+        factors = stack.factors()
+        shared = {r: f for r, f in factors.items() if r is not Resource.CORE}
+        return max(shared, key=lambda r: shared[r])
+
+    # ------------------------------------------------------------------
+    def estimate_degradation(
+        self,
+        production_samples: Sequence[CounterSample],
+        isolation_samples: Sequence[CounterSample],
+    ) -> float:
+        """Degradation estimate from two already-collected sample sets."""
+        production = aggregate_samples(production_samples)
+        isolation = aggregate_samples(isolation_samples)
+        return degradation_from_instructions(production, isolation)

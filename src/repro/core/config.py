@@ -1,0 +1,93 @@
+"""DeepDive configuration.
+
+All knobs the paper mentions are collected here: the operator-defined
+performance-degradation threshold (the only performance-related input an
+operator supplies), the warning system's clustering parameters, the
+analyzer's profiling window, and the global-information quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class DeepDiveConfig:
+    """Configuration for a DeepDive deployment."""
+
+    # ------------------------------------------------------------------
+    # Operator-defined policy
+    # ------------------------------------------------------------------
+    #: Degradation above which the analyzer escalates to the placement
+    #: manager (the paper labels EC2 "performance crises" at 20%).
+    performance_threshold: float = 0.20
+
+    # ------------------------------------------------------------------
+    # Warning system
+    # ------------------------------------------------------------------
+    #: Mahalanobis acceptance radius around a normal cluster; doubles as
+    #: the sigma multiplier when deriving the metric thresholds MT.
+    warning_sigma: float = 3.0
+    #: Maximum number of mixture components tried during model selection.
+    max_clusters: int = 6
+    #: Refit the clustering after this many new normal behaviours.
+    refit_every: int = 16
+    #: Minimum number of normal behaviours before the warning system
+    #: leaves conservative (always-analyze-on-deviation) mode.
+    min_normal_behaviors: int = 8
+    #: Fraction of sibling VMs (same application on other PMs) that must
+    #: deviate "in the same region" for the warning system to classify a
+    #: deviation as a workload change rather than interference.
+    global_quorum: float = 0.6
+    #: Scaled distance below which two concurrently observed sibling
+    #: deviations count as "the same region".
+    global_similarity_distance: float = 2.0
+
+    # ------------------------------------------------------------------
+    # Interference analyzer
+    # ------------------------------------------------------------------
+    #: Number of monitoring epochs the analyzer aggregates on the
+    #: production side and replays in the sandbox.
+    profile_epochs: int = 20
+    #: Number of load levels used when bootstrapping the normal-behaviour
+    #: set for a newly seen application.
+    bootstrap_load_levels: int = 6
+    #: Epochs per bootstrap load level.
+    bootstrap_epochs_per_level: int = 10
+
+    # ------------------------------------------------------------------
+    # Placement manager
+    # ------------------------------------------------------------------
+    #: Epochs the synthetic benchmark runs on each candidate PM
+    #: (the paper reports runs of "less than a minute").
+    placement_eval_epochs: int = 30
+    #: Acceptable residual degradation on a destination PM.
+    placement_acceptable_degradation: float = 0.05
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    #: Length of one monitoring epoch in seconds.
+    epoch_seconds: float = 1.0
+    #: Number of recent epochs smoothed together before the warning
+    #: system compares against the repository.
+    smoothing_epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.performance_threshold < 1.0:
+            raise ValueError("performance_threshold must be in (0, 1)")
+        if self.warning_sigma <= 0:
+            raise ValueError("warning_sigma must be positive")
+        if not 0.0 < self.global_quorum <= 1.0:
+            raise ValueError("global_quorum must be in (0, 1]")
+        if self.profile_epochs < 1:
+            raise ValueError("profile_epochs must be positive")
+        if self.placement_eval_epochs < 1:
+            raise ValueError("placement_eval_epochs must be positive")
+        if self.epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if self.smoothing_epochs < 1:
+            raise ValueError("smoothing_epochs must be at least 1")
+        if self.min_normal_behaviors < 2:
+            raise ValueError("min_normal_behaviors must be at least 2")

@@ -1,0 +1,128 @@
+"""Persistence controller for oscillating interference (Section 4.4).
+
+The paper notes that interference can oscillate over time and suggests
+"a simple controller that would react only upon detections that are
+persistent across multiple epochs".  :class:`PersistenceController`
+implements that filter: it watches the per-VM stream of interference
+verdicts and recommends mitigation only when a VM has been flagged in at
+least ``required_detections`` of the last ``window_epochs`` epochs, so a
+single short-lived spike does not trigger an expensive migration while a
+sustained episode still does within a bounded delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+
+@dataclass
+class ControllerDecision:
+    """The controller's verdict for one VM at one epoch."""
+
+    vm_name: str
+    epoch: int
+    #: Whether mitigation (placement-manager invocation) is recommended now.
+    act: bool
+    #: Detections observed within the current window.
+    detections_in_window: int
+    #: Epochs observed within the current window.
+    window_size: int
+    reason: str
+
+
+class PersistenceController:
+    """Reacts only to interference that persists across monitoring epochs."""
+
+    def __init__(
+        self,
+        window_epochs: int = 5,
+        required_detections: int = 3,
+        cooldown_epochs: int = 10,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        window_epochs:
+            Length of the sliding window of recent verdicts per VM.
+        required_detections:
+            Number of flagged epochs within the window needed to act.
+        cooldown_epochs:
+            Epochs to wait after acting before acting again for the same
+            VM (a migration needs time to take effect and be re-measured).
+        """
+        if window_epochs < 1:
+            raise ValueError("window_epochs must be positive")
+        if not 1 <= required_detections <= window_epochs:
+            raise ValueError("required_detections must be in [1, window_epochs]")
+        if cooldown_epochs < 0:
+            raise ValueError("cooldown_epochs must be non-negative")
+        self.window_epochs = window_epochs
+        self.required_detections = required_detections
+        self.cooldown_epochs = cooldown_epochs
+        self._history: Dict[str, Deque[bool]] = {}
+        self._last_action_epoch: Dict[str, int] = {}
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, vm_name: str, interference_detected: bool) -> ControllerDecision:
+        """Feed one epoch's verdict for one VM; returns the recommendation."""
+        window = self._history.setdefault(vm_name, deque(maxlen=self.window_epochs))
+        window.append(bool(interference_detected))
+        epoch = self._epoch
+        detections = sum(window)
+
+        last_action = self._last_action_epoch.get(vm_name)
+        in_cooldown = (
+            last_action is not None
+            and epoch - last_action < self.cooldown_epochs
+        )
+
+        if detections >= self.required_detections and not in_cooldown:
+            self._last_action_epoch[vm_name] = epoch
+            decision = ControllerDecision(
+                vm_name=vm_name,
+                epoch=epoch,
+                act=True,
+                detections_in_window=detections,
+                window_size=len(window),
+                reason=(
+                    f"interference persisted in {detections}/{len(window)} recent epochs"
+                ),
+            )
+        elif in_cooldown:
+            decision = ControllerDecision(
+                vm_name=vm_name,
+                epoch=epoch,
+                act=False,
+                detections_in_window=detections,
+                window_size=len(window),
+                reason="within the post-mitigation cooldown window",
+            )
+        else:
+            decision = ControllerDecision(
+                vm_name=vm_name,
+                epoch=epoch,
+                act=False,
+                detections_in_window=detections,
+                window_size=len(window),
+                reason=(
+                    "interference not persistent enough "
+                    f"({detections}/{self.required_detections} needed)"
+                ),
+            )
+        return decision
+
+    def advance_epoch(self) -> None:
+        """Move the controller's clock forward by one monitoring epoch."""
+        self._epoch += 1
+
+    def reset(self, vm_name: Optional[str] = None) -> None:
+        """Forget the history of one VM (or of every VM)."""
+        if vm_name is None:
+            self._history.clear()
+            self._last_action_epoch.clear()
+        else:
+            self._history.pop(vm_name, None)
+            self._last_action_epoch.pop(vm_name, None)

@@ -1,0 +1,362 @@
+"""The DeepDive orchestrator.
+
+Ties the pieces together: every monitoring epoch, it reads the raw
+counters the hypervisors expose for every VM, normalises them, runs the
+warning system (feeding it the sibling VMs' behaviour as global
+information), invokes the interference analyzer when the warning system
+says so, and hands confirmed interference to the placement manager.
+
+The orchestrator never reads application-level performance: its only
+inputs are the Table 1 counters and the proxy-observed load streams,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.analyzer import AnalysisResult, InterferenceAnalyzer
+from repro.core.config import DeepDiveConfig
+from repro.core.events import (
+    AnalyzerInvocationEvent,
+    EventLog,
+    InterferenceDetectedEvent,
+    MigrationEvent,
+)
+from repro.core.placement import PlacementDecision, PlacementManager
+from repro.core.repository import BehaviorRepository
+from repro.core.warning import WarningAction, WarningDecision, WarningSystem
+from repro.metrics.counters import CounterSample
+from repro.metrics.cpi import CPIStackModel
+from repro.metrics.normalization import aggregate_samples
+from repro.metrics.sample import MetricVector
+from repro.regression.training import TrainedSynthesizer
+from repro.virt.cluster import Cluster
+from repro.virt.proxy import RequestProxy
+from repro.virt.sandbox import SandboxEnvironment
+from repro.virt.vm import VirtualMachine
+
+
+@dataclass
+class VMObservation:
+    """One VM's state as seen by DeepDive in one epoch."""
+
+    vm_name: str
+    app_id: str
+    warning: WarningDecision
+    analysis: Optional[AnalysisResult] = None
+    placement: Optional[PlacementDecision] = None
+    #: True when interference was reported from a previously diagnosed
+    #: signature without re-running the analyzer.
+    known_interference: bool = False
+
+    @property
+    def interference_confirmed(self) -> bool:
+        if self.known_interference:
+            return True
+        return self.analysis is not None and self.analysis.confirmed
+
+
+@dataclass
+class EpochReport:
+    """Everything DeepDive did in one monitoring epoch."""
+
+    epoch: int
+    observations: Dict[str, VMObservation] = field(default_factory=dict)
+
+    def analyzer_invocations(self) -> int:
+        return sum(1 for o in self.observations.values() if o.analysis is not None)
+
+    def confirmed_interference(self) -> List[str]:
+        return [
+            name
+            for name, o in self.observations.items()
+            if o.interference_confirmed
+        ]
+
+
+class DeepDive:
+    """Transparent interference identification and management."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        sandbox: Optional[SandboxEnvironment] = None,
+        config: Optional[DeepDiveConfig] = None,
+        synthesizer: Optional[TrainedSynthesizer] = None,
+        mitigate: bool = False,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        cluster:
+            The production cluster DeepDive watches.
+        sandbox:
+            The profiling environment; a single-host sandbox matching the
+            cluster's machine spec is created when omitted.
+        config:
+            DeepDive configuration (operator threshold, clustering knobs, ...).
+        synthesizer:
+            Optional trained synthetic-benchmark synthesizer used by the
+            placement manager; without it the manager clones the real VM.
+        mitigate:
+            Whether confirmed interference triggers the placement manager
+            (experiments that only measure detection leave this off).
+        """
+        self.cluster = cluster
+        self.config = config or DeepDiveConfig()
+        spec = next(iter(cluster.hosts.values())).machine.spec
+        self.sandbox = sandbox or SandboxEnvironment(
+            num_hosts=1,
+            spec=spec,
+            epoch_seconds=self.config.epoch_seconds,
+            profile_epochs=self.config.profile_epochs,
+        )
+        self.repository = BehaviorRepository(
+            warning_sigma=self.config.warning_sigma,
+            max_clusters=self.config.max_clusters,
+            refit_every=self.config.refit_every,
+            min_normal_behaviors=self.config.min_normal_behaviors,
+        )
+        self.warning_system = WarningSystem(self.repository, self.config)
+        self.analyzer = InterferenceAnalyzer(
+            sandbox=self.sandbox,
+            repository=self.repository,
+            config=self.config,
+            cpi_model=CPIStackModel.for_architecture(spec.architecture.name),
+        )
+        self.placement_manager = PlacementManager(
+            sandbox=self.sandbox,
+            synthesizer=synthesizer,
+            config=self.config,
+        )
+        self.mitigate = mitigate
+        self.events = EventLog()
+        self.proxies: Dict[str, RequestProxy] = {}
+        self.current_epoch = 0
+        #: VMs whose application has been bootstrapped already.
+        self._bootstrapped_apps: set = set()
+        #: Last confirmed analysis per application (reused when a known
+        #: interference signature reappears).
+        self._last_confirmed: Dict[str, AnalysisResult] = {}
+
+    # ------------------------------------------------------------------
+    # Monitoring plumbing
+    # ------------------------------------------------------------------
+    def register_vm(self, vm_name: str) -> RequestProxy:
+        """Create (or return) the request proxy for a production VM."""
+        if vm_name not in self.proxies:
+            self.proxies[vm_name] = RequestProxy(vm_name)
+        return self.proxies[vm_name]
+
+    def observe_load(self, vm_name: str, load: float) -> None:
+        """Record the load the proxy forwarded to a VM this epoch."""
+        self.register_vm(vm_name).observe(load)
+
+    def bootstrap_vm(self, vm_name: str, load_levels: Optional[Sequence[float]] = None) -> None:
+        """Run the analyzer's bootstrap sweep for a VM's application."""
+        placement = self.cluster.all_vms()
+        if vm_name not in placement:
+            raise KeyError(f"VM {vm_name!r} not placed in the cluster")
+        _, vm = placement[vm_name]
+        self.analyzer.bootstrap(vm, load_levels=load_levels)
+        self._bootstrapped_apps.add(vm.app_id)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def observe_epoch(
+        self,
+        loads: Optional[Mapping[str, float]] = None,
+        analyze: bool = True,
+    ) -> EpochReport:
+        """Process the newest counters of every VM in the cluster.
+
+        Parameters
+        ----------
+        loads:
+            The per-VM loads the proxies observed this epoch (fractions
+            of nominal).  VMs not listed reuse their last observed load.
+        analyze:
+            When False, only the warning system runs (used by experiments
+            that count would-be analyzer invocations without paying them).
+        """
+        report = EpochReport(epoch=self.current_epoch)
+        if loads:
+            for vm_name, load in loads.items():
+                self.observe_load(vm_name, load)
+
+        placement = self.cluster.all_vms()
+        # Pre-compute the latest metric vector of every VM (for siblings).
+        latest_vectors: Dict[str, MetricVector] = {}
+        for vm_name, (host_name, vm) in placement.items():
+            sample = self.cluster.hosts[host_name].latest_counters(vm_name)
+            if sample is not None:
+                latest_vectors[vm_name] = MetricVector.from_sample(
+                    sample, label=vm.app_id
+                )
+
+        for vm_name, (host_name, vm) in placement.items():
+            if vm_name not in latest_vectors:
+                continue
+            latest = self.cluster.hosts[host_name].latest_counters(vm_name)
+            if latest is None or latest.inst_retired < 1e3:
+                # An (almost) idle VM produces no meaningful metric vector;
+                # there is nothing to suffer interference yet.
+                continue
+            vector = self._smoothed_vector(host_name, vm_name, vm.app_id)
+            siblings = {
+                other: latest_vectors[other]
+                for other, (_, other_vm) in placement.items()
+                if other != vm_name and other_vm.app_id == vm.app_id
+            }
+            decision = self.warning_system.evaluate(
+                vm_name=vm_name,
+                app_id=vm.app_id,
+                vector=vector,
+                sibling_vectors=siblings,
+            )
+            observation = VMObservation(vm_name=vm_name, app_id=vm.app_id, warning=decision)
+
+            if decision.action is WarningAction.WORKLOAD_CHANGE:
+                self.warning_system.learn_workload_change(vm.app_id, vector)
+            elif decision.flags_interference:
+                observation.known_interference = True
+                self._record_known_interference(vm_name, vm.app_id)
+            elif decision.should_analyze and analyze:
+                observation.analysis = self._run_analyzer(
+                    host_name, vm_name, vm, decision, triggering_vector=vector
+                )
+                if (
+                    observation.analysis is not None
+                    and observation.analysis.confirmed
+                    and self.mitigate
+                ):
+                    observation.placement = self._mitigate(host_name, observation.analysis)
+            report.observations[vm_name] = observation
+
+        self.current_epoch += 1
+        return report
+
+    # ------------------------------------------------------------------
+    def _smoothed_vector(
+        self, host_name: str, vm_name: str, app_id: str
+    ) -> MetricVector:
+        history = self.cluster.hosts[host_name].counter_history.get(vm_name, [])
+        window = history[-self.config.smoothing_epochs:]
+        aggregate = aggregate_samples(window)
+        return MetricVector.from_sample(aggregate, label=app_id)
+
+    def _recent_window(
+        self, host_name: str, vm_name: str
+    ) -> List[CounterSample]:
+        """The production samples the analyzer compares against the sandbox.
+
+        The window matches the smoothing window that triggered the
+        warning, so the degradation estimate reflects the *current*
+        conditions rather than a stale mix of epochs before and after an
+        interference episode started.
+        """
+        history = self.cluster.hosts[host_name].counter_history.get(vm_name, [])
+        return history[-self.config.smoothing_epochs:]
+
+    def _replay_loads(self, vm_name: str, epochs: int) -> List[float]:
+        proxy = self.proxies.get(vm_name)
+        if proxy is None or proxy.latest_load() is None:
+            return [1.0] * epochs
+        # Replay the most recent load level for the whole window; the
+        # normalisation by instructions retired makes the exact intra-
+        # window shape irrelevant.
+        return [float(proxy.latest_load())] * epochs
+
+    def _run_analyzer(
+        self,
+        host_name: str,
+        vm_name: str,
+        vm: VirtualMachine,
+        decision: WarningDecision,
+        triggering_vector: Optional[MetricVector] = None,
+    ) -> Optional[AnalysisResult]:
+        production = self._recent_window(host_name, vm_name)
+        if not production:
+            return None
+        replay = self._replay_loads(vm_name, len(production))
+        result = self.analyzer.analyze(
+            vm, production, replay, triggering_vector=triggering_vector
+        )
+        self.events.record(
+            AnalyzerInvocationEvent(
+                epoch=self.current_epoch,
+                vm_name=vm_name,
+                reason=decision.reason,
+                confirmed=result.confirmed,
+                degradation=result.degradation,
+                profiling_seconds=result.profiling_seconds,
+                culprit=result.culprit,
+            )
+        )
+        if result.confirmed:
+            self._last_confirmed[vm.app_id] = result
+            self.events.record(
+                InterferenceDetectedEvent(
+                    epoch=self.current_epoch,
+                    vm_name=vm_name,
+                    degradation=result.degradation,
+                    culprit=result.culprit,
+                    factors=result.factors,
+                )
+            )
+        return result
+
+    def _record_known_interference(self, vm_name: str, app_id: str) -> None:
+        """Record a detection that reused a previously diagnosed signature."""
+        previous = self._last_confirmed.get(app_id)
+        if previous is None or previous.culprit is None:
+            return
+        self.events.record(
+            InterferenceDetectedEvent(
+                epoch=self.current_epoch,
+                vm_name=vm_name,
+                degradation=previous.degradation,
+                culprit=previous.culprit,
+                factors=previous.factors,
+            )
+        )
+
+    def _mitigate(
+        self, host_name: str, analysis: AnalysisResult
+    ) -> Optional[PlacementDecision]:
+        decision = self.placement_manager.resolve_interference(
+            cluster=self.cluster,
+            analysis=analysis,
+            victim_host=host_name,
+        )
+        if decision is not None and decision.destination is not None:
+            migrated = not decision.no_acceptable_destination
+            if migrated:
+                self.events.record(
+                    MigrationEvent(
+                        epoch=self.current_epoch,
+                        vm_name=decision.vm_name,
+                        source=decision.source_host,
+                        destination=decision.destination,
+                        predicted_degradation=decision.best().score
+                        if decision.best()
+                        else 0.0,
+                    )
+                )
+        return decision
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def total_profiling_seconds(self) -> float:
+        """Total profiling time DeepDive has spent (bootstraps + analyses)."""
+        return self.analyzer.total_profiling_seconds
+
+    def analyzer_invocations(self) -> int:
+        return self.analyzer.invocations
+
+    def repository_size_bytes(self) -> int:
+        return self.repository.size_bytes()

@@ -1,0 +1,98 @@
+"""Event records and the event log.
+
+DeepDive's evaluation needs an audit trail: when the warning system
+fired, when the analyzer ran and what it concluded, when a migration was
+issued.  The :class:`EventLog` collects typed event records; the
+experiment drivers turn it into the detection-rate, false-positive-rate
+and profiling-overhead series of Figures 8 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Type, TypeVar
+
+from repro.metrics.cpi import Resource
+
+
+@dataclass
+class AnalyzerInvocationEvent:
+    """The warning system (or a baseline) invoked the interference analyzer."""
+
+    epoch: int
+    vm_name: str
+    reason: str
+    #: True when the analyzer confirmed interference above the threshold.
+    confirmed: bool
+    degradation: float
+    profiling_seconds: float
+    culprit: Optional[Resource] = None
+
+
+@dataclass
+class InterferenceDetectedEvent:
+    """The analyzer confirmed interference above the operator threshold."""
+
+    epoch: int
+    vm_name: str
+    degradation: float
+    culprit: Resource
+    factors: Dict[Resource, float] = field(default_factory=dict)
+
+
+@dataclass
+class MigrationEvent:
+    """The placement manager migrated a VM."""
+
+    epoch: int
+    vm_name: str
+    source: str
+    destination: str
+    predicted_degradation: float
+
+
+E = TypeVar("E")
+
+
+class EventLog:
+    """Chronological, typed event collection."""
+
+    def __init__(self) -> None:
+        self._events: List[object] = []
+
+    def record(self, event: object) -> None:
+        self._events.append(event)
+
+    def all(self) -> List[object]:
+        return list(self._events)
+
+    def of_type(self, event_type: Type[E]) -> List[E]:
+        return [e for e in self._events if isinstance(e, event_type)]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the evaluation
+    # ------------------------------------------------------------------
+    def analyzer_invocations(self) -> List[AnalyzerInvocationEvent]:
+        return self.of_type(AnalyzerInvocationEvent)
+
+    def detections(self) -> List[InterferenceDetectedEvent]:
+        return self.of_type(InterferenceDetectedEvent)
+
+    def migrations(self) -> List[MigrationEvent]:
+        return self.of_type(MigrationEvent)
+
+    def total_profiling_seconds(self) -> float:
+        return sum(e.profiling_seconds for e in self.analyzer_invocations())
+
+    def false_positive_invocations(self) -> List[AnalyzerInvocationEvent]:
+        """Analyzer invocations that turned out to be false alarms."""
+        return [e for e in self.analyzer_invocations() if not e.confirmed]
+
+    def clear(self) -> None:
+        self._events.clear()

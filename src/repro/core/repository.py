@@ -1,0 +1,326 @@
+"""The VM behaviour repository.
+
+Stores, per application, the set of normal (interference-free) metric
+vectors the analyzer has certified, the interference-labelled vectors
+that act as cannot-link constraints, and the fitted interference-free
+clustering together with the derived metric thresholds MT.  The paper
+notes the repository is tiny — less than 5 KB per VM per day even for a
+VM experiencing interference every hour — and the
+:meth:`BehaviorRepository.size_bytes` accounting makes that claim
+checkable here as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.clustering.constraints import (
+    CannotLinkConstraints,
+    ConstrainedGaussianMixtureEM,
+)
+from repro.clustering.em import GaussianMixtureModel
+from repro.clustering.scaling import StandardScaler
+from repro.clustering.thresholds import MetricThresholds, derive_thresholds
+from repro.metrics.sample import WARNING_METRICS, MetricVector, vectors_to_matrix
+
+
+@dataclass
+class AppBehaviorEntry:
+    """Everything the repository knows about one application's behaviour."""
+
+    app_id: str
+    normal_vectors: List[MetricVector] = field(default_factory=list)
+    interference_vectors: List[MetricVector] = field(default_factory=list)
+    scaler: Optional[StandardScaler] = None
+    model: Optional[GaussianMixtureModel] = None
+    thresholds: Optional[MetricThresholds] = None
+    #: Number of normal vectors present the last time the model was fitted.
+    fitted_on: int = 0
+
+    @property
+    def has_model(self) -> bool:
+        return self.model is not None and self.scaler is not None
+
+
+class BehaviorRepository:
+    """Per-application store of certified behaviours and fitted clusters."""
+
+    def __init__(
+        self,
+        warning_sigma: float = 3.0,
+        max_clusters: int = 6,
+        refit_every: int = 16,
+        min_normal_behaviors: int = 8,
+        max_vectors_per_app: int = 5000,
+        measurement_noise: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        warning_sigma:
+            Per-dimension sigma level of the acceptance region; converted
+            internally into a chi-square radius so the match test behaves
+            consistently regardless of the number of metric dimensions.
+        measurement_noise:
+            Relative measurement noise assumed on every metric; used as a
+            per-dimension variance floor so a cluster learned from very
+            quiet samples does not become tighter than the PMU noise and
+            fire on every later reading.
+        """
+        if max_vectors_per_app < min_normal_behaviors:
+            raise ValueError("max_vectors_per_app must be >= min_normal_behaviors")
+        if measurement_noise < 0:
+            raise ValueError("measurement_noise must be non-negative")
+        self.warning_sigma = warning_sigma
+        self.max_clusters = max_clusters
+        self.refit_every = refit_every
+        self.min_normal_behaviors = min_normal_behaviors
+        self.max_vectors_per_app = max_vectors_per_app
+        self.measurement_noise = measurement_noise
+        self.seed = seed
+        self._entries: Dict[str, AppBehaviorEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Acceptance radius
+    # ------------------------------------------------------------------
+    def acceptance_radius(self, n_dims: Optional[int] = None) -> float:
+        """Mahalanobis radius of the acceptance region.
+
+        A point drawn from a d-dimensional Gaussian has an expected
+        Mahalanobis distance of about sqrt(d), so a fixed per-dimension
+        sigma would misfire in high dimension.  The radius is therefore
+        the chi-square quantile matching the one-dimensional coverage of
+        ``warning_sigma`` (e.g. sigma = 3 -> 99.73% coverage).
+        """
+        d = n_dims if n_dims is not None else len(WARNING_METRICS)
+        coverage = float(stats.chi2.cdf(self.warning_sigma ** 2, df=1))
+        return float(np.sqrt(stats.chi2.ppf(coverage, df=d)))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def entry(self, app_id: str) -> AppBehaviorEntry:
+        """Get (or lazily create) the entry for an application."""
+        if app_id not in self._entries:
+            self._entries[app_id] = AppBehaviorEntry(app_id=app_id)
+        return self._entries[app_id]
+
+    def known_apps(self) -> List[str]:
+        return sorted(self._entries)
+
+    def has_model(self, app_id: str) -> bool:
+        return app_id in self._entries and self._entries[app_id].has_model
+
+    def normal_count(self, app_id: str) -> int:
+        if app_id not in self._entries:
+            return 0
+        return len(self._entries[app_id].normal_vectors)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_normal(
+        self, app_id: str, vector: MetricVector, refit: Optional[bool] = None
+    ) -> None:
+        """Add a certified interference-free behaviour.
+
+        The clustering is refitted when the entry has accumulated
+        ``refit_every`` new vectors since the last fit (or immediately
+        when ``refit=True``).
+        """
+        entry = self.entry(app_id)
+        entry.normal_vectors.append(vector.copy())
+        if len(entry.normal_vectors) > self.max_vectors_per_app:
+            entry.normal_vectors.pop(0)
+        should_fit = refit if refit is not None else self._should_refit(entry)
+        if should_fit:
+            self.fit(app_id)
+
+    def add_normal_batch(
+        self, app_id: str, vectors: Sequence[MetricVector], refit: bool = True
+    ) -> None:
+        """Add a batch of certified behaviours (bootstrap path)."""
+        entry = self.entry(app_id)
+        for vector in vectors:
+            entry.normal_vectors.append(vector.copy())
+        overflow = len(entry.normal_vectors) - self.max_vectors_per_app
+        if overflow > 0:
+            del entry.normal_vectors[:overflow]
+        if refit:
+            self.fit(app_id)
+
+    def add_interference(self, app_id: str, vector: MetricVector) -> None:
+        """Record a behaviour the analyzer diagnosed as interference.
+
+        The vector becomes a cannot-link constraint at the next fit, so
+        the normal clusters can never grow to absorb it.
+        """
+        entry = self.entry(app_id)
+        entry.interference_vectors.append(vector.copy())
+        if len(entry.interference_vectors) > self.max_vectors_per_app:
+            entry.interference_vectors.pop(0)
+        if entry.has_model:
+            self.fit(app_id)
+
+    def _should_refit(self, entry: AppBehaviorEntry) -> bool:
+        n = len(entry.normal_vectors)
+        if n < self.min_normal_behaviors:
+            return False
+        if not entry.has_model:
+            return True
+        return n - entry.fitted_on >= self.refit_every
+
+    # ------------------------------------------------------------------
+    # Fitting and matching
+    # ------------------------------------------------------------------
+    def fit(self, app_id: str) -> Optional[GaussianMixtureModel]:
+        """(Re)fit the interference-free clustering for an application."""
+        entry = self.entry(app_id)
+        n = len(entry.normal_vectors)
+        if n < self.min_normal_behaviors:
+            return None
+        data = vectors_to_matrix(entry.normal_vectors)
+        scaler = StandardScaler().fit(data)
+        scaled = scaler.transform(data)
+
+        constraints = CannotLinkConstraints()
+        for vec in entry.interference_vectors:
+            constraints.add(scaler.transform(vec.as_array()))
+
+        em = ConstrainedGaussianMixtureEM(
+            max_components=self.max_clusters,
+            acceptance_sigma=self.acceptance_radius(data.shape[1]),
+            seed=self.seed,
+        )
+        model = em.fit(scaled, constraints)
+        model = self._apply_variance_floor(model, scaler, data)
+        entry.scaler = scaler
+        entry.model = model
+        entry.fitted_on = n
+        entry.thresholds = self._raw_thresholds(scaler, model)
+        return model
+
+    def _apply_variance_floor(
+        self,
+        model: GaussianMixtureModel,
+        scaler: StandardScaler,
+        raw_data: np.ndarray,
+    ) -> GaussianMixtureModel:
+        """Floor each cluster's variance at the assumed measurement noise.
+
+        Clusters fitted on behaviours collected in the quiet sandbox can
+        be tighter than the PMU noise seen in production; without a floor
+        every later production reading would look like a deviation.  The
+        floor is ``measurement_noise`` times the typical magnitude of each
+        raw dimension, converted to the scaled space.
+        """
+        if self.measurement_noise <= 0:
+            return model
+        typical = np.maximum(np.abs(raw_data).mean(axis=0), 1e-12)
+        floor_raw_std = self.measurement_noise * typical
+        floor_scaled_var = (floor_raw_std / scaler.std_) ** 2
+        variances = np.maximum(model.variances, floor_scaled_var[None, :])
+        return GaussianMixtureModel(
+            weights=model.weights,
+            means=model.means,
+            variances=variances,
+            log_likelihood=model.log_likelihood,
+            n_iter=model.n_iter,
+            converged=model.converged,
+        )
+
+    def _raw_thresholds(
+        self, scaler: StandardScaler, model: GaussianMixtureModel
+    ) -> MetricThresholds:
+        """Express the fitted thresholds in raw metric units."""
+        raw_means = scaler.inverse_transform(model.means)
+        raw_vars = model.variances * (scaler.std_ ** 2)
+        raw_model = GaussianMixtureModel(
+            weights=model.weights,
+            means=np.atleast_2d(raw_means),
+            variances=np.atleast_2d(raw_vars),
+            log_likelihood=model.log_likelihood,
+            n_iter=model.n_iter,
+            converged=model.converged,
+        )
+        return derive_thresholds(raw_model, WARNING_METRICS, sigma=self.warning_sigma)
+
+    def matches(self, app_id: str, vector: MetricVector) -> bool:
+        """Whether ``vector`` falls inside a known interference-free cluster."""
+        entry = self._entries.get(app_id)
+        if entry is None or not entry.has_model:
+            return False
+        scaled = entry.scaler.transform(vector.as_array())
+        distance = float(entry.model.mahalanobis(scaled[None, :])[0])
+        return distance <= self.acceptance_radius(scaled.shape[0])
+
+    def distance(self, app_id: str, vector: MetricVector) -> float:
+        """Mahalanobis distance of ``vector`` to the closest normal cluster."""
+        entry = self._entries.get(app_id)
+        if entry is None or not entry.has_model:
+            return float("inf")
+        scaled = entry.scaler.transform(vector.as_array())
+        return float(entry.model.mahalanobis(scaled[None, :])[0])
+
+    def interference_distance(self, app_id: str, vector: MetricVector) -> float:
+        """Scaled distance of ``vector`` to the closest *interference* behaviour.
+
+        Measured per dimension relative to the assumed measurement noise,
+        so the same acceptance radius used for normal clusters applies.
+        Returns ``inf`` when no interference behaviour has been recorded.
+        """
+        entry = self._entries.get(app_id)
+        if entry is None or not entry.interference_vectors:
+            return float("inf")
+        candidate = vector.as_array()
+        noise = max(self.measurement_noise, 1e-3)
+        best = float("inf")
+        for stored in entry.interference_vectors:
+            ref = stored.as_array()
+            scale = np.maximum(np.abs(ref) * noise, 1e-9)
+            dist = float(np.sqrt(np.sum(((candidate - ref) / scale) ** 2)))
+            best = min(best, dist)
+        return best
+
+    def matches_interference(self, app_id: str, vector: MetricVector) -> bool:
+        """Whether ``vector`` matches a previously diagnosed interference behaviour."""
+        return self.interference_distance(app_id, vector) <= self.acceptance_radius()
+
+    def thresholds(self, app_id: str) -> Optional[MetricThresholds]:
+        entry = self._entries.get(app_id)
+        return entry.thresholds if entry else None
+
+    def scale_vector(self, app_id: str, vector: MetricVector) -> np.ndarray:
+        """Scale a vector using the application's fitted scaler (identity when unfitted)."""
+        entry = self._entries.get(app_id)
+        if entry is None or entry.scaler is None:
+            return vector.as_array()
+        return entry.scaler.transform(vector.as_array())
+
+    # ------------------------------------------------------------------
+    # Memory accounting (the <5 KB/VM/day claim)
+    # ------------------------------------------------------------------
+    def size_bytes(self, app_id: Optional[str] = None) -> int:
+        """Approximate storage footprint of the repository.
+
+        Each stored behaviour is a dense float64 vector; the fitted model
+        adds means/variances/weights.  This mirrors what a compact binary
+        serialisation would need.
+        """
+        entries = (
+            [self._entries[app_id]] if app_id is not None and app_id in self._entries
+            else list(self._entries.values())
+        )
+        total = 0
+        dims = len(WARNING_METRICS)
+        for entry in entries:
+            total += 8 * dims * (len(entry.normal_vectors) + len(entry.interference_vectors))
+            if entry.model is not None:
+                k = entry.model.n_components
+                total += 8 * (k + 2 * k * dims)
+        return total

@@ -1,0 +1,267 @@
+"""The warning system (Section 4.1, Algorithm 1).
+
+The warning system runs continuously beside the hypervisor and decides,
+for each VM's latest normalised metric vector, one of three things:
+
+* the behaviour matches a known interference-free cluster — nothing to do;
+* the behaviour deviates, but most sibling VMs running the same
+  application on other physical machines deviate in the same region at
+  the same time — a workload change, so the repository is extended and
+  no analysis is needed;
+* the behaviour deviates and the siblings do not corroborate it — the
+  interference analyzer must be invoked.
+
+Before an application has accumulated enough certified behaviours the
+system runs in *conservative mode*: any suspicion triggers the analyzer,
+which both guarantees no interference slips through early on and
+accelerates the learning of the normal-behaviour set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DeepDiveConfig
+from repro.core.repository import BehaviorRepository
+from repro.metrics.sample import MetricVector
+
+
+class WarningAction(str, enum.Enum):
+    """Possible outcomes of a warning-system evaluation."""
+
+    #: Behaviour matches a known normal cluster; no action.
+    NORMAL = "normal"
+    #: Behaviour deviates but siblings deviate too; treat as workload change.
+    WORKLOAD_CHANGE = "workload_change"
+    #: Behaviour deviates and siblings do not corroborate; analyze.
+    ANALYZE = "analyze"
+    #: Behaviour matches a previously diagnosed interference signature;
+    #: interference is reported without paying another analyzer run.
+    KNOWN_INTERFERENCE = "known_interference"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class WarningDecision:
+    """The warning system's verdict for one VM at one epoch."""
+
+    action: WarningAction
+    vm_name: str
+    app_id: str
+    #: Mahalanobis distance to the closest normal cluster (inf when no model).
+    distance: float
+    #: Whether the application is still in conservative (learning) mode.
+    conservative: bool
+    #: Human-readable explanation.
+    reason: str
+    #: Names of the metric dimensions that exceeded their thresholds.
+    violated_dimensions: Tuple[str, ...] = ()
+    #: Number of sibling VMs consulted for the global check.
+    siblings_consulted: int = 0
+    #: Number of siblings whose deviation matched this VM's.
+    siblings_agreeing: int = 0
+
+    @property
+    def should_analyze(self) -> bool:
+        return self.action is WarningAction.ANALYZE
+
+    @property
+    def flags_interference(self) -> bool:
+        """True when the decision itself already identifies interference."""
+        return self.action is WarningAction.KNOWN_INTERFERENCE
+
+
+class WarningSystem:
+    """Implements Algorithm 1 on top of the behaviour repository."""
+
+    def __init__(
+        self,
+        repository: BehaviorRepository,
+        config: Optional[DeepDiveConfig] = None,
+    ) -> None:
+        self.repository = repository
+        self.config = config or DeepDiveConfig()
+        #: Per-application count of evaluations performed (for statistics).
+        self.evaluations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        vm_name: str,
+        app_id: str,
+        vector: MetricVector,
+        sibling_vectors: Optional[Mapping[str, MetricVector]] = None,
+    ) -> WarningDecision:
+        """Run Algorithm 1 for one VM.
+
+        Parameters
+        ----------
+        vm_name:
+            The VM whose behaviour is being evaluated.
+        app_id:
+            The application the VM runs (drives repository lookups and
+            the global-information comparison).
+        vector:
+            The VM's current normalised metric vector.
+        sibling_vectors:
+            Current metric vectors of other VMs running the same
+            application on other machines (may be empty or None for the
+            single-VM case).
+        """
+        self.evaluations[app_id] = self.evaluations.get(app_id, 0) + 1
+        siblings = dict(sibling_vectors or {})
+        siblings.pop(vm_name, None)
+
+        # Conservative mode: no model yet (or too few behaviours).
+        if not self.repository.has_model(app_id):
+            return WarningDecision(
+                action=WarningAction.ANALYZE,
+                vm_name=vm_name,
+                app_id=app_id,
+                distance=float("inf"),
+                conservative=True,
+                reason=(
+                    "no interference-free model learned yet for this application; "
+                    "conservative mode invokes the analyzer"
+                ),
+                siblings_consulted=len(siblings),
+            )
+
+        # ------------------------------------------------------------------
+        # Local check: does the behaviour match a known normal cluster?
+        # ------------------------------------------------------------------
+        distance = self.repository.distance(app_id, vector)
+        acceptance_radius = self.repository.acceptance_radius()
+        thresholds = self.repository.thresholds(app_id)
+        violated: Tuple[str, ...] = ()
+        if distance <= acceptance_radius:
+            return WarningDecision(
+                action=WarningAction.NORMAL,
+                vm_name=vm_name,
+                app_id=app_id,
+                distance=distance,
+                conservative=False,
+                reason="behaviour matches a known interference-free cluster",
+                siblings_consulted=len(siblings),
+            )
+        if thresholds is not None:
+            violated = self._violated_dimensions(app_id, vector)
+
+        # ------------------------------------------------------------------
+        # Known-interference check: the analyzer has already diagnosed a
+        # behaviour like this one, so re-profiling would be wasted work.
+        # ------------------------------------------------------------------
+        if self.repository.matches_interference(app_id, vector):
+            return WarningDecision(
+                action=WarningAction.KNOWN_INTERFERENCE,
+                vm_name=vm_name,
+                app_id=app_id,
+                distance=distance,
+                conservative=False,
+                reason=(
+                    "behaviour matches a previously diagnosed interference "
+                    "signature; no re-profiling needed"
+                ),
+                violated_dimensions=violated,
+                siblings_consulted=len(siblings),
+            )
+
+        # ------------------------------------------------------------------
+        # Global check: are sibling VMs deviating in the same region?
+        # ------------------------------------------------------------------
+        agreeing = 0
+        if siblings:
+            agreeing = self._count_agreeing_siblings(app_id, vector, siblings)
+            quorum = max(1, int(np.ceil(self.config.global_quorum * len(siblings))))
+            if agreeing >= quorum:
+                return WarningDecision(
+                    action=WarningAction.WORKLOAD_CHANGE,
+                    vm_name=vm_name,
+                    app_id=app_id,
+                    distance=distance,
+                    conservative=False,
+                    reason=(
+                        f"{agreeing}/{len(siblings)} sibling VMs deviate in the "
+                        "same region at the same time; treating as a workload change"
+                    ),
+                    violated_dimensions=violated,
+                    siblings_consulted=len(siblings),
+                    siblings_agreeing=agreeing,
+                )
+
+        return WarningDecision(
+            action=WarningAction.ANALYZE,
+            vm_name=vm_name,
+            app_id=app_id,
+            distance=distance,
+            conservative=False,
+            reason=(
+                "behaviour deviates from every known normal cluster and is not "
+                "corroborated by sibling VMs"
+            ),
+            violated_dimensions=violated,
+            siblings_consulted=len(siblings),
+            siblings_agreeing=agreeing,
+        )
+
+    # ------------------------------------------------------------------
+    def _violated_dimensions(
+        self, app_id: str, vector: MetricVector
+    ) -> Tuple[str, ...]:
+        """Dimensions that exceeded MT against the closest cluster mean."""
+        entry = self.repository.entry(app_id)
+        if entry.model is None or entry.scaler is None or entry.thresholds is None:
+            return ()
+        scaled = entry.scaler.transform(vector.as_array())
+        # Closest component by diagonal Mahalanobis distance.
+        diffs = scaled[None, :] - entry.model.means
+        dists = np.sqrt(np.sum(diffs * diffs / entry.model.variances, axis=1))
+        closest = int(np.argmin(dists))
+        raw_mean = entry.scaler.inverse_transform(entry.model.means[closest])
+        reference = dict(zip(vector.values.keys(), raw_mean))
+        return entry.thresholds.violated_dimensions(vector.values, reference)
+
+    def _count_agreeing_siblings(
+        self,
+        app_id: str,
+        vector: MetricVector,
+        siblings: Mapping[str, MetricVector],
+    ) -> int:
+        """Siblings whose current behaviour deviates in the same region.
+
+        A sibling agrees when (a) it also deviates from the normal
+        clusters (otherwise the deviation is local to this VM), and (b)
+        its scaled metric vector lies close to this VM's scaled vector.
+        """
+        acceptance_radius = self.repository.acceptance_radius()
+        own = vector.as_array()
+        noise = max(getattr(self.repository, "measurement_noise", 0.05), 1e-3)
+        agreeing = 0
+        for sibling_vector in siblings.values():
+            sibling_deviates = (
+                self.repository.distance(app_id, sibling_vector) > acceptance_radius
+            )
+            if not sibling_deviates:
+                continue
+            other = sibling_vector.as_array()
+            # Per-dimension difference measured in units of the assumed
+            # measurement noise (same convention as the repository's
+            # interference-signature matching), RMS-combined across
+            # dimensions.  Two VMs undergoing the same workload change
+            # end up within a few noise units of each other.
+            scale = np.maximum(np.maximum(np.abs(own), np.abs(other)) * noise, 1e-9)
+            gap = float(np.sqrt(np.mean(((own - other) / scale) ** 2)))
+            if gap <= self.config.global_similarity_distance:
+                agreeing += 1
+        return agreeing
+
+    # ------------------------------------------------------------------
+    def learn_workload_change(self, app_id: str, vector: MetricVector) -> None:
+        """Extend the normal-behaviour set after a corroborated workload change."""
+        self.repository.add_normal(app_id, vector)

@@ -1,0 +1,39 @@
+"""Experiment drivers.
+
+One module per figure of the paper's evaluation.  Every module exposes a
+``run(...)`` function returning a small result dataclass with the same
+rows/series the paper reports, plus the derived summary statistics the
+reproduction is judged on (separability, detection rate, estimation
+error, ...).  The benchmark harness under ``benchmarks/`` simply calls
+these functions and asserts the qualitative shape.
+"""
+
+from repro.experiments import (
+    fig01_motivation,
+    fig04_clusters,
+    fig05_global,
+    fig06_breakdown,
+    fig07_i7_port,
+    fig08_detection,
+    fig09_degradation,
+    fig10_synthetic,
+    fig11_placement,
+    fig12_overhead,
+    fig13_reaction_poisson,
+    fig14_reaction_lognormal,
+)
+
+__all__ = [
+    "fig01_motivation",
+    "fig04_clusters",
+    "fig05_global",
+    "fig06_breakdown",
+    "fig07_i7_port",
+    "fig08_detection",
+    "fig09_degradation",
+    "fig10_synthetic",
+    "fig11_placement",
+    "fig12_overhead",
+    "fig13_reaction_poisson",
+    "fig14_reaction_lognormal",
+]

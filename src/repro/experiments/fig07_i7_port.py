@@ -1,0 +1,87 @@
+"""Figure 7 — the Core-i7 / QPI port.
+
+Section 4.4 describes porting DeepDive to a NUMA server with two
+quad-core Xeon E5640 (Core-i7 microarchitecture) processors: per-socket
+integrated memory controllers, a 12 MB shared L3 and QPI instead of the
+front-side bus.  The port only required a new performance model; the
+separability of interference in the metric space carries over.  Figure 7
+shows the Data Serving workload's metrics with and without interference
+on that platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import centroid_separation, run_colocation
+from repro.hardware.specs import CORE_I7_E5640
+from repro.metrics.sample import MetricVector
+
+#: Displayed dimensions: L3/QPI pressure and the overall CPI.
+DISPLAY_DIMENSIONS: Tuple[str, ...] = ("l2_lines_in_pki", "bus_tran_pki", "cpi")
+
+
+@dataclass
+class I7PortResult:
+    """Figure 7: Data Serving on the Core-i7 platform."""
+
+    normal_points: List[MetricVector]
+    interference_points: List[MetricVector]
+    separation: float
+    #: Same experiment on the Xeon X5472 for the cross-platform comparison.
+    xeon_separation: float
+
+
+def run(
+    load_levels: Sequence[float] = (0.4, 0.6, 0.8),
+    interference_levels: Sequence[float] = (0.6, 1.0),
+    epochs: int = 8,
+    seed: int = 41,
+) -> I7PortResult:
+    """Collect the Figure 7 point clouds on the i7 spec (and Xeon for reference)."""
+    rng = np.random.default_rng(seed)
+
+    def collect(spec):
+        normal: List[MetricVector] = []
+        interference: List[MetricVector] = []
+        for load in load_levels:
+            quiet = run_colocation(
+                "data_serving",
+                load=load,
+                epochs=epochs,
+                spec=spec,
+                seed=int(rng.integers(0, 2**31)),
+            )
+            normal.extend(MetricVector.from_sample(s) for s in quiet.victim_samples)
+        for level in interference_levels:
+            noisy = run_colocation(
+                "data_serving",
+                load=float(rng.choice(load_levels)),
+                stress_kind="memory",
+                stress_level=level,
+                stress_kwargs={"working_set_mb": 192.0},
+                epochs=epochs,
+                spec=spec,
+                seed=int(rng.integers(0, 2**31)),
+                share_cache_domain=True,
+            )
+            interference.extend(
+                MetricVector.from_sample(s) for s in noisy.victim_samples
+            )
+        return normal, interference
+
+    i7_normal, i7_interference = collect(CORE_I7_E5640)
+    from repro.hardware.specs import XEON_X5472
+
+    xeon_normal, xeon_interference = collect(XEON_X5472)
+    return I7PortResult(
+        normal_points=i7_normal,
+        interference_points=i7_interference,
+        separation=centroid_separation(i7_normal, i7_interference, DISPLAY_DIMENSIONS),
+        xeon_separation=centroid_separation(
+            xeon_normal, xeon_interference, DISPLAY_DIMENSIONS
+        ),
+    )

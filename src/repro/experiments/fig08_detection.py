@@ -1,0 +1,274 @@
+"""Figure 8 — warning-system detection and false-positive rates over 3 days.
+
+The paper replays three days of the HotMail load trace against each
+cloud workload while injecting memory-stress interference at the times
+(and with the intensities) learned from its EC2 measurements.  It
+reports, per day:
+
+* the detection rate — the fraction of injected interference that
+  DeepDive identified (100% in the paper: no false negatives);
+* the false-positive rate — the fraction of interference-free epochs in
+  which the warning system (unnecessarily) invoked the analyzer; high on
+  the first day while the normal behaviours are still being learned,
+  near zero afterwards.
+
+Ground truth follows the paper's methodology: "the clients label certain
+performance degradation as due to interference only if the amount of
+degradation is larger than 20%".  We therefore run a shadow copy of the
+victim on an identical, interference-free reference host under the same
+load trace, and an epoch counts as true interference only when the
+client-visible performance drop versus the shadow exceeds the threshold.
+
+The experiment also drives qualitative workload changes (a repeating
+palette of request-mix states) so day-one false positives have a cause
+that later days can learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DeepDiveConfig
+from repro.core.deepdive import DeepDive
+from repro.experiments.common import make_stress_vm, make_victim_vm
+from repro.virt.cluster import Cluster
+from repro.virt.vmm import Host
+from repro.workloads.traces import (
+    InterferenceSchedule,
+    ec2_like_interference_schedule,
+    hotmail_like_trace,
+)
+
+#: Ground-truth threshold: client-visible degradation above which an epoch
+#: counts as interference (the paper's 20%).
+GROUND_TRUTH_THRESHOLD = 0.20
+
+
+@dataclass
+class DayStats:
+    """Detection / false-positive statistics for one simulated day."""
+
+    day: int
+    interference_epochs: int
+    detected_epochs: int
+    clean_epochs: int
+    false_positive_epochs: int
+    analyzer_invocations: int
+
+    @property
+    def detection_rate(self) -> float:
+        if self.interference_epochs == 0:
+            return 1.0
+        return self.detected_epochs / self.interference_epochs
+
+    @property
+    def false_positive_rate(self) -> float:
+        if self.clean_epochs == 0:
+            return 0.0
+        return self.false_positive_epochs / self.clean_epochs
+
+
+@dataclass
+class DetectionResult:
+    """Figure 8 for one workload."""
+
+    workload: str
+    days: List[DayStats]
+    total_profiling_seconds: float
+    missed_episodes: int
+
+    def detection_rates(self) -> List[float]:
+        return [d.detection_rate for d in self.days]
+
+    def false_positive_rates(self) -> List[float]:
+        return [d.false_positive_rate for d in self.days]
+
+
+#: Fixed palettes of qualitative workload states; the drift cycles through
+#: them so day one sees "new" behaviours that later days recognise.
+_STATE_PALETTES: Dict[str, List[dict]] = {
+    "data_serving": [
+        {"key_skew": 0.6, "read_fraction": 0.9},
+        {"key_skew": 0.8, "read_fraction": 0.95},
+        {"key_skew": 0.45, "read_fraction": 0.8},
+        {"key_skew": 0.7, "read_fraction": 0.7},
+    ],
+    "web_search": [
+        {"word_skew": 0.7},
+        {"word_skew": 0.85},
+        {"word_skew": 0.55},
+        {"word_skew": 0.75},
+    ],
+    "data_analytics": [
+        {"remote_fetch_fraction": 0.5, "shuffle_fraction": 0.35},
+        {"remote_fetch_fraction": 0.65, "shuffle_fraction": 0.3},
+        {"remote_fetch_fraction": 0.4, "shuffle_fraction": 0.4},
+        {"remote_fetch_fraction": 0.55, "shuffle_fraction": 0.35},
+    ],
+}
+
+
+def _apply_state(workload, state: dict) -> None:
+    for key, value in state.items():
+        setattr(workload, key, value)
+
+
+def run_workload(
+    workload: str,
+    days: int = 3,
+    epochs_per_day: int = 48,
+    episodes_per_day: float = 3.0,
+    state_changes_per_day: int = 4,
+    seed: int = 53,
+    config: Optional[DeepDiveConfig] = None,
+    stress_working_set_mb: float = 160.0,
+) -> DetectionResult:
+    """Run the Figure 8 experiment for one workload."""
+    horizon = days * epochs_per_day
+    trace = hotmail_like_trace(
+        days=days,
+        epochs_per_hour=max(1, epochs_per_day // 24),
+        peak=0.9,
+        trough=0.35,
+        weekday_amplitude=0.03,
+        seed=seed,
+    )
+    schedule = ec2_like_interference_schedule(
+        horizon_epochs=horizon,
+        episodes_per_day=episodes_per_day,
+        epochs_per_day=epochs_per_day,
+        min_intensity=0.6,
+        max_intensity=1.0,
+        seed=seed + 1,
+    )
+
+    config = config or DeepDiveConfig(
+        profile_epochs=10,
+        bootstrap_load_levels=5,
+        bootstrap_epochs_per_level=6,
+        smoothing_epochs=1,
+    )
+    cluster = Cluster(num_hosts=2, seed=seed, noise=0.01)
+    victim = make_victim_vm(workload, vm_name=f"{workload}-victim")
+    cluster.place_vm(victim, "pm0", load=float(trace[0]))
+    stress = make_stress_vm(
+        "memory", vm_name="stressor", working_set_mb=stress_working_set_mb
+    )
+    cluster.place_vm(stress, "pm0", load=0.0)
+
+    # Shadow host: an identical victim running interference-free under the
+    # same load trace, providing the client-side ground truth.
+    shadow_host = Host(name="shadow", noise=0.01, seed=seed + 100)
+    shadow_vm = victim.clone("shadow-victim")
+    shadow_host.add_vm(shadow_vm, load=float(trace[0]), cores=[0, 1])
+
+    deepdive = DeepDive(cluster, config=config)
+    deepdive.bootstrap_vm(victim.name)
+
+    states = _STATE_PALETTES[workload]
+    day_stats: List[DayStats] = []
+    state_index = 0
+    detected_episode_epochs: List[int] = []
+
+    for day in range(days):
+        interference_epochs = 0
+        detected_epochs = 0
+        clean_epochs = 0
+        false_positives = 0
+        invocations_before = deepdive.analyzer_invocations()
+        for step in range(epochs_per_day):
+            epoch = day * epochs_per_day + step
+            load = float(trace[min(epoch, len(trace) - 1)])
+            if (
+                state_changes_per_day > 0
+                and step % max(1, epochs_per_day // state_changes_per_day) == 0
+            ):
+                state = states[state_index % len(states)]
+                _apply_state(victim.workload, state)
+                _apply_state(shadow_vm.workload, state)
+                state_index += 1
+
+            intensity = schedule.intensity_at(epoch)
+            cluster.get_host("pm0").set_load(stress.name, intensity)
+            cluster.step(loads={victim.name: load})
+            shadow_host.step(loads={shadow_vm.name: load})
+            report = deepdive.observe_epoch(loads={victim.name: load})
+            observation = report.observations.get(victim.name)
+            if observation is None:
+                continue
+
+            # Ground truth: client-visible performance loss versus shadow.
+            prod_rate = cluster.get_host("pm0").latest_counters(victim.name).inst_retired
+            shadow_rate = shadow_host.latest_counters(shadow_vm.name).inst_retired
+            true_degradation = 0.0
+            if shadow_rate > 0:
+                true_degradation = max(0.0, 1.0 - prod_rate / shadow_rate)
+            truly_interfered = (
+                schedule.active_at(epoch)
+                and true_degradation > GROUND_TRUTH_THRESHOLD
+            )
+
+            flagged = observation.interference_confirmed
+            fired = (
+                observation.warning.should_analyze
+                or observation.warning.flags_interference
+            )
+            if truly_interfered:
+                interference_epochs += 1
+                if flagged:
+                    detected_epochs += 1
+                    detected_episode_epochs.append(epoch)
+            else:
+                clean_epochs += 1
+                if fired and not flagged:
+                    false_positives += 1
+        day_stats.append(
+            DayStats(
+                day=day + 1,
+                interference_epochs=interference_epochs,
+                detected_epochs=detected_epochs,
+                clean_epochs=clean_epochs,
+                false_positive_epochs=false_positives,
+                analyzer_invocations=deepdive.analyzer_invocations() - invocations_before,
+            )
+        )
+
+    # Episode-level misses: an episode is missed when it contained ground-
+    # truth interference epochs and none of them was flagged.
+    missed_episodes = 0
+    for episode in schedule:
+        if not any(
+            episode.start_epoch <= e < episode.end_epoch for e in detected_episode_epochs
+        ):
+            had_truth = any(
+                d.interference_epochs > 0
+                for d in day_stats
+                if episode.start_epoch // epochs_per_day == d.day - 1
+            )
+            if had_truth:
+                missed_episodes += 1
+
+    return DetectionResult(
+        workload=workload,
+        days=day_stats,
+        total_profiling_seconds=deepdive.total_profiling_seconds(),
+        missed_episodes=missed_episodes,
+    )
+
+
+def run(
+    workloads: Sequence[str] = ("data_serving", "web_search", "data_analytics"),
+    days: int = 3,
+    epochs_per_day: int = 48,
+    seed: int = 53,
+) -> Dict[str, DetectionResult]:
+    """Run Figure 8 for every workload."""
+    return {
+        workload: run_workload(
+            workload, days=days, epochs_per_day=epochs_per_day, seed=seed
+        )
+        for workload in workloads
+    }

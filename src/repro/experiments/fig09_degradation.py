@@ -1,0 +1,162 @@
+"""Figure 9 — the analyzer estimates performance degradation accurately.
+
+The paper co-locates each cloud workload with its paired stressor
+(memory-stress with Data Serving, network-stress with Data Analytics,
+disk-stress with Web Search), sweeps the stressor's intensity so the
+client-reported degradation spans roughly 5%-50%, and compares the
+degradation estimated transparently from the instruction-retirement
+rates against the degradation reported by the client emulators.  The
+paper's headline accuracy: under 10% absolute error in the worst case,
+under 5% on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    CLOUD_WORKLOADS,
+    PAIRED_STRESS,
+    client_reported_degradation,
+    instruction_rate_degradation,
+    run_colocation,
+)
+
+#: Stressor intensity sweeps (the knob the paper varies per stressor):
+#: working-set size 6 MB - 512 MB for memory-stress, 50-700 Mbps for
+#: network-stress, 1-10 MB/s for disk-stress.  The stress level scales
+#: with the working set so the resulting degradations span roughly the
+#: paper's 5%-50% band instead of saturating immediately.
+DEFAULT_SWEEPS: Dict[str, List[dict]] = {
+    "memory": [
+        {"stress_kwargs": {"working_set_mb": ws}, "stress_level": level}
+        for ws, level in (
+            (6.0, 0.10),
+            (24.0, 0.14),
+            (64.0, 0.18),
+            (128.0, 0.22),
+            (256.0, 0.28),
+            (512.0, 0.35),
+        )
+    ],
+    "network": [
+        {"stress_kwargs": {"target_mbps": mbps}, "stress_level": 1.0}
+        for mbps in (50.0, 150.0, 300.0, 450.0, 600.0, 700.0)
+    ],
+    "disk": [
+        {"stress_kwargs": {"target_mbps": mbps, "sequential_fraction": 0.15}, "stress_level": 1.0}
+        for mbps in (1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+    ],
+}
+
+
+@dataclass
+class DegradationPoint:
+    """One bar group of Figure 9."""
+
+    workload: str
+    stress_kind: str
+    stress_setting: dict
+    client_reported: float
+    estimated: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.estimated - self.client_reported)
+
+
+@dataclass
+class DegradationAccuracyResult:
+    """Figure 9 for one workload."""
+
+    workload: str
+    stress_kind: str
+    points: List[DegradationPoint]
+
+    def mean_absolute_error(self) -> float:
+        if not self.points:
+            return 0.0
+        return float(np.mean([p.absolute_error for p in self.points]))
+
+    def max_absolute_error(self) -> float:
+        if not self.points:
+            return 0.0
+        return float(np.max([p.absolute_error for p in self.points]))
+
+    def correlation(self) -> float:
+        """Pearson correlation between estimated and client-reported degradation."""
+        if len(self.points) < 2:
+            return 1.0
+        est = np.array([p.estimated for p in self.points])
+        rep = np.array([p.client_reported for p in self.points])
+        if est.std() < 1e-12 or rep.std() < 1e-12:
+            return 0.0
+        return float(np.corrcoef(est, rep)[0, 1])
+
+
+def run_workload(
+    workload: str,
+    stress_kind: Optional[str] = None,
+    sweep: Optional[Sequence[dict]] = None,
+    load: float = 1.1,
+    epochs: int = 15,
+    seed: int = 61,
+) -> DegradationAccuracyResult:
+    """Run the Figure 9 sweep for one workload.
+
+    The paper runs "at the maximum-possible request rate"; we use a high
+    offered load so the client-visible latency is sensitive to capacity
+    loss, which is what makes the client-reported and instruction-rate
+    degradations comparable.
+    """
+    stress_kind = stress_kind or PAIRED_STRESS[workload]
+    sweep = list(sweep) if sweep is not None else DEFAULT_SWEEPS[stress_kind]
+    workload_kwargs = {}
+    if workload == "data_analytics":
+        workload_kwargs = {"remote_fetch_fraction": 0.6}
+
+    isolation = run_colocation(
+        workload, load=load, epochs=epochs, seed=seed, workload_kwargs=workload_kwargs
+    )
+    points: List[DegradationPoint] = []
+    for setting in sweep:
+        production = run_colocation(
+            workload,
+            load=load,
+            stress_kind=stress_kind,
+            stress_level=setting.get("stress_level", 1.0),
+            stress_kwargs=setting.get("stress_kwargs", {}),
+            epochs=epochs,
+            seed=seed + 1,
+            share_cache_domain=(stress_kind == "memory"),
+            workload_kwargs=workload_kwargs,
+        )
+        reported = client_reported_degradation(production, isolation)
+        estimated = instruction_rate_degradation(production, isolation)
+        points.append(
+            DegradationPoint(
+                workload=workload,
+                stress_kind=stress_kind,
+                stress_setting=setting,
+                client_reported=reported,
+                estimated=estimated,
+            )
+        )
+    return DegradationAccuracyResult(
+        workload=workload, stress_kind=stress_kind, points=points
+    )
+
+
+def run(
+    workloads: Sequence[str] = CLOUD_WORKLOADS,
+    epochs: int = 15,
+    seed: int = 61,
+) -> Dict[str, DegradationAccuracyResult]:
+    """Run Figure 9 for every workload with its paired stressor."""
+    return {
+        workload: run_workload(workload, epochs=epochs, seed=seed)
+        for workload in workloads
+    }

@@ -1,0 +1,140 @@
+"""Figure 12 — DeepDive's profiling overhead versus threshold baselines.
+
+The paper measures, for a Data Serving VM replaying the HotMail trace
+under recurring interference, the accumulated profiling time (cloning
+plus sandbox execution) of DeepDive and of a baseline that triggers the
+analyzer every time the VM's performance varies by more than 5%, 10% or
+20% from its reference level.  DeepDive accumulates about twenty
+minutes over three days and flattens after the first day; the baselines
+keep growing because every load fluctuation triggers a full analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines import ThresholdBaseline
+from repro.core.config import DeepDiveConfig
+from repro.core.deepdive import DeepDive
+from repro.experiments.common import make_stress_vm, make_victim_vm
+from repro.virt.cluster import Cluster
+from repro.workloads.traces import (
+    ec2_like_interference_schedule,
+    hotmail_like_trace,
+)
+
+
+@dataclass
+class OverheadCurve:
+    """Accumulated profiling time (minutes) per epoch for one approach."""
+
+    label: str
+    cumulative_minutes: List[float]
+
+    @property
+    def final_minutes(self) -> float:
+        return self.cumulative_minutes[-1] if self.cumulative_minutes else 0.0
+
+    def minutes_at_fraction(self, fraction: float) -> float:
+        """Accumulated minutes at a fraction of the horizon (e.g. end of day 1)."""
+        if not self.cumulative_minutes:
+            return 0.0
+        index = min(
+            len(self.cumulative_minutes) - 1,
+            int(fraction * len(self.cumulative_minutes)),
+        )
+        return self.cumulative_minutes[index]
+
+
+@dataclass
+class OverheadResult:
+    """Figure 12: DeepDive versus the threshold baselines."""
+
+    deepdive: OverheadCurve
+    baselines: Dict[float, OverheadCurve]
+    epochs: int
+    per_profile_seconds: float
+
+    def baseline(self, threshold: float) -> OverheadCurve:
+        return self.baselines[threshold]
+
+
+def run(
+    days: int = 3,
+    epochs_per_day: int = 48,
+    episodes_per_day: float = 2.0,
+    baseline_thresholds: Sequence[float] = (0.05, 0.10, 0.20),
+    seed: int = 97,
+    config: Optional[DeepDiveConfig] = None,
+) -> OverheadResult:
+    """Reproduce Figure 12 with the Data Serving workload."""
+    horizon = days * epochs_per_day
+    trace = hotmail_like_trace(
+        days=days, epochs_per_hour=max(1, epochs_per_day // 24), seed=seed
+    )
+    schedule = ec2_like_interference_schedule(
+        horizon_epochs=horizon,
+        episodes_per_day=episodes_per_day,
+        epochs_per_day=epochs_per_day,
+        seed=seed + 1,
+    )
+
+    config = config or DeepDiveConfig(
+        profile_epochs=10,
+        bootstrap_load_levels=5,
+        bootstrap_epochs_per_level=6,
+    )
+    cluster = Cluster(num_hosts=2, seed=seed, noise=0.01)
+    victim = make_victim_vm("data_serving", vm_name="victim")
+    cluster.place_vm(victim, "pm0", load=float(trace[0]))
+    stress = make_stress_vm("memory", vm_name="stressor", working_set_mb=128.0)
+    cluster.place_vm(stress, "pm0", load=0.0)
+
+    deepdive = DeepDive(cluster, config=config)
+    deepdive.bootstrap_vm(victim.name)
+    bootstrap_seconds = deepdive.total_profiling_seconds()
+
+    # The cost of one full analyzer invocation (cloning + sandbox run),
+    # charged to the baselines every time they trigger.
+    per_profile_seconds = (
+        deepdive.sandbox.clone_manager.clone_seconds_for(victim)
+        + config.profile_epochs * config.epoch_seconds
+    )
+
+    baselines = {t: ThresholdBaseline(threshold=t) for t in baseline_thresholds}
+    baseline_cumulative: Dict[float, List[float]] = {t: [] for t in baseline_thresholds}
+    baseline_seconds: Dict[float, float] = {t: 0.0 for t in baseline_thresholds}
+    deepdive_cumulative: List[float] = []
+
+    for epoch in range(horizon):
+        load = float(trace[min(epoch, len(trace) - 1)])
+        intensity = schedule.intensity_at(epoch)
+        cluster.get_host("pm0").set_load(stress.name, intensity)
+        cluster.step(loads={victim.name: load})
+        deepdive.observe_epoch(loads={victim.name: load})
+        deepdive_cumulative.append(
+            (deepdive.total_profiling_seconds() - bootstrap_seconds) / 60.0
+        )
+
+        sample = cluster.get_host("pm0").latest_counters(victim.name)
+        for threshold, baseline in baselines.items():
+            decision = baseline.observe(sample)
+            if decision.trigger:
+                baseline_seconds[threshold] += per_profile_seconds
+            baseline_cumulative[threshold].append(baseline_seconds[threshold] / 60.0)
+
+    return OverheadResult(
+        deepdive=OverheadCurve(label="DeepDive", cumulative_minutes=deepdive_cumulative),
+        baselines={
+            t: OverheadCurve(
+                label=f"Baseline-{int(t * 100)}%",
+                cumulative_minutes=baseline_cumulative[t],
+            )
+            for t in baseline_thresholds
+        },
+        epochs=horizon,
+        per_profile_seconds=per_profile_seconds,
+    )

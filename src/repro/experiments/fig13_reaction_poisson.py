@@ -1,0 +1,89 @@
+"""Figure 13 — reaction time under Poisson VM arrivals (1000 VMs/day).
+
+Three panels:
+
+* (a) mean reaction time versus the fraction of VMs undergoing
+  interference, for 2/4/8/16 profiling servers, using only local
+  information (every analyzer request is served by a profiling run);
+* (b) the same sweep when global information lets DeepDive reuse the
+  profiling result of sibling VMs running the same application —
+  reaction times are roughly halved and fewer servers suffice;
+* (c) the same at four servers for a range of Zipf popularity exponents
+  alpha (and the no-global-information limit alpha = infinity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.queueing.arrivals import PoissonArrivals
+from repro.queueing.reaction import ReactionTimePoint, ReactionTimeStudy
+
+
+@dataclass
+class ReactionTimeFigure:
+    """The three panels of Figure 13 (or 14)."""
+
+    #: Panel (a): server count -> curve of points over interference fractions.
+    local_only: Dict[int, List[ReactionTimePoint]]
+    #: Panel (b): same but with global information.
+    with_global: Dict[int, List[ReactionTimePoint]]
+    #: Panel (c): alpha -> curve at a fixed server count.
+    alpha_sweep: Dict[float, List[ReactionTimePoint]]
+    interference_fractions: List[float]
+    servers: List[int]
+    alpha_values: List[float]
+
+    def mean_reaction(self, panel: str, key, fraction: float) -> float:
+        """Mean reaction time (minutes) for one curve at one fraction."""
+        curves = {"local": self.local_only, "global": self.with_global, "alpha": self.alpha_sweep}[panel]
+        for point in curves[key]:
+            if np.isclose(point.interference_fraction, fraction):
+                return point.mean_reaction_minutes
+        raise KeyError(fraction)
+
+    def speedup_from_global(self, servers: int, fraction: float) -> float:
+        """How much global information improves the reaction time."""
+        local = self.mean_reaction("local", servers, fraction)
+        with_global = self.mean_reaction("global", servers, fraction)
+        if with_global <= 0:
+            return float("inf")
+        return local / with_global
+
+
+DEFAULT_FRACTIONS = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8)
+DEFAULT_SERVERS = (2, 4, 8, 16)
+DEFAULT_ALPHAS = (1.0, 1.5, 2.0, 2.5, math.inf)
+
+
+def run(
+    interference_fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    servers: Sequence[int] = DEFAULT_SERVERS,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    vms_per_day: float = 1000.0,
+    days: float = 5.0,
+    mean_service_seconds: float = 240.0,
+    seed: int = 3,
+) -> ReactionTimeFigure:
+    """Reproduce Figure 13."""
+    study = ReactionTimeStudy(
+        arrivals=PoissonArrivals(vms_per_day=vms_per_day, seed=seed),
+        days=days,
+        mean_service_seconds=mean_service_seconds,
+        seed=seed,
+    )
+    local = study.sweep(interference_fractions, servers, use_global_information=False)
+    with_global = study.sweep(interference_fractions, servers, use_global_information=True)
+    alpha_curves = study.alpha_sweep(interference_fractions, alphas, num_servers=4)
+    return ReactionTimeFigure(
+        local_only=local,
+        with_global=with_global,
+        alpha_sweep=alpha_curves,
+        interference_fractions=list(interference_fractions),
+        servers=list(servers),
+        alpha_values=list(alphas),
+    )

@@ -1,0 +1,68 @@
+"""Figure 14 — reaction time under bursty (lognormal) VM arrivals.
+
+Same panels as Figure 13 but with lognormal inter-arrival times, the
+paper's "extreme new-VM arrival scenario".  The headline result: fewer
+than ten dedicated profiling machines are still enough.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.fig13_reaction_poisson import (
+    DEFAULT_ALPHAS,
+    DEFAULT_FRACTIONS,
+    DEFAULT_SERVERS,
+    ReactionTimeFigure,
+)
+from repro.queueing.arrivals import LognormalArrivals
+from repro.queueing.reaction import ReactionTimeStudy
+
+
+def run(
+    interference_fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    servers: Sequence[int] = DEFAULT_SERVERS,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    vms_per_day: float = 1000.0,
+    days: float = 5.0,
+    mean_service_seconds: float = 240.0,
+    sigma: float = 1.5,
+    seed: int = 5,
+) -> ReactionTimeFigure:
+    """Reproduce Figure 14."""
+    study = ReactionTimeStudy(
+        arrivals=LognormalArrivals(vms_per_day=vms_per_day, sigma=sigma, seed=seed),
+        days=days,
+        mean_service_seconds=mean_service_seconds,
+        seed=seed,
+    )
+    local = study.sweep(interference_fractions, servers, use_global_information=False)
+    with_global = study.sweep(interference_fractions, servers, use_global_information=True)
+    alpha_curves = study.alpha_sweep(interference_fractions, alphas, num_servers=4)
+    return ReactionTimeFigure(
+        local_only=local,
+        with_global=with_global,
+        alpha_sweep=alpha_curves,
+        interference_fractions=list(interference_fractions),
+        servers=list(servers),
+        alpha_values=list(alphas),
+    )
+
+
+def minimum_servers_under_burst(
+    interference_fraction: float = 0.2,
+    candidate_servers: Sequence[int] = (2, 4, 6, 8, 10, 12, 16),
+    vms_per_day: float = 1000.0,
+    sigma: float = 1.5,
+    seed: int = 5,
+) -> int:
+    """The paper's claim: fewer than 10 servers suffice even under bursts."""
+    study = ReactionTimeStudy(
+        arrivals=LognormalArrivals(vms_per_day=vms_per_day, sigma=sigma, seed=seed),
+        seed=seed,
+    )
+    result = study.minimum_servers_for(
+        interference_fraction, candidate_servers, use_global_information=True
+    )
+    return result if result is not None else max(candidate_servers)

@@ -1,0 +1,52 @@
+"""Physical-machine contention substrate.
+
+The paper's testbed is a cluster of Xen hosts on Intel Xeon X5472
+servers; DeepDive itself only ever sees the low-level counters those
+hosts produce.  This package provides the substitute substrate: an
+epoch-based contention model of a physical machine (cores, shared
+caches, memory interconnect, disks, NIC) that converts the resource
+*demands* of co-located VMs into the per-VM counter samples and
+client-visible performance that the real testbed would produce.
+"""
+
+from repro.hardware.specs import (
+    ArchitectureSpec,
+    DiskSpec,
+    MachineSpec,
+    NicSpec,
+    XEON_X5472,
+    CORE_I7_E5640,
+    get_machine_spec,
+)
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.cache import SharedCacheModel, CacheOutcome
+from repro.hardware.membus import MemoryBusModel, BusOutcome
+from repro.hardware.disk import DiskModel, DiskOutcome
+from repro.hardware.network import NicModel, NicOutcome
+from repro.hardware.machine import (
+    PhysicalMachine,
+    EpochResult,
+    VMEpochOutcome,
+)
+
+__all__ = [
+    "ArchitectureSpec",
+    "DiskSpec",
+    "MachineSpec",
+    "NicSpec",
+    "XEON_X5472",
+    "CORE_I7_E5640",
+    "get_machine_spec",
+    "ResourceDemand",
+    "SharedCacheModel",
+    "CacheOutcome",
+    "MemoryBusModel",
+    "BusOutcome",
+    "DiskModel",
+    "DiskOutcome",
+    "NicModel",
+    "NicOutcome",
+    "PhysicalMachine",
+    "EpochResult",
+    "VMEpochOutcome",
+]

@@ -1,0 +1,141 @@
+"""Shared last-level-cache contention model.
+
+Co-located VMs whose vCPUs are pinned to cores in the same cache domain
+compete for the shared cache.  The model captures the two effects the
+paper's interference scenarios rely on:
+
+* a VM whose working set fits the cache in isolation can start missing
+  when a co-runner occupies part of the cache ("two VMs may thrash in
+  the shared hardware cache when running together, but fit nicely in it
+  when each is running in isolation");
+* the magnitude of the effect depends on the co-runners' access
+  intensity — an idle co-runner with a large but cold working set
+  steals little cache.
+
+The model allocates effective cache space proportionally to each VM's
+miss-weighted access pressure (an approximation of LRU steady state used
+widely in analytical cache models), then converts the ratio of working
+set to effective space into a miss probability, modulated by the
+workload's temporal locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.specs import ArchitectureSpec
+
+
+@dataclass
+class CacheOutcome:
+    """Result of the shared-cache model for one VM in one epoch."""
+
+    #: Accesses that reached the shared cache (private-cache misses).
+    llc_accesses: float
+    #: Accesses that missed the shared cache and went to memory.
+    llc_misses: float
+    #: Effective cache space occupied by the VM, in MB.
+    occupancy_mb: float
+    #: Shared-cache miss ratio (misses / accesses), 0 when no accesses.
+    miss_ratio: float
+
+
+class SharedCacheModel:
+    """Analytical model of one shared cache domain."""
+
+    #: Minimum (compulsory) miss ratio even for tiny working sets.
+    COMPULSORY_MISS_RATIO = 0.02
+
+    def __init__(self, spec: ArchitectureSpec) -> None:
+        self._spec = spec
+        self._size_mb = spec.shared_cache_mb
+
+    @property
+    def size_mb(self) -> float:
+        return self._size_mb
+
+    def resolve(
+        self, demands: Mapping[str, ResourceDemand]
+    ) -> Dict[str, CacheOutcome]:
+        """Resolve contention among all demands sharing this cache domain.
+
+        Parameters
+        ----------
+        demands:
+            Mapping from VM name to its demand for this epoch.  Only the
+            cache-related fields are used.
+
+        Returns
+        -------
+        dict
+            Mapping from VM name to its :class:`CacheOutcome`.
+        """
+        names: List[str] = list(demands)
+        accesses: Dict[str, float] = {}
+        pressure: Dict[str, float] = {}
+        for name in names:
+            d = demands[name]
+            acc = d.instructions * d.l1_miss_pki / 1000.0
+            acc += d.instructions * d.ifetch_pki / 1000.0
+            accesses[name] = acc
+            # Access pressure weights cache occupancy: a VM that touches
+            # its working set frequently defends more of the cache.  The
+            # sqrt keeps a low-intensity large-footprint VM from being
+            # starved entirely (matches the "square-root rule" used in
+            # analytical LRU-sharing models).
+            intensity = acc / max(d.instructions, 1.0) if d.instructions > 0 else 0.0
+            pressure[name] = d.working_set_mb * (0.25 + (intensity * 1000.0) ** 0.5)
+
+        total_pressure = sum(pressure.values())
+        outcomes: Dict[str, CacheOutcome] = {}
+        for name in names:
+            d = demands[name]
+            if accesses[name] <= 0 or d.working_set_mb <= 0:
+                outcomes[name] = CacheOutcome(
+                    llc_accesses=accesses[name],
+                    llc_misses=accesses[name] * self.COMPULSORY_MISS_RATIO,
+                    occupancy_mb=0.0,
+                    miss_ratio=self.COMPULSORY_MISS_RATIO,
+                )
+                continue
+            if total_pressure > 0:
+                share = self._size_mb * pressure[name] / total_pressure
+            else:
+                share = self._size_mb
+            # A VM never occupies more cache than its working set.
+            occupancy = min(share, d.working_set_mb)
+            miss_ratio = self._miss_ratio(d, occupancy)
+            misses = accesses[name] * miss_ratio
+            outcomes[name] = CacheOutcome(
+                llc_accesses=accesses[name],
+                llc_misses=misses,
+                occupancy_mb=occupancy,
+                miss_ratio=miss_ratio,
+            )
+        return outcomes
+
+    def _miss_ratio(self, demand: ResourceDemand, occupancy_mb: float) -> float:
+        """Miss ratio given the effective cache space granted to the VM.
+
+        When the working set fits in the granted space the miss ratio is
+        the compulsory floor; as the working set overflows the space the
+        miss ratio rises toward ``1 - locality`` (a perfectly local
+        workload re-references recently touched lines and keeps hitting
+        even when only part of its footprint is cached, a streaming
+        workload misses on everything it cannot hold).
+        """
+        ws = demand.working_set_mb
+        if ws <= 0:
+            return self.COMPULSORY_MISS_RATIO
+        fit = min(1.0, occupancy_mb / ws)
+        # Fraction of accesses falling outside the cached portion.
+        overflow = 1.0 - fit
+        ceiling = 1.0 - demand.locality * 0.9
+        ratio = self.COMPULSORY_MISS_RATIO + overflow * ceiling
+        return min(1.0, max(self.COMPULSORY_MISS_RATIO, ratio))
+
+    def isolation_outcome(self, demand: ResourceDemand) -> CacheOutcome:
+        """Outcome when the VM has the whole cache domain to itself."""
+        return self.resolve({"_solo": demand})["_solo"]

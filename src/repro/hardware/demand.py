@@ -1,0 +1,113 @@
+"""Per-epoch resource demands.
+
+:class:`ResourceDemand` is the interface between the workload models and
+the hardware substrate: a workload, given its current load intensity,
+describes *what it would like to do* during the next epoch (instructions
+to retire, cache/memory access intensity, disk and network traffic), and
+the :class:`~repro.hardware.machine.PhysicalMachine` resolves contention
+among the co-located demands to decide *what actually happened* and what
+the performance counters read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass
+class ResourceDemand:
+    """What one VM would like to do during one epoch, absent contention.
+
+    Rates are expressed per 1000 instructions ("pki") wherever the
+    quantity scales with the amount of work, so scaling ``instructions``
+    up or down (a load change) leaves the per-instruction character of
+    the workload unchanged — which is exactly the property the paper's
+    normalisation relies on.
+    """
+
+    #: Instructions the workload wants to retire this epoch.
+    instructions: float
+    #: Number of vCPUs the instructions are spread across.
+    vcpus: int = 1
+    #: Working-set size in MB competing for the shared cache.
+    working_set_mb: float = 4.0
+    #: Loads retired per 1000 instructions.
+    loads_pki: float = 300.0
+    #: L1 data-cache misses (lines allocated) per 1000 instructions.
+    l1_miss_pki: float = 20.0
+    #: Instruction-fetch accesses reaching the shared cache per 1000 instructions.
+    ifetch_pki: float = 2.0
+    #: Branches per 1000 instructions.
+    branches_pki: float = 150.0
+    #: Fraction of branches mispredicted.
+    branch_mispredict_rate: float = 0.03
+    #: Temporal locality knob in [0, 1]: 1 means the working set is reused
+    #: so effectively that shared-cache misses are mostly compulsory, 0
+    #: means streaming access with no reuse.
+    locality: float = 0.7
+    #: Desired disk traffic in MB for the epoch (reads + writes).
+    disk_mb: float = 0.0
+    #: Fraction of the disk traffic that is sequential.
+    disk_sequential_fraction: float = 0.8
+    #: Desired network traffic in Mbit for the epoch (in + out).
+    network_mbit: float = 0.0
+    #: Dirty ratio of memory traffic (write-backs add bus transactions).
+    write_fraction: float = 0.3
+
+    def scaled(self, load_factor: float) -> "ResourceDemand":
+        """Scale the *amount of work* by ``load_factor``.
+
+        Per-instruction characteristics (pki rates, locality, working
+        set) are preserved; only the instruction count and the I/O
+        volumes scale, mimicking a quantitative load change.
+        """
+        if load_factor < 0:
+            raise ValueError("load_factor must be non-negative")
+        return replace(
+            self,
+            instructions=self.instructions * load_factor,
+            disk_mb=self.disk_mb * load_factor,
+            network_mbit=self.network_mbit * load_factor,
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on physically meaningless demands."""
+        if self.instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        if self.vcpus < 1:
+            raise ValueError("a demand needs at least one vCPU")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        if not 0.0 <= self.branch_mispredict_rate <= 1.0:
+            raise ValueError("branch_mispredict_rate must be in [0, 1]")
+        if not 0.0 <= self.disk_sequential_fraction <= 1.0:
+            raise ValueError("disk_sequential_fraction must be in [0, 1]")
+        for name in ("working_set_mb", "loads_pki", "l1_miss_pki", "ifetch_pki",
+                     "branches_pki", "disk_mb", "network_mbit"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view (used by the synthetic-benchmark trainer)."""
+        return {
+            "instructions": self.instructions,
+            "vcpus": float(self.vcpus),
+            "working_set_mb": self.working_set_mb,
+            "loads_pki": self.loads_pki,
+            "l1_miss_pki": self.l1_miss_pki,
+            "ifetch_pki": self.ifetch_pki,
+            "branches_pki": self.branches_pki,
+            "branch_mispredict_rate": self.branch_mispredict_rate,
+            "locality": self.locality,
+            "disk_mb": self.disk_mb,
+            "disk_sequential_fraction": self.disk_sequential_fraction,
+            "network_mbit": self.network_mbit,
+            "write_fraction": self.write_fraction,
+        }
+
+    @classmethod
+    def idle(cls) -> "ResourceDemand":
+        """An idle VM: no work at all."""
+        return cls(instructions=0.0, working_set_mb=0.0, disk_mb=0.0,
+                   network_mbit=0.0, l1_miss_pki=0.0, loads_pki=0.0)

@@ -1,0 +1,101 @@
+"""NIC contention model.
+
+The NIC is a simple shared link: when the sum of the co-located VMs'
+traffic demands exceeds the port bandwidth, each VM gets a proportional
+share and the unmet portion of its demand becomes send/receive-queue
+wait time, reported by the hypervisor as ``net_stall_cycles`` (the
+netstat-style metric from Table 1).  This is how iperf-style network
+interference (the paper's Scenario C and the Figure 5 experiment)
+reaches the victims' counter vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.specs import NicSpec
+
+
+@dataclass
+class NicOutcome:
+    """Result of the NIC model for one VM in one epoch."""
+
+    #: Mbit the VM actually transferred this epoch.
+    transferred_mbit: float
+    #: Mbit the VM wanted to transfer this epoch.
+    demanded_mbit: float
+    #: Seconds the VM spent with packets waiting in the Snd/Rcv queues.
+    wait_seconds: float
+    #: Effective throughput granted to the VM in Mbps.
+    granted_mbps: float
+
+    @property
+    def satisfaction(self) -> float:
+        """Fraction of the demand that was served (1.0 when idle)."""
+        if self.demanded_mbit <= 0:
+            return 1.0
+        return self.transferred_mbit / self.demanded_mbit
+
+
+class NicModel:
+    """Bandwidth-sharing model of the machine's network interface(s)."""
+
+    def __init__(self, spec: NicSpec) -> None:
+        self._spec = spec
+
+    @property
+    def capacity_mbps(self) -> float:
+        """Aggregate NIC capacity in Mbps.
+
+        Contention is modelled on a single shared pool equal to the port
+        bandwidth: a full-duplex port can carry the line rate in each
+        direction, but the dominant direction is what saturates first and
+        the paper's iperf stressor pushes both directions at once, so a
+        directionless pool of one line rate captures the contention the
+        victims actually see.
+        """
+        return self._spec.bandwidth_mbps * self._spec.count
+
+    def resolve(
+        self, demands: Mapping[str, ResourceDemand], epoch_seconds: float
+    ) -> Dict[str, NicOutcome]:
+        """Resolve NIC contention among the co-located demands."""
+        active = {n: d for n, d in demands.items() if d.network_mbit > 0}
+        outcomes: Dict[str, NicOutcome] = {
+            n: NicOutcome(0.0, 0.0, 0.0, 0.0) for n in demands if n not in active
+        }
+        if not active:
+            return outcomes
+
+        capacity_mbit = self.capacity_mbps * epoch_seconds
+        total_demand = sum(d.network_mbit for d in active.values())
+        for name, d in active.items():
+            if total_demand <= capacity_mbit:
+                transferred = d.network_mbit
+            else:
+                transferred = d.network_mbit * capacity_mbit / total_demand
+            granted_mbps = transferred / max(epoch_seconds, 1e-9)
+            # Queueing delay grows with link utilisation even before the
+            # link saturates; once demand exceeds the capacity the VM is
+            # additionally blocked for the fraction of its traffic that
+            # could not be served this epoch.
+            utilization = min(0.99, total_demand / max(capacity_mbit, 1e-9))
+            queue_wait = epoch_seconds * 0.2 * (utilization ** 3)
+            unmet_fraction = 1.0 - transferred / max(d.network_mbit, 1e-9)
+            backlog_seconds = epoch_seconds * max(0.0, unmet_fraction)
+            wait = min(epoch_seconds, queue_wait + backlog_seconds)
+            outcomes[name] = NicOutcome(
+                transferred_mbit=transferred,
+                demanded_mbit=d.network_mbit,
+                wait_seconds=wait,
+                granted_mbps=granted_mbps,
+            )
+        return outcomes
+
+    def isolation_outcome(
+        self, demand: ResourceDemand, epoch_seconds: float
+    ) -> NicOutcome:
+        """Outcome when the VM is alone on the NIC."""
+        return self.resolve({"_solo": demand}, epoch_seconds)["_solo"]

@@ -1,0 +1,167 @@
+"""Architecture and machine specifications.
+
+Two presets mirror the paper's hardware:
+
+* :data:`XEON_X5472` — the main testbed: dual quad-core Xeon X5472
+  (8 cores at 3 GHz), 12 MB of L2 shared per pair of cores, a front-side
+  bus to memory, 8 GB DRAM, two 250 GB 7200 rpm disks, one 1 Gb NIC.
+* :data:`CORE_I7_E5640` — the NUMA port from Section 4.4: two quad-core
+  Xeon E5640 (Core-i7 microarchitecture) at 2.67 GHz, 1 MB L2 per core,
+  a 12 MB shared L3, integrated memory controllers and QPI.
+
+The spec numbers feed both the contention model and the CPI-stack model,
+so the same description drives the "hardware" and its "performance
+model" — exactly the coupling the paper exploits when porting DeepDive
+to a new server type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A single spindle (or a RAID set treated as one device)."""
+
+    count: int = 2
+    sequential_mbps: float = 100.0
+    #: Fraction of the sequential bandwidth retained under fully random
+    #: access (a 7200 rpm disk sustains only a few MB/s of random I/O).
+    random_efficiency: float = 0.06
+    #: Average seek+rotate latency in milliseconds for a random request.
+    seek_ms: float = 8.0
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Network interface."""
+
+    count: int = 1
+    bandwidth_mbps: float = 1000.0
+    duplex: bool = True
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """CPU / memory-hierarchy description of a server architecture."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    #: Number of cores sharing one last-level-cache domain.
+    cores_per_cache_domain: int
+    #: Size of one shared last-level-cache domain in MB.
+    shared_cache_mb: float
+    #: Private cache size per core in KB (L1 on the Xeon, L1+L2 on the i7).
+    private_cache_kb: float
+    #: Cycles to access the shared cache on a private-cache miss.
+    llc_hit_cycles: float
+    #: Cycles to access DRAM on a shared-cache miss (uncontended).
+    memory_cycles: float
+    #: Aggregate memory-interconnect bandwidth in MB/s (FSB or QPI+IMC).
+    memory_bandwidth_mbps: float
+    #: Whether the interconnect is a shared front-side bus (True) or
+    #: point-to-point QPI with per-socket memory controllers (False).
+    front_side_bus: bool
+    #: Number of NUMA sockets (1 for the UMA Xeon X5472 board model).
+    sockets: int = 1
+    #: Base (no-stall) cycles per instruction of the core pipeline.
+    base_cpi: float = 0.75
+    #: Branch misprediction penalty in cycles.
+    branch_miss_cycles: float = 15.0
+
+    @property
+    def cache_domains(self) -> int:
+        """Number of independent shared-cache domains on the machine."""
+        return max(1, self.cores // self.cores_per_cache_domain)
+
+    @property
+    def cycles_per_epoch(self) -> float:
+        """Cycles one core executes in one second."""
+        return self.frequency_hz
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full physical-machine description: CPU architecture + memory + I/O."""
+
+    architecture: ArchitectureSpec
+    dram_gb: float = 8.0
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    nic: NicSpec = field(default_factory=NicSpec)
+
+    @property
+    def name(self) -> str:
+        return self.architecture.name
+
+    def with_nic_bandwidth(self, mbps: float) -> "MachineSpec":
+        """Return a copy with a different NIC bandwidth (for oversubscription studies)."""
+        return replace(self, nic=replace(self.nic, bandwidth_mbps=mbps))
+
+
+#: The paper's main testbed servers (Section 5.1).
+XEON_X5472 = MachineSpec(
+    architecture=ArchitectureSpec(
+        name="xeon_x5472",
+        cores=8,
+        frequency_hz=3.0e9,
+        cores_per_cache_domain=2,
+        shared_cache_mb=12.0,
+        private_cache_kb=32.0,
+        llc_hit_cycles=14.0,
+        memory_cycles=250.0,
+        memory_bandwidth_mbps=6400.0,
+        front_side_bus=True,
+        sockets=2,
+        base_cpi=0.75,
+        branch_miss_cycles=15.0,
+    ),
+    dram_gb=8.0,
+    disk=DiskSpec(count=2, sequential_mbps=100.0, random_efficiency=0.06, seek_ms=8.0),
+    nic=NicSpec(count=1, bandwidth_mbps=1000.0),
+)
+
+#: The Core-i7 (Xeon E5640) NUMA server DeepDive was ported to (Section 4.4).
+CORE_I7_E5640 = MachineSpec(
+    architecture=ArchitectureSpec(
+        name="core_i7",
+        cores=8,
+        frequency_hz=2.67e9,
+        cores_per_cache_domain=4,
+        shared_cache_mb=12.0,
+        private_cache_kb=1024.0,
+        llc_hit_cycles=38.0,
+        memory_cycles=180.0,
+        memory_bandwidth_mbps=25600.0,
+        front_side_bus=False,
+        sockets=2,
+        base_cpi=0.65,
+        branch_miss_cycles=17.0,
+    ),
+    dram_gb=48.0,
+    disk=DiskSpec(count=2, sequential_mbps=120.0, random_efficiency=0.08, seek_ms=7.0),
+    nic=NicSpec(count=1, bandwidth_mbps=1000.0),
+)
+
+
+_MACHINE_SPECS: Dict[str, MachineSpec] = {
+    "xeon_x5472": XEON_X5472,
+    "core_i7": CORE_I7_E5640,
+}
+
+
+def get_machine_spec(name: str) -> MachineSpec:
+    """Look up a machine spec by architecture name."""
+    try:
+        return _MACHINE_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine spec {name!r}; known: {sorted(_MACHINE_SPECS)}"
+        ) from None
+
+
+def available_machine_specs() -> Tuple[str, ...]:
+    """Names of all built-in machine specs."""
+    return tuple(sorted(_MACHINE_SPECS))

@@ -1,0 +1,42 @@
+"""Low-level metric layer.
+
+This package defines the counter set from Table 1 of the paper, the raw
+per-epoch counter samples produced by the hypervisor, the normalised
+metric vectors the warning system clusters, and the I/O-augmented CPI
+stack used by the interference analyzer to attribute degradation to a
+culprit resource.
+"""
+
+from repro.metrics.counters import (
+    COUNTER_NAMES,
+    CORE_COUNTERS,
+    IO_COUNTERS,
+    CounterSample,
+    CounterDefinition,
+    COUNTER_DEFINITIONS,
+)
+from repro.metrics.sample import MetricVector, WARNING_METRICS
+from repro.metrics.normalization import normalize_sample, normalize_samples
+from repro.metrics.cpi import (
+    CPIStack,
+    CPIStackModel,
+    Resource,
+    StallBreakdown,
+)
+
+__all__ = [
+    "COUNTER_NAMES",
+    "CORE_COUNTERS",
+    "IO_COUNTERS",
+    "CounterSample",
+    "CounterDefinition",
+    "COUNTER_DEFINITIONS",
+    "MetricVector",
+    "WARNING_METRICS",
+    "normalize_sample",
+    "normalize_samples",
+    "CPIStack",
+    "CPIStackModel",
+    "Resource",
+    "StallBreakdown",
+]

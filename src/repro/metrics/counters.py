@@ -1,0 +1,183 @@
+"""Hardware-performance-counter and system-statistic definitions (Table 1).
+
+The paper's warning system and analyzer consume a small set of low-level
+metrics: hardware performance counters read through the PMU, plus two
+system-level statistics (``iostat``-style disk-wait cycles and
+``netstat``-style network-wait cycles) obtained from the hypervisor via
+VM introspection.  This module defines that counter set and the
+:class:`CounterSample` record that the (simulated) hypervisor emits for
+each VM at the end of every monitoring epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class CounterDefinition:
+    """Description of a single low-level metric.
+
+    Attributes
+    ----------
+    name:
+        The counter name used throughout the code base (matches Table 1).
+    description:
+        Human-readable description, taken from the paper.
+    source:
+        ``"pmu"`` for hardware performance counters, ``"system"`` for the
+        iostat/netstat-derived statistics.
+    """
+
+    name: str
+    description: str
+    source: str = "pmu"
+
+
+#: Table 1 of the paper: the low-level metrics used to differentiate
+#: normal VM behaviours from interference.
+COUNTER_DEFINITIONS: Tuple[CounterDefinition, ...] = (
+    CounterDefinition("cpu_unhalted", "Clock cycles when not halted"),
+    CounterDefinition("inst_retired", "Number of instructions retired"),
+    CounterDefinition("l1d_repl", "Cache lines allocated in the L1 data cache"),
+    CounterDefinition("l2_ifetch", "L2 cacheable instruction fetches"),
+    CounterDefinition("l2_lines_in", "Number of allocated lines in L2"),
+    CounterDefinition("mem_load", "Retired loads"),
+    CounterDefinition("resource_stalls", "Cycles during which resource stalls occur"),
+    CounterDefinition("bus_tran_any", "Number of completed bus transactions"),
+    CounterDefinition("bus_trans_ifetch", "Number of instruction fetch transactions"),
+    CounterDefinition("bus_tran_brd", "Burst read bus transactions"),
+    CounterDefinition(
+        "bus_req_out", "Outstanding cacheable data read bus requests duration"
+    ),
+    CounterDefinition("br_miss_pred", "Number of mispredicted branches retired"),
+    CounterDefinition(
+        "disk_stall_cycles",
+        "Idle CPU cycles while the system had an outstanding disk I/O request "
+        "(iostat, T_disk)",
+        source="system",
+    ),
+    CounterDefinition(
+        "net_stall_cycles",
+        "Idle CPU cycles while the system had a packet in the Snd/Rcv queue "
+        "(netstat, T_net)",
+        source="system",
+    ),
+)
+
+#: All counter names, in the canonical (Table 1) order.
+COUNTER_NAMES: Tuple[str, ...] = tuple(d.name for d in COUNTER_DEFINITIONS)
+
+#: Counters obtained from the PMU.
+CORE_COUNTERS: Tuple[str, ...] = tuple(
+    d.name for d in COUNTER_DEFINITIONS if d.source == "pmu"
+)
+
+#: Counters obtained from system-level statistics (iostat / netstat).
+IO_COUNTERS: Tuple[str, ...] = tuple(
+    d.name for d in COUNTER_DEFINITIONS if d.source == "system"
+)
+
+
+@dataclass
+class CounterSample:
+    """Raw counter values collected for one VM over one monitoring epoch.
+
+    Values are event *counts* (or cycle counts) accumulated over the
+    epoch, exactly what a PMU read-and-reset at each epoch boundary would
+    yield.  The sample also carries the epoch length so rates can be
+    recovered, but the warning system never uses wall-clock rates: it
+    normalises everything by ``inst_retired`` (see
+    :mod:`repro.metrics.normalization`).
+    """
+
+    cpu_unhalted: float = 0.0
+    inst_retired: float = 0.0
+    l1d_repl: float = 0.0
+    l2_ifetch: float = 0.0
+    l2_lines_in: float = 0.0
+    mem_load: float = 0.0
+    resource_stalls: float = 0.0
+    bus_tran_any: float = 0.0
+    bus_trans_ifetch: float = 0.0
+    bus_tran_brd: float = 0.0
+    bus_req_out: float = 0.0
+    br_miss_pred: float = 0.0
+    disk_stall_cycles: float = 0.0
+    net_stall_cycles: float = 0.0
+    #: Epoch length in seconds over which the counters were accumulated.
+    epoch_seconds: float = 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the counter values as a plain dictionary (no epoch length)."""
+        return {name: getattr(self, name) for name in COUNTER_NAMES}
+
+    def __getitem__(self, name: str) -> float:
+        if name not in COUNTER_NAMES:
+            raise KeyError(name)
+        return getattr(self, name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(COUNTER_NAMES)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per retired instruction for this epoch."""
+        if self.inst_retired <= 0:
+            return float("inf")
+        return self.cpu_unhalted / self.inst_retired
+
+    @property
+    def ipc(self) -> float:
+        """Instructions retired per unhalted cycle."""
+        if self.cpu_unhalted <= 0:
+            return 0.0
+        return self.inst_retired / self.cpu_unhalted
+
+    def scaled(self, factor: float) -> "CounterSample":
+        """Return a copy with every counter multiplied by ``factor``.
+
+        Used by the hypervisor when attributing a fraction of a shared
+        resource's events to a particular VM.
+        """
+        values = {name: getattr(self, name) * factor for name in COUNTER_NAMES}
+        return CounterSample(epoch_seconds=self.epoch_seconds, **values)
+
+    def merged(self, other: "CounterSample") -> "CounterSample":
+        """Return the element-wise sum of two samples.
+
+        The epoch length of the merged sample is the sum of the two, so
+        aggregating consecutive epochs keeps rates meaningful.
+        """
+        values = {
+            name: getattr(self, name) + getattr(other, name) for name in COUNTER_NAMES
+        }
+        return CounterSample(
+            epoch_seconds=self.epoch_seconds + other.epoch_seconds, **values
+        )
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping[str, float], epoch_seconds: float = 1.0
+    ) -> "CounterSample":
+        """Build a sample from a name->value mapping; missing names are 0."""
+        unknown = set(mapping) - set(COUNTER_NAMES)
+        if unknown:
+            raise KeyError(f"unknown counter names: {sorted(unknown)}")
+        values = {name: float(mapping.get(name, 0.0)) for name in COUNTER_NAMES}
+        return cls(epoch_seconds=epoch_seconds, **values)
+
+    @classmethod
+    def zeros(cls, epoch_seconds: float = 1.0) -> "CounterSample":
+        """Return an all-zero sample (an idle VM epoch)."""
+        return cls(epoch_seconds=epoch_seconds)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if any counter is negative or NaN."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != value:  # NaN check
+                raise ValueError(f"counter {f.name} is NaN")
+            if value < 0:
+                raise ValueError(f"counter {f.name} is negative: {value}")

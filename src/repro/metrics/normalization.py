@@ -1,0 +1,41 @@
+"""Helpers to turn raw counter samples into normalised metric vectors.
+
+Kept as free functions so the hypervisor, warning system and experiment
+drivers all normalise identically (Section 4.1: "we normalize the
+metrics with respect to the amount of work performed").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.metrics.counters import CounterSample
+from repro.metrics.sample import MetricVector
+
+
+def normalize_sample(
+    sample: CounterSample, label: Optional[str] = None
+) -> MetricVector:
+    """Normalise a single counter sample by its instructions retired."""
+    return MetricVector.from_sample(sample, label=label)
+
+
+def normalize_samples(
+    samples: Iterable[CounterSample], label: Optional[str] = None
+) -> List[MetricVector]:
+    """Normalise an iterable of counter samples."""
+    return [normalize_sample(s, label=label) for s in samples]
+
+
+def aggregate_samples(samples: Iterable[CounterSample]) -> CounterSample:
+    """Sum consecutive epoch samples into one longer-epoch sample.
+
+    Useful when the warning system smooths over several monitoring
+    epochs before comparing against the behaviour repository.
+    """
+    merged: Optional[CounterSample] = None
+    for sample in samples:
+        merged = sample if merged is None else merged.merged(sample)
+    if merged is None:
+        raise ValueError("cannot aggregate an empty sequence of samples")
+    return merged

@@ -1,0 +1,162 @@
+"""Normalised metric vectors.
+
+The warning system does not operate on raw counters: raw counts scale
+with the amount of work performed, so load-intensity changes would look
+like behaviour changes.  The paper normalises every counter by the
+number of instructions retired and finds that the normalised values are
+persistent across a wide range of load intensities (Section 4.1).
+
+:class:`MetricVector` is the normalised representation used everywhere
+above the hypervisor: the warning system clusters them, the behaviour
+repository stores them, and the synthetic benchmark is trained to
+reproduce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.counters import CounterSample
+
+#: The dimensions of the warning-system space.  Every entry is "events
+#: per 1000 retired instructions" except ``cpi`` (cycles per instruction)
+#: and ``cpu_utilization`` (fraction of the epoch the vCPUs were active).
+WARNING_METRICS: Tuple[str, ...] = (
+    "cpi",
+    "l1_repl_pki",
+    "l2_ifetch_pki",
+    "l2_lines_in_pki",
+    "mem_load_pki",
+    "resource_stall_cpi",
+    "bus_tran_pki",
+    "bus_ifetch_pki",
+    "bus_brd_pki",
+    "bus_req_out_pki",
+    "br_miss_pki",
+    "disk_stall_cpi",
+    "net_stall_cpi",
+    "cpu_utilization",
+)
+
+
+@dataclass
+class MetricVector:
+    """A point in the warning system's N-dimensional metric space.
+
+    The vector is derived from a :class:`CounterSample` via
+    :meth:`from_sample`.  Individual dimensions can be read by name
+    (``vector["cpi"]``) or the whole vector can be obtained as a numpy
+    array in the canonical :data:`WARNING_METRICS` order.
+    """
+
+    values: Dict[str, float]
+    #: Optional identifier of the VM/application this vector describes.
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        missing = set(WARNING_METRICS) - set(self.values)
+        if missing:
+            raise ValueError(f"metric vector missing dimensions: {sorted(missing)}")
+
+    @classmethod
+    def from_sample(
+        cls, sample: CounterSample, label: Optional[str] = None
+    ) -> "MetricVector":
+        """Normalise a raw counter sample into a metric vector.
+
+        Counters are expressed per 1000 retired instructions ("pki"),
+        stall-cycle counters are expressed as stall cycles per
+        instruction (so they add up with the CPI), and CPU utilisation is
+        unhalted cycles over the epoch's total cycles (approximated from
+        the epoch length assuming the nominal frequency is encoded in the
+        sample by the hypervisor; utilisation is only used as a coarse
+        activity signal).
+        """
+        inst = max(sample.inst_retired, 1.0)
+        pki = 1000.0 / inst
+        # Total cycles in the epoch are approximated as the unhalted plus
+        # stall-idle cycles; utilisation saturates at 1.
+        total_cycles = max(
+            sample.cpu_unhalted + sample.disk_stall_cycles + sample.net_stall_cycles,
+            1.0,
+        )
+        values = {
+            "cpi": sample.cpu_unhalted / inst,
+            "l1_repl_pki": sample.l1d_repl * pki,
+            "l2_ifetch_pki": sample.l2_ifetch * pki,
+            "l2_lines_in_pki": sample.l2_lines_in * pki,
+            "mem_load_pki": sample.mem_load * pki,
+            "resource_stall_cpi": sample.resource_stalls / inst,
+            "bus_tran_pki": sample.bus_tran_any * pki,
+            "bus_ifetch_pki": sample.bus_trans_ifetch * pki,
+            "bus_brd_pki": sample.bus_tran_brd * pki,
+            "bus_req_out_pki": sample.bus_req_out * pki,
+            "br_miss_pki": sample.br_miss_pred * pki,
+            "disk_stall_cpi": sample.disk_stall_cycles / inst,
+            "net_stall_cpi": sample.net_stall_cycles / inst,
+            "cpu_utilization": min(1.0, sample.cpu_unhalted / total_cycles),
+        }
+        return cls(values=values, label=label)
+
+    def as_array(
+        self, dimensions: Optional[Sequence[str]] = None
+    ) -> np.ndarray:
+        """Return the vector as a numpy array in ``dimensions`` order."""
+        dims = tuple(dimensions) if dimensions is not None else WARNING_METRICS
+        return np.array([self.values[d] for d in dims], dtype=float)
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def distance(
+        self,
+        other: "MetricVector",
+        scale: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """Scaled Euclidean distance to ``other``.
+
+        ``scale`` maps dimension name to a positive divisor (typically a
+        per-dimension standard deviation); unscaled dimensions use 1.
+        """
+        total = 0.0
+        for name in WARNING_METRICS:
+            s = 1.0
+            if scale is not None:
+                s = max(float(scale.get(name, 1.0)), 1e-12)
+            d = (self.values[name] - other.values[name]) / s
+            total += d * d
+        return float(np.sqrt(total))
+
+    def copy(self) -> "MetricVector":
+        return MetricVector(values=dict(self.values), label=self.label)
+
+
+def vectors_to_matrix(
+    vectors: Iterable[MetricVector],
+    dimensions: Optional[Sequence[str]] = None,
+) -> np.ndarray:
+    """Stack metric vectors into an ``(n, d)`` matrix."""
+    rows: List[np.ndarray] = [v.as_array(dimensions) for v in vectors]
+    if not rows:
+        dims = dimensions if dimensions is not None else WARNING_METRICS
+        return np.empty((0, len(tuple(dims))), dtype=float)
+    return np.vstack(rows)
+
+
+def matrix_to_vectors(
+    matrix: np.ndarray,
+    dimensions: Optional[Sequence[str]] = None,
+    label: Optional[str] = None,
+) -> List[MetricVector]:
+    """Inverse of :func:`vectors_to_matrix` (missing dims become 0)."""
+    dims = tuple(dimensions) if dimensions is not None else WARNING_METRICS
+    out: List[MetricVector] = []
+    for row in np.atleast_2d(matrix):
+        values = {name: 0.0 for name in WARNING_METRICS}
+        for name, value in zip(dims, row):
+            values[name] = float(value)
+        out.append(MetricVector(values=values, label=label))
+    return out

@@ -1,0 +1,40 @@
+"""Profiling-server scalability simulation.
+
+The paper sizes DeepDive's pool of dedicated profiling servers with a
+queueing simulation: new VMs arrive (Poisson or lognormal inter-arrival
+times, 1000 VMs/day), a fraction of them eventually undergo interference
+and therefore require analyzer service, the service times are replayed
+from the live experiments, and the reaction time (queueing delay plus
+service) is reported as a function of the interference fraction, the
+number of profiling servers, and — when global information is available
+— the Zipf popularity of the applications (popular applications are
+profiled once and the result reused).
+"""
+
+from repro.queueing.arrivals import (
+    ArrivalProcess,
+    PoissonArrivals,
+    LognormalArrivals,
+)
+from repro.queueing.popularity import ZipfPopularity
+from repro.queueing.profiler_queue import (
+    ProfilingJob,
+    ProfilingQueueSimulator,
+    SimulationOutcome,
+)
+from repro.queueing.reaction import (
+    ReactionTimeStudy,
+    ReactionTimePoint,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "LognormalArrivals",
+    "ZipfPopularity",
+    "ProfilingJob",
+    "ProfilingQueueSimulator",
+    "SimulationOutcome",
+    "ReactionTimeStudy",
+    "ReactionTimePoint",
+]

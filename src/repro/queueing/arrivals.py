@@ -1,0 +1,73 @@
+"""VM arrival processes.
+
+Two arrival models from the paper's scalability study: a Poisson process
+(exponential inter-arrival times) and a burstier lognormal inter-arrival
+process, both normalised to a configurable number of new VMs per day.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates VM arrival timestamps (seconds from the simulation start)."""
+
+    def __init__(self, vms_per_day: float = 1000.0, seed: Optional[int] = 0) -> None:
+        if vms_per_day <= 0:
+            raise ValueError("vms_per_day must be positive")
+        self.vms_per_day = vms_per_day
+        self.seed = seed
+
+    @property
+    def mean_interarrival_seconds(self) -> float:
+        return SECONDS_PER_DAY / self.vms_per_day
+
+    @abc.abstractmethod
+    def interarrival_times(self, count: int) -> np.ndarray:
+        """Draw ``count`` inter-arrival gaps in seconds."""
+
+    def arrival_times(self, count: int) -> np.ndarray:
+        """Cumulative arrival timestamps for ``count`` VMs."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.empty(0)
+        return np.cumsum(self.interarrival_times(count))
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival times (a Poisson arrival process)."""
+
+    def interarrival_times(self, count: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        return rng.exponential(self.mean_interarrival_seconds, size=count)
+
+
+class LognormalArrivals(ArrivalProcess):
+    """Lognormal inter-arrival times: burstier than Poisson at equal mean.
+
+    ``sigma`` controls the burstiness; the underlying normal's mean is
+    adjusted so the lognormal mean equals the target inter-arrival time.
+    """
+
+    def __init__(
+        self,
+        vms_per_day: float = 1000.0,
+        sigma: float = 1.5,
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__(vms_per_day=vms_per_day, seed=seed)
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.sigma = sigma
+
+    def interarrival_times(self, count: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        mu = np.log(self.mean_interarrival_seconds) - 0.5 * self.sigma ** 2
+        return rng.lognormal(mean=mu, sigma=self.sigma, size=count)

@@ -1,0 +1,76 @@
+"""Application popularity models.
+
+The paper models VM reoccurrence with a Zipf/Pareto-style distribution:
+a few cloud tenants run their applications on a large number of VMs
+(global information is plentiful), while a long tail of tenants runs a
+handful of VMs each.  The tail index ``alpha`` spans the paper's sweep
+from light-tailed (alpha = 1, global information very effective) to the
+degenerate "no global information" case (alpha = infinity, every VM runs
+a different application).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+
+class ZipfPopularity:
+    """Assigns each arriving VM to an application id.
+
+    ``alpha`` follows the paper's Pareto-tail-index convention: *smaller*
+    alpha means a heavier tail — a few tenants own an enormous number of
+    VMs, so global information is reused very often — while large alpha
+    approaches a uniform spread and ``alpha = math.inf`` is the
+    degenerate "every VM runs a different workload" case.  Internally the
+    rank-popularity exponent is ``1 / alpha`` (the rank-size exponent of a
+    Pareto-distributed tenant-size distribution).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.5,
+        num_applications: int = 400,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if num_applications < 1:
+            raise ValueError("num_applications must be positive")
+        if alpha <= 0 and not math.isinf(alpha):
+            raise ValueError("alpha must be positive (or math.inf)")
+        self.alpha = alpha
+        self.num_applications = num_applications
+        self.seed = seed
+
+    def probabilities(self) -> np.ndarray:
+        """Per-application probabilities (rank 1 is the most popular)."""
+        if math.isinf(self.alpha):
+            # Degenerate case handled in assign(): every VM is unique.
+            return np.full(self.num_applications, 1.0 / self.num_applications)
+        ranks = np.arange(1, self.num_applications + 1, dtype=float)
+        weights = ranks ** (-1.0 / self.alpha)
+        return weights / weights.sum()
+
+    def assign(self, count: int) -> List[str]:
+        """Application ids for ``count`` arriving VMs.
+
+        With ``alpha = math.inf`` every VM gets a unique application id
+        (the "no global information" scenario).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if math.isinf(self.alpha):
+            return [f"app-unique-{i}" for i in range(count)]
+        rng = np.random.default_rng(self.seed)
+        probs = self.probabilities()
+        draws = rng.choice(self.num_applications, size=count, p=probs)
+        return [f"app-{rank}" for rank in draws]
+
+    def expected_share_of_top(self, k: int) -> float:
+        """Expected fraction of VMs belonging to the top-k applications."""
+        if math.isinf(self.alpha):
+            return 0.0
+        probs = self.probabilities()
+        k = min(k, self.num_applications)
+        return float(np.sum(probs[:k]))

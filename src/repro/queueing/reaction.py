@@ -1,0 +1,172 @@
+"""Reaction-time studies (Figures 13 and 14).
+
+Drives the profiling-queue simulator across the paper's parameter
+sweeps: fraction of VMs undergoing interference (x axis), number of
+profiling servers (curves), arrival process (Poisson vs lognormal),
+and Zipf popularity exponent (Figure 13(c)/14(c)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
+from repro.queueing.popularity import ZipfPopularity
+from repro.queueing.profiler_queue import ProfilingQueueSimulator, SimulationOutcome
+
+
+@dataclass
+class ReactionTimePoint:
+    """One point of a reaction-time curve."""
+
+    interference_fraction: float
+    num_servers: int
+    mean_reaction_minutes: float
+    unstable: bool
+    acceptable: bool
+    cache_hit_fraction: float
+
+
+class ReactionTimeStudy:
+    """Parameter sweep over interference fraction and server count."""
+
+    def __init__(
+        self,
+        arrivals: Optional[ArrivalProcess] = None,
+        vms_per_day: float = 1000.0,
+        days: float = 7.0,
+        mean_service_seconds: float = 240.0,
+        service_cv: float = 0.3,
+        max_wait_minutes: float = 10.0,
+        seed: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        arrivals:
+            The arrival process (defaults to Poisson at ``vms_per_day``).
+        days:
+            Length of the simulated horizon.
+        mean_service_seconds:
+            Mean analyzer service time; the paper replays the service
+            times recorded in its live experiments, which average a few
+            minutes per invocation (cloning + a short profiling run).
+        service_cv:
+            Coefficient of variation of the service-time distribution.
+        max_wait_minutes:
+            The paper stops plotting curves once the waiting time
+            becomes "excessive" (more than 10 minutes).
+        """
+        self.arrivals = arrivals or PoissonArrivals(vms_per_day=vms_per_day, seed=seed)
+        self.days = days
+        self.mean_service_seconds = mean_service_seconds
+        self.service_cv = service_cv
+        self.max_wait_minutes = max_wait_minutes
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _job_trace(
+        self,
+        interference_fraction: float,
+        popularity: Optional[ZipfPopularity],
+    ):
+        """Arrival times, service times and app ids of the profiling jobs."""
+        total_vms = int(round(self.arrivals.vms_per_day * self.days))
+        arrival_times = self.arrivals.arrival_times(total_vms)
+        rng = np.random.default_rng(self.seed + 1)
+        needs_profiling = rng.random(total_vms) < interference_fraction
+        job_arrivals = arrival_times[needs_profiling]
+        count = job_arrivals.shape[0]
+        sigma = self.service_cv * self.mean_service_seconds
+        service_times = np.clip(
+            rng.normal(self.mean_service_seconds, sigma, size=count),
+            self.mean_service_seconds * 0.2,
+            self.mean_service_seconds * 3.0,
+        )
+        if popularity is None:
+            app_ids = None
+        else:
+            all_apps = popularity.assign(total_vms)
+            app_ids = [a for a, keep in zip(all_apps, needs_profiling) if keep]
+        return job_arrivals, service_times, app_ids
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        interference_fractions: Sequence[float],
+        server_counts: Sequence[int],
+        use_global_information: bool = False,
+        popularity: Optional[ZipfPopularity] = None,
+    ) -> Dict[int, List[ReactionTimePoint]]:
+        """Reaction-time curves: one list of points per server count."""
+        if use_global_information and popularity is None:
+            popularity = ZipfPopularity(alpha=1.5, seed=self.seed)
+        curves: Dict[int, List[ReactionTimePoint]] = {}
+        for servers in server_counts:
+            points: List[ReactionTimePoint] = []
+            for fraction in interference_fractions:
+                if not 0.0 <= fraction <= 1.0:
+                    raise ValueError("interference fractions must be in [0, 1]")
+                arrivals, services, app_ids = self._job_trace(fraction, popularity)
+                simulator = ProfilingQueueSimulator(
+                    num_servers=servers,
+                    use_global_information=use_global_information,
+                    seed=self.seed,
+                )
+                outcome = simulator.simulate(arrivals, services, app_ids)
+                points.append(
+                    ReactionTimePoint(
+                        interference_fraction=fraction,
+                        num_servers=servers,
+                        mean_reaction_minutes=outcome.mean_reaction_minutes,
+                        unstable=outcome.unstable,
+                        acceptable=outcome.acceptable(self.max_wait_minutes),
+                        cache_hit_fraction=outcome.cache_hit_fraction,
+                    )
+                )
+            curves[servers] = points
+        return curves
+
+    # ------------------------------------------------------------------
+    def alpha_sweep(
+        self,
+        interference_fractions: Sequence[float],
+        alphas: Sequence[float],
+        num_servers: int = 4,
+    ) -> Dict[float, List[ReactionTimePoint]]:
+        """Figure 13(c)/14(c): popularity-tail sweep at a fixed server count.
+
+        ``math.inf`` reproduces the "no global information" curve.
+        """
+        curves: Dict[float, List[ReactionTimePoint]] = {}
+        for alpha in alphas:
+            popularity = ZipfPopularity(alpha=alpha, seed=self.seed)
+            use_global = not math.isinf(alpha)
+            result = self.sweep(
+                interference_fractions,
+                [num_servers],
+                use_global_information=use_global,
+                popularity=popularity,
+            )
+            curves[alpha] = result[num_servers]
+        return curves
+
+    # ------------------------------------------------------------------
+    def minimum_servers_for(
+        self,
+        interference_fraction: float,
+        candidate_servers: Sequence[int],
+        use_global_information: bool = False,
+    ) -> Optional[int]:
+        """Smallest server count that keeps the reaction time acceptable."""
+        for servers in sorted(candidate_servers):
+            curve = self.sweep(
+                [interference_fraction], [servers], use_global_information
+            )[servers]
+            if curve[0].acceptable:
+                return servers
+        return None

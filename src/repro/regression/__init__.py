@@ -1,0 +1,25 @@
+"""Regression machinery.
+
+Used in two places:
+
+* training the synthetic benchmark — learning which benchmark input
+  parameters reproduce a given target metric vector (Section 4.3, "We
+  used a standard regression algorithm for this training task");
+* small helper fits inside the experiments (e.g. trend slopes).
+
+Only ridge-regularised linear least squares is needed; it is implemented
+directly on numpy so the package has no dependency on sklearn.
+"""
+
+from repro.regression.linear import RidgeRegression, polynomial_features
+from repro.regression.training import (
+    SyntheticBenchmarkTrainer,
+    TrainedSynthesizer,
+)
+
+__all__ = [
+    "RidgeRegression",
+    "polynomial_features",
+    "SyntheticBenchmarkTrainer",
+    "TrainedSynthesizer",
+]

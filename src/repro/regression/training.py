@@ -1,0 +1,231 @@
+"""Training the synthetic benchmark (Section 4.3).
+
+"Creating the benchmark involved learning the set of input values that
+best approximates any set of metric values.  We used a standard
+regression algorithm for this training task.  Though the training phase
+may take a long time (a few days in our experiments), this training is
+done only once for each server type."
+
+The trainer samples random input-parameter vectors, runs the synthetic
+benchmark alone on a reference machine of the target server type,
+normalises the resulting counters into metric vectors, and fits a ridge
+regression that maps *metric vectors to input parameters*.  At placement
+time, :class:`TrainedSynthesizer.synthesize` takes the metric vector of
+the VM to mimic and returns a configured
+:class:`~repro.workloads.synthetic.SyntheticBenchmark`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.machine import PhysicalMachine
+from repro.hardware.specs import MachineSpec, XEON_X5472
+from repro.metrics.sample import WARNING_METRICS, MetricVector
+from repro.regression.linear import RidgeRegression, polynomial_features
+from repro.workloads.synthetic import (
+    SYNTHETIC_INPUT_NAMES,
+    SyntheticBenchmark,
+    SyntheticInputs,
+)
+
+
+@dataclass
+class TrainedSynthesizer:
+    """A trained metric-vector -> benchmark-inputs mapping for one server type.
+
+    Two inversion strategies are kept:
+
+    * ``"knn"`` (default) — locally weighted nearest neighbours in the
+      standardised metric space: the training samples whose observed
+      metric vectors are closest to the target contribute their input
+      parameters, weighted by inverse distance.  Robust to the strong
+      non-linearity of the counter-to-input mapping.
+    * ``"ridge"`` — the global polynomial ridge regression; cheaper to
+      evaluate but less accurate far from the training distribution.
+    """
+
+    model: RidgeRegression
+    feature_degree: int
+    machine_spec: MachineSpec
+    training_error: float
+    samples_used: int
+    #: Training-set metric vectors (standardised) and their input vectors.
+    metric_matrix: Optional[np.ndarray] = None
+    input_matrix: Optional[np.ndarray] = None
+    metric_mean: Optional[np.ndarray] = None
+    metric_std: Optional[np.ndarray] = None
+    method: str = "knn"
+    neighbors: int = 5
+
+    def _knn_inputs(self, target: MetricVector) -> SyntheticInputs:
+        scaled = (target.as_array() - self.metric_mean) / self.metric_std
+        data = (self.metric_matrix - self.metric_mean) / self.metric_std
+        distances = np.sqrt(np.sum((data - scaled) ** 2, axis=1))
+        order = np.argsort(distances)[: self.neighbors]
+        weights = 1.0 / np.maximum(distances[order], 1e-9)
+        weights = weights / weights.sum()
+        blended = (self.input_matrix[order] * weights[:, None]).sum(axis=0)
+        return SyntheticInputs.from_array(blended)
+
+    def inputs_for(
+        self,
+        target: MetricVector,
+        target_inst_rate: Optional[float] = None,
+        saturate: bool = False,
+    ) -> SyntheticInputs:
+        """Benchmark inputs predicted to reproduce ``target``.
+
+        Parameters
+        ----------
+        target:
+            The normalised metric vector to mimic (per-instruction
+            character: cache/memory intensity, branches, I/O stalls).
+        target_inst_rate:
+            The VM's observed instruction-retirement rate (instructions
+            per second).  When given, the benchmark's compute loop is
+            sized to demand slightly more than that rate, so the
+            benchmark exerts the same absolute pressure as the VM and —
+            like a VM running at its maximum request rate — loses
+            throughput measurably when a co-runner interferes.
+        saturate:
+            Fallback when no rate is known: raise the compute-iteration
+            count so the benchmark keeps its cores busy regardless.
+        """
+        if self.method == "knn" and self.metric_matrix is not None:
+            inputs = self._knn_inputs(target)
+        else:
+            features = polynomial_features(
+                target.as_array()[None, :], degree=self.feature_degree
+            )
+            raw = np.asarray(self.model.predict(features)).ravel()
+            inputs = SyntheticInputs.from_array(raw)
+        if target_inst_rate is not None and target_inst_rate > 0:
+            inputs.compute_iterations = 1.05 * target_inst_rate / 1e9
+            inputs = inputs.clipped()
+        elif saturate:
+            inputs.compute_iterations = max(inputs.compute_iterations, 16.0)
+            inputs = inputs.clipped()
+        return inputs
+
+    def synthesize(
+        self, target: MetricVector, target_inst_rate: Optional[float] = None
+    ) -> SyntheticBenchmark:
+        """A synthetic benchmark configured to mimic ``target``."""
+        return SyntheticBenchmark(
+            inputs=self.inputs_for(target, target_inst_rate=target_inst_rate)
+        )
+
+
+class SyntheticBenchmarkTrainer:
+    """Once-per-server-type training of the synthetic benchmark."""
+
+    def __init__(
+        self,
+        machine_spec: MachineSpec = XEON_X5472,
+        samples: int = 400,
+        epoch_seconds: float = 1.0,
+        feature_degree: int = 2,
+        alpha: float = 1e-2,
+        method: str = "knn",
+        neighbors: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if samples < 10:
+            raise ValueError("training needs at least 10 samples")
+        if method not in ("knn", "ridge"):
+            raise ValueError("method must be 'knn' or 'ridge'")
+        if neighbors < 1:
+            raise ValueError("neighbors must be positive")
+        self.machine_spec = machine_spec
+        self.samples = samples
+        self.epoch_seconds = epoch_seconds
+        self.feature_degree = feature_degree
+        self.alpha = alpha
+        self.method = method
+        self.neighbors = neighbors
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _random_inputs(self, rng: np.random.Generator) -> SyntheticInputs:
+        """Draw a random but physically plausible input-parameter vector."""
+        return SyntheticInputs(
+            compute_iterations=float(rng.uniform(0.2, 12.0)),
+            working_set_mb=float(np.exp(rng.uniform(np.log(1.0), np.log(768.0)))),
+            pointer_chase_fraction=float(rng.uniform(0.0, 1.0)),
+            locality=float(rng.uniform(0.05, 0.95)),
+            load_intensity_pki=float(rng.uniform(100.0, 600.0)),
+            l1_stress_pki=float(rng.uniform(5.0, 150.0)),
+            branch_intensity_pki=float(rng.uniform(50.0, 250.0)),
+            disk_mbps=float(rng.choice([0.0, rng.uniform(0.0, 60.0)])),
+            disk_sequential_fraction=float(rng.uniform(0.1, 1.0)),
+            network_mbps=float(rng.choice([0.0, rng.uniform(0.0, 500.0)])),
+            parallelism=float(rng.integers(1, 5)),
+        ).clipped()
+
+    def _observe(
+        self, machine: PhysicalMachine, inputs: SyntheticInputs
+    ) -> MetricVector:
+        """Run the benchmark alone and return the normalised metric vector."""
+        bench = SyntheticBenchmark(inputs=inputs)
+        demand = bench.demand(1.0, epoch_seconds=self.epoch_seconds)
+        outcome = machine.run_in_isolation(demand, epoch_seconds=self.epoch_seconds)
+        return MetricVector.from_sample(outcome.counters, label="synthetic")
+
+    # ------------------------------------------------------------------
+    def train(self) -> TrainedSynthesizer:
+        """Generate the training set and fit the inverse mapping."""
+        rng = np.random.default_rng(self.seed)
+        machine = PhysicalMachine(
+            spec=self.machine_spec, name="trainer", noise=0.0, seed=self.seed
+        )
+        inputs_rows: List[np.ndarray] = []
+        metric_rows: List[np.ndarray] = []
+        for _ in range(self.samples):
+            inputs = self._random_inputs(rng)
+            vector = self._observe(machine, inputs)
+            inputs_rows.append(inputs.as_array())
+            metric_rows.append(vector.as_array())
+
+        metric_matrix = np.vstack(metric_rows)
+        input_matrix = np.vstack(inputs_rows)
+        x = polynomial_features(metric_matrix, degree=self.feature_degree)
+        model = RidgeRegression(alpha=self.alpha).fit(x, input_matrix)
+
+        metric_mean = metric_matrix.mean(axis=0)
+        metric_std = metric_matrix.std(axis=0)
+        metric_std = np.where(metric_std < 1e-12, 1.0, metric_std)
+
+        synthesizer = TrainedSynthesizer(
+            model=model,
+            feature_degree=self.feature_degree,
+            machine_spec=self.machine_spec,
+            training_error=float("nan"),
+            samples_used=self.samples,
+            metric_matrix=metric_matrix,
+            input_matrix=input_matrix,
+            metric_mean=metric_mean,
+            metric_std=metric_std,
+            method=self.method,
+            neighbors=self.neighbors,
+        )
+
+        # Held-out-style training error: how far the *reproduced* metric
+        # vectors are from the targets, measured in relative terms on the
+        # CPI dimension (the dimension the degradation estimate
+        # ultimately relies on).
+        errors: List[float] = []
+        check = min(40, self.samples)
+        rng_check = np.random.default_rng(self.seed + 1)
+        indices = rng_check.choice(self.samples, size=check, replace=False)
+        for i in indices:
+            target_vec = MetricVector(values=dict(zip(WARNING_METRICS, metric_rows[i])))
+            predicted_inputs = synthesizer.inputs_for(target_vec)
+            reproduced = self._observe(machine, predicted_inputs)
+            target_cpi = max(target_vec["cpi"], 1e-9)
+            errors.append(abs(reproduced["cpi"] - target_vec["cpi"]) / target_cpi)
+        synthesizer.training_error = float(np.mean(errors)) if errors else float("nan")
+        return synthesizer

@@ -1,0 +1,32 @@
+"""Virtualisation substrate.
+
+Models the pieces of the paper's testbed that sit between the hardware
+and DeepDive: virtual machines, the hypervisor that pins vCPUs and
+virtualises the low-level counters per VM, the cluster of physical
+machines, VM cloning, the sandboxed profiling environment with
+non-work-conserving schedulers, the request-duplicating proxy, and live
+migration.
+"""
+
+from repro.virt.vm import VirtualMachine, VMState
+from repro.virt.vmm import Host, VMPerformance
+from repro.virt.cluster import Cluster
+from repro.virt.cloning import CloneManager, CloneHandle
+from repro.virt.sandbox import SandboxEnvironment, SandboxRun
+from repro.virt.proxy import RequestProxy
+from repro.virt.migration import MigrationEngine, MigrationRecord
+
+__all__ = [
+    "VirtualMachine",
+    "VMState",
+    "Host",
+    "VMPerformance",
+    "Cluster",
+    "CloneManager",
+    "CloneHandle",
+    "SandboxEnvironment",
+    "SandboxRun",
+    "RequestProxy",
+    "MigrationEngine",
+    "MigrationRecord",
+]

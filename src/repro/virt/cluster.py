@@ -1,0 +1,169 @@
+"""A cluster of production hosts.
+
+The cluster ties the per-host simulation together: it steps every host
+each epoch, exposes the global view the warning system's "global
+information" path needs (which VMs run the same application code on
+which hosts), and executes migrations decided by the placement manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.hardware.specs import MachineSpec, XEON_X5472
+from repro.metrics.counters import CounterSample
+from repro.virt.migration import MigrationEngine, MigrationRecord
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import Host, VMPerformance
+
+
+class Cluster:
+    """A set of production hosts plus the migration machinery."""
+
+    def __init__(
+        self,
+        num_hosts: int = 1,
+        spec: MachineSpec = XEON_X5472,
+        epoch_seconds: float = 1.0,
+        noise: float = 0.01,
+        seed: Optional[int] = None,
+        migration_engine: Optional[MigrationEngine] = None,
+        host_prefix: str = "pm",
+    ) -> None:
+        if num_hosts < 1:
+            raise ValueError("a cluster needs at least one host")
+        self.epoch_seconds = epoch_seconds
+        self.hosts: Dict[str, Host] = {}
+        for i in range(num_hosts):
+            name = f"{host_prefix}{i}"
+            self.hosts[name] = Host(
+                name=name,
+                spec=spec,
+                noise=noise,
+                seed=None if seed is None else seed + i,
+                epoch_seconds=epoch_seconds,
+            )
+        self.migration_engine = migration_engine or MigrationEngine()
+        self.current_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def host_names(self) -> List[str]:
+        return sorted(self.hosts)
+
+    def get_host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def add_host(self, host: Host) -> None:
+        if host.name in self.hosts:
+            raise ValueError(f"host {host.name!r} already in cluster")
+        self.hosts[host.name] = host
+
+    def place_vm(
+        self, vm: VirtualMachine, host_name: str, load: float = 0.0, cpu_cap: float = 1.0
+    ) -> None:
+        """Place a VM on a named host."""
+        self.hosts[host_name].add_vm(vm, load=load, cpu_cap=cpu_cap)
+
+    def host_of(self, vm_name: str) -> Optional[str]:
+        """The host currently running ``vm_name``, or None."""
+        for name, host in self.hosts.items():
+            if host.has_vm(vm_name):
+                return name
+        return None
+
+    def all_vms(self) -> Dict[str, Tuple[str, VirtualMachine]]:
+        """All VMs in the cluster: vm name -> (host name, VM)."""
+        out: Dict[str, Tuple[str, VirtualMachine]] = {}
+        for host_name, host in self.hosts.items():
+            for vm_name, vm in host.vms.items():
+                out[vm_name] = (host_name, vm)
+        return out
+
+    def vms_running_app(self, app_id: str) -> List[Tuple[str, VirtualMachine]]:
+        """All (host, VM) pairs running the given application code."""
+        return [
+            (host_name, vm)
+            for vm_name, (host_name, vm) in self.all_vms().items()
+            if vm.app_id == app_id
+        ]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(
+        self, loads: Optional[Mapping[str, float]] = None
+    ) -> Dict[str, Dict[str, VMPerformance]]:
+        """Advance every host by one epoch.
+
+        Parameters
+        ----------
+        loads:
+            Optional per-VM load overrides (VM name -> fraction of nominal),
+            routed automatically to whichever host runs each VM.
+
+        Returns
+        -------
+        dict
+            host name -> (vm name -> performance record).
+        """
+        per_host_loads: Dict[str, Dict[str, float]] = {}
+        if loads:
+            placement = self.all_vms()
+            for vm_name, load in loads.items():
+                if vm_name not in placement:
+                    raise KeyError(f"VM {vm_name!r} not placed in the cluster")
+                host_name = placement[vm_name][0]
+                per_host_loads.setdefault(host_name, {})[vm_name] = load
+
+        results: Dict[str, Dict[str, VMPerformance]] = {}
+        for host_name, host in self.hosts.items():
+            results[host_name] = host.step(per_host_loads.get(host_name))
+        self.current_epoch += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def migrate_vm(self, vm_name: str, destination: str) -> MigrationRecord:
+        """Migrate a VM to ``destination``, preserving its current load."""
+        source = self.host_of(vm_name)
+        if source is None:
+            raise KeyError(f"VM {vm_name!r} not placed in the cluster")
+        if destination not in self.hosts:
+            raise KeyError(f"unknown destination host {destination!r}")
+        if source == destination:
+            raise ValueError("source and destination hosts are the same")
+        src_host = self.hosts[source]
+        dst_host = self.hosts[destination]
+        load = src_host.get_load(vm_name)
+        vm = src_host.remove_vm(vm_name)
+        if not dst_host.can_fit(vm):
+            # Roll back so the cluster stays consistent.
+            src_host.add_vm(vm, load=load)
+            raise ValueError(
+                f"destination host {destination!r} cannot fit VM {vm_name!r}"
+            )
+        dst_host.add_vm(vm, load=load)
+        return self.migration_engine.migrate(vm, source=source, destination=destination)
+
+    # ------------------------------------------------------------------
+    # Global introspection used by DeepDive's warning system
+    # ------------------------------------------------------------------
+    def latest_counters_for_app(
+        self, app_id: str, exclude_vm: Optional[str] = None
+    ) -> Dict[str, CounterSample]:
+        """Latest counters of every VM running ``app_id`` (optionally excluding one)."""
+        out: Dict[str, CounterSample] = {}
+        for host_name, vm in self.vms_running_app(app_id):
+            if exclude_vm is not None and vm.name == exclude_vm:
+                continue
+            sample = self.hosts[host_name].latest_counters(vm.name)
+            if sample is not None:
+                out[vm.name] = sample
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cluster(hosts={self.host_names()})"

@@ -1,0 +1,103 @@
+"""Live-migration model.
+
+Migrating a VM is the action of last resort: the placement manager only
+issues it after the synthetic benchmark has vetted the destination.  The
+cost model follows the standard pre-copy analysis — total bytes moved
+are the memory image plus dirty-page retransmissions that depend on the
+write rate, divided by the migration link bandwidth — and is only used
+for accounting (how long the migration takes, how long the brief
+stop-and-copy pause is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.virt.vm import VirtualMachine, VMState
+
+
+@dataclass
+class MigrationRecord:
+    """Bookkeeping for one completed migration."""
+
+    vm_name: str
+    source: str
+    destination: str
+    total_seconds: float
+    downtime_seconds: float
+    transferred_gb: float
+
+
+class MigrationEngine:
+    """Pre-copy live-migration cost model and history."""
+
+    def __init__(
+        self,
+        link_gbps: float = 1.0,
+        dirty_rate_gbps: float = 0.1,
+        precopy_rounds: int = 3,
+        stop_copy_threshold_gb: float = 0.05,
+    ) -> None:
+        if link_gbps <= 0:
+            raise ValueError("link_gbps must be positive")
+        if dirty_rate_gbps < 0:
+            raise ValueError("dirty_rate_gbps must be non-negative")
+        if precopy_rounds < 1:
+            raise ValueError("precopy_rounds must be at least 1")
+        self.link_gbps = link_gbps
+        self.dirty_rate_gbps = dirty_rate_gbps
+        self.precopy_rounds = precopy_rounds
+        self.stop_copy_threshold_gb = stop_copy_threshold_gb
+        self.history: List[MigrationRecord] = []
+
+    def estimate(self, vm: VirtualMachine) -> MigrationRecord:
+        """Estimate the cost of migrating ``vm`` without recording it."""
+        remaining_gb = vm.memory_gb
+        transferred_gb = 0.0
+        total_seconds = 0.0
+        link_gBps = self.link_gbps / 8.0
+        dirty_gBps = self.dirty_rate_gbps / 8.0
+        for _ in range(self.precopy_rounds):
+            round_seconds = remaining_gb / link_gBps
+            transferred_gb += remaining_gb
+            total_seconds += round_seconds
+            remaining_gb = min(remaining_gb, dirty_gBps * round_seconds)
+            if remaining_gb <= self.stop_copy_threshold_gb:
+                break
+        downtime = remaining_gb / link_gBps
+        transferred_gb += remaining_gb
+        total_seconds += downtime
+        return MigrationRecord(
+            vm_name=vm.name,
+            source="",
+            destination="",
+            total_seconds=total_seconds,
+            downtime_seconds=downtime,
+            transferred_gb=transferred_gb,
+        )
+
+    def migrate(
+        self, vm: VirtualMachine, source: str, destination: str
+    ) -> MigrationRecord:
+        """Record a migration of ``vm`` from ``source`` to ``destination``."""
+        estimate = self.estimate(vm)
+        record = MigrationRecord(
+            vm_name=vm.name,
+            source=source,
+            destination=destination,
+            total_seconds=estimate.total_seconds,
+            downtime_seconds=estimate.downtime_seconds,
+            transferred_gb=estimate.transferred_gb,
+        )
+        vm.state = VMState.RUNNING
+        self.history.append(record)
+        return record
+
+    @property
+    def total_migration_seconds(self) -> float:
+        return sum(r.total_seconds for r in self.history)
+
+    @property
+    def migrations_performed(self) -> int:
+        return len(self.history)

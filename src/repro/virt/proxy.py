@@ -1,0 +1,85 @@
+"""The request-duplicating proxy.
+
+The interference analyzer needs the cloned VM in the sandbox to see the
+same client workload as the production VM.  The paper achieves this with
+a proxy that intercepts client traffic, forwards it to production
+unchanged, and duplicates copies toward the sandbox.  In the simulation
+the "traffic" is the offered-load stream, so the proxy records the load
+the production VM receives each epoch and replays it to registered
+mirrors (the sandbox clone).
+
+A configurable duplication lag models the small delay between the
+production VM observing a load level and its clone receiving the copy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+class RequestProxy:
+    """Duplicates the offered-load stream of one production VM."""
+
+    def __init__(self, vm_name: str, lag_epochs: int = 0, history_limit: int = 10_000) -> None:
+        if lag_epochs < 0:
+            raise ValueError("lag_epochs must be non-negative")
+        if history_limit <= 0:
+            raise ValueError("history_limit must be positive")
+        self.vm_name = vm_name
+        self.lag_epochs = lag_epochs
+        self._history: Deque[float] = deque(maxlen=history_limit)
+        #: Mirror name -> index of the next epoch to replay.
+        self._mirrors: Dict[str, int] = {}
+        self._total_observed = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, load: float) -> float:
+        """Record the load forwarded to production this epoch; returns it unchanged."""
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        self._history.append(float(load))
+        self._total_observed += 1
+        return load
+
+    # ------------------------------------------------------------------
+    def register_mirror(self, mirror_name: str) -> None:
+        """Start duplicating requests toward ``mirror_name`` (e.g. the clone)."""
+        if mirror_name in self._mirrors:
+            raise ValueError(f"mirror {mirror_name!r} already registered")
+        # A new mirror starts replaying from "lag" epochs in the past if
+        # available, otherwise from the most recent observation.
+        start = max(0, self._total_observed - 1 - self.lag_epochs)
+        self._mirrors[mirror_name] = start
+
+    def unregister_mirror(self, mirror_name: str) -> None:
+        self._mirrors.pop(mirror_name, None)
+
+    def mirrors(self) -> List[str]:
+        return sorted(self._mirrors)
+
+    def next_load_for(self, mirror_name: str) -> Optional[float]:
+        """The next duplicated load value for a mirror, or None if it caught up."""
+        if mirror_name not in self._mirrors:
+            raise KeyError(f"mirror {mirror_name!r} not registered")
+        cursor = self._mirrors[mirror_name]
+        # Translate the absolute observation index into the deque window.
+        window_start = self._total_observed - len(self._history)
+        if cursor < window_start:
+            cursor = window_start
+        if cursor >= self._total_observed:
+            return None
+        value = self._history[cursor - window_start]
+        self._mirrors[mirror_name] = cursor + 1
+        return value
+
+    def latest_load(self) -> Optional[float]:
+        """The most recently observed production load."""
+        return self._history[-1] if self._history else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestProxy(vm={self.vm_name!r}, mirrors={self.mirrors()}, "
+            f"observed={self._total_observed})"
+        )

@@ -1,0 +1,212 @@
+"""The sandboxed profiling environment.
+
+The analyzer runs a VM's clone on a dedicated profiling server whose
+schedulers are non-work-conserving, so the clone receives exactly its
+nominal resource allocation and nothing competes with it — that run is
+the "isolation" half of the production-vs-isolation comparison that
+yields the ground truth about interference.
+
+:class:`SandboxEnvironment` manages a small pool of profiling hosts (the
+paper shows that a handful suffice even for aggressive arrival rates),
+runs clones under the duplicated load stream from the
+:class:`~repro.virt.proxy.RequestProxy`, and returns aggregate isolation
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.specs import MachineSpec, XEON_X5472
+from repro.metrics.counters import CounterSample
+from repro.metrics.normalization import aggregate_samples
+from repro.virt.cloning import CloneHandle, CloneManager
+from repro.virt.proxy import RequestProxy
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import Host, VMPerformance
+
+
+@dataclass
+class SandboxRun:
+    """Result of profiling one VM clone in the sandbox."""
+
+    vm_name: str
+    clone_name: str
+    #: Aggregate isolation counters over the profiling window.
+    counters: CounterSample
+    #: Per-epoch isolation counters.
+    epoch_counters: List[CounterSample]
+    #: Per-epoch ground-truth performance of the clone (evaluation only).
+    performances: List[VMPerformance]
+    #: Seconds spent cloning the VM.
+    clone_seconds: float
+    #: Seconds spent running the clone in the sandbox.
+    run_seconds: float
+    #: The loads replayed to the clone, one per epoch.
+    replayed_loads: List[float]
+
+    @property
+    def total_seconds(self) -> float:
+        """Total profiling cost of this run (cloning + execution)."""
+        return self.clone_seconds + self.run_seconds
+
+
+class SandboxEnvironment:
+    """A pool of dedicated profiling hosts with tightly controlled allocation."""
+
+    def __init__(
+        self,
+        num_hosts: int = 1,
+        spec: MachineSpec = XEON_X5472,
+        epoch_seconds: float = 1.0,
+        profile_epochs: int = 30,
+        noise: float = 0.005,
+        seed: Optional[int] = None,
+        clone_manager: Optional[CloneManager] = None,
+    ) -> None:
+        if num_hosts < 1:
+            raise ValueError("the sandbox needs at least one profiling host")
+        if profile_epochs < 1:
+            raise ValueError("profile_epochs must be positive")
+        self.spec = spec
+        self.epoch_seconds = epoch_seconds
+        self.profile_epochs = profile_epochs
+        self.noise = noise
+        self._seed = seed
+        self.hosts: List[Host] = [
+            Host(
+                name=f"sandbox{i}",
+                spec=spec,
+                noise=noise,
+                seed=None if seed is None else seed + i,
+                epoch_seconds=epoch_seconds,
+            )
+            for i in range(num_hosts)
+        ]
+        self.clone_manager = clone_manager or CloneManager()
+        self._next_host = 0
+        #: Total profiling time accumulated across all runs (seconds).
+        self.total_profiling_seconds = 0.0
+        self.runs_completed = 0
+
+    # ------------------------------------------------------------------
+    def _pick_host(self) -> Host:
+        host = self.hosts[self._next_host % len(self.hosts)]
+        self._next_host += 1
+        return host
+
+    def profile(
+        self,
+        vm: VirtualMachine,
+        proxy: Optional[RequestProxy] = None,
+        loads: Optional[Sequence[float]] = None,
+        cpu_cap: float = 1.0,
+        profile_epochs: Optional[int] = None,
+    ) -> SandboxRun:
+        """Clone ``vm`` and run it in isolation under the duplicated load.
+
+        Exactly one of ``proxy`` or ``loads`` should supply the load
+        stream; if both are given the explicit ``loads`` win, and if
+        neither is given the clone runs at the VM workload's most recent
+        nominal load (1.0).
+        """
+        epochs = profile_epochs or self.profile_epochs
+        handle: CloneHandle = self.clone_manager.clone(vm)
+        host = self._pick_host()
+
+        replayed: List[float] = []
+        if loads is not None:
+            replayed = [float(x) for x in loads][:epochs]
+        elif proxy is not None:
+            for _ in range(epochs):
+                value = proxy.next_load_for(handle.clone.name) if (
+                    handle.clone.name in proxy.mirrors()
+                ) else None
+                if value is None:
+                    value = proxy.latest_load()
+                replayed.append(1.0 if value is None else float(value))
+        if not replayed:
+            replayed = [1.0] * epochs
+        while len(replayed) < epochs:
+            replayed.append(replayed[-1])
+
+        host.add_vm(handle.clone, load=replayed[0], cpu_cap=cpu_cap)
+        epoch_counters: List[CounterSample] = []
+        performances: List[VMPerformance] = []
+        try:
+            for epoch, load in enumerate(replayed):
+                host.set_load(handle.clone.name, load)
+                results = host.step()
+                perf = results[handle.clone.name]
+                epoch_counters.append(perf.counters)
+                performances.append(perf)
+        finally:
+            host.remove_vm(handle.clone.name)
+
+        aggregate = aggregate_samples(epoch_counters)
+        run_seconds = len(replayed) * self.epoch_seconds
+        self.total_profiling_seconds += handle.clone_seconds + run_seconds
+        self.runs_completed += 1
+        return SandboxRun(
+            vm_name=vm.name,
+            clone_name=handle.clone.name,
+            counters=aggregate,
+            epoch_counters=epoch_counters,
+            performances=performances,
+            clone_seconds=handle.clone_seconds,
+            run_seconds=run_seconds,
+            replayed_loads=replayed,
+        )
+
+    # ------------------------------------------------------------------
+    def profile_colocated(
+        self,
+        vm: VirtualMachine,
+        background: Dict[VirtualMachine, float],
+        loads: Sequence[float],
+        cpu_cap: float = 1.0,
+    ) -> SandboxRun:
+        """Run a VM together with explicit background VMs in the sandbox.
+
+        The placement manager uses this to evaluate what would happen on
+        a candidate destination PM: the candidate's current VMs are the
+        ``background`` (with their current loads) and ``vm`` is the
+        synthetic representation of the VM being migrated.
+        """
+        epochs = len(loads)
+        if epochs == 0:
+            raise ValueError("loads must contain at least one epoch")
+        handle = self.clone_manager.clone(vm)
+        host = self._pick_host()
+        host.add_vm(handle.clone, load=float(loads[0]), cpu_cap=cpu_cap)
+        for bg_vm, bg_load in background.items():
+            host.add_vm(bg_vm.clone(f"{bg_vm.name}-bg-{host.name}"), load=bg_load)
+
+        epoch_counters: List[CounterSample] = []
+        performances: List[VMPerformance] = []
+        try:
+            for epoch, load in enumerate(loads):
+                host.set_load(handle.clone.name, float(load))
+                results = host.step()
+                perf = results[handle.clone.name]
+                epoch_counters.append(perf.counters)
+                performances.append(perf)
+        finally:
+            for name in list(host.vms):
+                host.remove_vm(name)
+
+        aggregate = aggregate_samples(epoch_counters)
+        run_seconds = epochs * self.epoch_seconds
+        self.total_profiling_seconds += handle.clone_seconds + run_seconds
+        self.runs_completed += 1
+        return SandboxRun(
+            vm_name=vm.name,
+            clone_name=handle.clone.name,
+            counters=aggregate,
+            epoch_counters=epoch_counters,
+            performances=performances,
+            clone_seconds=handle.clone_seconds,
+            run_seconds=run_seconds,
+            replayed_loads=[float(x) for x in loads],
+        )

@@ -1,0 +1,101 @@
+"""Virtual machines.
+
+A :class:`VirtualMachine` packages a customer application (a workload
+model) together with its virtual-resource allocation.  The cloud
+provider — and therefore DeepDive — treats the workload as a black box:
+only the VM's low-level counters are visible.  The workload object is
+carried around so the *simulation* can generate demands, but DeepDive's
+components never look inside it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.demand import ResourceDemand
+from repro.workloads.base import Workload
+
+
+class VMState(str, enum.Enum):
+    """Lifecycle states of a VM."""
+
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    CLONING = "cloning"
+    STOPPED = "stopped"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_vm_ids = itertools.count()
+
+
+@dataclass
+class VirtualMachine:
+    """One tenant VM.
+
+    Attributes
+    ----------
+    name:
+        Unique VM identifier.
+    workload:
+        The application running inside the VM (black box to DeepDive).
+    vcpus:
+        Number of virtual CPUs (the paper pins each to a dedicated core).
+    memory_gb:
+        Memory allocation; determines cloning and migration cost.
+    app_id:
+        Identifier of the *application code* the VM runs.  VMs created
+        from the same image / behind the same load balancer share an
+        ``app_id``; the warning system's global information compares VMs
+        with equal ``app_id`` (Section 4.1, "Global information").
+    """
+
+    name: str
+    workload: Workload
+    vcpus: int = 2
+    memory_gb: float = 2.0
+    app_id: Optional[str] = None
+    state: VMState = VMState.RUNNING
+    #: Name of the VM this one was cloned from (None for production VMs).
+    cloned_from: Optional[str] = None
+    uid: int = field(default_factory=lambda: next(_vm_ids))
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("a VM needs at least one vCPU")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if self.app_id is None:
+            self.app_id = self.workload.app_id
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        """The VM's resource demand at the given load intensity."""
+        demand = self.workload.demand(load, epoch_seconds=epoch_seconds)
+        # The demand reflects the VM's vCPU allocation, not the workload's
+        # notion of parallelism, because the hypervisor schedules vCPUs.
+        demand.vcpus = self.vcpus
+        return demand
+
+    def clone(self, clone_name: Optional[str] = None) -> "VirtualMachine":
+        """Create a clone of this VM (same image, same application)."""
+        return VirtualMachine(
+            name=clone_name or f"{self.name}-clone",
+            workload=self.workload.copy(),
+            vcpus=self.vcpus,
+            memory_gb=self.memory_gb,
+            app_id=self.app_id,
+            state=VMState.RUNNING,
+            cloned_from=self.name,
+        )
+
+    @property
+    def is_clone(self) -> bool:
+        return self.cloned_from is not None
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.uid))

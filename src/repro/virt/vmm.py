@@ -1,0 +1,229 @@
+"""The hypervisor / host model.
+
+A :class:`Host` couples one :class:`~repro.hardware.machine.PhysicalMachine`
+with the set of VMs placed on it.  Each epoch, the host collects every
+VM's resource demand (given its current offered load), resolves
+contention through the hardware substrate, and records:
+
+* the per-VM raw counter samples — the *only* thing DeepDive sees;
+* the per-VM client-visible performance — ground truth used solely by
+  the evaluation harness to score DeepDive's estimates.
+
+The host also supports per-VM CPU caps (the sandbox's non-work-conserving
+schedulers) and explicit core pinning, mirroring the testbed setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.hardware.machine import EpochResult, PhysicalMachine, VMEpochOutcome
+from repro.hardware.specs import MachineSpec, XEON_X5472
+from repro.metrics.counters import CounterSample
+from repro.virt.vm import VirtualMachine, VMState
+from repro.workloads.base import PerformanceReport
+
+
+@dataclass
+class VMPerformance:
+    """Ground-truth record for one VM over one epoch."""
+
+    report: PerformanceReport
+    outcome: VMEpochOutcome
+    offered_load: float
+
+    @property
+    def counters(self) -> CounterSample:
+        return self.outcome.counters
+
+
+class Host:
+    """One physical machine plus the hypervisor that runs VMs on it."""
+
+    def __init__(
+        self,
+        name: str = "pm0",
+        spec: MachineSpec = XEON_X5472,
+        noise: float = 0.01,
+        seed: Optional[int] = None,
+        epoch_seconds: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.machine = PhysicalMachine(spec=spec, name=name, noise=noise, seed=seed)
+        self.epoch_seconds = epoch_seconds
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._loads: Dict[str, float] = {}
+        self._cpu_caps: Dict[str, float] = {}
+        self._pinning: Dict[str, List[int]] = {}
+        #: Counter history per VM (most recent last).
+        self.counter_history: Dict[str, List[CounterSample]] = {}
+        #: Ground-truth performance history per VM.
+        self.performance_history: Dict[str, List[VMPerformance]] = {}
+        self.current_epoch = 0
+
+    # ------------------------------------------------------------------
+    # VM management
+    # ------------------------------------------------------------------
+    @property
+    def vms(self) -> Dict[str, VirtualMachine]:
+        """The VMs currently placed on this host (name -> VM)."""
+        return dict(self._vms)
+
+    def vm_names(self) -> List[str]:
+        return sorted(self._vms)
+
+    def has_vm(self, name: str) -> bool:
+        return name in self._vms
+
+    def get_vm(self, name: str) -> VirtualMachine:
+        return self._vms[name]
+
+    def add_vm(
+        self,
+        vm: VirtualMachine,
+        load: float = 0.0,
+        cpu_cap: float = 1.0,
+        cores: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Place a VM on this host.
+
+        ``load`` is the initial offered load as a fraction of the
+        workload's nominal load; ``cpu_cap`` in (0, 1] enforces a
+        non-work-conserving CPU allocation (1.0 = uncapped).
+        """
+        if vm.name in self._vms:
+            raise ValueError(f"VM {vm.name!r} already placed on host {self.name!r}")
+        if not 0.0 < cpu_cap <= 1.0:
+            raise ValueError("cpu_cap must be in (0, 1]")
+        self._vms[vm.name] = vm
+        self._loads[vm.name] = max(0.0, load)
+        self._cpu_caps[vm.name] = cpu_cap
+        if cores is not None:
+            self._pinning[vm.name] = list(cores)
+        self.counter_history.setdefault(vm.name, [])
+        self.performance_history.setdefault(vm.name, [])
+        vm.state = VMState.RUNNING
+
+    def remove_vm(self, name: str) -> VirtualMachine:
+        """Remove a VM from this host (its history is retained)."""
+        if name not in self._vms:
+            raise KeyError(f"VM {name!r} not on host {self.name!r}")
+        vm = self._vms.pop(name)
+        self._loads.pop(name, None)
+        self._cpu_caps.pop(name, None)
+        self._pinning.pop(name, None)
+        return vm
+
+    def set_load(self, name: str, load: float) -> None:
+        """Update the offered load (fraction of nominal) for a VM."""
+        if name not in self._vms:
+            raise KeyError(f"VM {name!r} not on host {self.name!r}")
+        self._loads[name] = max(0.0, load)
+
+    def get_load(self, name: str) -> float:
+        return self._loads[name]
+
+    def set_cpu_cap(self, name: str, cap: float) -> None:
+        if not 0.0 < cap <= 1.0:
+            raise ValueError("cpu_cap must be in (0, 1]")
+        self._cpu_caps[name] = cap
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(
+        self, loads: Optional[Mapping[str, float]] = None
+    ) -> Dict[str, VMPerformance]:
+        """Advance the host by one epoch.
+
+        Parameters
+        ----------
+        loads:
+            Optional per-VM offered load overrides (fractions of each
+            VM's nominal load) for this epoch only.
+
+        Returns
+        -------
+        dict
+            Per-VM ground-truth performance and counters for the epoch.
+        """
+        if loads:
+            for name, load in loads.items():
+                self.set_load(name, load)
+
+        demands = {}
+        offered: Dict[str, float] = {}
+        for name, vm in self._vms.items():
+            frac = self._loads.get(name, 0.0)
+            absolute_load = frac * vm.workload.nominal_load
+            offered[name] = absolute_load
+            demands[name] = vm.demand(absolute_load, epoch_seconds=self.epoch_seconds)
+
+        core_assignment = None
+        if self._pinning:
+            core_assignment = self.machine.default_core_assignment(demands)
+            core_assignment.update(
+                {n: cores for n, cores in self._pinning.items() if n in demands}
+            )
+
+        result = self.machine.run_epoch(
+            demands,
+            epoch_seconds=self.epoch_seconds,
+            core_assignment=core_assignment,
+            cpu_caps=self._cpu_caps,
+        )
+        performances: Dict[str, VMPerformance] = {}
+        for name, vm in self._vms.items():
+            outcome = result.per_vm[name]
+            report = vm.workload.performance(
+                load=offered[name],
+                instructions_demanded=outcome.instructions_demanded,
+                instructions_retired=outcome.instructions_retired,
+                epoch_seconds=self.epoch_seconds,
+                instructions_attainable=outcome.instructions_attainable,
+            )
+            perf = VMPerformance(report=report, outcome=outcome, offered_load=offered[name])
+            performances[name] = perf
+            self.counter_history[name].append(outcome.counters)
+            self.performance_history[name].append(perf)
+        self.current_epoch += 1
+        return performances
+
+    # ------------------------------------------------------------------
+    # Introspection used by DeepDive
+    # ------------------------------------------------------------------
+    def latest_counters(self, name: str) -> Optional[CounterSample]:
+        """The most recent counter sample for a VM, or None before the first epoch."""
+        history = self.counter_history.get(name, [])
+        return history[-1] if history else None
+
+    def latest_performance(self, name: str) -> Optional[VMPerformance]:
+        history = self.performance_history.get(name, [])
+        return history[-1] if history else None
+
+    def colocated_with(self, name: str) -> List[str]:
+        """Names of the other VMs currently sharing this host."""
+        return [n for n in self._vms if n != name]
+
+    def utilization_summary(self) -> Dict[str, float]:
+        """Coarse utilisation summary used by the placement manager."""
+        total_vcpus = sum(vm.vcpus for vm in self._vms.values())
+        total_memory = sum(vm.memory_gb for vm in self._vms.values())
+        return {
+            "vcpus_used": float(total_vcpus),
+            "vcpus_total": float(self.machine.spec.architecture.cores),
+            "memory_used_gb": float(total_memory),
+            "memory_total_gb": float(self.machine.spec.dram_gb),
+        }
+
+    def can_fit(self, vm: VirtualMachine) -> bool:
+        """Whether the host has spare vCPU and memory capacity for ``vm``."""
+        summary = self.utilization_summary()
+        return (
+            summary["vcpus_used"] + vm.vcpus <= summary["vcpus_total"]
+            and summary["memory_used_gb"] + vm.memory_gb <= summary["memory_total_gb"]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Host(name={self.name!r}, vms={sorted(self._vms)})"

@@ -1,0 +1,63 @@
+"""Workload models.
+
+CloudSuite-like application models (Data Serving, Web Search, Data
+Analytics), the stress workloads the paper uses to inject interference
+(memory-stress, iperf-like network stress, disk-copy stress), the
+tunable synthetic benchmark the placement manager uses to mimic a VM,
+and the load / interference trace generators.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    PerformanceReport,
+    ClientModel,
+    RequestServingClientModel,
+    BatchClientModel,
+)
+from repro.workloads.cloud import (
+    DataServingWorkload,
+    WebSearchWorkload,
+    DataAnalyticsWorkload,
+    CLOUD_WORKLOAD_FACTORIES,
+    make_cloud_workload,
+)
+from repro.workloads.stress import (
+    MemoryStressWorkload,
+    NetworkStressWorkload,
+    DiskStressWorkload,
+    make_stress_workload,
+)
+from repro.workloads.synthetic import SyntheticBenchmark, SyntheticInputs
+from repro.workloads.traces import (
+    LoadTrace,
+    InterferenceEpisode,
+    InterferenceSchedule,
+    hotmail_like_trace,
+    constant_trace,
+    ec2_like_interference_schedule,
+)
+
+__all__ = [
+    "Workload",
+    "PerformanceReport",
+    "ClientModel",
+    "RequestServingClientModel",
+    "BatchClientModel",
+    "DataServingWorkload",
+    "WebSearchWorkload",
+    "DataAnalyticsWorkload",
+    "CLOUD_WORKLOAD_FACTORIES",
+    "make_cloud_workload",
+    "MemoryStressWorkload",
+    "NetworkStressWorkload",
+    "DiskStressWorkload",
+    "make_stress_workload",
+    "SyntheticBenchmark",
+    "SyntheticInputs",
+    "LoadTrace",
+    "InterferenceEpisode",
+    "InterferenceSchedule",
+    "hotmail_like_trace",
+    "constant_trace",
+    "ec2_like_interference_schedule",
+]

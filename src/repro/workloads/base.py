@@ -1,0 +1,205 @@
+"""Workload and client-model base classes.
+
+A :class:`Workload` converts a load intensity (requests per second for
+interactive services, a work multiplier for batch jobs) into a
+:class:`~repro.hardware.demand.ResourceDemand` for the next epoch.  A
+:class:`ClientModel` converts the achieved execution (instructions
+retired, progress) back into the *client-visible* performance — the
+latency and throughput the paper's client emulators report.  DeepDive
+itself never sees the client model's output; the evaluation uses it as
+ground truth to score DeepDive's transparent estimates.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.demand import ResourceDemand
+
+
+@dataclass
+class PerformanceReport:
+    """Client-visible performance over one epoch."""
+
+    #: Requests served per second (or normalised work units for batch jobs).
+    throughput: float
+    #: Average response latency in milliseconds (or per-unit completion
+    #: time for batch jobs, still expressed in milliseconds).
+    latency_ms: float
+    #: Fraction of offered load that was served.
+    goodput_fraction: float = 1.0
+
+    def latency_degradation(self, baseline: "PerformanceReport") -> float:
+        """Relative latency increase over ``baseline`` (0 = no degradation)."""
+        if baseline.latency_ms <= 0:
+            return 0.0
+        return max(0.0, self.latency_ms / baseline.latency_ms - 1.0)
+
+    def throughput_degradation(self, baseline: "PerformanceReport") -> float:
+        """Relative throughput drop versus ``baseline`` (0 = no degradation)."""
+        if baseline.throughput <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.throughput / baseline.throughput)
+
+
+class ClientModel(abc.ABC):
+    """Maps achieved execution back to client-visible performance."""
+
+    @abc.abstractmethod
+    def performance(
+        self,
+        offered_load: float,
+        instructions_demanded: float,
+        instructions_retired: float,
+        epoch_seconds: float,
+        instructions_attainable: Optional[float] = None,
+    ) -> PerformanceReport:
+        """Compute the epoch's client-visible performance.
+
+        ``instructions_attainable`` is the VM's capacity this epoch (what
+        it could have retired); when omitted the retired count is used,
+        which is only correct for a saturated service.
+        """
+
+
+class RequestServingClientModel(ClientModel):
+    """Open-loop request/response client (Data Serving, Web Search).
+
+    The service behaves like a single-queue server whose capacity is the
+    achieved instruction-retirement rate divided by the per-request
+    instruction cost.  Response latency follows the M/M/1 inflation
+    ``service_time / (1 - rho)``; when the offered load exceeds the
+    achieved capacity the latency saturates at ``max_latency_ms`` and
+    throughput is capped at the capacity (requests queue up / time out).
+    """
+
+    def __init__(
+        self,
+        instructions_per_request: float,
+        base_latency_ms: float,
+        max_latency_ms: float = 2000.0,
+    ) -> None:
+        if instructions_per_request <= 0:
+            raise ValueError("instructions_per_request must be positive")
+        self.instructions_per_request = instructions_per_request
+        self.base_latency_ms = base_latency_ms
+        self.max_latency_ms = max_latency_ms
+
+    def performance(
+        self,
+        offered_load: float,
+        instructions_demanded: float,
+        instructions_retired: float,
+        epoch_seconds: float,
+        instructions_attainable: Optional[float] = None,
+    ) -> PerformanceReport:
+        attainable = (
+            instructions_attainable
+            if instructions_attainable is not None
+            else instructions_retired
+        )
+        capacity = attainable / self.instructions_per_request / max(epoch_seconds, 1e-9)
+        served = instructions_retired / self.instructions_per_request / max(
+            epoch_seconds, 1e-9
+        )
+        if offered_load <= 0:
+            return PerformanceReport(throughput=0.0, latency_ms=self.base_latency_ms)
+        if capacity <= 0:
+            return PerformanceReport(
+                throughput=0.0, latency_ms=self.max_latency_ms, goodput_fraction=0.0
+            )
+        # M/M/1-style response-time inflation against the VM's *capacity*;
+        # when the offered load exceeds the capacity the queue grows and
+        # latency saturates at the timeout ceiling.
+        rho = min(0.995, offered_load / max(capacity, 1e-9))
+        latency = self.base_latency_ms / max(1e-3, (1.0 - rho))
+        latency = min(latency, self.max_latency_ms)
+        throughput = min(offered_load, served if served > 0 else capacity)
+        return PerformanceReport(
+            throughput=throughput,
+            latency_ms=latency,
+            goodput_fraction=throughput / offered_load,
+        )
+
+
+class BatchClientModel(ClientModel):
+    """Closed batch job client (Data Analytics).
+
+    The client observes task completion time, which scales inversely
+    with the fraction of the demanded work that actually completed in
+    the epoch.
+    """
+
+    def __init__(self, base_task_ms: float) -> None:
+        self.base_task_ms = base_task_ms
+
+    def performance(
+        self,
+        offered_load: float,
+        instructions_demanded: float,
+        instructions_retired: float,
+        epoch_seconds: float,
+        instructions_attainable: Optional[float] = None,
+    ) -> PerformanceReport:
+        if instructions_demanded <= 0:
+            return PerformanceReport(throughput=0.0, latency_ms=self.base_task_ms)
+        progress = min(1.0, instructions_retired / instructions_demanded)
+        progress = max(progress, 1e-3)
+        completion_ms = self.base_task_ms / progress
+        throughput = offered_load * progress
+        return PerformanceReport(
+            throughput=throughput,
+            latency_ms=completion_ms,
+            goodput_fraction=progress,
+        )
+
+
+class Workload(abc.ABC):
+    """Base class for everything that can run inside a VM."""
+
+    #: Human-readable workload name ("data_serving", "memory_stress", ...).
+    name: str = "workload"
+
+    def __init__(self, app_id: Optional[str] = None, seed: Optional[int] = None) -> None:
+        self.app_id = app_id or self.name
+        self.seed = seed
+
+    @abc.abstractmethod
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        """Resource demand for one epoch at the given load intensity."""
+
+    @abc.abstractmethod
+    def client_model(self) -> ClientModel:
+        """The client model used to derive ground-truth performance."""
+
+    @property
+    @abc.abstractmethod
+    def nominal_load(self) -> float:
+        """The load level at which the workload saturates one VM."""
+
+    def copy(self) -> "Workload":
+        """Deep copy (used when cloning a VM)."""
+        return copy.deepcopy(self)
+
+    def performance(
+        self,
+        load: float,
+        instructions_demanded: float,
+        instructions_retired: float,
+        epoch_seconds: float = 1.0,
+        instructions_attainable: Optional[float] = None,
+    ) -> PerformanceReport:
+        """Convenience wrapper around the client model."""
+        return self.client_model().performance(
+            offered_load=load,
+            instructions_demanded=instructions_demanded,
+            instructions_retired=instructions_retired,
+            epoch_seconds=epoch_seconds,
+            instructions_attainable=instructions_attainable,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(app_id={self.app_id!r})"

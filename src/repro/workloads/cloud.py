@@ -1,0 +1,271 @@
+"""CloudSuite-like cloud workload models.
+
+The paper evaluates DeepDive on three CloudSuite workloads (Section 5.1):
+
+* **Data Serving** — a Cassandra key-value store driven by YCSB clients
+  with varying key popularity and read/write ratio;
+* **Web Search** — a Nutch index-serving node with a 2 GB index, driven
+  by a Faban client with varying word popularity and session counts;
+* **Data Analytics** — a Hadoop/Mahout Bayes-classification job over
+  35 GB of Wikipedia data on a nine-VM cluster.
+
+We model each as a parameterised resource-demand generator whose
+per-instruction characteristics (working set, cache-miss intensity,
+I/O volume per unit of work) match the qualitative signature of the
+original: Data Serving is memory- and read-I/O-heavy with a popularity-
+dependent working set; Web Search is cache-friendlier but reads the
+on-disk index for unpopular words; Data Analytics alternates map
+(disk + CPU) and shuffle/reduce (network + CPU) phases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.hardware.demand import ResourceDemand
+from repro.workloads.base import (
+    BatchClientModel,
+    ClientModel,
+    RequestServingClientModel,
+    Workload,
+)
+
+
+class DataServingWorkload(Workload):
+    """Cassandra/YCSB-like key-value store.
+
+    Parameters
+    ----------
+    key_skew:
+        Zipf-like skew of key popularity in [0, 1]; higher skew means a
+        hotter, smaller working set.
+    read_fraction:
+        Fraction of requests that are reads (writes touch the commit log
+        and flush SSTables, generating more disk traffic).
+    dataset_gb:
+        On-disk dataset size; bounds the cold working set.
+    """
+
+    name = "data_serving"
+
+    #: Instructions executed per request, on average.
+    INSTRUCTIONS_PER_REQUEST = 2.2e6
+    BASE_LATENCY_MS = 4.0
+
+    def __init__(
+        self,
+        key_skew: float = 0.6,
+        read_fraction: float = 0.9,
+        dataset_gb: float = 10.0,
+        app_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(app_id=app_id or self.name, seed=seed)
+        if not 0.0 <= key_skew <= 1.0:
+            raise ValueError("key_skew must be in [0, 1]")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.key_skew = key_skew
+        self.read_fraction = read_fraction
+        self.dataset_gb = dataset_gb
+
+    @property
+    def nominal_load(self) -> float:
+        """Requests per second that saturate the VM's two pinned cores."""
+        return 1200.0
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        requests = load * epoch_seconds
+        instructions = requests * self.INSTRUCTIONS_PER_REQUEST
+        # Hot working set shrinks as popularity skew grows: a uniform
+        # key distribution touches a large slice of the memtable/row
+        # cache, a skewed one keeps re-touching a few MB.
+        hot_ws = 6.0 + (1.0 - self.key_skew) * 58.0
+        # Writes spill to the commit log and compactions; reads may miss
+        # the row cache and hit the SSTables on disk.
+        write_fraction = 1.0 - self.read_fraction
+        disk_mb = requests * (0.004 * (1.0 - self.key_skew) + 0.012 * write_fraction)
+        network_mbit = requests * 0.012  # request/response payloads
+        return ResourceDemand(
+            instructions=instructions,
+            vcpus=2,
+            working_set_mb=hot_ws,
+            loads_pki=340.0,
+            l1_miss_pki=26.0 + 8.0 * (1.0 - self.key_skew),
+            ifetch_pki=3.0,
+            branches_pki=160.0,
+            branch_mispredict_rate=0.035,
+            locality=0.55 + 0.25 * self.key_skew,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=0.35,
+            network_mbit=network_mbit,
+            write_fraction=0.25 + 0.3 * write_fraction,
+        )
+
+    def client_model(self) -> ClientModel:
+        return RequestServingClientModel(
+            instructions_per_request=self.INSTRUCTIONS_PER_REQUEST,
+            base_latency_ms=self.BASE_LATENCY_MS,
+        )
+
+
+class WebSearchWorkload(Workload):
+    """Nutch/Faban-like index-serving node.
+
+    Parameters
+    ----------
+    word_skew:
+        Popularity skew of query terms in [0, 1]; popular terms hit the
+        in-memory posting-list cache, rare terms read the on-disk index.
+    index_gb:
+        Index size (the paper uses a 2 GB index).
+    """
+
+    name = "web_search"
+
+    INSTRUCTIONS_PER_REQUEST = 5.5e6
+    BASE_LATENCY_MS = 18.0
+
+    def __init__(
+        self,
+        word_skew: float = 0.7,
+        index_gb: float = 2.0,
+        app_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(app_id=app_id or self.name, seed=seed)
+        if not 0.0 <= word_skew <= 1.0:
+            raise ValueError("word_skew must be in [0, 1]")
+        self.word_skew = word_skew
+        self.index_gb = index_gb
+
+    @property
+    def nominal_load(self) -> float:
+        """Queries per second that saturate the VM."""
+        return 620.0
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        queries = load * epoch_seconds
+        instructions = queries * self.INSTRUCTIONS_PER_REQUEST
+        # Posting lists for popular words stay resident; rare words read
+        # index segments from disk.
+        cold_fraction = 1.0 - self.word_skew
+        hot_ws = 10.0 + cold_fraction * 30.0
+        disk_mb = queries * 0.06 * cold_fraction
+        network_mbit = queries * 0.02  # result pages
+        return ResourceDemand(
+            instructions=instructions,
+            vcpus=2,
+            working_set_mb=hot_ws,
+            loads_pki=310.0,
+            l1_miss_pki=18.0 + 6.0 * cold_fraction,
+            ifetch_pki=4.0,
+            branches_pki=180.0,
+            branch_mispredict_rate=0.03,
+            locality=0.7 + 0.15 * self.word_skew,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=0.6,
+            network_mbit=network_mbit,
+            write_fraction=0.1,
+        )
+
+    def client_model(self) -> ClientModel:
+        return RequestServingClientModel(
+            instructions_per_request=self.INSTRUCTIONS_PER_REQUEST,
+            base_latency_ms=self.BASE_LATENCY_MS,
+        )
+
+
+class DataAnalyticsWorkload(Workload):
+    """Hadoop/Mahout-like Bayes classification over Wikipedia data.
+
+    The job alternates map phases (sequential disk scans plus CPU) and
+    shuffle/reduce phases (network transfers between mappers and
+    reducers).  ``remote_fetch_fraction`` controls how much of the
+    shuffle data must be fetched from other physical machines — the knob
+    that makes the Figure 5 network-interference experiment interesting.
+    """
+
+    name = "data_analytics"
+
+    #: Instructions per normalised "task" of work.
+    INSTRUCTIONS_PER_TASK = 2.5e9
+    BASE_TASK_MS = 9000.0
+
+    def __init__(
+        self,
+        remote_fetch_fraction: float = 0.5,
+        shuffle_fraction: float = 0.35,
+        dataset_gb: float = 35.0,
+        app_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(app_id=app_id or self.name, seed=seed)
+        if not 0.0 <= remote_fetch_fraction <= 1.0:
+            raise ValueError("remote_fetch_fraction must be in [0, 1]")
+        if not 0.0 <= shuffle_fraction <= 1.0:
+            raise ValueError("shuffle_fraction must be in [0, 1]")
+        self.remote_fetch_fraction = remote_fetch_fraction
+        self.shuffle_fraction = shuffle_fraction
+        self.dataset_gb = dataset_gb
+
+    @property
+    def nominal_load(self) -> float:
+        """Tasks per second that saturate the VM (batch: ~1 task in flight)."""
+        return 0.9
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        tasks = load * epoch_seconds
+        instructions = tasks * self.INSTRUCTIONS_PER_TASK
+        # Map phase scans input splits from disk sequentially.
+        disk_mb = tasks * 90.0 * (1.0 - self.shuffle_fraction)
+        # Shuffle phase moves intermediate data; only the remote share
+        # crosses the NIC.
+        shuffle_mb = tasks * 140.0 * self.shuffle_fraction
+        network_mbit = shuffle_mb * 8.0 * self.remote_fetch_fraction
+        return ResourceDemand(
+            instructions=instructions,
+            vcpus=2,
+            working_set_mb=48.0,
+            loads_pki=290.0,
+            l1_miss_pki=22.0,
+            ifetch_pki=2.0,
+            branches_pki=140.0,
+            branch_mispredict_rate=0.025,
+            locality=0.5,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=0.85,
+            network_mbit=network_mbit,
+            write_fraction=0.4,
+        )
+
+    def client_model(self) -> ClientModel:
+        return BatchClientModel(base_task_ms=self.BASE_TASK_MS)
+
+
+#: Factories for the three cloud workloads, keyed by workload name.
+CLOUD_WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    DataServingWorkload.name: DataServingWorkload,
+    WebSearchWorkload.name: WebSearchWorkload,
+    DataAnalyticsWorkload.name: DataAnalyticsWorkload,
+}
+
+
+def make_cloud_workload(name: str, **kwargs) -> Workload:
+    """Instantiate one of the three cloud workloads by name."""
+    try:
+        factory = CLOUD_WORKLOAD_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cloud workload {name!r}; known: "
+            f"{sorted(CLOUD_WORKLOAD_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,202 @@
+"""Interfering (stress) workloads.
+
+The paper uses three stressors to inject controllable interference
+(Section 5.1):
+
+* **memory-stress** — inspired by the Bubble-Up stress test: aggressively
+  exercises the shared last-level cache and memory controller; its
+  intensity knob is the working-set size (6 MB – 512 MB in the paper's
+  sweeps);
+* **network-stress** — iperf creating bi-directional UDP streams; the
+  knob is the target throughput (50 – 700 Mbps);
+* **disk-stress** — copies files from one place to another at a bounded
+  rate; the knob is the transfer rate (1 – 10 MB/s, and higher when the
+  goal is to saturate the disk).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.demand import ResourceDemand
+from repro.workloads.base import ClientModel, RequestServingClientModel, Workload
+
+
+class _StressClientModel(RequestServingClientModel):
+    """Stressors have no real clients; provide a trivial model anyway."""
+
+    def __init__(self) -> None:
+        super().__init__(instructions_per_request=1e6, base_latency_ms=1.0)
+
+
+class MemoryStressWorkload(Workload):
+    """Bubble-Up-style last-level-cache and memory-bus stressor.
+
+    ``working_set_mb`` is the intensity knob: small working sets mostly
+    pollute the shared cache, large working sets saturate the memory
+    interconnect as well.
+    """
+
+    name = "memory_stress"
+
+    def __init__(
+        self,
+        working_set_mb: float = 64.0,
+        intensity: float = 1.0,
+        locality: float = 0.05,
+        app_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """
+        ``locality`` close to 0 makes the stressor stream through its
+        working set (maximum memory-bus pressure); a high locality makes
+        it a pure cache polluter that occupies the shared cache while
+        generating little bus traffic of its own (the paper's Scenario A
+        style of interference).
+        """
+        super().__init__(app_id=app_id or self.name, seed=seed)
+        if working_set_mb <= 0:
+            raise ValueError("working_set_mb must be positive")
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        self.working_set_mb = working_set_mb
+        self.intensity = intensity
+        self.locality = locality
+
+    @property
+    def nominal_load(self) -> float:
+        return 1.0
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        # The stressor always runs flat out; ``load`` scales intensity.
+        level = min(1.0, max(0.0, load)) * self.intensity
+        instructions = 4.0e9 * epoch_seconds * level
+        return ResourceDemand(
+            instructions=instructions,
+            vcpus=2,
+            working_set_mb=self.working_set_mb,
+            loads_pki=500.0,
+            l1_miss_pki=120.0,
+            ifetch_pki=0.5,
+            branches_pki=60.0,
+            branch_mispredict_rate=0.01,
+            locality=self.locality,
+            disk_mb=0.0,
+            disk_sequential_fraction=1.0,
+            network_mbit=0.0,
+            write_fraction=0.5,
+        )
+
+    def client_model(self) -> ClientModel:
+        return _StressClientModel()
+
+
+class NetworkStressWorkload(Workload):
+    """iperf-like bi-directional UDP stress; knob is the target Mbps."""
+
+    name = "network_stress"
+
+    def __init__(
+        self,
+        target_mbps: float = 400.0,
+        app_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(app_id=app_id or self.name, seed=seed)
+        if target_mbps <= 0:
+            raise ValueError("target_mbps must be positive")
+        self.target_mbps = target_mbps
+
+    @property
+    def nominal_load(self) -> float:
+        return 1.0
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        level = min(1.0, max(0.0, load))
+        mbit = self.target_mbps * epoch_seconds * level * 2.0  # bi-directional
+        # Packet processing costs a modest number of instructions.
+        instructions = mbit * 2.5e5
+        return ResourceDemand(
+            instructions=instructions,
+            vcpus=1,
+            working_set_mb=2.0,
+            loads_pki=250.0,
+            l1_miss_pki=8.0,
+            ifetch_pki=1.0,
+            branches_pki=120.0,
+            branch_mispredict_rate=0.02,
+            locality=0.9,
+            disk_mb=0.0,
+            disk_sequential_fraction=1.0,
+            network_mbit=mbit,
+            write_fraction=0.1,
+        )
+
+    def client_model(self) -> ClientModel:
+        return _StressClientModel()
+
+
+class DiskStressWorkload(Workload):
+    """File-copy stress respecting a maximum transfer rate (MB/s)."""
+
+    name = "disk_stress"
+
+    def __init__(
+        self,
+        target_mbps: float = 5.0,
+        sequential_fraction: float = 0.2,
+        app_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(app_id=app_id or self.name, seed=seed)
+        if target_mbps <= 0:
+            raise ValueError("target_mbps must be positive")
+        if not 0.0 <= sequential_fraction <= 1.0:
+            raise ValueError("sequential_fraction must be in [0, 1]")
+        self.target_mbps = target_mbps
+        self.sequential_fraction = sequential_fraction
+
+    @property
+    def nominal_load(self) -> float:
+        return 1.0
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        level = min(1.0, max(0.0, load))
+        # A copy reads and writes every byte.
+        disk_mb = self.target_mbps * epoch_seconds * level * 2.0
+        instructions = disk_mb * 2.0e6
+        return ResourceDemand(
+            instructions=instructions,
+            vcpus=1,
+            working_set_mb=4.0,
+            loads_pki=200.0,
+            l1_miss_pki=10.0,
+            ifetch_pki=1.0,
+            branches_pki=100.0,
+            branch_mispredict_rate=0.015,
+            locality=0.85,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=self.sequential_fraction,
+            network_mbit=0.0,
+            write_fraction=0.5,
+        )
+
+    def client_model(self) -> ClientModel:
+        return _StressClientModel()
+
+
+def make_stress_workload(kind: str, **kwargs) -> Workload:
+    """Instantiate a stressor by kind: ``memory``, ``network`` or ``disk``."""
+    factories = {
+        "memory": MemoryStressWorkload,
+        "network": NetworkStressWorkload,
+        "disk": DiskStressWorkload,
+    }
+    try:
+        return factories[kind](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown stress workload {kind!r}; known: {sorted(factories)}"
+        ) from None

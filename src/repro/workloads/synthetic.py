@@ -1,0 +1,152 @@
+"""The tunable synthetic benchmark (Section 4.3).
+
+The placement manager never migrates a VM speculatively.  Instead it
+runs, on each candidate destination PM, a synthetic benchmark whose
+input parameters have been chosen so the benchmark "mimics" the
+low-level behaviour of the VM in question, and measures the resulting
+interference.  The benchmark is described in the paper as a collection
+of loops exercising the different PM resources (working-set size, data
+locality, instruction mix, parallelism, disk and network throughput),
+whose per-resource iteration counts are *learned* — via a standard
+regression algorithm, once per server type — from the metric vectors
+the loops produce.
+
+:class:`SyntheticInputs` is the benchmark's input-parameter vector and
+:class:`SyntheticBenchmark` is the workload those inputs configure.  The
+training machinery that maps an arbitrary target metric vector to inputs
+lives in :mod:`repro.regression.training`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.demand import ResourceDemand
+from repro.workloads.base import ClientModel, RequestServingClientModel, Workload
+
+#: Canonical order of the synthetic benchmark's input knobs.
+SYNTHETIC_INPUT_NAMES: Tuple[str, ...] = (
+    "compute_iterations",     # instructions per epoch, in billions
+    "working_set_mb",
+    "pointer_chase_fraction", # 0 = streaming, 1 = dependent loads (poor MLP)
+    "locality",
+    "load_intensity_pki",
+    "l1_stress_pki",
+    "branch_intensity_pki",
+    "disk_mbps",
+    "disk_sequential_fraction",
+    "network_mbps",
+    "parallelism",
+)
+
+
+@dataclass
+class SyntheticInputs:
+    """Input-parameter vector of the synthetic benchmark."""
+
+    compute_iterations: float = 2.0     # billions of instructions per epoch
+    working_set_mb: float = 16.0
+    pointer_chase_fraction: float = 0.3
+    locality: float = 0.6
+    load_intensity_pki: float = 300.0
+    l1_stress_pki: float = 25.0
+    branch_intensity_pki: float = 150.0
+    disk_mbps: float = 0.0
+    disk_sequential_fraction: float = 0.7
+    network_mbps: float = 0.0
+    parallelism: float = 2.0
+
+    def as_array(self) -> np.ndarray:
+        return np.array([getattr(self, n) for n in SYNTHETIC_INPUT_NAMES], dtype=float)
+
+    @classmethod
+    def from_array(cls, values: Sequence[float]) -> "SyntheticInputs":
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(SYNTHETIC_INPUT_NAMES),):
+            raise ValueError(
+                f"expected {len(SYNTHETIC_INPUT_NAMES)} values, got {values.shape}"
+            )
+        kwargs = dict(zip(SYNTHETIC_INPUT_NAMES, values))
+        return cls(**kwargs).clipped()
+
+    def clipped(self) -> "SyntheticInputs":
+        """Clamp every knob to its physically meaningful range."""
+        return SyntheticInputs(
+            compute_iterations=float(np.clip(self.compute_iterations, 0.0, 50.0)),
+            working_set_mb=float(np.clip(self.working_set_mb, 0.25, 2048.0)),
+            pointer_chase_fraction=float(np.clip(self.pointer_chase_fraction, 0.0, 1.0)),
+            locality=float(np.clip(self.locality, 0.0, 1.0)),
+            load_intensity_pki=float(np.clip(self.load_intensity_pki, 0.0, 900.0)),
+            l1_stress_pki=float(np.clip(self.l1_stress_pki, 0.0, 300.0)),
+            branch_intensity_pki=float(np.clip(self.branch_intensity_pki, 0.0, 400.0)),
+            disk_mbps=float(np.clip(self.disk_mbps, 0.0, 500.0)),
+            disk_sequential_fraction=float(np.clip(self.disk_sequential_fraction, 0.0, 1.0)),
+            network_mbps=float(np.clip(self.network_mbps, 0.0, 2000.0)),
+            parallelism=float(np.clip(self.parallelism, 1.0, 8.0)),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {n: getattr(self, n) for n in SYNTHETIC_INPUT_NAMES}
+
+    @classmethod
+    def dimensions(cls) -> int:
+        return len(SYNTHETIC_INPUT_NAMES)
+
+
+class SyntheticBenchmark(Workload):
+    """A collection of tunable loops that exercise the PM resources.
+
+    The benchmark's demand depends only on its inputs, never on the
+    offered ``load`` — it runs flat out for the short evaluation window
+    (the paper's runs take "less than a minute"), which is what makes it
+    a faithful stand-in for the VM it mimics.
+    """
+
+    name = "synthetic_benchmark"
+
+    def __init__(
+        self,
+        inputs: Optional[SyntheticInputs] = None,
+        app_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(app_id=app_id or self.name, seed=seed)
+        self.inputs = (inputs or SyntheticInputs()).clipped()
+
+    @property
+    def nominal_load(self) -> float:
+        return 1.0
+
+    def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
+        p = self.inputs
+        instructions = p.compute_iterations * 1e9 * epoch_seconds
+        # Pointer chasing reduces memory-level parallelism, which shows
+        # up as a larger fraction of loads missing the private cache.
+        l1_miss_pki = p.l1_stress_pki * (0.6 + 0.8 * p.pointer_chase_fraction)
+        return ResourceDemand(
+            instructions=instructions,
+            vcpus=max(1, int(round(p.parallelism))),
+            working_set_mb=p.working_set_mb,
+            loads_pki=p.load_intensity_pki,
+            l1_miss_pki=l1_miss_pki,
+            ifetch_pki=1.5,
+            branches_pki=p.branch_intensity_pki,
+            branch_mispredict_rate=0.02,
+            locality=p.locality,
+            disk_mb=p.disk_mbps * epoch_seconds,
+            disk_sequential_fraction=p.disk_sequential_fraction,
+            network_mbit=p.network_mbps * epoch_seconds,
+            write_fraction=0.4,
+        )
+
+    def client_model(self) -> ClientModel:
+        return RequestServingClientModel(
+            instructions_per_request=1e6, base_latency_ms=1.0
+        )
+
+    def with_inputs(self, inputs: SyntheticInputs) -> "SyntheticBenchmark":
+        """Return a new benchmark configured with different inputs."""
+        return SyntheticBenchmark(inputs=inputs, app_id=self.app_id, seed=self.seed)

@@ -1,0 +1,69 @@
+"""Tests for constrained clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.constraints import (
+    CannotLinkConstraints,
+    ConstrainedGaussianMixtureEM,
+)
+
+
+def _normal_data(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(loc=[0.0, 0.0], scale=1.0, size=(200, 2))
+
+
+class TestCannotLinkConstraints:
+    def test_add_and_matrix(self):
+        constraints = CannotLinkConstraints()
+        constraints.add(np.array([1.0, 2.0]))
+        constraints.add([3.0, 4.0])
+        assert len(constraints) == 2
+        assert constraints.as_matrix(2).shape == (2, 2)
+
+    def test_empty_matrix(self):
+        assert CannotLinkConstraints().as_matrix(3).shape == (0, 3)
+
+
+class TestConstrainedEM:
+    def test_without_constraints_behaves_like_plain_em(self):
+        data = _normal_data()
+        model = ConstrainedGaussianMixtureEM(seed=1).fit(data)
+        assert model.n_components >= 1
+
+    def test_constraint_point_pushed_outside_acceptance(self):
+        data = _normal_data()
+        em = ConstrainedGaussianMixtureEM(acceptance_sigma=3.0, seed=1)
+        # A point near the edge of the normal cluster, labelled interference.
+        excluded = np.array([2.0, 2.0])
+        constraints = CannotLinkConstraints()
+        constraints.add(excluded)
+        model = em.fit(data, constraints)
+        distance = model.mahalanobis(excluded[None, :])[0]
+        assert distance > 3.0
+
+    def test_far_constraint_does_not_shrink(self):
+        data = _normal_data()
+        em = ConstrainedGaussianMixtureEM(acceptance_sigma=3.0, seed=1)
+        unconstrained = em.fit(data)
+        constraints = CannotLinkConstraints()
+        constraints.add(np.array([100.0, 100.0]))
+        constrained = em.fit(data, constraints)
+        assert np.allclose(constrained.variances, unconstrained.variances)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ConstrainedGaussianMixtureEM(acceptance_sigma=0.0)
+        with pytest.raises(ValueError):
+            ConstrainedGaussianMixtureEM(shrink_factor=1.5)
+
+    def test_normal_points_remain_acceptable_after_shrinking(self):
+        data = _normal_data()
+        em = ConstrainedGaussianMixtureEM(acceptance_sigma=3.0, seed=1)
+        constraints = CannotLinkConstraints()
+        constraints.add(np.array([3.5, 3.5]))
+        model = em.fit(data, constraints)
+        # The bulk of the normal data should still be within the radius.
+        distances = model.mahalanobis(data)
+        assert (distances <= 3.0).mean() > 0.5

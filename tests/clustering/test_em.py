@@ -1,0 +1,85 @@
+"""Tests for the Gaussian-mixture EM implementation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.em import GaussianMixtureEM
+
+
+def _two_blobs(n=150, separation=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=[0.0, 0.0], scale=0.5, size=(n, 2))
+    b = rng.normal(loc=[separation, separation], scale=0.5, size=(n, 2))
+    return a, b
+
+
+class TestGaussianMixtureEM:
+    def test_fits_two_well_separated_clusters(self):
+        a, b = _two_blobs()
+        model = GaussianMixtureEM(n_components=2, seed=1).fit(np.vstack([a, b]))
+        assert model.n_components == 2
+        labels_a = model.predict(a)
+        labels_b = model.predict(b)
+        # Each blob is assigned almost entirely to a single (distinct) component.
+        assert (labels_a == np.bincount(labels_a).argmax()).mean() > 0.95
+        assert (labels_b == np.bincount(labels_b).argmax()).mean() > 0.95
+        assert np.bincount(labels_a).argmax() != np.bincount(labels_b).argmax()
+
+    def test_bic_model_selection_finds_two_components(self):
+        a, b = _two_blobs()
+        model = GaussianMixtureEM(max_components=5, seed=1).fit(np.vstack([a, b]))
+        assert 2 <= model.n_components <= 3
+
+    def test_single_cluster_selected_for_unimodal_data(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(200, 3))
+        model = GaussianMixtureEM(max_components=4, seed=1).fit(data)
+        assert model.n_components <= 2
+
+    def test_weights_sum_to_one(self):
+        a, b = _two_blobs()
+        model = GaussianMixtureEM(n_components=2, seed=1).fit(np.vstack([a, b]))
+        assert model.weights.sum() == pytest.approx(1.0)
+
+    def test_mahalanobis_small_inside_cluster(self):
+        a, b = _two_blobs()
+        model = GaussianMixtureEM(n_components=2, seed=1).fit(np.vstack([a, b]))
+        inside = model.mahalanobis(np.array([[0.0, 0.0]]))[0]
+        outside = model.mahalanobis(np.array([[4.0, 4.0]]))[0]
+        assert inside < 1.5
+        assert outside > 4.0
+
+    def test_responsibilities_rows_sum_to_one(self):
+        a, b = _two_blobs()
+        model = GaussianMixtureEM(n_components=2, seed=1).fit(np.vstack([a, b]))
+        resp = model.responsibilities(np.vstack([a[:10], b[:10]]))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_score_samples_higher_near_means(self):
+        a, b = _two_blobs()
+        model = GaussianMixtureEM(n_components=2, seed=1).fit(np.vstack([a, b]))
+        near = model.score_samples(np.array([[0.0, 0.0]]))[0]
+        far = model.score_samples(np.array([[20.0, -20.0]]))[0]
+        assert near > far
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureEM().fit(np.empty((0, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureEM(n_components=0)
+        with pytest.raises(ValueError):
+            GaussianMixtureEM(max_components=0)
+
+    def test_more_components_than_points_clamped(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        model = GaussianMixtureEM(n_components=10, seed=0).fit(data)
+        assert model.n_components <= 3
+
+    def test_deterministic_given_seed(self):
+        a, b = _two_blobs()
+        data = np.vstack([a, b])
+        m1 = GaussianMixtureEM(n_components=2, seed=9).fit(data)
+        m2 = GaussianMixtureEM(n_components=2, seed=9).fit(data)
+        assert np.allclose(np.sort(m1.means, axis=0), np.sort(m2.means, axis=0))

@@ -1,0 +1,42 @@
+"""Tests for the standard scaler."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.scaling import StandardScaler
+
+
+class TestStandardScaler:
+    def test_fit_transform_standardises(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=[10.0, -3.0], scale=[2.0, 0.5], size=(200, 2))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_transform_single_vector(self):
+        scaler = StandardScaler().fit(np.array([[0.0, 0.0], [2.0, 4.0]]))
+        out = scaler.transform(np.array([1.0, 2.0]))
+        assert out.shape == (2,)
+        assert np.allclose(out, 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(0, 5, size=(50, 3))
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_constant_dimension_does_not_blow_up(self):
+        data = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.zeros((2, 2)))
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 3)))

@@ -1,0 +1,65 @@
+"""Tests for the metric-threshold derivation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.em import GaussianMixtureEM
+from repro.clustering.thresholds import MetricThresholds, derive_thresholds
+
+
+def _model(seed=0):
+    rng = np.random.default_rng(seed)
+    data = np.column_stack([
+        rng.normal(2.0, 0.1, size=300),
+        rng.normal(10.0, 1.0, size=300),
+    ])
+    return GaussianMixtureEM(n_components=1, seed=1).fit(data)
+
+
+class TestDeriveThresholds:
+    def test_thresholds_reflect_spread(self):
+        thresholds = derive_thresholds(_model(), ["cpi", "bus"], sigma=3.0)
+        assert thresholds["bus"] > thresholds["cpi"]
+        assert thresholds["cpi"] == pytest.approx(0.3, rel=0.3)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            derive_thresholds(_model(), ["only_one"])
+
+    def test_floors_apply(self):
+        thresholds = derive_thresholds(
+            _model(), ["cpi", "bus"], floors={"cpi": 5.0}
+        )
+        assert thresholds["cpi"] == pytest.approx(5.0)
+
+    def test_sigma_scales_thresholds(self):
+        narrow = derive_thresholds(_model(), ["cpi", "bus"], sigma=1.0)
+        wide = derive_thresholds(_model(), ["cpi", "bus"], sigma=4.0)
+        assert wide["cpi"] > narrow["cpi"]
+
+
+class TestMetricThresholds:
+    def _thresholds(self):
+        return MetricThresholds(thresholds={"cpi": 0.5, "bus": 2.0}, sigma=3.0)
+
+    def test_matches_within(self):
+        mt = self._thresholds()
+        assert mt.matches({"cpi": 2.2, "bus": 9.0}, {"cpi": 2.0, "bus": 10.0})
+
+    def test_violations_reported(self):
+        mt = self._thresholds()
+        violated = mt.violated_dimensions({"cpi": 3.0, "bus": 9.5}, {"cpi": 2.0, "bus": 10.0})
+        assert violated == ("cpi",)
+        assert not mt.matches({"cpi": 3.0, "bus": 9.5}, {"cpi": 2.0, "bus": 10.0})
+
+    def test_scaled(self):
+        mt = self._thresholds().scaled(2.0)
+        assert mt["cpi"] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            self._thresholds().scaled(0.0)
+
+    def test_contains_and_as_array(self):
+        mt = self._thresholds()
+        assert "cpi" in mt
+        assert "ghost" not in mt
+        assert mt.as_array(["bus", "cpi"])[0] == pytest.approx(2.0)

@@ -1,0 +1,120 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.machine import PhysicalMachine
+from repro.hardware.specs import CORE_I7_E5640, XEON_X5472
+from repro.virt.cluster import Cluster
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import Host
+from repro.workloads.cloud import (
+    DataAnalyticsWorkload,
+    DataServingWorkload,
+    WebSearchWorkload,
+)
+from repro.workloads.stress import MemoryStressWorkload
+
+
+@pytest.fixture
+def machine() -> PhysicalMachine:
+    """A noiseless Xeon X5472 physical machine."""
+    return PhysicalMachine(spec=XEON_X5472, name="pm-test", noise=0.0, seed=7)
+
+
+@pytest.fixture
+def noisy_machine() -> PhysicalMachine:
+    """A Xeon machine with realistic measurement noise."""
+    return PhysicalMachine(spec=XEON_X5472, name="pm-noisy", noise=0.01, seed=7)
+
+
+@pytest.fixture
+def i7_machine() -> PhysicalMachine:
+    """The Core-i7 NUMA machine from the paper's portability study."""
+    return PhysicalMachine(spec=CORE_I7_E5640, name="pm-i7", noise=0.0, seed=7)
+
+
+@pytest.fixture
+def cpu_demand() -> ResourceDemand:
+    """A compute-heavy demand that fits in the shared cache."""
+    return ResourceDemand(
+        instructions=1.0e9,
+        vcpus=2,
+        working_set_mb=4.0,
+        l1_miss_pki=10.0,
+        locality=0.9,
+    )
+
+
+@pytest.fixture
+def memory_demand() -> ResourceDemand:
+    """A memory-streaming demand that overflows the shared cache."""
+    return ResourceDemand(
+        instructions=2.0e9,
+        vcpus=2,
+        working_set_mb=256.0,
+        l1_miss_pki=100.0,
+        locality=0.05,
+    )
+
+
+@pytest.fixture
+def io_demand() -> ResourceDemand:
+    """A disk- and network-heavy demand."""
+    return ResourceDemand(
+        instructions=0.5e9,
+        vcpus=2,
+        working_set_mb=8.0,
+        disk_mb=40.0,
+        disk_sequential_fraction=0.5,
+        network_mbit=400.0,
+    )
+
+
+@pytest.fixture
+def host() -> Host:
+    """A noiseless host."""
+    return Host(name="host-test", spec=XEON_X5472, noise=0.0, seed=3)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A small three-host cluster."""
+    return Cluster(num_hosts=3, seed=5, noise=0.0)
+
+
+@pytest.fixture
+def data_serving_vm() -> VirtualMachine:
+    return VirtualMachine("cassandra-0", DataServingWorkload(), vcpus=2, memory_gb=2.0)
+
+
+@pytest.fixture
+def web_search_vm() -> VirtualMachine:
+    return VirtualMachine("nutch-0", WebSearchWorkload(), vcpus=2, memory_gb=2.0)
+
+
+@pytest.fixture
+def analytics_vm() -> VirtualMachine:
+    return VirtualMachine("hadoop-0", DataAnalyticsWorkload(), vcpus=2, memory_gb=2.0)
+
+
+@pytest.fixture
+def stress_vm() -> VirtualMachine:
+    return VirtualMachine(
+        "stress-0", MemoryStressWorkload(working_set_mb=128.0), vcpus=2, memory_gb=1.0
+    )
+
+
+@pytest.fixture
+def fast_config() -> DeepDiveConfig:
+    """A DeepDive configuration sized for fast tests."""
+    return DeepDiveConfig(
+        profile_epochs=5,
+        bootstrap_load_levels=4,
+        bootstrap_epochs_per_level=4,
+        min_normal_behaviors=8,
+        placement_eval_epochs=5,
+    )

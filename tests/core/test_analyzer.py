@@ -1,0 +1,101 @@
+"""Tests for the interference analyzer (Algorithm 2)."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisVerdict, InterferenceAnalyzer
+from repro.core.config import DeepDiveConfig
+from repro.core.repository import BehaviorRepository
+from repro.metrics.cpi import Resource
+from repro.virt.sandbox import SandboxEnvironment
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import Host
+from repro.workloads.stress import MemoryStressWorkload
+
+
+@pytest.fixture
+def analyzer(fast_config):
+    sandbox = SandboxEnvironment(num_hosts=1, profile_epochs=5, noise=0.0, seed=2)
+    return InterferenceAnalyzer(sandbox, BehaviorRepository(), fast_config)
+
+
+def _production_samples(vm, load, epochs=5, stress=None, stress_load=1.0, seed=4):
+    host = Host(name="prod", noise=0.0, seed=seed)
+    host.add_vm(vm.clone("prod-copy"), load=load, cores=[0, 1])
+    if stress is not None:
+        host.add_vm(stress, load=stress_load, cores=[2, 3])
+    samples = []
+    for _ in range(epochs):
+        results = host.step()
+        samples.append(results["prod-copy"].counters)
+    return samples
+
+
+class TestBootstrap:
+    def test_bootstrap_populates_repository(self, analyzer, data_serving_vm):
+        vectors = analyzer.bootstrap(data_serving_vm)
+        assert len(vectors) > 0
+        assert analyzer.repository.has_model(data_serving_vm.app_id)
+        assert analyzer.bootstraps == 1
+        assert analyzer.total_profiling_seconds > 0
+
+    def test_bootstrap_custom_levels(self, analyzer, data_serving_vm):
+        analyzer.bootstrap(data_serving_vm, load_levels=[0.5, 1.0])
+        count = analyzer.repository.normal_count(data_serving_vm.app_id)
+        assert count == 2 * analyzer.config.bootstrap_epochs_per_level
+
+
+class TestAnalysis:
+    def test_requires_samples_and_loads(self, analyzer, data_serving_vm):
+        with pytest.raises(ValueError):
+            analyzer.analyze(data_serving_vm, [], [1.0])
+        with pytest.raises(ValueError):
+            analyzer.analyze(
+                data_serving_vm,
+                _production_samples(data_serving_vm, 0.5),
+                [],
+            )
+
+    def test_false_alarm_extends_normal_set(self, analyzer, data_serving_vm):
+        samples = _production_samples(data_serving_vm, load=0.6)
+        before = analyzer.repository.normal_count(data_serving_vm.app_id)
+        result = analyzer.analyze(data_serving_vm, samples, [0.6] * len(samples))
+        assert result.verdict is AnalysisVerdict.NO_INTERFERENCE
+        assert not result.confirmed
+        assert result.degradation < analyzer.config.performance_threshold
+        assert result.culprit is None
+        assert analyzer.repository.normal_count(data_serving_vm.app_id) == before + 1
+
+    def test_interference_confirmed_and_attributed(self, analyzer, data_serving_vm):
+        stress = VirtualMachine(
+            "stress", MemoryStressWorkload(working_set_mb=256.0), vcpus=2, memory_gb=1.0
+        )
+        samples = _production_samples(data_serving_vm, load=1.1, stress=stress)
+        result = analyzer.analyze(data_serving_vm, samples, [1.1] * len(samples))
+        assert result.verdict is AnalysisVerdict.INTERFERENCE
+        assert result.confirmed
+        assert result.degradation > analyzer.config.performance_threshold
+        assert result.culprit in (Resource.MEMORY_BUS, Resource.CACHE)
+        assert result.factors[result.culprit] > 0
+        # The behaviour is recorded as an interference constraint.
+        assert len(analyzer.repository.entry(data_serving_vm.app_id).interference_vectors) == 1
+        assert analyzer.invocations == 1
+        assert result.profiling_seconds > 0
+
+    def test_custom_threshold_changes_verdict(self, analyzer, data_serving_vm):
+        stress = VirtualMachine(
+            "stress", MemoryStressWorkload(working_set_mb=256.0), vcpus=2, memory_gb=1.0
+        )
+        samples = _production_samples(data_serving_vm, load=1.1, stress=stress)
+        lenient = analyzer.analyze(
+            data_serving_vm, samples, [1.1] * len(samples), performance_threshold=0.99
+        )
+        assert lenient.verdict is AnalysisVerdict.NO_INTERFERENCE
+
+    def test_estimate_degradation_helper(self, analyzer, data_serving_vm):
+        quiet = _production_samples(data_serving_vm, load=1.1)
+        stress = VirtualMachine(
+            "stress", MemoryStressWorkload(working_set_mb=256.0), vcpus=2, memory_gb=1.0
+        )
+        noisy = _production_samples(data_serving_vm, load=1.1, stress=stress)
+        degradation = analyzer.estimate_degradation(noisy, quiet)
+        assert degradation > 0.2

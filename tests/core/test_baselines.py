@@ -1,0 +1,66 @@
+"""Tests for the threshold baselines (Figure 12 comparison)."""
+
+import pytest
+
+from repro.core.baselines import ThresholdBaseline
+from repro.metrics.counters import CounterSample
+
+
+def _sample(rate):
+    return CounterSample(inst_retired=rate, cpu_unhalted=2 * rate, epoch_seconds=1.0)
+
+
+class TestThresholdBaseline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdBaseline(threshold=0.0)
+        with pytest.raises(ValueError):
+            ThresholdBaseline(threshold=1.0)
+        with pytest.raises(ValueError):
+            ThresholdBaseline(threshold=0.1, reference_alpha=0.0)
+
+    def test_no_trigger_on_stable_rate(self):
+        baseline = ThresholdBaseline(threshold=0.1)
+        for _ in range(20):
+            decision = baseline.observe(_sample(1e9))
+        assert baseline.triggers == 0
+        assert not decision.trigger
+
+    def test_trigger_on_large_change_after_warmup(self):
+        baseline = ThresholdBaseline(threshold=0.1, warmup_epochs=3)
+        for _ in range(5):
+            baseline.observe(_sample(1e9))
+        decision = baseline.observe(_sample(0.5e9))
+        assert decision.trigger
+        assert baseline.triggers == 1
+        assert decision.relative_change > 0.1
+
+    def test_warmup_suppresses_early_triggers(self):
+        baseline = ThresholdBaseline(threshold=0.1, warmup_epochs=10)
+        baseline.observe(_sample(1e9))
+        decision = baseline.observe(_sample(0.3e9))
+        assert not decision.trigger
+
+    def test_lower_threshold_triggers_more(self):
+        rates = [1e9, 0.92e9, 1.05e9, 0.9e9, 1.1e9, 0.88e9, 1e9, 0.85e9] * 5
+        tight = ThresholdBaseline(threshold=0.05, warmup_epochs=2)
+        loose = ThresholdBaseline(threshold=0.2, warmup_epochs=2)
+        for rate in rates:
+            tight.observe(_sample(rate))
+            loose.observe(_sample(rate))
+        assert tight.triggers > loose.triggers
+
+    def test_reference_reanchors_after_trigger(self):
+        baseline = ThresholdBaseline(threshold=0.1, warmup_epochs=1)
+        for _ in range(3):
+            baseline.observe(_sample(1e9))
+        baseline.observe(_sample(0.5e9))  # triggers and re-anchors
+        decision = baseline.observe(_sample(0.5e9))
+        assert not decision.trigger
+
+    def test_reset(self):
+        baseline = ThresholdBaseline(threshold=0.1)
+        baseline.observe(_sample(1e9))
+        baseline.reset()
+        assert baseline.triggers == 0
+        assert baseline.decisions == []

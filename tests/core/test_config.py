@@ -1,0 +1,37 @@
+"""Tests for the DeepDive configuration."""
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+
+
+class TestDeepDiveConfig:
+    def test_defaults_match_paper(self):
+        config = DeepDiveConfig()
+        assert config.performance_threshold == pytest.approx(0.20)
+        assert config.warning_sigma == pytest.approx(3.0)
+        assert config.epoch_seconds > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"performance_threshold": 0.0},
+            {"performance_threshold": 1.5},
+            {"warning_sigma": 0.0},
+            {"global_quorum": 0.0},
+            {"global_quorum": 1.5},
+            {"profile_epochs": 0},
+            {"placement_eval_epochs": 0},
+            {"epoch_seconds": 0.0},
+            {"smoothing_epochs": 0},
+            {"min_normal_behaviors": 1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DeepDiveConfig(**kwargs)
+
+    def test_custom_values_kept(self):
+        config = DeepDiveConfig(performance_threshold=0.3, profile_epochs=42)
+        assert config.performance_threshold == pytest.approx(0.3)
+        assert config.profile_epochs == 42

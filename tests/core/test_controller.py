@@ -1,0 +1,77 @@
+"""Tests for the persistence controller (oscillating interference)."""
+
+import pytest
+
+from repro.core.controller import PersistenceController
+
+
+def _drive(controller, vm, verdicts):
+    decisions = []
+    for verdict in verdicts:
+        decisions.append(controller.observe(vm, verdict))
+        controller.advance_epoch()
+    return decisions
+
+
+class TestPersistenceController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersistenceController(window_epochs=0)
+        with pytest.raises(ValueError):
+            PersistenceController(window_epochs=3, required_detections=5)
+        with pytest.raises(ValueError):
+            PersistenceController(cooldown_epochs=-1)
+
+    def test_single_spike_does_not_trigger(self):
+        controller = PersistenceController(window_epochs=5, required_detections=3)
+        decisions = _drive(controller, "vm0", [False, True, False, False, False])
+        assert not any(d.act for d in decisions)
+
+    def test_persistent_interference_triggers(self):
+        controller = PersistenceController(window_epochs=5, required_detections=3)
+        decisions = _drive(controller, "vm0", [True, True, True])
+        assert decisions[-1].act
+        assert decisions[-1].detections_in_window == 3
+        assert not decisions[0].act and not decisions[1].act
+
+    def test_oscillating_interference_eventually_triggers(self):
+        controller = PersistenceController(window_epochs=6, required_detections=3)
+        decisions = _drive(controller, "vm0", [True, False, True, False, True])
+        assert decisions[-1].act
+
+    def test_cooldown_suppresses_repeat_actions(self):
+        controller = PersistenceController(
+            window_epochs=3, required_detections=2, cooldown_epochs=5
+        )
+        decisions = _drive(controller, "vm0", [True, True, True, True])
+        acts = [d.act for d in decisions]
+        assert acts[1] is True
+        assert acts[2] is False and acts[3] is False
+        assert "cooldown" in decisions[2].reason
+
+    def test_acts_again_after_cooldown(self):
+        controller = PersistenceController(
+            window_epochs=3, required_detections=2, cooldown_epochs=3
+        )
+        decisions = _drive(controller, "vm0", [True, True, False, False, True, True])
+        assert decisions[1].act
+        assert decisions[-1].act
+
+    def test_vms_tracked_independently(self):
+        controller = PersistenceController(window_epochs=3, required_detections=2)
+        controller.observe("a", True)
+        controller.observe("b", False)
+        controller.advance_epoch()
+        a = controller.observe("a", True)
+        b = controller.observe("b", True)
+        assert a.act
+        assert not b.act
+
+    def test_reset(self):
+        controller = PersistenceController(window_epochs=3, required_detections=2)
+        _drive(controller, "vm0", [True, True])
+        controller.reset("vm0")
+        decision = controller.observe("vm0", True)
+        assert not decision.act
+        controller.reset()
+        assert controller.observe("vm0", True).detections_in_window == 1

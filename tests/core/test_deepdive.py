@@ -1,0 +1,161 @@
+"""Tests for the DeepDive orchestrator."""
+
+import pytest
+
+from repro.core.deepdive import DeepDive
+from repro.core.warning import WarningAction
+from repro.virt.cluster import Cluster
+from repro.virt.vm import VirtualMachine
+from repro.workloads.cloud import DataServingWorkload
+from repro.workloads.stress import MemoryStressWorkload
+
+
+@pytest.fixture
+def deployment(fast_config):
+    """A two-host cluster with one monitored VM and an idle stressor."""
+    cluster = Cluster(num_hosts=2, seed=21, noise=0.01)
+    victim = VirtualMachine("victim", DataServingWorkload(), vcpus=2, memory_gb=2.0)
+    cluster.place_vm(victim, "pm0", load=0.6)
+    stress = VirtualMachine(
+        "stress", MemoryStressWorkload(working_set_mb=192.0), vcpus=2, memory_gb=1.0
+    )
+    cluster.place_vm(stress, "pm0", load=0.0)
+    deepdive = DeepDive(cluster, config=fast_config)
+    return cluster, deepdive, victim, stress
+
+
+def _run_epochs(cluster, deepdive, victim, count, load=0.6):
+    reports = []
+    for _ in range(count):
+        cluster.step(loads={victim.name: load})
+        reports.append(deepdive.observe_epoch(loads={victim.name: load}))
+    return reports
+
+
+class TestBootstrapAndMonitoring:
+    def test_bootstrap_unknown_vm(self, deployment):
+        _, deepdive, _, _ = deployment
+        with pytest.raises(KeyError):
+            deepdive.bootstrap_vm("ghost")
+
+    def test_conservative_mode_before_bootstrap(self, deployment):
+        cluster, deepdive, victim, _ = deployment
+        reports = _run_epochs(cluster, deepdive, victim, 1)
+        observation = reports[0].observations[victim.name]
+        assert observation.warning.conservative
+        # Conservative mode invoked the analyzer, which found no interference
+        # and started populating the repository.
+        assert observation.analysis is not None
+        assert not observation.analysis.confirmed
+
+    def test_normal_operation_after_bootstrap(self, deployment):
+        cluster, deepdive, victim, _ = deployment
+        deepdive.bootstrap_vm(victim.name)
+        reports = _run_epochs(cluster, deepdive, victim, 4)
+        actions = [r.observations[victim.name].warning.action for r in reports]
+        assert all(a is WarningAction.NORMAL for a in actions)
+        assert deepdive.analyzer_invocations() == 0
+
+    def test_epoch_report_helpers(self, deployment):
+        cluster, deepdive, victim, _ = deployment
+        deepdive.bootstrap_vm(victim.name)
+        report = _run_epochs(cluster, deepdive, victim, 1)[0]
+        assert report.analyzer_invocations() == 0
+        assert report.confirmed_interference() == []
+
+    def test_proxy_records_loads(self, deployment):
+        _, deepdive, victim, _ = deployment
+        deepdive.observe_load(victim.name, 0.7)
+        assert deepdive.proxies[victim.name].latest_load() == pytest.approx(0.7)
+
+
+class TestDetectionFlow:
+    def test_detects_injected_interference(self, deployment):
+        cluster, deepdive, victim, stress = deployment
+        deepdive.bootstrap_vm(victim.name)
+        _run_epochs(cluster, deepdive, victim, 3)
+        # Switch the co-located stressor on.
+        cluster.get_host("pm0").set_load(stress.name, 1.0)
+        reports = _run_epochs(cluster, deepdive, victim, 3, load=0.6)
+        confirmed = [
+            r.observations[victim.name].interference_confirmed for r in reports
+        ]
+        assert any(confirmed)
+        assert len(deepdive.events.detections()) >= 1
+        assert deepdive.analyzer_invocations() >= 1
+        assert deepdive.total_profiling_seconds() > 0
+
+    def test_known_interference_avoids_reprofiling(self, deployment):
+        cluster, deepdive, victim, stress = deployment
+
+        def victim_invocations():
+            return sum(
+                1
+                for e in deepdive.events.analyzer_invocations()
+                if e.vm_name == victim.name
+            )
+
+        deepdive.bootstrap_vm(victim.name)
+        _run_epochs(cluster, deepdive, victim, 2)
+        cluster.get_host("pm0").set_load(stress.name, 1.0)
+        _run_epochs(cluster, deepdive, victim, 5)
+        invocations_mid = victim_invocations()
+        _run_epochs(cluster, deepdive, victim, 3)
+        # The signature is known: detection of the victim's interference
+        # continues without paying for new profiling runs.
+        assert victim_invocations() == invocations_mid
+        assert len(deepdive.events.detections()) >= 4
+
+    def test_recovers_after_interference_ends(self, deployment):
+        cluster, deepdive, victim, stress = deployment
+        deepdive.bootstrap_vm(victim.name)
+        _run_epochs(cluster, deepdive, victim, 2)
+        cluster.get_host("pm0").set_load(stress.name, 1.0)
+        _run_epochs(cluster, deepdive, victim, 3)
+        cluster.get_host("pm0").set_load(stress.name, 0.0)
+        reports = _run_epochs(cluster, deepdive, victim, 3)
+        final = reports[-1].observations[victim.name]
+        assert final.warning.action is WarningAction.NORMAL
+
+    def test_analyze_flag_disables_analyzer(self, deployment):
+        cluster, deepdive, victim, stress = deployment
+        deepdive.bootstrap_vm(victim.name)
+        cluster.get_host("pm0").set_load(stress.name, 1.0)
+        cluster.step(loads={victim.name: 0.6})
+        report = deepdive.observe_epoch(loads={victim.name: 0.6}, analyze=False)
+        observation = report.observations[victim.name]
+        assert observation.warning.should_analyze
+        assert observation.analysis is None
+        assert deepdive.analyzer_invocations() == 0
+
+    def test_repository_size_stays_small(self, deployment):
+        cluster, deepdive, victim, stress = deployment
+        deepdive.bootstrap_vm(victim.name)
+        _run_epochs(cluster, deepdive, victim, 5)
+        cluster.get_host("pm0").set_load(stress.name, 1.0)
+        _run_epochs(cluster, deepdive, victim, 5)
+        # The paper's claim: per-VM behaviour storage is a few KB.
+        assert deepdive.repository_size_bytes() < 64 * 1024
+
+
+class TestMitigation:
+    def test_confirmed_interference_triggers_migration(self, fast_config):
+        cluster = Cluster(num_hosts=3, seed=33, noise=0.01)
+        victim = VirtualMachine("victim", DataServingWorkload(), vcpus=2, memory_gb=2.0)
+        stress = VirtualMachine(
+            "aggressor", MemoryStressWorkload(working_set_mb=256.0), vcpus=2, memory_gb=1.0
+        )
+        cluster.place_vm(victim, "pm0", load=1.0)
+        cluster.place_vm(stress, "pm0", load=1.0)
+        deepdive = DeepDive(cluster, config=fast_config, mitigate=True)
+        deepdive.bootstrap_vm(victim.name)
+        for _ in range(3):
+            cluster.step(loads={victim.name: 1.0})
+            deepdive.observe_epoch(loads={victim.name: 1.0})
+            if deepdive.events.migrations():
+                break
+        migrations = deepdive.events.migrations()
+        assert len(migrations) >= 1
+        # The aggressor (most aggressive user of the culprit resource) moved.
+        assert migrations[0].vm_name == "aggressor"
+        assert cluster.host_of("aggressor") != "pm0"

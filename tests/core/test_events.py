@@ -1,0 +1,64 @@
+"""Tests for the event log."""
+
+from repro.core.events import (
+    AnalyzerInvocationEvent,
+    EventLog,
+    InterferenceDetectedEvent,
+    MigrationEvent,
+)
+from repro.metrics.cpi import Resource
+
+
+def _invocation(epoch, confirmed, seconds=30.0):
+    return AnalyzerInvocationEvent(
+        epoch=epoch,
+        vm_name="vm0",
+        reason="test",
+        confirmed=confirmed,
+        degradation=0.3 if confirmed else 0.05,
+        profiling_seconds=seconds,
+        culprit=Resource.CACHE if confirmed else None,
+    )
+
+
+class TestEventLog:
+    def test_record_and_filter(self):
+        log = EventLog()
+        log.record(_invocation(1, True))
+        log.record(_invocation(2, False))
+        log.record(
+            InterferenceDetectedEvent(
+                epoch=1, vm_name="vm0", degradation=0.3, culprit=Resource.CACHE
+            )
+        )
+        log.record(
+            MigrationEvent(
+                epoch=3, vm_name="vm0", source="pm0", destination="pm1",
+                predicted_degradation=0.02,
+            )
+        )
+        assert len(log) == 4
+        assert len(log.analyzer_invocations()) == 2
+        assert len(log.detections()) == 1
+        assert len(log.migrations()) == 1
+        assert len(log.all()) == 4
+        assert len(list(iter(log))) == 4
+
+    def test_false_positive_accounting(self):
+        log = EventLog()
+        log.record(_invocation(1, True))
+        log.record(_invocation(2, False))
+        log.record(_invocation(3, False))
+        assert len(log.false_positive_invocations()) == 2
+
+    def test_profiling_time_sums(self):
+        log = EventLog()
+        log.record(_invocation(1, True, seconds=10.0))
+        log.record(_invocation(2, False, seconds=25.0))
+        assert log.total_profiling_seconds() == 35.0
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(_invocation(1, True))
+        log.clear()
+        assert len(log) == 0

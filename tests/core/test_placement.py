@@ -1,0 +1,126 @@
+"""Tests for the VM placement manager."""
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.core.placement import PlacementManager
+from repro.metrics.counters import CounterSample
+from repro.metrics.cpi import Resource
+from repro.virt.sandbox import SandboxEnvironment
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmm import Host
+from repro.workloads.cloud import DataServingWorkload, WebSearchWorkload
+from repro.workloads.stress import MemoryStressWorkload
+
+
+@pytest.fixture
+def manager(fast_config):
+    sandbox = SandboxEnvironment(num_hosts=1, profile_epochs=5, noise=0.0, seed=8)
+    return PlacementManager(sandbox=sandbox, synthesizer=None, config=fast_config)
+
+
+def _loaded_host(name, workload, load, seed=0):
+    host = Host(name=name, noise=0.0, seed=seed)
+    host.add_vm(VirtualMachine(f"{name}-resident", workload, vcpus=2, memory_gb=2.0),
+                load=load, cores=[0, 1])
+    return host
+
+
+class TestAggressorSelection:
+    def test_selects_heaviest_user_of_culprit_resource(self, host, data_serving_vm, stress_vm):
+        host.add_vm(data_serving_vm, load=0.8, cores=[0, 1])
+        host.add_vm(stress_vm, load=1.0, cores=[2, 3])
+        host.step()
+        aggressor = PlacementManager(
+            SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1)
+        ).select_aggressor(host, Resource.MEMORY_BUS)
+        assert aggressor == stress_vm.name
+
+    def test_exclude_list_respected(self, host, data_serving_vm, stress_vm):
+        host.add_vm(data_serving_vm, load=0.8, cores=[0, 1])
+        host.add_vm(stress_vm, load=1.0, cores=[2, 3])
+        host.step()
+        manager = PlacementManager(SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1))
+        aggressor = manager.select_aggressor(
+            host, Resource.MEMORY_BUS, exclude=[stress_vm.name]
+        )
+        assert aggressor == data_serving_vm.name
+
+    def test_no_counters_returns_none(self, host, data_serving_vm):
+        host.add_vm(data_serving_vm)
+        manager = PlacementManager(SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1))
+        assert manager.select_aggressor(host, Resource.CACHE) is None
+
+
+class TestSyntheticRepresentation:
+    def test_without_synthesizer_falls_back_to_clone(self, manager, stress_vm):
+        probe = manager.synthetic_representation(stress_vm, [CounterSample.zeros()])
+        assert probe.cloned_from == stress_vm.name
+
+    def test_with_synthesizer_builds_synthetic_vm(self, fast_config, stress_vm, machine):
+        from repro.regression.training import SyntheticBenchmarkTrainer
+
+        synthesizer = SyntheticBenchmarkTrainer(samples=40, seed=5).train()
+        manager = PlacementManager(
+            SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1),
+            synthesizer=synthesizer,
+            config=fast_config,
+        )
+        outcome = machine.run_in_isolation(stress_vm.workload.demand(1.0))
+        probe = manager.synthetic_representation(stress_vm, [outcome.counters])
+        assert probe.workload.name == "synthetic_benchmark"
+        assert probe.vcpus == stress_vm.vcpus
+
+
+class TestDecision:
+    def test_decide_prefers_least_loaded_candidate(self, manager, stress_vm, machine):
+        # Two candidates: a heavily loaded Data Serving host and a lightly
+        # loaded Web Search host; the latter should score better.
+        busy = _loaded_host("busy", DataServingWorkload(), load=1.0, seed=11)
+        idle = _loaded_host("idle", WebSearchWorkload(), load=0.2, seed=12)
+        outcome = machine.run_in_isolation(stress_vm.workload.demand(0.5))
+        decision = manager.decide(
+            stress_vm,
+            source_host="source",
+            candidates={"busy": busy, "idle": idle},
+            recent_samples=[outcome.counters],
+            eval_epochs=4,
+        )
+        assert decision.destination == "idle"
+        assert decision.best().host_name == "idle"
+        assert len(decision.evaluations) == 2
+        assert decision.evaluations[0].score <= decision.evaluations[1].score
+
+    def test_source_host_excluded(self, manager, stress_vm, machine):
+        only = _loaded_host("only", WebSearchWorkload(), load=0.2, seed=13)
+        outcome = machine.run_in_isolation(stress_vm.workload.demand(0.5))
+        decision = manager.decide(
+            stress_vm,
+            source_host="only",
+            candidates={"only": only},
+            recent_samples=[outcome.counters],
+            eval_epochs=3,
+        )
+        assert decision.destination is None
+        assert decision.evaluations == []
+
+    def test_full_candidate_skipped(self, manager, machine):
+        big_vm = VirtualMachine("huge", MemoryStressWorkload(), vcpus=2, memory_gb=16.0)
+        small_host = _loaded_host("small", WebSearchWorkload(), load=0.3, seed=14)
+        outcome = machine.run_in_isolation(big_vm.workload.demand(0.5))
+        decision = manager.decide(
+            big_vm,
+            source_host="source",
+            candidates={"small": small_host},
+            recent_samples=[outcome.counters],
+            eval_epochs=3,
+        )
+        assert decision.destination is None
+
+    def test_decisions_recorded(self, manager, stress_vm, machine):
+        idle = _loaded_host("idle", WebSearchWorkload(), load=0.2, seed=15)
+        outcome = machine.run_in_isolation(stress_vm.workload.demand(0.5))
+        manager.decide(
+            stress_vm, "source", {"idle": idle}, [outcome.counters], eval_epochs=3
+        )
+        assert len(manager.decisions) == 1

@@ -1,0 +1,125 @@
+"""Tests for the VM behaviour repository."""
+
+import numpy as np
+import pytest
+
+from repro.core.repository import BehaviorRepository
+from repro.metrics.counters import CounterSample
+from repro.metrics.sample import WARNING_METRICS, MetricVector
+
+
+def _vector(scale=1.0, cpi=2.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    inst = 1e9
+    sample = CounterSample(
+        cpu_unhalted=cpi * inst * (1 + noise * rng.normal()),
+        inst_retired=inst,
+        l1d_repl=0.02 * inst * scale * (1 + noise * rng.normal()),
+        l2_lines_in=0.005 * inst * scale,
+        mem_load=0.3 * inst,
+        resource_stalls=1.0 * inst * scale,
+        bus_tran_any=0.008 * inst * scale,
+        br_miss_pred=0.004 * inst,
+        disk_stall_cycles=0.1 * inst,
+        net_stall_cycles=0.02 * inst,
+    )
+    return MetricVector.from_sample(sample)
+
+
+def _populate(repo, app="app", count=20, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = [_vector(noise=0.02, seed=int(rng.integers(1e6))) for _ in range(count)]
+    repo.add_normal_batch(app, vectors, refit=True)
+    return vectors
+
+
+class TestRepositoryBasics:
+    def test_entry_created_lazily(self):
+        repo = BehaviorRepository()
+        assert repo.known_apps() == []
+        repo.entry("app")
+        assert repo.known_apps() == ["app"]
+        assert repo.normal_count("app") == 0
+        assert repo.normal_count("other") == 0
+
+    def test_no_model_before_minimum_behaviours(self):
+        repo = BehaviorRepository(min_normal_behaviors=8)
+        for _ in range(5):
+            repo.add_normal("app", _vector())
+        assert not repo.has_model("app")
+        assert repo.fit("app") is None
+        assert repo.distance("app", _vector()) == float("inf")
+        assert not repo.matches("app", _vector())
+
+    def test_model_fits_after_batch(self):
+        repo = BehaviorRepository(min_normal_behaviors=8)
+        _populate(repo)
+        assert repo.has_model("app")
+        assert repo.thresholds("app") is not None
+
+    def test_acceptance_radius_grows_with_dimension(self):
+        repo = BehaviorRepository(warning_sigma=3.0)
+        assert repo.acceptance_radius(1) == pytest.approx(3.0, rel=1e-6)
+        assert repo.acceptance_radius(14) > repo.acceptance_radius(4)
+
+    def test_capacity_limit_evicts_oldest(self):
+        repo = BehaviorRepository(min_normal_behaviors=2, max_vectors_per_app=10,
+                                  refit_every=100)
+        for i in range(25):
+            repo.add_normal("app", _vector(seed=i), refit=False)
+        assert repo.normal_count("app") == 10
+
+
+class TestMatching:
+    def test_normal_vector_matches(self):
+        repo = BehaviorRepository()
+        _populate(repo)
+        assert repo.matches("app", _vector(noise=0.02, seed=999))
+        assert repo.distance("app", _vector(noise=0.02, seed=999)) < repo.acceptance_radius()
+
+    def test_interference_vector_does_not_match(self):
+        repo = BehaviorRepository()
+        _populate(repo)
+        shifted = _vector(scale=4.0, cpi=6.0)
+        assert not repo.matches("app", shifted)
+        assert repo.distance("app", shifted) > repo.acceptance_radius()
+
+    def test_unknown_app_never_matches(self):
+        repo = BehaviorRepository()
+        assert not repo.matches("ghost", _vector())
+
+    def test_measurement_noise_floor_prevents_overtight_clusters(self):
+        # Behaviours collected with nearly zero spread...
+        repo = BehaviorRepository(measurement_noise=0.05)
+        repo.add_normal_batch("app", [_vector(noise=0.0, seed=i) for i in range(20)])
+        # ...should still accept readings with a few percent of noise.
+        assert repo.matches("app", _vector(noise=0.03, seed=123))
+
+
+class TestInterferenceLabels:
+    def test_interference_distance(self):
+        repo = BehaviorRepository()
+        _populate(repo)
+        assert repo.interference_distance("app", _vector()) == float("inf")
+        bad = _vector(scale=4.0, cpi=6.0)
+        repo.add_interference("app", bad)
+        assert repo.matches_interference("app", bad)
+        assert not repo.matches_interference("app", _vector())
+
+    def test_constraints_keep_interference_out_of_normal_clusters(self):
+        repo = BehaviorRepository()
+        _populate(repo)
+        bad = _vector(scale=4.0, cpi=6.0)
+        repo.add_interference("app", bad)
+        repo.fit("app")
+        assert not repo.matches("app", bad)
+
+    def test_size_accounting(self):
+        repo = BehaviorRepository()
+        _populate(repo, count=24)
+        size = repo.size_bytes("app")
+        assert size > 0
+        # The paper's claim: a day of behaviour fits in a few KB.  24
+        # behaviours plus the fitted model must stay well under 5 KB.
+        assert size < 5 * 1024
+        assert repo.size_bytes() >= size

@@ -1,0 +1,114 @@
+"""Tests for the warning system (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.core.repository import BehaviorRepository
+from repro.core.warning import WarningAction, WarningSystem
+from repro.metrics.counters import CounterSample
+from repro.metrics.sample import MetricVector
+
+
+def _vector(scale=1.0, cpi=2.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    inst = 1e9
+    sample = CounterSample(
+        cpu_unhalted=cpi * inst * (1 + noise * rng.normal()),
+        inst_retired=inst,
+        l1d_repl=0.02 * inst * scale * (1 + noise * rng.normal()),
+        l2_lines_in=0.005 * inst * scale,
+        mem_load=0.3 * inst,
+        resource_stalls=1.0 * inst * scale,
+        bus_tran_any=0.008 * inst * scale,
+        br_miss_pred=0.004 * inst,
+        disk_stall_cycles=0.1 * inst,
+        net_stall_cycles=0.02 * inst,
+    )
+    return MetricVector.from_sample(sample)
+
+
+@pytest.fixture
+def warning_system():
+    repo = BehaviorRepository()
+    rng = np.random.default_rng(0)
+    repo.add_normal_batch(
+        "app", [_vector(noise=0.02, seed=int(rng.integers(1e6))) for _ in range(20)]
+    )
+    return WarningSystem(repo, DeepDiveConfig())
+
+
+class TestConservativeMode:
+    def test_unknown_app_triggers_analyzer(self):
+        system = WarningSystem(BehaviorRepository(), DeepDiveConfig())
+        decision = system.evaluate("vm0", "new-app", _vector())
+        assert decision.action is WarningAction.ANALYZE
+        assert decision.conservative
+        assert decision.should_analyze
+
+
+class TestLocalCheck:
+    def test_normal_behaviour_matches(self, warning_system):
+        decision = warning_system.evaluate("vm0", "app", _vector(noise=0.02, seed=7))
+        assert decision.action is WarningAction.NORMAL
+        assert not decision.should_analyze
+        assert decision.distance < warning_system.repository.acceptance_radius()
+
+    def test_interference_behaviour_fires(self, warning_system):
+        decision = warning_system.evaluate("vm0", "app", _vector(scale=4.0, cpi=6.0))
+        assert decision.action is WarningAction.ANALYZE
+        assert decision.distance > warning_system.repository.acceptance_radius()
+        assert len(decision.violated_dimensions) > 0
+
+    def test_known_interference_shortcut(self, warning_system):
+        bad = _vector(scale=4.0, cpi=6.0)
+        warning_system.repository.add_interference("app", bad)
+        decision = warning_system.evaluate("vm0", "app", bad)
+        assert decision.action is WarningAction.KNOWN_INTERFERENCE
+        assert decision.flags_interference
+        assert not decision.should_analyze
+
+    def test_evaluation_counter(self, warning_system):
+        warning_system.evaluate("vm0", "app", _vector())
+        warning_system.evaluate("vm1", "app", _vector())
+        assert warning_system.evaluations["app"] == 2
+
+
+class TestGlobalCheck:
+    def test_corroborated_deviation_is_workload_change(self, warning_system):
+        shifted = _vector(scale=2.5, cpi=3.5, seed=1)
+        siblings = {
+            f"sibling{i}": _vector(scale=2.5, cpi=3.5, noise=0.01, seed=10 + i)
+            for i in range(4)
+        }
+        decision = warning_system.evaluate("vm0", "app", shifted, siblings)
+        assert decision.action is WarningAction.WORKLOAD_CHANGE
+        assert decision.siblings_consulted == 4
+        assert decision.siblings_agreeing >= 3
+
+    def test_uncorroborated_deviation_triggers_analyzer(self, warning_system):
+        shifted = _vector(scale=4.0, cpi=6.0)
+        siblings = {
+            f"sibling{i}": _vector(noise=0.02, seed=20 + i) for i in range(4)
+        }
+        decision = warning_system.evaluate("vm0", "app", shifted, siblings)
+        assert decision.action is WarningAction.ANALYZE
+        assert decision.siblings_agreeing == 0
+
+    def test_single_vm_case_ignores_global(self, warning_system):
+        shifted = _vector(scale=4.0, cpi=6.0)
+        decision = warning_system.evaluate("vm0", "app", shifted, sibling_vectors={})
+        assert decision.action is WarningAction.ANALYZE
+        assert decision.siblings_consulted == 0
+
+    def test_own_vm_excluded_from_siblings(self, warning_system):
+        shifted = _vector(scale=4.0, cpi=6.0)
+        decision = warning_system.evaluate(
+            "vm0", "app", shifted, sibling_vectors={"vm0": shifted}
+        )
+        assert decision.siblings_consulted == 0
+
+    def test_learn_workload_change_extends_repository(self, warning_system):
+        before = warning_system.repository.normal_count("app")
+        warning_system.learn_workload_change("app", _vector(scale=1.3))
+        assert warning_system.repository.normal_count("app") == before + 1

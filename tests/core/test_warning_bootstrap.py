@@ -1,0 +1,91 @@
+"""Tests for the warning system's conservative bootstrap mode.
+
+Shortly after a VM's deployment the metric space is empty, so every
+deviation escalates to the analyzer; the analyzer's answers populate the
+repository and the warning system leaves conservative mode.  These tests
+check that the learning actually converges: the number of escalations
+per epoch drops as behaviours accumulate, and the bootstrap sweep
+immediately covers the whole load range.
+"""
+
+import pytest
+
+from repro.core.analyzer import InterferenceAnalyzer
+from repro.core.config import DeepDiveConfig
+from repro.core.repository import BehaviorRepository
+from repro.core.warning import WarningAction, WarningSystem
+from repro.metrics.sample import MetricVector
+from repro.virt.sandbox import SandboxEnvironment
+from repro.virt.vmm import Host
+
+
+@pytest.fixture
+def config():
+    return DeepDiveConfig(
+        profile_epochs=5,
+        bootstrap_load_levels=5,
+        bootstrap_epochs_per_level=4,
+        min_normal_behaviors=8,
+    )
+
+
+def _production_vector(host, vm, load):
+    host.set_load(vm.name, load)
+    results = host.step()
+    return MetricVector.from_sample(results[vm.name].counters, label=vm.app_id)
+
+
+class TestConservativeBootstrap:
+    def test_everything_escalates_before_any_learning(self, config, data_serving_vm, host):
+        repository = BehaviorRepository()
+        warning = WarningSystem(repository, config)
+        host.add_vm(data_serving_vm, load=0.5)
+        for _ in range(3):
+            vector = _production_vector(host, data_serving_vm, 0.5)
+            decision = warning.evaluate(data_serving_vm.name, data_serving_vm.app_id, vector)
+            assert decision.action is WarningAction.ANALYZE
+            assert decision.conservative
+
+    def test_bootstrap_sweep_covers_the_load_range(self, config, data_serving_vm, host):
+        repository = BehaviorRepository()
+        warning = WarningSystem(repository, config)
+        sandbox = SandboxEnvironment(num_hosts=1, profile_epochs=5, noise=0.005, seed=9)
+        analyzer = InterferenceAnalyzer(sandbox, repository, config)
+        analyzer.bootstrap(data_serving_vm)
+
+        host.add_vm(data_serving_vm, load=0.3)
+        # After the sweep, production behaviour at any load in the swept
+        # range matches without further analyzer help.
+        for load in (0.25, 0.5, 0.75, 0.95):
+            vector = _production_vector(host, data_serving_vm, load)
+            decision = warning.evaluate(data_serving_vm.name, data_serving_vm.app_id, vector)
+            assert decision.action is WarningAction.NORMAL, load
+            assert not decision.conservative
+
+    def test_incremental_learning_reduces_escalations(self, config, data_serving_vm, host):
+        """Without a bootstrap sweep, analyzing-and-certifying each new
+        behaviour (the paper's false-positive learning loop) still makes
+        the escalation rate drop over time."""
+        repository = BehaviorRepository(min_normal_behaviors=8, refit_every=4)
+        warning = WarningSystem(repository, config)
+        host.add_vm(data_serving_vm, load=0.5)
+
+        def escalations(epochs, loads):
+            count = 0
+            for i in range(epochs):
+                load = loads[i % len(loads)]
+                vector = _production_vector(host, data_serving_vm, load)
+                decision = warning.evaluate(
+                    data_serving_vm.name, data_serving_vm.app_id, vector
+                )
+                if decision.should_analyze:
+                    count += 1
+                    # Emulate the analyzer certifying the behaviour as normal.
+                    repository.add_normal(data_serving_vm.app_id, vector, refit=True)
+            return count
+
+        first_phase = escalations(10, [0.4, 0.6, 0.8])
+        second_phase = escalations(10, [0.4, 0.6, 0.8])
+        assert first_phase > 0
+        assert second_phase < first_phase
+        assert second_phase <= 2

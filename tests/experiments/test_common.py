@@ -1,0 +1,96 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    CLOUD_WORKLOADS,
+    PAIRED_STRESS,
+    centroid_separation,
+    client_reported_degradation,
+    instruction_rate_degradation,
+    latency_reported_degradation,
+    make_stress_vm,
+    make_victim_vm,
+    run_colocation,
+)
+from repro.metrics.sample import MetricVector
+from repro.metrics.counters import CounterSample
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", CLOUD_WORKLOADS)
+    def test_make_victim_vm(self, name):
+        vm = make_victim_vm(name)
+        assert vm.workload.name == name
+        assert vm.vcpus == 2
+
+    def test_make_victim_vm_kwargs(self):
+        vm = make_victim_vm("data_serving", key_skew=0.9)
+        assert vm.workload.key_skew == pytest.approx(0.9)
+
+    @pytest.mark.parametrize("kind", ["memory", "network", "disk"])
+    def test_make_stress_vm(self, kind, data_serving_vm):
+        vm = make_stress_vm(kind)
+        assert vm.memory_gb == pytest.approx(1.0)
+
+
+class TestColocationRuns:
+    def test_isolation_run_structure(self):
+        run = run_colocation("web_search", load=0.6, epochs=4, seed=2)
+        assert len(run.victim_samples) == 4
+        assert len(run.victim_reports) == 4
+        assert run.mean_inst_rate > 0
+        assert run.mean_request_rate > 0
+        assert run.stress_kind is None
+        assert len(run.metric_vectors()) == 4
+        aggregate = run.aggregate_counters()
+        assert aggregate.epoch_seconds == pytest.approx(4.0)
+
+    def test_stress_reduces_rates_at_saturation(self):
+        iso = run_colocation("data_serving", load=1.1, epochs=4, seed=3)
+        prod = run_colocation(
+            "data_serving", load=1.1, stress_kind="memory", stress_level=0.5,
+            stress_kwargs={"working_set_mb": 256.0}, epochs=4, seed=3,
+            share_cache_domain=True,
+        )
+        assert prod.mean_inst_rate < iso.mean_inst_rate
+        assert instruction_rate_degradation(prod, iso) > 0.1
+        assert client_reported_degradation(prod, iso) > 0.1
+        assert latency_reported_degradation(prod, iso) >= 0.0
+
+    def test_degradation_of_identical_runs_is_zero(self):
+        run = run_colocation("web_search", load=0.5, epochs=3, seed=5)
+        assert instruction_rate_degradation(run, run) == pytest.approx(0.0)
+        assert client_reported_degradation(run, run) == pytest.approx(0.0)
+
+    def test_paired_stress_mapping(self):
+        assert PAIRED_STRESS["data_serving"] == "memory"
+        assert PAIRED_STRESS["data_analytics"] == "network"
+        assert PAIRED_STRESS["web_search"] == "disk"
+
+
+class TestSeparation:
+    def _vectors(self, scale, count=10):
+        out = []
+        for i in range(count):
+            inst = 1e9
+            sample = CounterSample(
+                cpu_unhalted=2.0 * inst,
+                inst_retired=inst,
+                l1d_repl=0.02 * inst * scale * (1 + 0.01 * i),
+                l2_lines_in=0.005 * inst * scale,
+                bus_tran_any=0.008 * inst * scale,
+            )
+            out.append(MetricVector.from_sample(sample))
+        return out
+
+    def test_separated_groups_score_high(self):
+        a = self._vectors(1.0)
+        b = self._vectors(3.0)
+        score = centroid_separation(a, b, ("l1_repl_pki", "l2_lines_in_pki", "bus_tran_pki"))
+        assert score > 5.0
+
+    def test_identical_groups_score_low(self):
+        a = self._vectors(1.0)
+        score = centroid_separation(a, a, ("l1_repl_pki", "l2_lines_in_pki"))
+        assert score == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,102 @@
+"""Fast smoke tests for every experiment driver.
+
+The full parameterisations run in ``benchmarks/``; here each figure's
+driver is executed with tiny parameters to make sure the plumbing works
+and the headline qualitative property holds.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    fig01_motivation,
+    fig04_clusters,
+    fig05_global,
+    fig06_breakdown,
+    fig07_i7_port,
+    fig08_detection,
+    fig09_degradation,
+    fig11_placement,
+    fig12_overhead,
+    fig13_reaction_poisson,
+    fig14_reaction_lognormal,
+)
+from repro.experiments.common import (
+    CLOUD_WORKLOADS,
+    PAIRED_STRESS,
+    client_reported_degradation,
+    instruction_rate_degradation,
+    run_colocation,
+)
+
+
+class TestCommonHelpers:
+    def test_run_colocation_isolation_vs_stress(self):
+        iso = run_colocation("data_serving", load=1.1, epochs=5, seed=1)
+        prod = run_colocation(
+            "data_serving", load=1.1, stress_kind="memory", stress_level=0.4,
+            stress_kwargs={"working_set_mb": 128.0}, epochs=5, seed=1,
+        )
+        assert instruction_rate_degradation(prod, iso) > 0.05
+        assert client_reported_degradation(prod, iso) > 0.05
+
+    def test_paired_stress_covers_all_workloads(self):
+        assert set(PAIRED_STRESS) == set(CLOUD_WORKLOADS)
+
+
+class TestFigureSmoke:
+    def test_fig01(self):
+        result = fig01_motivation.run(epochs=48)
+        assert result.throughput_drop_fraction() > 0.2
+
+    def test_fig04(self):
+        result = fig04_clusters.run(
+            workloads=("data_serving",), load_levels=(0.4, 0.8),
+            variations_per_workload=1, interference_levels=(1.0,), epochs=4,
+        )
+        assert result.per_workload["data_serving"].separation > 2.0
+
+    def test_fig05(self):
+        result = fig05_global.run(num_hosts=4, num_interfered=1, epochs=4)
+        assert result.separation > 2.0
+
+    def test_fig06(self):
+        result = fig06_breakdown.run(workloads=("web_search",), epochs=5)
+        assert result.accuracy() >= 2.0 / 3.0
+
+    def test_fig07(self):
+        result = fig07_i7_port.run(load_levels=(0.5,), interference_levels=(1.0,), epochs=4)
+        assert result.separation > 2.0
+
+    def test_fig08(self):
+        result = fig08_detection.run_workload(
+            "data_serving", days=2, epochs_per_day=24, seed=3
+        )
+        assert result.detection_rates()[-1] >= 0.9
+        assert result.missed_episodes == 0
+
+    def test_fig09(self):
+        result = fig09_degradation.run_workload("data_analytics", epochs=6)
+        assert result.mean_absolute_error() < 0.10
+
+    def test_fig11(self):
+        result = fig11_placement.run(eval_epochs=6, use_synthetic=False)
+        assert result.chosen_degradation <= result.average_degradation + 0.05
+
+    def test_fig12(self):
+        result = fig12_overhead.run(days=1, epochs_per_day=24)
+        assert result.deepdive.final_minutes < result.baseline(0.05).final_minutes
+
+    def test_fig13(self):
+        result = fig13_reaction_poisson.run(
+            interference_fractions=(0.2, 0.6), servers=(2, 8), alphas=(1.0, math.inf),
+            days=1.0,
+        )
+        assert result.mean_reaction("local", 8, 0.6) <= result.mean_reaction("local", 2, 0.6)
+
+    def test_fig14(self):
+        result = fig14_reaction_lognormal.run(
+            interference_fractions=(0.2,), servers=(4,), alphas=(1.0, math.inf), days=1.0
+        )
+        assert result.mean_reaction("local", 4, 0.2) > 0.0

@@ -1,0 +1,67 @@
+"""Tests for the shared-cache contention model."""
+
+import pytest
+
+from repro.hardware.cache import SharedCacheModel
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.specs import XEON_X5472
+
+
+@pytest.fixture
+def cache_model():
+    return SharedCacheModel(XEON_X5472.architecture)
+
+
+def _demand(ws=8.0, miss_pki=30.0, locality=0.7, inst=1e9):
+    return ResourceDemand(
+        instructions=inst, working_set_mb=ws, l1_miss_pki=miss_pki, locality=locality
+    )
+
+
+class TestSharedCacheModel:
+    def test_fitting_working_set_has_low_miss_ratio(self, cache_model):
+        outcome = cache_model.isolation_outcome(_demand(ws=4.0))
+        assert outcome.miss_ratio <= 0.05
+
+    def test_oversized_working_set_misses(self, cache_model):
+        outcome = cache_model.isolation_outcome(_demand(ws=200.0, locality=0.1))
+        assert outcome.miss_ratio > 0.4
+
+    def test_locality_reduces_misses(self, cache_model):
+        streaming = cache_model.isolation_outcome(_demand(ws=100.0, locality=0.0))
+        friendly = cache_model.isolation_outcome(_demand(ws=100.0, locality=0.9))
+        assert friendly.miss_ratio < streaming.miss_ratio
+
+    def test_colocated_victim_misses_more_than_alone(self, cache_model):
+        """The paper's motivating example: two VMs thrash together but fit alone."""
+        victim = _demand(ws=8.0)
+        alone = cache_model.isolation_outcome(victim)
+        shared = cache_model.resolve({
+            "victim": victim,
+            "polluter": _demand(ws=11.0, miss_pki=120.0, locality=0.9),
+        })["victim"]
+        assert shared.miss_ratio > alone.miss_ratio
+
+    def test_occupancy_bounded_by_working_set_and_cache(self, cache_model):
+        outcomes = cache_model.resolve({
+            "small": _demand(ws=2.0),
+            "large": _demand(ws=400.0),
+        })
+        assert outcomes["small"].occupancy_mb <= 2.0 + 1e-9
+        total = sum(o.occupancy_mb for o in outcomes.values())
+        assert total <= cache_model.size_mb + 1e-9
+
+    def test_idle_vm_gets_compulsory_misses_only(self, cache_model):
+        outcome = cache_model.resolve({"idle": ResourceDemand.idle()})["idle"]
+        assert outcome.llc_accesses == 0.0
+        assert outcome.occupancy_mb == 0.0
+
+    def test_accesses_scale_with_instructions(self, cache_model):
+        small = cache_model.isolation_outcome(_demand(inst=1e8))
+        large = cache_model.isolation_outcome(_demand(inst=1e9))
+        assert large.llc_accesses == pytest.approx(small.llc_accesses * 10, rel=1e-6)
+
+    def test_miss_ratio_between_zero_and_one(self, cache_model):
+        for ws in (0.5, 8.0, 64.0, 1024.0):
+            outcome = cache_model.isolation_outcome(_demand(ws=ws))
+            assert 0.0 <= outcome.miss_ratio <= 1.0

@@ -1,0 +1,54 @@
+"""Tests for resource demands."""
+
+import pytest
+
+from repro.hardware.demand import ResourceDemand
+
+
+class TestResourceDemand:
+    def test_scaled_preserves_per_instruction_character(self):
+        demand = ResourceDemand(instructions=1e9, disk_mb=10.0, network_mbit=20.0,
+                                l1_miss_pki=25.0, working_set_mb=32.0)
+        double = demand.scaled(2.0)
+        assert double.instructions == pytest.approx(2e9)
+        assert double.disk_mb == pytest.approx(20.0)
+        assert double.network_mbit == pytest.approx(40.0)
+        # per-instruction characteristics untouched
+        assert double.l1_miss_pki == demand.l1_miss_pki
+        assert double.working_set_mb == demand.working_set_mb
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ResourceDemand(instructions=1.0).scaled(-1.0)
+
+    def test_validate_accepts_reasonable_demand(self):
+        ResourceDemand(instructions=1e9).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"instructions": -1.0},
+            {"instructions": 1.0, "vcpus": 0},
+            {"instructions": 1.0, "locality": 1.5},
+            {"instructions": 1.0, "branch_mispredict_rate": -0.1},
+            {"instructions": 1.0, "disk_sequential_fraction": 2.0},
+            {"instructions": 1.0, "working_set_mb": -5.0},
+            {"instructions": 1.0, "network_mbit": -1.0},
+        ],
+    )
+    def test_validate_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ResourceDemand(**kwargs).validate()
+
+    def test_idle_demand(self):
+        idle = ResourceDemand.idle()
+        idle.validate()
+        assert idle.instructions == 0.0
+        assert idle.disk_mb == 0.0
+        assert idle.network_mbit == 0.0
+
+    def test_as_dict_contains_all_knobs(self):
+        d = ResourceDemand(instructions=1e9).as_dict()
+        for key in ("instructions", "working_set_mb", "locality", "disk_mb",
+                    "network_mbit", "vcpus", "write_fraction"):
+            assert key in d

@@ -1,0 +1,67 @@
+"""Tests for the disk contention model."""
+
+import pytest
+
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.disk import DiskModel
+from repro.hardware.specs import DiskSpec
+
+
+@pytest.fixture
+def disk():
+    return DiskModel(DiskSpec(count=2, sequential_mbps=100.0, random_efficiency=0.06))
+
+
+def _demand(mb=10.0, seq=0.8):
+    return ResourceDemand(instructions=1e8, disk_mb=mb, disk_sequential_fraction=seq)
+
+
+class TestDiskModel:
+    def test_sequential_bandwidth_exceeds_random(self, disk):
+        assert disk.aggregate_bandwidth_mbps(1.0) > disk.aggregate_bandwidth_mbps(0.0)
+
+    def test_random_bandwidth_matches_efficiency(self, disk):
+        assert disk.aggregate_bandwidth_mbps(0.0) == pytest.approx(2 * 100.0 * 0.06)
+
+    def test_small_demand_fully_served(self, disk):
+        outcome = disk.isolation_outcome(_demand(mb=5.0), epoch_seconds=1.0)
+        assert outcome.transferred_mb == pytest.approx(5.0)
+        assert outcome.satisfaction == pytest.approx(1.0)
+        assert outcome.wait_seconds < 0.2
+
+    def test_oversubscribed_demand_partially_served(self, disk):
+        outcome = disk.isolation_outcome(_demand(mb=1000.0), epoch_seconds=1.0)
+        assert outcome.transferred_mb < 1000.0
+        assert outcome.satisfaction < 1.0
+        assert outcome.wait_seconds > 0.5
+
+    def test_two_sequential_streams_interfere(self, disk):
+        """The paper's example: two sequential streams become random together."""
+        alone = disk.isolation_outcome(_demand(mb=40.0, seq=0.9), epoch_seconds=1.0)
+        together = disk.resolve(
+            {"a": _demand(mb=40.0, seq=0.9), "b": _demand(mb=40.0, seq=0.9)},
+            epoch_seconds=1.0,
+        )["a"]
+        assert together.wait_seconds > alone.wait_seconds
+        assert together.transferred_mb <= alone.transferred_mb + 1e-9
+
+    def test_idle_vm_untouched(self, disk):
+        outcomes = disk.resolve(
+            {"busy": _demand(mb=50.0), "idle": ResourceDemand.idle()},
+            epoch_seconds=1.0,
+        )
+        assert outcomes["idle"].transferred_mb == 0.0
+        assert outcomes["idle"].wait_seconds == 0.0
+        assert outcomes["idle"].satisfaction == 1.0
+
+    def test_sharing_is_proportional_when_saturated(self, disk):
+        outcomes = disk.resolve(
+            {"small": _demand(mb=100.0, seq=0.2), "big": _demand(mb=300.0, seq=0.2)},
+            epoch_seconds=1.0,
+        )
+        ratio = outcomes["big"].transferred_mb / max(outcomes["small"].transferred_mb, 1e-9)
+        assert ratio == pytest.approx(3.0, rel=0.01)
+
+    def test_wait_never_exceeds_epoch(self, disk):
+        outcome = disk.isolation_outcome(_demand(mb=1e6, seq=0.0), epoch_seconds=1.0)
+        assert outcome.wait_seconds <= 1.0

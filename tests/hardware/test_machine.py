@@ -1,0 +1,149 @@
+"""Tests for the physical-machine contention model."""
+
+import pytest
+
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.machine import PhysicalMachine
+from repro.hardware.specs import XEON_X5472
+
+
+class TestRunEpochBasics:
+    def test_empty_epoch(self, machine):
+        result = machine.run_epoch({})
+        assert result.per_vm == {}
+
+    def test_invalid_epoch_length(self, machine, cpu_demand):
+        with pytest.raises(ValueError):
+            machine.run_epoch({"vm": cpu_demand}, epoch_seconds=0.0)
+
+    def test_counters_scale_with_work(self, machine, cpu_demand):
+        outcome = machine.run_in_isolation(cpu_demand)
+        sample = outcome.counters
+        assert sample.inst_retired > 0
+        assert sample.cpu_unhalted > sample.inst_retired * 0.5
+        assert sample.l1d_repl == pytest.approx(
+            sample.inst_retired * cpu_demand.l1_miss_pki / 1000.0, rel=0.05
+        )
+
+    def test_idle_demand_produces_zero_counters(self, machine):
+        outcome = machine.run_in_isolation(ResourceDemand.idle())
+        assert outcome.instructions_retired == 0.0
+        assert outcome.counters.cpu_unhalted == 0.0
+        assert outcome.progress == 1.0
+
+    def test_light_demand_completes(self, machine, cpu_demand):
+        outcome = machine.run_in_isolation(cpu_demand)
+        assert outcome.progress == pytest.approx(1.0)
+        assert outcome.instructions_retired == pytest.approx(
+            cpu_demand.instructions, rel=0.02
+        )
+
+    def test_excessive_demand_is_capacity_limited(self, machine, cpu_demand):
+        heavy = cpu_demand.scaled(50.0)
+        outcome = machine.run_in_isolation(heavy)
+        assert outcome.progress < 1.0
+        assert outcome.instructions_retired < heavy.instructions
+        assert outcome.instructions_attainable == pytest.approx(
+            outcome.instructions_retired, rel=1e-6
+        )
+
+    def test_attainable_at_least_retired(self, machine, cpu_demand, io_demand):
+        for demand in (cpu_demand, io_demand):
+            outcome = machine.run_in_isolation(demand)
+            assert outcome.instructions_attainable >= outcome.instructions_retired - 1e-6
+
+    def test_missing_core_assignment_rejected(self, machine, cpu_demand):
+        with pytest.raises(ValueError):
+            machine.run_epoch({"vm": cpu_demand}, core_assignment={"vm": []})
+
+    def test_cpu_cap_limits_retirement(self, machine, cpu_demand):
+        heavy = cpu_demand.scaled(50.0)
+        uncapped = machine.run_in_isolation(heavy, cpu_cap=1.0)
+        capped = machine.run_in_isolation(heavy, cpu_cap=0.5)
+        assert capped.instructions_retired < uncapped.instructions_retired
+
+    def test_determinism_with_same_seed(self, cpu_demand):
+        a = PhysicalMachine(noise=0.02, seed=42).run_in_isolation(cpu_demand)
+        b = PhysicalMachine(noise=0.02, seed=42).run_in_isolation(cpu_demand)
+        assert a.counters.inst_retired == pytest.approx(b.counters.inst_retired)
+        assert a.counters.l1d_repl == pytest.approx(b.counters.l1d_repl)
+
+    def test_noise_perturbs_counters(self, cpu_demand):
+        quiet = PhysicalMachine(noise=0.0, seed=1).run_in_isolation(cpu_demand)
+        noisy = PhysicalMachine(noise=0.05, seed=1).run_in_isolation(cpu_demand)
+        assert noisy.counters.l1d_repl != pytest.approx(quiet.counters.l1d_repl, rel=1e-6)
+
+    def test_counters_validate(self, noisy_machine, memory_demand, io_demand):
+        result = noisy_machine.run_epoch({"mem": memory_demand, "io": io_demand})
+        for outcome in result.per_vm.values():
+            outcome.counters.validate()
+
+
+class TestInterferenceEffects:
+    def test_memory_stress_slows_colocated_victim(self, machine, cpu_demand, memory_demand):
+        alone = machine.run_in_isolation(cpu_demand.scaled(3.0))
+        together = machine.run_epoch(
+            {"victim": cpu_demand.scaled(3.0), "stress": memory_demand.scaled(3.0)}
+        )
+        victim = together.per_vm["victim"]
+        assert victim.cpi > alone.cpi
+        assert victim.instructions_attainable < alone.instructions_attainable
+
+    def test_cache_domain_sharing_increases_misses(self, machine, cpu_demand):
+        polluter = ResourceDemand(
+            instructions=2e9, working_set_mb=11.0, l1_miss_pki=120.0, locality=0.9
+        )
+        separate = machine.run_epoch(
+            {"victim": cpu_demand, "polluter": polluter},
+            core_assignment={"victim": [0, 1], "polluter": [2, 3]},
+        )
+        shared = machine.run_epoch(
+            {"victim": cpu_demand, "polluter": polluter},
+            core_assignment={"victim": [0, 1], "polluter": [1, 3]},
+        )
+        miss_rate_shared = (
+            shared.per_vm["victim"].counters.l2_lines_in
+            / max(shared.per_vm["victim"].counters.inst_retired, 1.0)
+        )
+        miss_rate_separate = (
+            separate.per_vm["victim"].counters.l2_lines_in
+            / max(separate.per_vm["victim"].counters.inst_retired, 1.0)
+        )
+        assert miss_rate_shared > miss_rate_separate
+
+    @staticmethod
+    def _per_inst(sample, counter):
+        return sample[counter] / max(sample.inst_retired, 1.0)
+
+    def test_disk_contention_creates_disk_stalls(self, machine, io_demand):
+        stressor = ResourceDemand(
+            instructions=1e8, disk_mb=60.0, disk_sequential_fraction=0.1
+        )
+        alone = machine.run_in_isolation(io_demand)
+        together = machine.run_epoch({"victim": io_demand, "stress": stressor})
+        victim = together.per_vm["victim"].counters
+        assert self._per_inst(victim, "disk_stall_cycles") > self._per_inst(
+            alone.counters, "disk_stall_cycles"
+        )
+        assert together.per_vm["victim"].instructions_retired < alone.instructions_retired
+
+    def test_network_contention_creates_net_stalls(self, machine):
+        victim = ResourceDemand(instructions=5e8, network_mbit=300.0)
+        iperf = ResourceDemand(instructions=1e8, network_mbit=1400.0)
+        alone = machine.run_in_isolation(victim)
+        together = machine.run_epoch({"victim": victim, "iperf": iperf})
+        victim_counters = together.per_vm["victim"].counters
+        assert self._per_inst(victim_counters, "net_stall_cycles") > self._per_inst(
+            alone.counters, "net_stall_cycles"
+        )
+
+    def test_bus_utilization_reported(self, machine, memory_demand):
+        result = machine.run_epoch({"mem": memory_demand})
+        assert 0.0 < result.bus_utilization <= 1.0
+
+    def test_default_core_assignment_covers_all_vms(self, machine, cpu_demand):
+        demands = {f"vm{i}": cpu_demand for i in range(3)}
+        assignment = machine.default_core_assignment(demands)
+        assert set(assignment) == set(demands)
+        for cores in assignment.values():
+            assert len(cores) == cpu_demand.vcpus

@@ -1,0 +1,61 @@
+"""Tests for the NIC contention model."""
+
+import pytest
+
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.network import NicModel
+from repro.hardware.specs import NicSpec
+
+
+@pytest.fixture
+def nic():
+    return NicModel(NicSpec(count=1, bandwidth_mbps=1000.0))
+
+
+def _demand(mbit=100.0):
+    return ResourceDemand(instructions=1e8, network_mbit=mbit)
+
+
+class TestNicModel:
+    def test_capacity(self, nic):
+        assert nic.capacity_mbps == pytest.approx(1000.0)
+
+    def test_light_demand_fully_served(self, nic):
+        outcome = nic.isolation_outcome(_demand(100.0), epoch_seconds=1.0)
+        assert outcome.transferred_mbit == pytest.approx(100.0)
+        assert outcome.satisfaction == pytest.approx(1.0)
+        assert outcome.wait_seconds < 0.05
+
+    def test_oversubscription_limits_throughput(self, nic):
+        outcomes = nic.resolve(
+            {"victim": _demand(400.0), "iperf": _demand(1400.0)}, epoch_seconds=1.0
+        )
+        total = sum(o.transferred_mbit for o in outcomes.values())
+        assert total == pytest.approx(1000.0, rel=1e-6)
+        assert outcomes["victim"].satisfaction < 1.0
+        assert outcomes["victim"].wait_seconds > 0.1
+
+    def test_queueing_delay_grows_with_utilization(self, nic):
+        light = nic.resolve({"v": _demand(100.0)}, epoch_seconds=1.0)["v"]
+        heavy = nic.resolve(
+            {"v": _demand(100.0), "iperf": _demand(850.0)}, epoch_seconds=1.0
+        )["v"]
+        assert heavy.wait_seconds > light.wait_seconds
+
+    def test_idle_vm_untouched(self, nic):
+        outcomes = nic.resolve(
+            {"busy": _demand(500.0), "idle": ResourceDemand.idle()}, epoch_seconds=1.0
+        )
+        assert outcomes["idle"].transferred_mbit == 0.0
+        assert outcomes["idle"].wait_seconds == 0.0
+
+    def test_wait_bounded_by_epoch(self, nic):
+        outcome = nic.isolation_outcome(_demand(1e6), epoch_seconds=1.0)
+        assert outcome.wait_seconds <= 1.0
+
+    def test_proportional_sharing(self, nic):
+        outcomes = nic.resolve(
+            {"a": _demand(1000.0), "b": _demand(3000.0)}, epoch_seconds=1.0
+        )
+        ratio = outcomes["b"].transferred_mbit / outcomes["a"].transferred_mbit
+        assert ratio == pytest.approx(3.0, rel=0.01)

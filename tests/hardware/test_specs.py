@@ -1,0 +1,52 @@
+"""Tests for machine and architecture specifications."""
+
+import pytest
+
+from repro.hardware.specs import (
+    CORE_I7_E5640,
+    XEON_X5472,
+    available_machine_specs,
+    get_machine_spec,
+)
+
+
+class TestSpecs:
+    def test_xeon_matches_paper_description(self):
+        arch = XEON_X5472.architecture
+        assert arch.cores == 8
+        assert arch.frequency_hz == pytest.approx(3.0e9)
+        assert arch.shared_cache_mb == pytest.approx(12.0)
+        assert arch.cores_per_cache_domain == 2
+        assert arch.front_side_bus is True
+        assert XEON_X5472.dram_gb == pytest.approx(8.0)
+        assert XEON_X5472.disk.count == 2
+        assert XEON_X5472.nic.bandwidth_mbps == pytest.approx(1000.0)
+
+    def test_i7_matches_paper_description(self):
+        arch = CORE_I7_E5640.architecture
+        assert arch.cores == 8
+        assert arch.frequency_hz == pytest.approx(2.67e9)
+        assert arch.front_side_bus is False
+        assert arch.sockets == 2
+
+    def test_cache_domains(self):
+        assert XEON_X5472.architecture.cache_domains == 4
+        assert CORE_I7_E5640.architecture.cache_domains == 2
+
+    def test_get_machine_spec(self):
+        assert get_machine_spec("xeon_x5472") is XEON_X5472
+        assert get_machine_spec("core_i7") is CORE_I7_E5640
+        with pytest.raises(KeyError):
+            get_machine_spec("m1-ultra")
+
+    def test_available_machine_specs(self):
+        assert set(available_machine_specs()) == {"xeon_x5472", "core_i7"}
+
+    def test_with_nic_bandwidth(self):
+        slower = XEON_X5472.with_nic_bandwidth(100.0)
+        assert slower.nic.bandwidth_mbps == pytest.approx(100.0)
+        assert XEON_X5472.nic.bandwidth_mbps == pytest.approx(1000.0)
+        assert slower.architecture is XEON_X5472.architecture
+
+    def test_name_property(self):
+        assert XEON_X5472.name == "xeon_x5472"

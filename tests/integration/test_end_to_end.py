@@ -1,0 +1,130 @@
+"""End-to-end integration tests: the full DeepDive loop on a small cluster."""
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.core.deepdive import DeepDive
+from repro.core.warning import WarningAction
+from repro.metrics.cpi import Resource
+from repro.virt.cluster import Cluster
+from repro.virt.vm import VirtualMachine
+from repro.workloads.cloud import DataAnalyticsWorkload, DataServingWorkload
+from repro.workloads.stress import NetworkStressWorkload
+from repro.workloads.traces import hotmail_like_trace
+
+
+@pytest.fixture
+def config():
+    return DeepDiveConfig(
+        profile_epochs=5,
+        bootstrap_load_levels=4,
+        bootstrap_epochs_per_level=4,
+        min_normal_behaviors=8,
+        placement_eval_epochs=5,
+    )
+
+
+class TestDetectAttributeMitigate:
+    def test_full_cycle_network_interference(self, config):
+        """Detect iperf-style interference on Data Analytics, blame the
+        network, migrate the aggressor, and observe recovery."""
+        cluster = Cluster(num_hosts=2, seed=77, noise=0.01)
+        victim = VirtualMachine(
+            "analytics", DataAnalyticsWorkload(remote_fetch_fraction=0.7),
+            vcpus=2, memory_gb=2.0,
+        )
+        iperf = VirtualMachine(
+            "iperf", NetworkStressWorkload(target_mbps=700.0), vcpus=2, memory_gb=1.0
+        )
+        cluster.place_vm(victim, "pm0", load=1.0)
+        cluster.place_vm(iperf, "pm0", load=0.0)
+
+        deepdive = DeepDive(cluster, config=config, mitigate=True)
+        deepdive.bootstrap_vm(victim.name)
+
+        # Quiet period: no detections.
+        for _ in range(3):
+            cluster.step(loads={victim.name: 1.0})
+            deepdive.observe_epoch(loads={victim.name: 1.0})
+        assert len(deepdive.events.detections()) == 0
+
+        # Interference period.
+        cluster.get_host("pm0").set_load(iperf.name, 1.0)
+        for _ in range(4):
+            cluster.step(loads={victim.name: 1.0})
+            deepdive.observe_epoch(loads={victim.name: 1.0})
+            if deepdive.events.migrations():
+                break
+
+        detections = [e for e in deepdive.events.detections() if e.vm_name == victim.name]
+        assert detections, "interference on the victim must be detected"
+        assert detections[0].culprit is Resource.NETWORK
+
+        migrations = deepdive.events.migrations()
+        assert migrations, "the placement manager must act on confirmed interference"
+        assert migrations[0].vm_name == iperf.name
+        assert cluster.host_of(iperf.name) == "pm1"
+
+        # After the migration the victim recovers.
+        for _ in range(3):
+            cluster.step(loads={victim.name: 1.0})
+            report = deepdive.observe_epoch(loads={victim.name: 1.0})
+        final = report.observations[victim.name]
+        assert final.warning.action in (WarningAction.NORMAL, WarningAction.WORKLOAD_CHANGE)
+
+
+class TestGlobalInformationPath:
+    def test_cluster_wide_load_change_is_not_interference(self, config):
+        """When every replica of an application shifts together, the warning
+        system classifies the shift as a workload change, not interference."""
+        cluster = Cluster(num_hosts=3, seed=88, noise=0.01)
+        vms = []
+        for i, host in enumerate(cluster.host_names()):
+            vm = VirtualMachine(f"cass{i}", DataServingWorkload(key_skew=0.6),
+                                vcpus=2, memory_gb=2.0)
+            cluster.place_vm(vm, host, load=0.5)
+            vms.append(vm)
+        deepdive = DeepDive(cluster, config=config)
+        deepdive.bootstrap_vm(vms[0].name)
+
+        for _ in range(3):
+            cluster.step()
+            deepdive.observe_epoch()
+
+        # A qualitative change applied to every replica at once.
+        for vm in vms:
+            vm.workload.key_skew = 0.2
+            vm.workload.read_fraction = 0.6
+
+        actions = []
+        for _ in range(2):
+            cluster.step()
+            report = deepdive.observe_epoch()
+            actions.extend(
+                obs.warning.action for obs in report.observations.values()
+            )
+        assert WarningAction.WORKLOAD_CHANGE in actions
+        # No interference was reported for the corroborated change.
+        assert not any(
+            obs_action is WarningAction.KNOWN_INTERFERENCE for obs_action in actions
+        )
+        assert len(deepdive.events.detections()) == 0
+
+
+class TestTraceReplay:
+    def test_diurnal_trace_without_interference_stays_quiet(self, config):
+        """Replaying a fluctuating load trace alone must not accumulate
+        confirmed detections (the normalisation absorbs load changes)."""
+        cluster = Cluster(num_hosts=1, seed=99, noise=0.01)
+        victim = VirtualMachine("victim", DataServingWorkload(), vcpus=2, memory_gb=2.0)
+        cluster.place_vm(victim, "pm0", load=0.5)
+        deepdive = DeepDive(cluster, config=config)
+        deepdive.bootstrap_vm(victim.name)
+
+        trace = hotmail_like_trace(days=1, epochs_per_hour=1, seed=4)
+        for epoch in range(24):
+            load = float(trace[epoch])
+            cluster.step(loads={victim.name: load})
+            deepdive.observe_epoch(loads={victim.name: load})
+
+        assert len(deepdive.events.detections()) == 0

@@ -1,0 +1,87 @@
+"""Tests for the Table 1 counter definitions and raw samples."""
+
+import pytest
+
+from repro.metrics.counters import (
+    CORE_COUNTERS,
+    COUNTER_DEFINITIONS,
+    COUNTER_NAMES,
+    IO_COUNTERS,
+    CounterSample,
+)
+
+
+class TestCounterDefinitions:
+    def test_table1_has_fourteen_metrics(self):
+        assert len(COUNTER_DEFINITIONS) == 14
+        assert len(COUNTER_NAMES) == 14
+
+    def test_names_are_unique(self):
+        assert len(set(COUNTER_NAMES)) == len(COUNTER_NAMES)
+
+    def test_core_and_io_partition(self):
+        assert set(CORE_COUNTERS) | set(IO_COUNTERS) == set(COUNTER_NAMES)
+        assert not set(CORE_COUNTERS) & set(IO_COUNTERS)
+
+    def test_io_counters_are_disk_and_network(self):
+        assert set(IO_COUNTERS) == {"disk_stall_cycles", "net_stall_cycles"}
+
+    def test_expected_pmu_counters_present(self):
+        for name in ("cpu_unhalted", "inst_retired", "l1d_repl", "l2_lines_in",
+                     "resource_stalls", "bus_tran_any", "br_miss_pred"):
+            assert name in CORE_COUNTERS
+
+
+class TestCounterSample:
+    def test_as_dict_roundtrip(self):
+        sample = CounterSample(cpu_unhalted=100.0, inst_retired=50.0)
+        rebuilt = CounterSample.from_mapping(sample.as_dict())
+        assert rebuilt.cpu_unhalted == 100.0
+        assert rebuilt.inst_retired == 50.0
+
+    def test_from_mapping_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            CounterSample.from_mapping({"not_a_counter": 1.0})
+
+    def test_getitem_and_iter(self):
+        sample = CounterSample(inst_retired=42.0)
+        assert sample["inst_retired"] == 42.0
+        assert list(sample) == list(COUNTER_NAMES)
+        with pytest.raises(KeyError):
+            sample["bogus"]
+
+    def test_cpi_and_ipc(self):
+        sample = CounterSample(cpu_unhalted=200.0, inst_retired=100.0)
+        assert sample.cpi == pytest.approx(2.0)
+        assert sample.ipc == pytest.approx(0.5)
+
+    def test_cpi_of_idle_sample_is_infinite(self):
+        assert CounterSample.zeros().cpi == float("inf")
+        assert CounterSample.zeros().ipc == 0.0
+
+    def test_scaled(self):
+        sample = CounterSample(cpu_unhalted=10.0, inst_retired=4.0, l1d_repl=2.0)
+        half = sample.scaled(0.5)
+        assert half.cpu_unhalted == pytest.approx(5.0)
+        assert half.l1d_repl == pytest.approx(1.0)
+        assert half.epoch_seconds == sample.epoch_seconds
+
+    def test_merged_sums_counters_and_epochs(self):
+        a = CounterSample(inst_retired=10.0, epoch_seconds=1.0)
+        b = CounterSample(inst_retired=20.0, epoch_seconds=2.0)
+        merged = a.merged(b)
+        assert merged.inst_retired == pytest.approx(30.0)
+        assert merged.epoch_seconds == pytest.approx(3.0)
+
+    def test_validate_accepts_zeroes(self):
+        CounterSample.zeros().validate()
+
+    def test_validate_rejects_negative(self):
+        sample = CounterSample(inst_retired=-1.0)
+        with pytest.raises(ValueError):
+            sample.validate()
+
+    def test_validate_rejects_nan(self):
+        sample = CounterSample(inst_retired=float("nan"))
+        with pytest.raises(ValueError):
+            sample.validate()

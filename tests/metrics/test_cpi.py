@@ -1,0 +1,145 @@
+"""Tests for the I/O-augmented CPI stack."""
+
+import pytest
+
+from repro.metrics.counters import CounterSample
+from repro.metrics.cpi import (
+    CPIStack,
+    CPIStackModel,
+    Resource,
+    StallBreakdown,
+    degradation_from_instructions,
+)
+
+
+def _sample(inst=1e9, l1=0.02, l2=0.005, stalls=1.0, disk=0.0, net=0.0, cycles=2.0):
+    return CounterSample(
+        cpu_unhalted=cycles * inst,
+        inst_retired=inst,
+        l1d_repl=l1 * inst,
+        l2_lines_in=l2 * inst,
+        resource_stalls=stalls * inst,
+        bus_req_out=l2 * inst * 100,
+        disk_stall_cycles=disk * inst,
+        net_stall_cycles=net * inst,
+    )
+
+
+class TestStallBreakdown:
+    def test_overall_is_sum(self):
+        bd = StallBreakdown(core=1.0, cache=0.5, memory_bus=0.3, disk=0.2, network=0.1)
+        assert bd.overall == pytest.approx(2.1)
+
+    def test_as_dict_and_getitem(self):
+        bd = StallBreakdown(core=1.0, cache=0.5, memory_bus=0.3, disk=0.2, network=0.1)
+        assert bd[Resource.CACHE] == pytest.approx(0.5)
+        assert set(bd.as_dict()) == set(Resource)
+
+
+class TestCPIStackModel:
+    def test_breakdown_components_nonnegative(self):
+        model = CPIStackModel.for_architecture("xeon_x5472")
+        bd = model.breakdown(_sample())
+        for resource in Resource:
+            assert bd[resource] >= 0.0
+
+    def test_for_architecture_unknown(self):
+        with pytest.raises(KeyError):
+            CPIStackModel.for_architecture("sparc")
+
+    def test_for_architecture_presets_differ(self):
+        xeon = CPIStackModel.for_architecture("xeon_x5472")
+        i7 = CPIStackModel.for_architecture("core_i7")
+        assert xeon.memory_cycles != i7.memory_cycles
+
+    def test_io_stalls_enter_breakdown(self):
+        model = CPIStackModel.for_architecture("xeon_x5472")
+        bd = model.breakdown(_sample(disk=0.8, net=0.4))
+        assert bd.disk == pytest.approx(0.8, rel=1e-6)
+        assert bd.network == pytest.approx(0.4, rel=1e-6)
+
+
+class TestCulpritAttribution:
+    def _compare(self, iso_kwargs, prod_kwargs):
+        model = CPIStackModel.for_architecture("xeon_x5472")
+        return model.compare(_sample(**prod_kwargs), _sample(**iso_kwargs))
+
+    def test_more_cache_misses_blames_cache(self):
+        """Scenario A: more off-core accesses at the same per-access cost."""
+        stack = self._compare(
+            dict(l1=0.02, stalls=1.0, cycles=2.0),
+            dict(l1=0.06, stalls=3.0, cycles=4.0),
+        )
+        assert stack.culprit() is Resource.CACHE
+
+    def test_higher_access_cost_blames_memory_bus(self):
+        """Scenario B: same accesses, each one costing more."""
+        stack = self._compare(
+            dict(l1=0.02, stalls=1.0, cycles=2.0),
+            dict(l1=0.02, stalls=2.5, cycles=3.5),
+        )
+        assert stack.culprit() is Resource.MEMORY_BUS
+
+    def test_disk_stalls_blame_disk(self):
+        stack = self._compare(
+            dict(disk=0.05),
+            dict(disk=1.5),
+        )
+        assert stack.culprit() is Resource.DISK
+
+    def test_network_stalls_blame_network(self):
+        stack = self._compare(
+            dict(net=0.05),
+            dict(net=1.2),
+        )
+        assert stack.culprit() is Resource.NETWORK
+
+    def test_factors_sum_close_to_relative_slowdown(self):
+        iso = _sample(cycles=2.0, stalls=1.0)
+        prod = _sample(cycles=3.0, stalls=2.0)
+        model = CPIStackModel.for_architecture("xeon_x5472")
+        stack = model.compare(prod, iso)
+        total = sum(stack.factors().values())
+        expected = (3.0 - 2.0) / 3.0
+        assert total == pytest.approx(expected, abs=0.05)
+
+    def test_ranked_orders_by_factor(self):
+        stack = self._compare(dict(disk=0.0), dict(disk=2.0))
+        ranked = stack.ranked()
+        assert ranked[0] is Resource.DISK
+
+    def test_fallback_factors_without_calibration(self):
+        prod = StallBreakdown(core=1.0, cache=0.8, memory_bus=0.4, disk=0.0, network=0.0)
+        iso = StallBreakdown(core=1.0, cache=0.2, memory_bus=0.2, disk=0.0, network=0.0)
+        stack = CPIStack(production=prod, isolation=iso)
+        factors = stack.factors()
+        assert factors[Resource.CACHE] > factors[Resource.MEMORY_BUS]
+        assert stack.culprit() is Resource.CACHE
+
+
+class TestDegradation:
+    def test_no_degradation_for_identical_rates(self):
+        a = _sample(inst=1e9)
+        assert degradation_from_instructions(a, a) == pytest.approx(0.0)
+
+    def test_half_rate_is_fifty_percent(self):
+        prod = _sample(inst=0.5e9)
+        iso = _sample(inst=1e9)
+        assert degradation_from_instructions(prod, iso) == pytest.approx(0.5)
+
+    def test_epoch_normalisation(self):
+        prod = _sample(inst=1e9)
+        prod.epoch_seconds = 2.0
+        iso = _sample(inst=1e9)
+        # Same count over twice the time = half the rate.
+        assert degradation_from_instructions(prod, iso) == pytest.approx(0.5)
+
+    def test_never_negative(self):
+        prod = _sample(inst=2e9)
+        iso = _sample(inst=1e9)
+        assert degradation_from_instructions(prod, iso) == 0.0
+
+    def test_zero_isolation_rate(self):
+        prod = _sample(inst=1e9)
+        iso = _sample(inst=0.0)
+        assert degradation_from_instructions(prod, iso) == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the normalised metric vectors."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.counters import CounterSample
+from repro.metrics.normalization import aggregate_samples, normalize_sample, normalize_samples
+from repro.metrics.sample import (
+    WARNING_METRICS,
+    MetricVector,
+    matrix_to_vectors,
+    vectors_to_matrix,
+)
+
+
+def _sample(inst=1e9, scale=1.0):
+    return CounterSample(
+        cpu_unhalted=2.0 * inst,
+        inst_retired=inst,
+        l1d_repl=0.02 * inst * scale,
+        l2_lines_in=0.005 * inst * scale,
+        mem_load=0.3 * inst,
+        resource_stalls=1.0 * inst,
+        bus_tran_any=0.008 * inst * scale,
+        br_miss_pred=0.004 * inst,
+        disk_stall_cycles=0.1 * inst,
+        net_stall_cycles=0.05 * inst,
+    )
+
+
+class TestMetricVector:
+    def test_dimensions_complete(self):
+        vector = MetricVector.from_sample(_sample())
+        assert set(vector.values) == set(WARNING_METRICS)
+
+    def test_normalisation_is_load_invariant(self):
+        """The key property from Section 4.1: normalised values persist
+        across load intensities (here, scaling the amount of work)."""
+        low = MetricVector.from_sample(_sample(inst=1e8))
+        high = MetricVector.from_sample(_sample(inst=4e9))
+        for name in ("cpi", "l1_repl_pki", "l2_lines_in_pki", "bus_tran_pki"):
+            assert low[name] == pytest.approx(high[name], rel=1e-9)
+
+    def test_interference_shifts_normalised_values(self):
+        quiet = MetricVector.from_sample(_sample(scale=1.0))
+        noisy = MetricVector.from_sample(_sample(scale=3.0))
+        assert noisy["l2_lines_in_pki"] > quiet["l2_lines_in_pki"] * 2
+
+    def test_missing_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            MetricVector(values={"cpi": 1.0})
+
+    def test_as_array_order(self):
+        vector = MetricVector.from_sample(_sample())
+        array = vector.as_array()
+        assert array.shape == (len(WARNING_METRICS),)
+        assert array[0] == pytest.approx(vector["cpi"])
+
+    def test_as_array_subset(self):
+        vector = MetricVector.from_sample(_sample())
+        sub = vector.as_array(["cpi", "l1_repl_pki"])
+        assert sub.shape == (2,)
+        assert sub[1] == pytest.approx(vector["l1_repl_pki"])
+
+    def test_distance_zero_to_self(self):
+        vector = MetricVector.from_sample(_sample())
+        assert vector.distance(vector) == pytest.approx(0.0)
+
+    def test_distance_with_scale(self):
+        a = MetricVector.from_sample(_sample(scale=1.0))
+        b = MetricVector.from_sample(_sample(scale=2.0))
+        unscaled = a.distance(b)
+        scaled = a.distance(b, scale={name: 10.0 for name in WARNING_METRICS})
+        assert scaled < unscaled
+
+    def test_copy_is_independent(self):
+        vector = MetricVector.from_sample(_sample())
+        clone = vector.copy()
+        clone.values["cpi"] = 123.0
+        assert vector["cpi"] != 123.0
+
+    def test_cpu_utilization_bounded(self):
+        vector = MetricVector.from_sample(_sample())
+        assert 0.0 <= vector["cpu_utilization"] <= 1.0
+
+
+class TestMatrixConversion:
+    def test_roundtrip(self):
+        vectors = [MetricVector.from_sample(_sample(scale=s)) for s in (1.0, 2.0, 3.0)]
+        matrix = vectors_to_matrix(vectors)
+        assert matrix.shape == (3, len(WARNING_METRICS))
+        back = matrix_to_vectors(matrix)
+        assert back[1]["l1_repl_pki"] == pytest.approx(vectors[1]["l1_repl_pki"])
+
+    def test_empty(self):
+        matrix = vectors_to_matrix([])
+        assert matrix.shape == (0, len(WARNING_METRICS))
+
+
+class TestNormalizationHelpers:
+    def test_normalize_sample_label(self):
+        vector = normalize_sample(_sample(), label="app")
+        assert vector.label == "app"
+
+    def test_normalize_samples(self):
+        vectors = normalize_samples([_sample(), _sample()])
+        assert len(vectors) == 2
+
+    def test_aggregate_samples(self):
+        merged = aggregate_samples([_sample(inst=1e9), _sample(inst=2e9)])
+        assert merged.inst_retired == pytest.approx(3e9)
+        assert merged.epoch_seconds == pytest.approx(2.0)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_samples([])

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These check that the contention substrate, the normalisation layer and
+the clustering machinery behave sanely for *any* physically meaningful
+input, not just the hand-picked cases of the unit tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.scaling import StandardScaler
+from repro.hardware.demand import ResourceDemand
+from repro.hardware.machine import PhysicalMachine
+from repro.metrics.counters import COUNTER_NAMES, CounterSample
+from repro.metrics.cpi import CPIStackModel, Resource, degradation_from_instructions
+from repro.metrics.sample import WARNING_METRICS, MetricVector
+from repro.workloads.synthetic import SyntheticBenchmark, SyntheticInputs
+
+_MACHINE = PhysicalMachine(noise=0.0, seed=123)
+
+demand_strategy = st.builds(
+    ResourceDemand,
+    instructions=st.floats(min_value=0.0, max_value=2e10),
+    vcpus=st.integers(min_value=1, max_value=8),
+    working_set_mb=st.floats(min_value=0.0, max_value=2048.0),
+    loads_pki=st.floats(min_value=0.0, max_value=800.0),
+    l1_miss_pki=st.floats(min_value=0.0, max_value=300.0),
+    ifetch_pki=st.floats(min_value=0.0, max_value=20.0),
+    branches_pki=st.floats(min_value=0.0, max_value=400.0),
+    branch_mispredict_rate=st.floats(min_value=0.0, max_value=0.2),
+    locality=st.floats(min_value=0.0, max_value=1.0),
+    disk_mb=st.floats(min_value=0.0, max_value=500.0),
+    disk_sequential_fraction=st.floats(min_value=0.0, max_value=1.0),
+    network_mbit=st.floats(min_value=0.0, max_value=4000.0),
+    write_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+counter_strategy = st.builds(
+    CounterSample,
+    cpu_unhalted=st.floats(min_value=0.0, max_value=1e12),
+    # Any real monitoring epoch retires many instructions; the per-kilo-
+    # instruction normalisation is only meaningful above that floor.
+    inst_retired=st.floats(min_value=1e4, max_value=1e12),
+    l1d_repl=st.floats(min_value=0.0, max_value=1e10),
+    l2_ifetch=st.floats(min_value=0.0, max_value=1e9),
+    l2_lines_in=st.floats(min_value=0.0, max_value=1e10),
+    mem_load=st.floats(min_value=0.0, max_value=1e11),
+    resource_stalls=st.floats(min_value=0.0, max_value=1e12),
+    bus_tran_any=st.floats(min_value=0.0, max_value=1e10),
+    bus_trans_ifetch=st.floats(min_value=0.0, max_value=1e9),
+    bus_tran_brd=st.floats(min_value=0.0, max_value=1e10),
+    bus_req_out=st.floats(min_value=0.0, max_value=1e12),
+    br_miss_pred=st.floats(min_value=0.0, max_value=1e9),
+    disk_stall_cycles=st.floats(min_value=0.0, max_value=1e12),
+    net_stall_cycles=st.floats(min_value=0.0, max_value=1e12),
+)
+
+
+class TestMachineInvariants:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(demand=demand_strategy)
+    def test_epoch_outcome_is_physical(self, demand):
+        outcome = _MACHINE.run_in_isolation(demand)
+        # Counters are finite and non-negative.
+        outcome.counters.validate()
+        # A VM never retires more than it asked for, nor more than it could.
+        assert outcome.instructions_retired <= demand.instructions + 1e-6
+        assert outcome.instructions_retired <= outcome.instructions_attainable + 1e-6
+        assert 0.0 <= outcome.progress <= 1.0 + 1e-9
+        # I/O stalls never exceed the epoch's worth of cycles per core.
+        arch = _MACHINE.spec.architecture
+        max_cycles = arch.frequency_hz * demand.vcpus
+        assert outcome.counters.disk_stall_cycles <= max_cycles + 1e-6
+        assert outcome.counters.net_stall_cycles <= max_cycles + 1e-6
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(demand=demand_strategy, load_factor=st.floats(min_value=0.1, max_value=1.0))
+    def test_colocated_vm_never_faster_than_alone(self, demand, load_factor):
+        """Adding a co-runner can only slow a VM down (work-conserving model)."""
+        competitor = ResourceDemand(
+            instructions=3e9, working_set_mb=256.0, l1_miss_pki=120.0, locality=0.05,
+            disk_mb=20.0, network_mbit=500.0,
+        )
+        scaled = demand.scaled(load_factor)
+        alone = _MACHINE.run_in_isolation(scaled)
+        together = _MACHINE.run_epoch({"vm": scaled, "other": competitor}).per_vm["vm"]
+        assert together.instructions_retired <= alone.instructions_retired * 1.01 + 1.0
+
+
+class TestNormalizationInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(sample=counter_strategy)
+    def test_metric_vector_always_finite(self, sample):
+        vector = MetricVector.from_sample(sample)
+        values = vector.as_array()
+        assert np.all(np.isfinite(values))
+        assert 0.0 <= vector["cpu_utilization"] <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(sample=counter_strategy, factor=st.floats(min_value=0.1, max_value=100.0))
+    def test_normalisation_invariant_under_uniform_scaling(self, sample, factor):
+        """Scaling all counters together (a pure load change) leaves the
+        normalised vector unchanged."""
+        # Physically, a core cannot retire more than a few instructions
+        # per cycle; degenerate cycle counts break the utilisation ratio.
+        assume(sample.cpu_unhalted >= sample.inst_retired / 4.0)
+        scaled = sample.scaled(factor)
+        original = MetricVector.from_sample(sample).as_array()
+        rescaled = MetricVector.from_sample(scaled).as_array()
+        assert np.allclose(original, rescaled, rtol=1e-6, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(prod=counter_strategy, iso=counter_strategy)
+    def test_degradation_bounded(self, prod, iso):
+        value = degradation_from_instructions(prod, iso)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(prod=counter_strategy, iso=counter_strategy)
+    def test_cpi_stack_factors_finite_and_culprit_not_core(self, prod, iso):
+        model = CPIStackModel.for_architecture("xeon_x5472")
+        stack = model.compare(prod, iso)
+        factors = stack.factors()
+        assert all(np.isfinite(v) for v in factors.values())
+        assert set(factors) == set(Resource)
+
+
+class TestSyntheticInputInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=len(SyntheticInputs().as_array()),
+        max_size=len(SyntheticInputs().as_array()),
+    ))
+    def test_from_array_clipped_demand_is_valid(self, values):
+        inputs = SyntheticInputs.from_array(values)
+        demand = SyntheticBenchmark(inputs=inputs).demand(1.0)
+        demand.validate()
+
+
+class TestScalerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.lists(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=3),
+        min_size=2, max_size=40,
+    ))
+    def test_roundtrip(self, data):
+        matrix = np.array(data, dtype=float)
+        scaler = StandardScaler().fit(matrix)
+        restored = scaler.inverse_transform(scaler.transform(matrix))
+        assert np.allclose(restored, matrix, rtol=1e-6, atol=1e-6)

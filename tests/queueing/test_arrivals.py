@@ -1,0 +1,49 @@
+"""Tests for the VM arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.arrivals import LognormalArrivals, PoissonArrivals, SECONDS_PER_DAY
+
+
+class TestPoissonArrivals:
+    def test_mean_interarrival_matches_rate(self):
+        arrivals = PoissonArrivals(vms_per_day=1000.0, seed=0)
+        gaps = arrivals.interarrival_times(20000)
+        assert gaps.mean() == pytest.approx(SECONDS_PER_DAY / 1000.0, rel=0.05)
+
+    def test_arrival_times_sorted(self):
+        times = PoissonArrivals(seed=1).arrival_times(500)
+        assert np.all(np.diff(times) >= 0)
+        assert times.shape == (500,)
+
+    def test_zero_count(self):
+        assert PoissonArrivals().arrival_times(0).shape == (0,)
+        with pytest.raises(ValueError):
+            PoissonArrivals().arrival_times(-1)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(vms_per_day=0.0)
+
+    def test_deterministic_with_seed(self):
+        a = PoissonArrivals(seed=7).arrival_times(100)
+        b = PoissonArrivals(seed=7).arrival_times(100)
+        assert np.allclose(a, b)
+
+
+class TestLognormalArrivals:
+    def test_mean_preserved(self):
+        arrivals = LognormalArrivals(vms_per_day=1000.0, sigma=1.5, seed=0)
+        gaps = arrivals.interarrival_times(200000)
+        assert gaps.mean() == pytest.approx(SECONDS_PER_DAY / 1000.0, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        """At the same mean rate, the lognormal gaps have a higher variance."""
+        poisson = PoissonArrivals(vms_per_day=1000.0, seed=0).interarrival_times(50000)
+        lognormal = LognormalArrivals(vms_per_day=1000.0, sigma=1.5, seed=0).interarrival_times(50000)
+        assert lognormal.std() > poisson.std()
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            LognormalArrivals(sigma=0.0)

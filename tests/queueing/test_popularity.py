@@ -1,0 +1,44 @@
+"""Tests for the Zipf/Pareto application-popularity model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing.popularity import ZipfPopularity
+
+
+class TestZipfPopularity:
+    def test_probabilities_sum_to_one(self):
+        probs = ZipfPopularity(alpha=1.5, num_applications=100).probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probs) <= 1e-12)  # decreasing in rank
+
+    def test_heavier_tail_concentrates_more(self):
+        """Smaller Pareto alpha = heavier tail = more VMs in the top apps."""
+        heavy = ZipfPopularity(alpha=1.0, num_applications=200)
+        light = ZipfPopularity(alpha=2.5, num_applications=200)
+        assert heavy.expected_share_of_top(5) > light.expected_share_of_top(5)
+
+    def test_assign_counts(self):
+        apps = ZipfPopularity(alpha=1.5, seed=0).assign(1000)
+        assert len(apps) == 1000
+        assert all(a.startswith("app-") for a in apps)
+
+    def test_infinite_alpha_means_unique_apps(self):
+        apps = ZipfPopularity(alpha=math.inf).assign(50)
+        assert len(set(apps)) == 50
+        assert ZipfPopularity(alpha=math.inf).expected_share_of_top(10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(num_applications=0)
+        with pytest.raises(ValueError):
+            ZipfPopularity(alpha=-1.0)
+        with pytest.raises(ValueError):
+            ZipfPopularity().assign(-1)
+
+    def test_deterministic(self):
+        a = ZipfPopularity(alpha=1.5, seed=3).assign(100)
+        b = ZipfPopularity(alpha=1.5, seed=3).assign(100)
+        assert a == b

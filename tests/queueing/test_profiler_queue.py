@@ -1,0 +1,82 @@
+"""Tests for the profiling-server queue simulation."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.profiler_queue import ProfilingQueueSimulator
+
+
+class TestProfilingQueueSimulator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfilingQueueSimulator(num_servers=0)
+        with pytest.raises(ValueError):
+            ProfilingQueueSimulator(num_servers=1, cache_ttl_seconds=0.0)
+        sim = ProfilingQueueSimulator(num_servers=1)
+        with pytest.raises(ValueError):
+            sim.simulate([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            sim.simulate([1.0, 0.0], [1.0, 1.0])
+
+    def test_empty_trace(self):
+        outcome = ProfilingQueueSimulator(num_servers=2).simulate([], [])
+        assert outcome.mean_reaction_seconds == 0.0
+        assert not outcome.unstable
+
+    def test_single_job_reaction_equals_service(self):
+        outcome = ProfilingQueueSimulator(num_servers=1).simulate([0.0], [120.0])
+        assert outcome.mean_reaction_seconds == pytest.approx(120.0)
+        assert outcome.jobs[0].waiting_time == pytest.approx(0.0)
+
+    def test_queueing_when_jobs_overlap(self):
+        # Two jobs arrive together on one server: the second waits.
+        outcome = ProfilingQueueSimulator(num_servers=1).simulate(
+            [0.0, 0.0], [100.0, 100.0]
+        )
+        assert outcome.jobs[1].waiting_time == pytest.approx(100.0)
+        two_servers = ProfilingQueueSimulator(num_servers=2).simulate(
+            [0.0, 0.0], [100.0, 100.0]
+        )
+        assert two_servers.jobs[1].waiting_time == pytest.approx(0.0)
+
+    def test_more_servers_reduce_reaction_time(self):
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 10000, size=300))
+        services = np.full(300, 120.0)
+        slow = ProfilingQueueSimulator(num_servers=2).simulate(arrivals, services)
+        fast = ProfilingQueueSimulator(num_servers=8).simulate(arrivals, services)
+        assert fast.mean_reaction_seconds <= slow.mean_reaction_seconds
+
+    def test_instability_detected(self):
+        arrivals = np.arange(0.0, 100.0, 1.0)  # one job per second
+        services = np.full(100, 10.0)          # each takes 10 seconds
+        outcome = ProfilingQueueSimulator(num_servers=1).simulate(arrivals, services)
+        assert outcome.unstable
+        assert not outcome.acceptable()
+
+    def test_global_information_cache(self):
+        arrivals = np.arange(0.0, 1000.0, 100.0)
+        services = np.full(10, 50.0)
+        apps = ["app-a"] * 10
+        cached = ProfilingQueueSimulator(
+            num_servers=1, use_global_information=True
+        ).simulate(arrivals, services, apps)
+        uncached = ProfilingQueueSimulator(
+            num_servers=1, use_global_information=False
+        ).simulate(arrivals, services, apps)
+        assert cached.cache_hit_fraction > 0.5
+        assert uncached.cache_hit_fraction == 0.0
+        assert cached.mean_reaction_seconds < uncached.mean_reaction_seconds
+
+    def test_cache_expires_after_ttl(self):
+        arrivals = np.array([0.0, 10_000.0])
+        services = np.array([50.0, 50.0])
+        outcome = ProfilingQueueSimulator(
+            num_servers=1, use_global_information=True, cache_ttl_seconds=100.0
+        ).simulate(arrivals, services, ["app-a", "app-a"])
+        assert outcome.cache_hit_fraction == pytest.approx(0.0)
+
+    def test_acceptable_threshold(self):
+        outcome = ProfilingQueueSimulator(num_servers=4).simulate([0.0], [120.0])
+        assert outcome.acceptable(max_wait_minutes=10.0)
+        assert not outcome.acceptable(max_wait_minutes=1.0)

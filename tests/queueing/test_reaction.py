@@ -1,0 +1,64 @@
+"""Tests for the reaction-time study (Figures 13 and 14)."""
+
+import math
+
+import pytest
+
+from repro.queueing.arrivals import LognormalArrivals
+from repro.queueing.reaction import ReactionTimeStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ReactionTimeStudy(days=2.0, mean_service_seconds=240.0, seed=1)
+
+
+class TestReactionTimeStudy:
+    def test_sweep_shapes(self, study):
+        curves = study.sweep([0.1, 0.4], [2, 4])
+        assert set(curves) == {2, 4}
+        assert len(curves[2]) == 2
+        assert curves[2][0].interference_fraction == pytest.approx(0.1)
+
+    def test_invalid_fraction(self, study):
+        with pytest.raises(ValueError):
+            study.sweep([1.5], [2])
+
+    def test_more_servers_never_slower(self, study):
+        curves = study.sweep([0.4, 0.8], [2, 8])
+        for i in range(2):
+            assert (
+                curves[8][i].mean_reaction_minutes
+                <= curves[2][i].mean_reaction_minutes + 1e-6
+            )
+
+    def test_reaction_grows_with_interference_fraction(self, study):
+        curve = study.sweep([0.1, 0.9], [2])[2]
+        assert curve[1].mean_reaction_minutes >= curve[0].mean_reaction_minutes
+
+    def test_global_information_improves_reaction(self, study):
+        local = study.sweep([0.4], [4], use_global_information=False)[4][0]
+        with_global = study.sweep([0.4], [4], use_global_information=True)[4][0]
+        assert with_global.mean_reaction_minutes < local.mean_reaction_minutes
+        assert with_global.cache_hit_fraction > 0.0
+
+    def test_alpha_sweep_ordering(self, study):
+        """Heavier tails (alpha -> 1) benefit most from global information."""
+        curves = study.alpha_sweep([0.4], alphas=[1.0, 2.5, math.inf], num_servers=4)
+        heavy = curves[1.0][0].mean_reaction_minutes
+        light = curves[2.5][0].mean_reaction_minutes
+        none = curves[math.inf][0].mean_reaction_minutes
+        assert heavy <= light <= none
+
+    def test_minimum_servers_search(self, study):
+        minimum = study.minimum_servers_for(0.2, [1, 2, 4, 8, 16])
+        assert minimum in (1, 2, 4, 8, 16)
+
+    def test_lognormal_arrivals_supported(self):
+        study = ReactionTimeStudy(
+            arrivals=LognormalArrivals(vms_per_day=1000.0, sigma=1.5, seed=2),
+            days=2.0,
+            seed=2,
+        )
+        curve = study.sweep([0.4], [4])[4]
+        assert curve[0].mean_reaction_minutes > 0.0

@@ -1,0 +1,73 @@
+"""Tests for the ridge regression helper."""
+
+import numpy as np
+import pytest
+
+from repro.regression.linear import RidgeRegression, polynomial_features
+
+
+class TestRidgeRegression:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(200, 3))
+        true_w = np.array([2.0, -1.0, 0.5])
+        y = x @ true_w + 3.0
+        model = RidgeRegression(alpha=1e-6).fit(x, y)
+        pred = model.predict(x)
+        assert np.allclose(pred, y, atol=1e-6)
+        assert model.score(x, y) == pytest.approx(1.0, abs=1e-6)
+
+    def test_multi_output(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(100, 2))
+        y = np.column_stack([x[:, 0] * 2, x[:, 1] - 1.0])
+        model = RidgeRegression(alpha=1e-6).fit(x, y)
+        pred = model.predict(x)
+        assert pred.shape == y.shape
+        assert np.allclose(pred, y, atol=1e-6)
+
+    def test_single_sample_prediction(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 2.0, 4.0])
+        model = RidgeRegression(alpha=1e-8).fit(x, y)
+        assert float(model.predict(np.array([3.0]))) == pytest.approx(6.0, abs=1e-4)
+
+    def test_regularisation_shrinks_coefficients(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(50, 2))
+        y = x[:, 0] * 10
+        loose = RidgeRegression(alpha=1e-8).fit(x, y)
+        tight = RidgeRegression(alpha=100.0).fit(x, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((1, 2)))
+
+    def test_constant_feature_handled(self):
+        x = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = np.arange(20.0)
+        model = RidgeRegression(alpha=1e-6).fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+
+
+class TestPolynomialFeatures:
+    def test_degree_two_doubles_columns(self):
+        x = np.arange(6.0).reshape(3, 2)
+        expanded = polynomial_features(x, degree=2)
+        assert expanded.shape == (3, 4)
+        assert np.allclose(expanded[:, 2:], x ** 2)
+
+    def test_degree_one_identity(self):
+        x = np.arange(6.0).reshape(3, 2)
+        assert np.allclose(polynomial_features(x, degree=1), x)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_features(np.zeros((2, 2)), degree=0)

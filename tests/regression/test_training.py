@@ -1,0 +1,76 @@
+"""Tests for the synthetic-benchmark trainer."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.sample import MetricVector
+from repro.regression.training import SyntheticBenchmarkTrainer, TrainedSynthesizer
+from repro.workloads.cloud import DataServingWorkload
+from repro.workloads.synthetic import SyntheticInputs
+
+
+@pytest.fixture(scope="module")
+def synthesizer():
+    return SyntheticBenchmarkTrainer(samples=80, seed=3).train()
+
+
+class TestTrainer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkTrainer(samples=3)
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkTrainer(method="forest")
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkTrainer(neighbors=0)
+
+    def test_training_produces_usable_synthesizer(self, synthesizer):
+        assert isinstance(synthesizer, TrainedSynthesizer)
+        assert synthesizer.samples_used == 80
+        assert synthesizer.metric_matrix.shape[0] == 80
+        assert np.isfinite(synthesizer.training_error)
+        # The knn inversion should roughly reproduce the training points.
+        assert synthesizer.training_error < 0.25
+
+    def test_inputs_for_returns_clipped_inputs(self, synthesizer, machine):
+        workload = DataServingWorkload()
+        outcome = machine.run_in_isolation(workload.demand(600.0))
+        target = MetricVector.from_sample(outcome.counters)
+        inputs = synthesizer.inputs_for(target)
+        assert isinstance(inputs, SyntheticInputs)
+        assert 0.25 <= inputs.working_set_mb <= 2048.0
+        assert 1.0 <= inputs.parallelism <= 8.0
+
+    def test_rate_matching_sets_compute_iterations(self, synthesizer, machine):
+        workload = DataServingWorkload()
+        outcome = machine.run_in_isolation(workload.demand(600.0))
+        target = MetricVector.from_sample(outcome.counters)
+        rate = outcome.counters.inst_retired / outcome.counters.epoch_seconds
+        inputs = synthesizer.inputs_for(target, target_inst_rate=rate)
+        assert inputs.compute_iterations == pytest.approx(1.05 * rate / 1e9, rel=1e-6)
+
+    def test_saturate_fallback(self, synthesizer, machine):
+        workload = DataServingWorkload()
+        outcome = machine.run_in_isolation(workload.demand(200.0))
+        target = MetricVector.from_sample(outcome.counters)
+        inputs = synthesizer.inputs_for(target, saturate=True)
+        assert inputs.compute_iterations >= 16.0
+
+    def test_synthesize_reproduces_memory_signature(self, synthesizer, machine):
+        """The synthetic clone should land near the target's cache-miss rate."""
+        workload = DataServingWorkload()
+        outcome = machine.run_in_isolation(workload.demand(900.0))
+        target = MetricVector.from_sample(outcome.counters)
+        rate = outcome.counters.inst_retired / outcome.counters.epoch_seconds
+        bench = synthesizer.synthesize(target, target_inst_rate=rate)
+        clone_out = machine.run_in_isolation(bench.demand(1.0))
+        clone_vec = MetricVector.from_sample(clone_out.counters)
+        assert clone_vec["l1_repl_pki"] == pytest.approx(
+            target["l1_repl_pki"], rel=0.5
+        )
+
+    def test_ridge_method_also_works(self, machine):
+        synthesizer = SyntheticBenchmarkTrainer(samples=60, method="ridge", seed=4).train()
+        outcome = machine.run_in_isolation(DataServingWorkload().demand(400.0))
+        target = MetricVector.from_sample(outcome.counters)
+        inputs = synthesizer.inputs_for(target)
+        assert isinstance(inputs, SyntheticInputs)

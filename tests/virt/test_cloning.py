@@ -1,0 +1,46 @@
+"""Tests for VM cloning and its cost accounting."""
+
+import pytest
+
+from repro.virt.cloning import CloneManager
+
+
+class TestCloneManager:
+    def test_clone_creates_distinct_vm(self, data_serving_vm):
+        manager = CloneManager()
+        handle = manager.clone(data_serving_vm)
+        assert handle.clone.name != data_serving_vm.name
+        assert handle.clone.cloned_from == data_serving_vm.name
+        assert handle.source_name == data_serving_vm.name
+        assert handle.clone_seconds > 0
+
+    def test_clone_seconds_scale_with_memory(self, data_serving_vm):
+        manager = CloneManager()
+        small = manager.clone_seconds_for(data_serving_vm)
+        data_serving_vm.memory_gb = 16.0
+        big = manager.clone_seconds_for(data_serving_vm)
+        assert big > small
+
+    def test_cow_disk_is_cheaper(self, data_serving_vm):
+        cow = CloneManager(cow_disk=True).clone_seconds_for(data_serving_vm)
+        full = CloneManager(cow_disk=False).clone_seconds_for(data_serving_vm)
+        assert full > cow
+
+    def test_accounting_accumulates(self, data_serving_vm):
+        manager = CloneManager()
+        manager.clone(data_serving_vm)
+        manager.clone(data_serving_vm)
+        assert manager.clones_created == 2
+        assert manager.total_clone_seconds == pytest.approx(
+            2 * manager.clone_seconds_for(data_serving_vm)
+        )
+
+    def test_clone_names_unique(self, data_serving_vm):
+        manager = CloneManager()
+        a = manager.clone(data_serving_vm)
+        b = manager.clone(data_serving_vm)
+        assert a.clone.name != b.clone.name
+
+    def test_invalid_network(self):
+        with pytest.raises(ValueError):
+            CloneManager(network_gbps=0.0)

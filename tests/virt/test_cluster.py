@@ -1,0 +1,96 @@
+"""Tests for the cluster model."""
+
+import pytest
+
+from repro.virt.cluster import Cluster
+from repro.virt.vm import VirtualMachine
+from repro.workloads.cloud import DataServingWorkload
+
+
+class TestClusterTopology:
+    def test_host_names(self, cluster):
+        assert cluster.host_names() == ["pm0", "pm1", "pm2"]
+
+    def test_needs_at_least_one_host(self):
+        with pytest.raises(ValueError):
+            Cluster(num_hosts=0)
+
+    def test_place_and_find_vm(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm1", load=0.5)
+        assert cluster.host_of(data_serving_vm.name) == "pm1"
+        assert data_serving_vm.name in cluster.all_vms()
+
+    def test_host_of_unknown_vm(self, cluster):
+        assert cluster.host_of("ghost") is None
+
+    def test_vms_running_app(self, cluster):
+        for i, host in enumerate(cluster.host_names()):
+            cluster.place_vm(
+                VirtualMachine(f"cass{i}", DataServingWorkload()), host, load=0.5
+            )
+        siblings = cluster.vms_running_app("data_serving")
+        assert len(siblings) == 3
+
+    def test_step_routes_loads(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0", load=0.3)
+        results = cluster.step(loads={data_serving_vm.name: 0.8})
+        assert data_serving_vm.name in results["pm0"]
+        assert cluster.current_epoch == 1
+
+    def test_step_unknown_vm_load(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.step(loads={"ghost": 0.5})
+
+
+class TestMigration:
+    def test_migrate_vm(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0", load=0.4)
+        record = cluster.migrate_vm(data_serving_vm.name, "pm2")
+        assert cluster.host_of(data_serving_vm.name) == "pm2"
+        assert record.source == "pm0"
+        assert record.destination == "pm2"
+        assert record.total_seconds > 0
+        # The load travels with the VM.
+        assert cluster.get_host("pm2").get_load(data_serving_vm.name) == pytest.approx(0.4)
+
+    def test_migrate_unknown_vm(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.migrate_vm("ghost", "pm1")
+
+    def test_migrate_to_unknown_host(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0")
+        with pytest.raises(KeyError):
+            cluster.migrate_vm(data_serving_vm.name, "pm9")
+
+    def test_migrate_to_same_host(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0")
+        with pytest.raises(ValueError):
+            cluster.migrate_vm(data_serving_vm.name, "pm0")
+
+    def test_migration_rolls_back_when_destination_full(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0", load=0.4)
+        # Fill pm1 so the VM cannot fit.
+        filler = VirtualMachine("filler", DataServingWorkload(), vcpus=8, memory_gb=7.5)
+        cluster.place_vm(filler, "pm1")
+        with pytest.raises(ValueError):
+            cluster.migrate_vm(data_serving_vm.name, "pm1")
+        assert cluster.host_of(data_serving_vm.name) == "pm0"
+
+    def test_migration_history(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0")
+        cluster.migrate_vm(data_serving_vm.name, "pm1")
+        assert cluster.migration_engine.migrations_performed == 1
+        assert cluster.migration_engine.total_migration_seconds > 0
+
+
+class TestGlobalIntrospection:
+    def test_latest_counters_for_app(self, cluster):
+        vms = []
+        for i, host in enumerate(cluster.host_names()):
+            vm = VirtualMachine(f"cass{i}", DataServingWorkload())
+            cluster.place_vm(vm, host, load=0.5)
+            vms.append(vm)
+        cluster.step()
+        counters = cluster.latest_counters_for_app("data_serving", exclude_vm="cass0")
+        assert set(counters) == {"cass1", "cass2"}
+        assert all(sample.inst_retired > 0 for sample in counters.values())

@@ -1,0 +1,45 @@
+"""Tests for the live-migration cost model."""
+
+import pytest
+
+from repro.virt.migration import MigrationEngine
+
+
+class TestMigrationEngine:
+    def test_estimate_scales_with_memory(self, data_serving_vm):
+        engine = MigrationEngine()
+        small = engine.estimate(data_serving_vm)
+        data_serving_vm.memory_gb = 16.0
+        big = engine.estimate(data_serving_vm)
+        assert big.total_seconds > small.total_seconds
+        assert big.transferred_gb > small.transferred_gb
+
+    def test_downtime_small_fraction_of_total(self, data_serving_vm):
+        record = MigrationEngine().estimate(data_serving_vm)
+        assert 0 < record.downtime_seconds < record.total_seconds
+
+    def test_faster_link_reduces_time(self, data_serving_vm):
+        slow = MigrationEngine(link_gbps=1.0).estimate(data_serving_vm)
+        fast = MigrationEngine(link_gbps=10.0).estimate(data_serving_vm)
+        assert fast.total_seconds < slow.total_seconds
+
+    def test_dirty_rate_increases_transfer(self, data_serving_vm):
+        clean = MigrationEngine(dirty_rate_gbps=0.0).estimate(data_serving_vm)
+        dirty = MigrationEngine(dirty_rate_gbps=0.8).estimate(data_serving_vm)
+        assert dirty.transferred_gb >= clean.transferred_gb
+
+    def test_migrate_records_history(self, data_serving_vm):
+        engine = MigrationEngine()
+        record = engine.migrate(data_serving_vm, source="pm0", destination="pm1")
+        assert record.source == "pm0"
+        assert record.destination == "pm1"
+        assert engine.migrations_performed == 1
+        assert engine.total_migration_seconds == pytest.approx(record.total_seconds)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MigrationEngine(link_gbps=0.0)
+        with pytest.raises(ValueError):
+            MigrationEngine(dirty_rate_gbps=-1.0)
+        with pytest.raises(ValueError):
+            MigrationEngine(precopy_rounds=0)

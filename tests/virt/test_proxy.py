@@ -1,0 +1,67 @@
+"""Tests for the request-duplicating proxy."""
+
+import pytest
+
+from repro.virt.proxy import RequestProxy
+
+
+class TestRequestProxy:
+    def test_observe_returns_load_unchanged(self):
+        proxy = RequestProxy("vm0")
+        assert proxy.observe(0.7) == pytest.approx(0.7)
+        assert proxy.latest_load() == pytest.approx(0.7)
+
+    def test_observe_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RequestProxy("vm0").observe(-0.1)
+
+    def test_latest_load_empty(self):
+        assert RequestProxy("vm0").latest_load() is None
+
+    def test_mirror_replays_in_order(self):
+        proxy = RequestProxy("vm0")
+        for load in (0.1, 0.2, 0.3):
+            proxy.observe(load)
+        proxy.register_mirror("clone")
+        replayed = [proxy.next_load_for("clone") for _ in range(3)]
+        # The mirror starts from the most recent observation and catches up.
+        assert replayed[0] == pytest.approx(0.3)
+        assert replayed[1] is None
+
+    def test_mirror_receives_new_observations(self):
+        proxy = RequestProxy("vm0")
+        proxy.observe(0.5)
+        proxy.register_mirror("clone")
+        proxy.next_load_for("clone")
+        proxy.observe(0.8)
+        assert proxy.next_load_for("clone") == pytest.approx(0.8)
+        assert proxy.next_load_for("clone") is None
+
+    def test_duplicate_mirror_rejected(self):
+        proxy = RequestProxy("vm0")
+        proxy.register_mirror("clone")
+        with pytest.raises(ValueError):
+            proxy.register_mirror("clone")
+
+    def test_unknown_mirror(self):
+        with pytest.raises(KeyError):
+            RequestProxy("vm0").next_load_for("ghost")
+
+    def test_unregister_mirror(self):
+        proxy = RequestProxy("vm0")
+        proxy.register_mirror("clone")
+        proxy.unregister_mirror("clone")
+        assert proxy.mirrors() == []
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            RequestProxy("vm0", lag_epochs=-1)
+        with pytest.raises(ValueError):
+            RequestProxy("vm0", history_limit=0)
+
+    def test_history_limit_keeps_recent(self):
+        proxy = RequestProxy("vm0", history_limit=3)
+        for load in (0.1, 0.2, 0.3, 0.4, 0.5):
+            proxy.observe(load)
+        proxy.register_mirror("clone")
+        assert proxy.next_load_for("clone") == pytest.approx(0.5)

@@ -1,0 +1,52 @@
+"""Tests for the VirtualMachine abstraction."""
+
+import pytest
+
+from repro.virt.vm import VirtualMachine, VMState
+from repro.workloads.cloud import DataServingWorkload
+
+
+class TestVirtualMachine:
+    def test_app_id_defaults_to_workload(self, data_serving_vm):
+        assert data_serving_vm.app_id == "data_serving"
+
+    def test_explicit_app_id(self):
+        vm = VirtualMachine("x", DataServingWorkload(), app_id="tenant-42")
+        assert vm.app_id == "tenant-42"
+
+    def test_invalid_vcpus(self):
+        with pytest.raises(ValueError):
+            VirtualMachine("x", DataServingWorkload(), vcpus=0)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            VirtualMachine("x", DataServingWorkload(), memory_gb=0.0)
+
+    def test_demand_uses_vm_vcpus(self, data_serving_vm):
+        demand = data_serving_vm.demand(load=100.0)
+        assert demand.vcpus == data_serving_vm.vcpus
+        assert demand.instructions > 0
+
+    def test_clone_shares_app_but_not_identity(self, data_serving_vm):
+        clone = data_serving_vm.clone()
+        assert clone.name != data_serving_vm.name
+        assert clone.app_id == data_serving_vm.app_id
+        assert clone.is_clone
+        assert clone.cloned_from == data_serving_vm.name
+        assert not data_serving_vm.is_clone
+        # workload is deep-copied: mutating the clone does not affect production
+        clone.workload.key_skew = 0.1
+        assert data_serving_vm.workload.key_skew != 0.1
+
+    def test_clone_custom_name(self, data_serving_vm):
+        clone = data_serving_vm.clone("sandbox-copy")
+        assert clone.name == "sandbox-copy"
+
+    def test_default_state_running(self, data_serving_vm):
+        assert data_serving_vm.state is VMState.RUNNING
+
+    def test_unique_uids(self):
+        a = VirtualMachine("a", DataServingWorkload())
+        b = VirtualMachine("b", DataServingWorkload())
+        assert a.uid != b.uid
+        assert hash(a) != hash(b)

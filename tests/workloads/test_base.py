@@ -1,0 +1,84 @@
+"""Tests for the workload/client-model base classes."""
+
+import pytest
+
+from repro.workloads.base import (
+    BatchClientModel,
+    PerformanceReport,
+    RequestServingClientModel,
+)
+
+
+class TestPerformanceReport:
+    def test_latency_degradation(self):
+        baseline = PerformanceReport(throughput=100.0, latency_ms=10.0)
+        degraded = PerformanceReport(throughput=70.0, latency_ms=25.0)
+        assert degraded.latency_degradation(baseline) == pytest.approx(1.5)
+        assert baseline.latency_degradation(degraded) == pytest.approx(0.0)
+
+    def test_throughput_degradation(self):
+        baseline = PerformanceReport(throughput=100.0, latency_ms=10.0)
+        degraded = PerformanceReport(throughput=60.0, latency_ms=10.0)
+        assert degraded.throughput_degradation(baseline) == pytest.approx(0.4)
+        assert baseline.throughput_degradation(degraded) == pytest.approx(0.0)
+
+    def test_zero_baseline_handled(self):
+        baseline = PerformanceReport(throughput=0.0, latency_ms=0.0)
+        other = PerformanceReport(throughput=10.0, latency_ms=5.0)
+        assert other.latency_degradation(baseline) == 0.0
+        assert other.throughput_degradation(baseline) == 0.0
+
+
+class TestRequestServingClientModel:
+    def _model(self):
+        return RequestServingClientModel(
+            instructions_per_request=1e6, base_latency_ms=5.0, max_latency_ms=1000.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestServingClientModel(instructions_per_request=0.0, base_latency_ms=1.0)
+
+    def test_idle_client(self):
+        report = self._model().performance(0.0, 0.0, 0.0, 1.0)
+        assert report.throughput == 0.0
+        assert report.latency_ms == pytest.approx(5.0)
+
+    def test_no_capacity_gives_timeout_latency(self):
+        report = self._model().performance(100.0, 1e8, 0.0, 1.0, instructions_attainable=0.0)
+        assert report.latency_ms == pytest.approx(1000.0)
+        assert report.goodput_fraction == 0.0
+
+    def test_latency_grows_toward_saturation(self):
+        model = self._model()
+        low = model.performance(100.0, 1e8, 1e8, 1.0, instructions_attainable=1e9)
+        high = model.performance(900.0, 9e8, 9e8, 1.0, instructions_attainable=1e9)
+        assert high.latency_ms > low.latency_ms
+        assert low.latency_ms >= 5.0
+
+    def test_latency_capped(self):
+        model = self._model()
+        report = model.performance(5000.0, 5e9, 1e9, 1.0, instructions_attainable=1e9)
+        assert report.latency_ms == pytest.approx(1000.0)
+
+    def test_throughput_limited_by_served_requests(self):
+        model = self._model()
+        report = model.performance(1000.0, 1e9, 4e8, 1.0, instructions_attainable=4e8)
+        assert report.throughput == pytest.approx(400.0)
+        assert report.goodput_fraction == pytest.approx(0.4)
+
+
+class TestBatchClientModel:
+    def test_completion_time_scales_with_progress(self):
+        model = BatchClientModel(base_task_ms=1000.0)
+        full = model.performance(1.0, 1e9, 1e9, 1.0)
+        half = model.performance(1.0, 1e9, 5e8, 1.0)
+        assert full.latency_ms == pytest.approx(1000.0)
+        assert half.latency_ms == pytest.approx(2000.0)
+        assert half.goodput_fraction == pytest.approx(0.5)
+
+    def test_no_work(self):
+        model = BatchClientModel(base_task_ms=1000.0)
+        report = model.performance(0.0, 0.0, 0.0, 1.0)
+        assert report.throughput == 0.0
+        assert report.latency_ms == pytest.approx(1000.0)

@@ -1,0 +1,128 @@
+"""Tests for the CloudSuite-like workload models."""
+
+import pytest
+
+from repro.workloads.cloud import (
+    CLOUD_WORKLOAD_FACTORIES,
+    DataAnalyticsWorkload,
+    DataServingWorkload,
+    WebSearchWorkload,
+    make_cloud_workload,
+)
+
+
+class TestFactories:
+    def test_three_workloads_registered(self):
+        assert set(CLOUD_WORKLOAD_FACTORIES) == {
+            "data_serving", "web_search", "data_analytics"
+        }
+
+    def test_make_by_name(self):
+        assert isinstance(make_cloud_workload("data_serving"), DataServingWorkload)
+        assert isinstance(make_cloud_workload("web_search"), WebSearchWorkload)
+        assert isinstance(make_cloud_workload("data_analytics"), DataAnalyticsWorkload)
+
+    def test_make_unknown(self):
+        with pytest.raises(KeyError):
+            make_cloud_workload("graph500")
+
+    def test_kwargs_forwarded(self):
+        workload = make_cloud_workload("data_serving", key_skew=0.9)
+        assert workload.key_skew == pytest.approx(0.9)
+
+
+class TestDataServing:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DataServingWorkload(key_skew=1.5)
+        with pytest.raises(ValueError):
+            DataServingWorkload(read_fraction=-0.1)
+
+    def test_demand_scales_with_load(self):
+        workload = DataServingWorkload()
+        low = workload.demand(100.0)
+        high = workload.demand(1000.0)
+        assert high.instructions == pytest.approx(low.instructions * 10)
+        assert high.disk_mb == pytest.approx(low.disk_mb * 10)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            DataServingWorkload().demand(-1.0)
+
+    def test_skewed_keys_shrink_working_set(self):
+        uniform = DataServingWorkload(key_skew=0.2).demand(500.0)
+        skewed = DataServingWorkload(key_skew=0.9).demand(500.0)
+        assert skewed.working_set_mb < uniform.working_set_mb
+
+    def test_writes_increase_disk_traffic(self):
+        reads = DataServingWorkload(read_fraction=0.99).demand(500.0)
+        writes = DataServingWorkload(read_fraction=0.5).demand(500.0)
+        assert writes.disk_mb > reads.disk_mb
+
+    def test_client_model_latency_grows_with_utilization(self):
+        workload = DataServingWorkload()
+        report_low = workload.performance(
+            load=200.0,
+            instructions_demanded=200 * workload.INSTRUCTIONS_PER_REQUEST,
+            instructions_retired=200 * workload.INSTRUCTIONS_PER_REQUEST,
+            instructions_attainable=1200 * workload.INSTRUCTIONS_PER_REQUEST,
+        )
+        report_high = workload.performance(
+            load=1100.0,
+            instructions_demanded=1100 * workload.INSTRUCTIONS_PER_REQUEST,
+            instructions_retired=1150 * workload.INSTRUCTIONS_PER_REQUEST,
+            instructions_attainable=1200 * workload.INSTRUCTIONS_PER_REQUEST,
+        )
+        assert report_high.latency_ms > report_low.latency_ms
+
+
+class TestWebSearch:
+    def test_rare_words_touch_disk(self):
+        popular = WebSearchWorkload(word_skew=0.95).demand(300.0)
+        rare = WebSearchWorkload(word_skew=0.4).demand(300.0)
+        assert rare.disk_mb > popular.disk_mb
+        assert rare.working_set_mb > popular.working_set_mb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WebSearchWorkload(word_skew=-0.2)
+
+
+class TestDataAnalytics:
+    def test_remote_fetch_drives_network(self):
+        local = DataAnalyticsWorkload(remote_fetch_fraction=0.1).demand(0.8)
+        remote = DataAnalyticsWorkload(remote_fetch_fraction=0.9).demand(0.8)
+        assert remote.network_mbit > local.network_mbit
+
+    def test_shuffle_fraction_tradeoff(self):
+        mappy = DataAnalyticsWorkload(shuffle_fraction=0.1).demand(0.8)
+        shuffly = DataAnalyticsWorkload(shuffle_fraction=0.6).demand(0.8)
+        assert mappy.disk_mb > shuffly.disk_mb
+        assert shuffly.network_mbit > mappy.network_mbit
+
+    def test_batch_client_completion_time(self):
+        workload = DataAnalyticsWorkload()
+        full = workload.performance(0.8, 1e9, 1e9)
+        slowed = workload.performance(0.8, 1e9, 0.5e9)
+        assert slowed.latency_ms == pytest.approx(full.latency_ms * 2, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataAnalyticsWorkload(remote_fetch_fraction=1.2)
+        with pytest.raises(ValueError):
+            DataAnalyticsWorkload(shuffle_fraction=-0.5)
+
+
+class TestCommonWorkloadBehaviour:
+    @pytest.mark.parametrize("name", sorted(CLOUD_WORKLOAD_FACTORIES))
+    def test_demand_valid_and_copyable(self, name):
+        workload = make_cloud_workload(name)
+        demand = workload.demand(workload.nominal_load * 0.5)
+        demand.validate()
+        clone = workload.copy()
+        assert clone is not workload
+        assert clone.app_id == workload.app_id
+
+    @pytest.mark.parametrize("name", sorted(CLOUD_WORKLOAD_FACTORIES))
+    def test_nominal_load_positive(self, name):
+        assert make_cloud_workload(name).nominal_load > 0

@@ -1,0 +1,86 @@
+"""Tests for the interfering (stress) workloads."""
+
+import pytest
+
+from repro.workloads.stress import (
+    DiskStressWorkload,
+    MemoryStressWorkload,
+    NetworkStressWorkload,
+    make_stress_workload,
+)
+
+
+class TestMemoryStress:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryStressWorkload(working_set_mb=0.0)
+        with pytest.raises(ValueError):
+            MemoryStressWorkload(intensity=0.0)
+        with pytest.raises(ValueError):
+            MemoryStressWorkload(locality=1.5)
+
+    def test_working_set_is_the_knob(self):
+        small = MemoryStressWorkload(working_set_mb=6.0).demand(1.0)
+        large = MemoryStressWorkload(working_set_mb=512.0).demand(1.0)
+        assert large.working_set_mb > small.working_set_mb
+        assert small.l1_miss_pki == large.l1_miss_pki  # intensity per instr same
+
+    def test_load_scales_intensity(self):
+        full = MemoryStressWorkload().demand(1.0)
+        half = MemoryStressWorkload().demand(0.5)
+        assert half.instructions == pytest.approx(full.instructions * 0.5)
+
+    def test_cache_polluter_variant(self):
+        streamer = MemoryStressWorkload(locality=0.05).demand(1.0)
+        polluter = MemoryStressWorkload(locality=0.9).demand(1.0)
+        assert polluter.locality > streamer.locality
+
+
+class TestNetworkStress:
+    def test_bidirectional_traffic(self):
+        demand = NetworkStressWorkload(target_mbps=300.0).demand(1.0)
+        assert demand.network_mbit == pytest.approx(600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkStressWorkload(target_mbps=0.0)
+
+    def test_throughput_knob(self):
+        slow = NetworkStressWorkload(target_mbps=50.0).demand(1.0)
+        fast = NetworkStressWorkload(target_mbps=700.0).demand(1.0)
+        assert fast.network_mbit > slow.network_mbit
+
+
+class TestDiskStress:
+    def test_copy_reads_and_writes(self):
+        demand = DiskStressWorkload(target_mbps=5.0).demand(1.0)
+        assert demand.disk_mb == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskStressWorkload(target_mbps=-1.0)
+        with pytest.raises(ValueError):
+            DiskStressWorkload(sequential_fraction=2.0)
+
+    def test_rate_knob(self):
+        slow = DiskStressWorkload(target_mbps=1.0).demand(1.0)
+        fast = DiskStressWorkload(target_mbps=10.0).demand(1.0)
+        assert fast.disk_mb > slow.disk_mb
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("memory", MemoryStressWorkload),
+        ("network", NetworkStressWorkload),
+        ("disk", DiskStressWorkload),
+    ])
+    def test_make_stress_workload(self, kind, cls):
+        assert isinstance(make_stress_workload(kind), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            make_stress_workload("gpu")
+
+    @pytest.mark.parametrize("kind", ["memory", "network", "disk"])
+    def test_demands_validate(self, kind):
+        make_stress_workload(kind).demand(1.0).validate()

@@ -1,0 +1,91 @@
+"""Tests for the synthetic mimicking benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import (
+    SYNTHETIC_INPUT_NAMES,
+    SyntheticBenchmark,
+    SyntheticInputs,
+)
+
+
+class TestSyntheticInputs:
+    def test_array_roundtrip(self):
+        inputs = SyntheticInputs(working_set_mb=33.0, disk_mbps=5.0)
+        rebuilt = SyntheticInputs.from_array(inputs.as_array())
+        assert rebuilt.working_set_mb == pytest.approx(33.0)
+        assert rebuilt.disk_mbps == pytest.approx(5.0)
+
+    def test_from_array_wrong_shape(self):
+        with pytest.raises(ValueError):
+            SyntheticInputs.from_array([1.0, 2.0])
+
+    def test_clipped_bounds(self):
+        crazy = SyntheticInputs(
+            compute_iterations=1e6,
+            working_set_mb=-5.0,
+            pointer_chase_fraction=7.0,
+            locality=-1.0,
+            parallelism=100.0,
+        ).clipped()
+        assert crazy.compute_iterations <= 50.0
+        assert crazy.working_set_mb >= 0.25
+        assert 0.0 <= crazy.pointer_chase_fraction <= 1.0
+        assert 0.0 <= crazy.locality <= 1.0
+        assert crazy.parallelism <= 8.0
+
+    def test_dimension_count(self):
+        assert SyntheticInputs.dimensions() == len(SYNTHETIC_INPUT_NAMES)
+        assert len(SyntheticInputs().as_dict()) == len(SYNTHETIC_INPUT_NAMES)
+
+
+class TestSyntheticBenchmark:
+    def test_demand_reflects_inputs(self):
+        inputs = SyntheticInputs(
+            compute_iterations=2.0,
+            working_set_mb=100.0,
+            disk_mbps=8.0,
+            network_mbps=50.0,
+            parallelism=3.0,
+        )
+        demand = SyntheticBenchmark(inputs=inputs).demand(1.0)
+        demand.validate()
+        assert demand.instructions == pytest.approx(2.0e9)
+        assert demand.working_set_mb == pytest.approx(100.0)
+        assert demand.disk_mb == pytest.approx(8.0)
+        assert demand.network_mbit == pytest.approx(50.0)
+        assert demand.vcpus == 3
+
+    def test_demand_independent_of_load_level_above_one(self):
+        bench = SyntheticBenchmark()
+        assert bench.demand(1.0).instructions == pytest.approx(
+            bench.demand(5.0).instructions
+        )
+
+    def test_pointer_chasing_increases_misses(self):
+        streaming = SyntheticBenchmark(
+            SyntheticInputs(pointer_chase_fraction=0.0)
+        ).demand(1.0)
+        chasing = SyntheticBenchmark(
+            SyntheticInputs(pointer_chase_fraction=1.0)
+        ).demand(1.0)
+        assert chasing.l1_miss_pki > streaming.l1_miss_pki
+
+    def test_with_inputs_returns_new_instance(self):
+        bench = SyntheticBenchmark()
+        other = bench.with_inputs(SyntheticInputs(working_set_mb=77.0))
+        assert other is not bench
+        assert other.inputs.working_set_mb == pytest.approx(77.0)
+
+    def test_mimics_pressure_on_machine(self, machine):
+        """A benchmark with a bigger working set causes more cache misses."""
+        small = SyntheticBenchmark(SyntheticInputs(working_set_mb=2.0, l1_stress_pki=60.0))
+        large = SyntheticBenchmark(
+            SyntheticInputs(working_set_mb=512.0, l1_stress_pki=60.0, locality=0.1)
+        )
+        small_out = machine.run_in_isolation(small.demand(1.0))
+        large_out = machine.run_in_isolation(large.demand(1.0))
+        small_miss = small_out.counters.l2_lines_in / max(small_out.counters.inst_retired, 1)
+        large_miss = large_out.counters.l2_lines_in / max(large_out.counters.inst_retired, 1)
+        assert large_miss > small_miss

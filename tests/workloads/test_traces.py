@@ -1,0 +1,108 @@
+"""Tests for load traces and interference schedules."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import (
+    InterferenceEpisode,
+    InterferenceSchedule,
+    LoadTrace,
+    constant_trace,
+    ec2_like_interference_schedule,
+    hotmail_like_trace,
+)
+
+
+class TestLoadTrace:
+    def test_basic_properties(self):
+        trace = constant_trace(0.5, epochs=10, epoch_seconds=2.0)
+        assert len(trace) == 10
+        assert trace[3] == pytest.approx(0.5)
+        assert trace.duration_seconds == pytest.approx(20.0)
+        assert list(trace)[0] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTrace(np.array([[0.1, 0.2]]))
+        with pytest.raises(ValueError):
+            LoadTrace(np.array([0.1, -0.2]))
+        with pytest.raises(ValueError):
+            constant_trace(0.5, epochs=0)
+
+    def test_scaled_and_slice(self):
+        trace = constant_trace(0.5, epochs=10)
+        assert trace.scaled(2.0)[0] == pytest.approx(1.0)
+        assert len(trace.slice(2, 5)) == 3
+
+
+class TestHotmailTrace:
+    def test_shape_and_bounds(self):
+        trace = hotmail_like_trace(days=3, epochs_per_hour=4, seed=1)
+        assert len(trace) == 3 * 24 * 4
+        assert float(np.max(trace.values)) <= 1.0
+        assert float(np.min(trace.values)) > 0.0
+
+    def test_diurnal_pattern(self):
+        trace = hotmail_like_trace(days=1, epochs_per_hour=1, noise=0.0, seed=1)
+        afternoon = trace[15]
+        night = trace[3]
+        assert afternoon > night
+
+    def test_deterministic_with_seed(self):
+        a = hotmail_like_trace(seed=5)
+        b = hotmail_like_trace(seed=5)
+        assert np.allclose(a.values, b.values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotmail_like_trace(days=0)
+        with pytest.raises(ValueError):
+            hotmail_like_trace(peak=0.2, trough=0.5)
+
+
+class TestInterferenceSchedule:
+    def test_episode_validation(self):
+        with pytest.raises(ValueError):
+            InterferenceEpisode(start_epoch=5, end_epoch=5)
+        with pytest.raises(ValueError):
+            InterferenceEpisode(start_epoch=0, end_epoch=5, intensity=0.0)
+
+    def test_episode_activity(self):
+        episode = InterferenceEpisode(start_epoch=2, end_epoch=6, intensity=0.8)
+        assert not episode.active(1)
+        assert episode.active(2)
+        assert episode.active(5)
+        assert not episode.active(6)
+        assert episode.duration == 4
+
+    def test_schedule_intensity_capped(self):
+        schedule = InterferenceSchedule([
+            InterferenceEpisode(0, 10, intensity=0.7),
+            InterferenceEpisode(5, 15, intensity=0.8),
+        ])
+        assert schedule.intensity_at(7) == pytest.approx(1.0)
+        assert schedule.intensity_at(2) == pytest.approx(0.7)
+        assert schedule.intensity_at(20) == pytest.approx(0.0)
+        assert schedule.kinds_at(7) == ("memory",)
+
+    def test_total_interference_epochs(self):
+        schedule = InterferenceSchedule([InterferenceEpisode(2, 5)])
+        assert schedule.total_interference_epochs(10) == 3
+
+    def test_ec2_like_schedule_generation(self):
+        schedule = ec2_like_interference_schedule(
+            horizon_epochs=96 * 3, episodes_per_day=3.0, seed=2
+        )
+        assert len(schedule) > 0
+        for episode in schedule:
+            assert 0 <= episode.start_epoch < episode.end_epoch <= 96 * 3
+            assert 0.0 < episode.intensity <= 1.0
+        # Deterministic for a fixed seed.
+        again = ec2_like_interference_schedule(
+            horizon_epochs=96 * 3, episodes_per_day=3.0, seed=2
+        )
+        assert len(again) == len(schedule)
+
+    def test_ec2_like_schedule_validation(self):
+        with pytest.raises(ValueError):
+            ec2_like_interference_schedule(horizon_epochs=0)

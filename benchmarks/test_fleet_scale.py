@@ -1,0 +1,163 @@
+"""Fleet-scale benchmark: batched epoch engine vs scalar per-VM loop.
+
+The vectorized :class:`~repro.metrics.matrix.MetricMatrix` engine and
+the scalar reference loop produce identical warning decisions (the
+property tests pin this); what separates them is cost.  This benchmark
+drives a synthetic datacenter (``repro.fleet``) to a quiet steady state,
+then times one full monitoring pass over every shard with each engine
+and records the result in ``BENCH_fleet.json`` at the repository root.
+
+Run only the tiny-scale smoke variants with ``pytest -m bench_smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import InterferenceEpisode, build_fleet, synthesize_datacenter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+#: Two shards of ~500 VMs keep per-application sibling pools large — the
+#: regime where the scalar loop's per-VM sibling handling dominates.
+FULL_SCALE_VMS = 1000
+FULL_SCALE_SHARDS = 2
+#: Acceptance floor for the batched engine at full scale.
+MIN_SPEEDUP = 5.0
+
+
+def _fast_config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _prepare_fleet(num_vms: int, num_shards: int, seed: int = 7, warmup_epochs: int = 3):
+    """Build, bootstrap and warm a fleet into a quiet steady state.
+
+    The warmup epochs run with the analyzer enabled so the repositories
+    certify the production behaviours; afterwards the monitoring path is
+    the steady-state hot loop the engines are timed on.
+    """
+    scenario = synthesize_datacenter(num_vms, num_shards=num_shards, seed=seed)
+    fleet = build_fleet(scenario, config=_fast_config(), engine="batch", mitigate=False)
+    fleet.bootstrap()
+    for _ in range(warmup_epochs):
+        fleet.run_epoch(analyze=True)
+    return fleet
+
+
+def _time_engine(fleet, engine: str, reps: int) -> Tuple[float, Dict]:
+    """Best-of-``reps`` wall time of one full monitoring pass (no analyzer).
+
+    With ``analyze=False, learn=False`` and unchanged counters the pass
+    is free of side effects, so repetitions time the identical
+    computation and the collected decisions compare exactly across
+    engines.
+    """
+    best = float("inf")
+    decisions: Dict = {}
+    for _ in range(reps):
+        start = time.perf_counter()
+        for shard in fleet.shards.values():
+            report = shard.deepdive.run_epoch(
+                analyze=False, engine=engine, learn=False
+            )
+            for vm_name, obs in report.observations.items():
+                decisions[(shard.shard_id, vm_name)] = (
+                    obs.warning.action.value,
+                    obs.warning.distance,
+                    obs.warning.violated_dimensions,
+                    obs.warning.siblings_consulted,
+                    obs.warning.siblings_agreeing,
+                )
+        best = min(best, time.perf_counter() - start)
+    return best, decisions
+
+
+def _run_comparison(num_vms: int, num_shards: int, reps: int) -> Dict:
+    fleet = _prepare_fleet(num_vms, num_shards)
+    scalar_s, scalar_decisions = _time_engine(fleet, "scalar", reps)
+    batch_s, batch_decisions = _time_engine(fleet, "batch", reps)
+    assert batch_decisions == scalar_decisions, (
+        "batched and scalar engines must produce identical warning decisions"
+    )
+    vms = fleet.total_vms()
+    return {
+        "benchmark": "fleet_epoch_engine",
+        "vms": vms,
+        "hosts": fleet.total_hosts(),
+        "shards": len(fleet.shards),
+        "timing_reps": reps,
+        "scalar_epoch_seconds": scalar_s,
+        "batch_epoch_seconds": batch_s,
+        "speedup": scalar_s / batch_s,
+        "batch_vms_per_second": vms / batch_s,
+        "unix_time": time.time(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Tiny-scale smoke runs (tier-1 time budget): pytest -m bench_smoke
+# ----------------------------------------------------------------------
+@pytest.mark.bench_smoke
+def test_fleet_engine_smoke():
+    """Engines agree and the batch pass completes at tiny scale."""
+    record = _run_comparison(num_vms=60, num_shards=2, reps=2)
+    assert record["vms"] == 60
+    assert record["batch_epoch_seconds"] > 0
+    print("\nfleet engine smoke:", json.dumps(record, indent=2))
+
+
+@pytest.mark.bench_smoke
+def test_fleet_simulation_smoke():
+    """A tiny fleet runs end-to-end (simulate + monitor + detect)."""
+    scenario = synthesize_datacenter(
+        40,
+        num_shards=2,
+        seed=13,
+        episodes=[
+            InterferenceEpisode(
+                shard=0, host_index=0, start_epoch=4, end_epoch=8, kind="memory"
+            )
+        ],
+    )
+    fleet = build_fleet(scenario, config=_fast_config(), engine="batch", mitigate=False)
+    fleet.bootstrap()
+    start = time.perf_counter()
+    epochs = 8
+    for _ in range(epochs):
+        fleet.run_epoch(analyze=True)
+    elapsed = time.perf_counter() - start
+    assert fleet.detections(), "the injected episode must be detected"
+    rate = fleet.total_vms() * epochs / elapsed
+    print(f"\nfleet simulation smoke: {rate:.0f} VM-epochs/s over {epochs} epochs")
+
+
+# ----------------------------------------------------------------------
+# Full scale: 1000 VMs, records BENCH_fleet.json
+# ----------------------------------------------------------------------
+def test_fleet_scale_1000_vms():
+    """The batched epoch engine is >= 5x the scalar loop at 1000 VMs."""
+    record = _run_comparison(
+        num_vms=FULL_SCALE_VMS, num_shards=FULL_SCALE_SHARDS, reps=3
+    )
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print("\nfleet scale:", json.dumps(record, indent=2))
+    assert record["speedup"] >= MIN_SPEEDUP, (
+        f"batched engine speedup {record['speedup']:.1f}x below the "
+        f"{MIN_SPEEDUP:.0f}x acceptance floor (scalar "
+        f"{record['scalar_epoch_seconds']:.3f}s vs batch "
+        f"{record['batch_epoch_seconds']:.3f}s at {record['vms']} VMs)"
+    )

@@ -75,6 +75,30 @@ class MetricThresholds:
             if abs(candidate[name] - reference[name]) > limit
         )
 
+    # ------------------------------------------------------------------
+    # Batch evaluation (the vectorized epoch engine)
+    # ------------------------------------------------------------------
+    def violation_mask(
+        self,
+        candidates: np.ndarray,
+        references: np.ndarray,
+        dimensions: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Per-dimension MT violations for a whole batch at once.
+
+        ``candidates`` and ``references`` are ``(n, d)`` matrices whose
+        columns follow ``dimensions`` (default: this threshold vector's
+        own dimension order).  Returns an ``(n, d)`` boolean mask; row
+        ``i`` marks the dimensions on which ``candidates[i]`` deviates
+        from ``references[i]`` beyond MT — element-wise identical to
+        :meth:`violated_dimensions` per row.
+        """
+        dims = tuple(dimensions) if dimensions is not None else tuple(self.thresholds)
+        limits = self.as_array(dims)
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=float))
+        references = np.atleast_2d(np.asarray(references, dtype=float))
+        return np.abs(candidates - references) > limits
+
 
 def derive_thresholds(
     model: GaussianMixtureModel,

@@ -55,6 +55,12 @@ class DeepDiveConfig:
     bootstrap_load_levels: int = 6
     #: Epochs per bootstrap load level.
     bootstrap_epochs_per_level: int = 10
+    #: Seed for the measurement noise of the auto-created sandbox (used
+    #: when no explicit :class:`SandboxEnvironment` is supplied).  A
+    #: fixed default keeps every experiment reproducible run to run —
+    #: an unseeded sandbox made borderline detections flip; set to None
+    #: to restore entropy-based noise.
+    sandbox_seed: Optional[int] = 0
 
     # ------------------------------------------------------------------
     # Placement manager

@@ -29,6 +29,7 @@ from repro.core.repository import BehaviorRepository
 from repro.core.warning import WarningAction, WarningDecision, WarningSystem
 from repro.metrics.counters import CounterSample
 from repro.metrics.cpi import CPIStackModel
+from repro.metrics.matrix import MetricMatrix
 from repro.metrics.normalization import aggregate_samples
 from repro.metrics.sample import MetricVector
 from repro.regression.training import TrainedSynthesizer
@@ -86,6 +87,7 @@ class DeepDive:
         config: Optional[DeepDiveConfig] = None,
         synthesizer: Optional[TrainedSynthesizer] = None,
         mitigate: bool = False,
+        engine: str = "batch",
     ) -> None:
         """
         Parameters
@@ -103,7 +105,16 @@ class DeepDive:
         mitigate:
             Whether confirmed interference triggers the placement manager
             (experiments that only measure detection leave this off).
+        engine:
+            ``"batch"`` evaluates every VM of an epoch through the
+            vectorized :class:`MetricMatrix` path; ``"scalar"`` keeps the
+            per-VM reference loop.  Both produce identical warning
+            decisions (pinned by the property test suite); scalar exists
+            as the executable specification and benchmark baseline.
         """
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown epoch engine {engine!r}")
+        self.engine = engine
         self.cluster = cluster
         self.config = config or DeepDiveConfig()
         spec = next(iter(cluster.hosts.values())).machine.spec
@@ -112,6 +123,7 @@ class DeepDive:
             spec=spec,
             epoch_seconds=self.config.epoch_seconds,
             profile_epochs=self.config.profile_epochs,
+            seed=self.config.sandbox_seed,
         )
         self.repository = BehaviorRepository(
             warning_sigma=self.config.warning_sigma,
@@ -140,6 +152,13 @@ class DeepDive:
         #: Last confirmed analysis per application (reused when a known
         #: interference signature reappears).
         self._last_confirmed: Dict[str, AnalysisResult] = {}
+        #: Epoch of the last executed migration per source host.  One
+        #: interference episode often confirms on several co-located
+        #: victims in the same epoch (they all observed the same stale
+        #: window); once the first mitigation has moved the aggressor
+        #: away, further migrations from that host in the same epoch
+        #: would evict innocent VMs, so they are rate-limited.
+        self._host_migration_epoch: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Monitoring plumbing
@@ -173,6 +192,35 @@ class DeepDive:
     ) -> EpochReport:
         """Process the newest counters of every VM in the cluster.
 
+        Thin wrapper over :meth:`run_epoch` using the engine selected at
+        construction time; kept for backwards compatibility with the
+        experiment drivers.
+        """
+        return self.run_epoch(loads=loads, analyze=analyze)
+
+    def run_epoch(
+        self,
+        loads: Optional[Mapping[str, float]] = None,
+        analyze: bool = True,
+        engine: Optional[str] = None,
+        learn: bool = True,
+    ) -> EpochReport:
+        """Process the newest counters of every VM in the cluster.
+
+        The epoch is split into two phases:
+
+        1. **Evaluation** — every eligible VM's warning decision is
+           computed against a frozen repository snapshot (batched per
+           application in the ``"batch"`` engine, per-VM in the
+           ``"scalar"`` engine; both produce identical decisions).
+        2. **Actions** — workload-change learning, known-interference
+           bookkeeping, analyzer invocations and mitigations run in
+           deterministic placement order.  Before paying an analyzer
+           run, the suspicion is re-checked against the *live*
+           repository: an analysis earlier in the same epoch may already
+           have certified the behaviour as normal (false alarm) or
+           registered a matching interference signature.
+
         Parameters
         ----------
         loads:
@@ -181,63 +229,168 @@ class DeepDive:
         analyze:
             When False, only the warning system runs (used by experiments
             that count would-be analyzer invocations without paying them).
+        engine:
+            Optional engine override for this epoch (defaults to the
+            instance's engine).
+        learn:
+            When False, corroborated workload changes are reported but
+            not added to the repository — an observe-only pass with no
+            side effects on the learned models (used by benchmarks that
+            re-time the identical epoch).
         """
+        engine = engine or self.engine
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown epoch engine {engine!r}")
         report = EpochReport(epoch=self.current_epoch)
         if loads:
             for vm_name, load in loads.items():
                 self.observe_load(vm_name, load)
 
         placement = self.cluster.all_vms()
-        # Pre-compute the latest metric vector of every VM (for siblings).
-        latest_vectors: Dict[str, MetricVector] = {}
-        for vm_name, (host_name, vm) in placement.items():
-            sample = self.cluster.hosts[host_name].latest_counters(vm_name)
-            if sample is not None:
-                latest_vectors[vm_name] = MetricVector.from_sample(
-                    sample, label=vm.app_id
-                )
+        # One pass over the hypervisors' histories serves both engines:
+        # the newest sample is the last entry of each smoothing window.
+        windows = self.cluster.counter_windows(self.config.smoothing_epochs)
+        latest_samples: Dict[str, CounterSample] = {
+            vm_name: window[-1] for vm_name, window in windows.items()
+        }
+        # An (almost) idle VM produces no meaningful metric vector; there
+        # is nothing to suffer interference yet.
+        eligible = [
+            vm_name
+            for vm_name in placement
+            if vm_name in latest_samples
+            and latest_samples[vm_name].inst_retired >= 1e3
+        ]
 
-        for vm_name, (host_name, vm) in placement.items():
-            if vm_name not in latest_vectors:
-                continue
-            latest = self.cluster.hosts[host_name].latest_counters(vm_name)
-            if latest is None or latest.inst_retired < 1e3:
-                # An (almost) idle VM produces no meaningful metric vector;
-                # there is nothing to suffer interference yet.
-                continue
+        # ------------------------------------------------------------------
+        # Phase 1: evaluate every eligible VM against a frozen repository.
+        # ------------------------------------------------------------------
+        if engine == "batch":
+            decisions, vectors = self._evaluate_epoch_batch(
+                placement, latest_samples, eligible, windows
+            )
+        else:
+            decisions, vectors = self._evaluate_epoch_scalar(
+                placement, latest_samples, eligible
+            )
+
+        # ------------------------------------------------------------------
+        # Phase 2: act on the decisions in deterministic placement order.
+        # ------------------------------------------------------------------
+        for vm_name in eligible:
+            host_name, vm = placement[vm_name]
+            decision = decisions[vm_name]
+            vector = vectors[vm_name]
+            observation = VMObservation(
+                vm_name=vm_name, app_id=vm.app_id, warning=decision
+            )
+
+            if decision.action is WarningAction.WORKLOAD_CHANGE:
+                if learn:
+                    self.warning_system.learn_workload_change(vm.app_id, vector)
+            elif decision.flags_interference:
+                observation.known_interference = True
+                self._record_known_interference(vm_name, vm.app_id)
+            elif decision.should_analyze and analyze:
+                if self.repository.matches(vm.app_id, vector):
+                    # An analysis earlier this epoch certified this very
+                    # behaviour as interference-free; nothing to do.
+                    pass
+                elif self.repository.matches_interference(vm.app_id, vector):
+                    # An analysis earlier this epoch registered a matching
+                    # interference signature; report without re-profiling.
+                    observation.known_interference = True
+                    self._record_known_interference(vm_name, vm.app_id)
+                else:
+                    observation.analysis = self._run_analyzer(
+                        host_name, vm_name, vm, decision, triggering_vector=vector
+                    )
+                    if (
+                        observation.analysis is not None
+                        and observation.analysis.confirmed
+                        and self.mitigate
+                    ):
+                        observation.placement = self._mitigate(
+                            host_name, observation.analysis
+                        )
+            report.observations[vm_name] = observation
+
+        self.current_epoch += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Epoch engines
+    # ------------------------------------------------------------------
+    def _evaluate_epoch_scalar(
+        self,
+        placement: Mapping[str, tuple],
+        latest_samples: Mapping[str, CounterSample],
+        eligible: Sequence[str],
+    ) -> tuple:
+        """The per-VM reference loop: one dict-driven evaluation per VM."""
+        latest_vectors: Dict[str, MetricVector] = {
+            vm_name: MetricVector.from_sample(
+                latest_samples[vm_name], label=placement[vm_name][1].app_id
+            )
+            for vm_name in placement
+            if vm_name in latest_samples
+        }
+        decisions: Dict[str, WarningDecision] = {}
+        vectors: Dict[str, MetricVector] = {}
+        for vm_name in eligible:
+            host_name, vm = placement[vm_name]
             vector = self._smoothed_vector(host_name, vm_name, vm.app_id)
             siblings = {
                 other: latest_vectors[other]
                 for other, (_, other_vm) in placement.items()
-                if other != vm_name and other_vm.app_id == vm.app_id
+                if other != vm_name
+                and other_vm.app_id == vm.app_id
+                and other in latest_vectors
             }
-            decision = self.warning_system.evaluate(
+            decisions[vm_name] = self.warning_system.evaluate(
                 vm_name=vm_name,
                 app_id=vm.app_id,
                 vector=vector,
                 sibling_vectors=siblings,
             )
-            observation = VMObservation(vm_name=vm_name, app_id=vm.app_id, warning=decision)
+            vectors[vm_name] = vector
+        return decisions, vectors
 
-            if decision.action is WarningAction.WORKLOAD_CHANGE:
-                self.warning_system.learn_workload_change(vm.app_id, vector)
-            elif decision.flags_interference:
-                observation.known_interference = True
-                self._record_known_interference(vm_name, vm.app_id)
-            elif decision.should_analyze and analyze:
-                observation.analysis = self._run_analyzer(
-                    host_name, vm_name, vm, decision, triggering_vector=vector
-                )
-                if (
-                    observation.analysis is not None
-                    and observation.analysis.confirmed
-                    and self.mitigate
-                ):
-                    observation.placement = self._mitigate(host_name, observation.analysis)
-            report.observations[vm_name] = observation
+    def _evaluate_epoch_batch(
+        self,
+        placement: Mapping[str, tuple],
+        latest_samples: Mapping[str, CounterSample],
+        eligible: Sequence[str],
+        all_windows: Mapping[str, List[CounterSample]],
+    ) -> tuple:
+        """The vectorized engine: a handful of array ops per application."""
+        by_app: Dict[str, List[str]] = {}
+        for vm_name in eligible:
+            by_app.setdefault(placement[vm_name][1].app_id, []).append(vm_name)
+        # Sibling pools, grouped in one pass over the placement (pool
+        # order = placement order, matching the scalar sibling dicts).
+        pool_by_app: Dict[str, Dict[str, CounterSample]] = {}
+        for vm_name, (_, vm) in placement.items():
+            if vm_name in latest_samples:
+                pool_by_app.setdefault(vm.app_id, {})[vm_name] = latest_samples[vm_name]
 
-        self.current_epoch += 1
-        return report
+        decisions: Dict[str, WarningDecision] = {}
+        vectors: Dict[str, MetricVector] = {}
+        for app_id, vm_names in by_app.items():
+            windows = {vm_name: all_windows[vm_name] for vm_name in vm_names}
+            own = MetricMatrix.from_windows(windows, labels=app_id)
+            pool = MetricMatrix.from_samples(
+                pool_by_app.get(app_id, {}), labels=app_id
+            )
+            decisions.update(self.warning_system.evaluate_batch(app_id, own, pool))
+            # Materialise the scalar vectors only for rows that may need
+            # them in the action phase (learning / analyzer triggering).
+            for vm_name in vm_names:
+                if decisions[vm_name].action is not WarningAction.NORMAL:
+                    vectors[vm_name] = own.vector(vm_name)
+                else:
+                    vectors[vm_name] = None  # never consumed for NORMAL rows
+        return decisions, vectors
 
     # ------------------------------------------------------------------
     def _smoothed_vector(
@@ -245,7 +398,9 @@ class DeepDive:
     ) -> MetricVector:
         history = self.cluster.hosts[host_name].counter_history.get(vm_name, [])
         window = history[-self.config.smoothing_epochs:]
-        aggregate = aggregate_samples(window)
+        aggregate = aggregate_samples(
+            window, context=f"VM {vm_name!r} smoothing window on host {host_name!r}"
+        )
         return MetricVector.from_sample(aggregate, label=app_id)
 
     def _recent_window(
@@ -327,6 +482,11 @@ class DeepDive:
     def _mitigate(
         self, host_name: str, analysis: AnalysisResult
     ) -> Optional[PlacementDecision]:
+        if self._host_migration_epoch.get(host_name) == self.current_epoch:
+            # A migration already left this host this epoch; give the
+            # remaining VMs an epoch to observe the new conditions before
+            # moving anything else.
+            return None
         decision = self.placement_manager.resolve_interference(
             cluster=self.cluster,
             analysis=analysis,
@@ -335,6 +495,7 @@ class DeepDive:
         if decision is not None and decision.destination is not None:
             migrated = not decision.no_acceptable_destination
             if migrated:
+                self._host_migration_epoch[host_name] = self.current_epoch
                 self.events.record(
                     MigrationEvent(
                         epoch=self.current_epoch,

@@ -84,6 +84,10 @@ class BehaviorRepository:
         self.measurement_noise = measurement_noise
         self.seed = seed
         self._entries: Dict[str, AppBehaviorEntry] = {}
+        #: Chi-square quantiles are expensive; the radius only depends on
+        #: (warning_sigma, dimension count), so memoise it (the hot
+        #: monitoring path asks for it for every VM every epoch).
+        self._radius_cache: Dict[Tuple[float, int], float] = {}
 
     # ------------------------------------------------------------------
     # Acceptance radius
@@ -98,8 +102,11 @@ class BehaviorRepository:
         ``warning_sigma`` (e.g. sigma = 3 -> 99.73% coverage).
         """
         d = n_dims if n_dims is not None else len(WARNING_METRICS)
-        coverage = float(stats.chi2.cdf(self.warning_sigma ** 2, df=1))
-        return float(np.sqrt(stats.chi2.ppf(coverage, df=d)))
+        key = (self.warning_sigma, d)
+        if key not in self._radius_cache:
+            coverage = float(stats.chi2.cdf(self.warning_sigma ** 2, df=1))
+            self._radius_cache[key] = float(np.sqrt(stats.chi2.ppf(coverage, df=d)))
+        return self._radius_cache[key]
 
     # ------------------------------------------------------------------
     # Accessors
@@ -267,6 +274,20 @@ class BehaviorRepository:
         scaled = entry.scaler.transform(vector.as_array())
         return float(entry.model.mahalanobis(scaled[None, :])[0])
 
+    def distance_batch(self, app_id: str, matrix: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`distance` for a whole ``(n, d)`` metric matrix.
+
+        Returns an ``(n,)`` array of Mahalanobis distances to the closest
+        normal cluster (``inf`` everywhere when no model is fitted).
+        Element-wise identical to calling :meth:`distance` per row.
+        """
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        entry = self._entries.get(app_id)
+        if entry is None or not entry.has_model:
+            return np.full(matrix.shape[0], np.inf)
+        scaled = entry.scaler.transform(matrix)
+        return entry.model.mahalanobis(scaled)
+
     def interference_distance(self, app_id: str, vector: MetricVector) -> float:
         """Scaled distance of ``vector`` to the closest *interference* behaviour.
 
@@ -287,9 +308,34 @@ class BehaviorRepository:
             best = min(best, dist)
         return best
 
+    def interference_distance_batch(self, app_id: str, matrix: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`interference_distance` for an ``(n, d)`` matrix.
+
+        Element-wise identical to the scalar loop: for every candidate
+        row the distance to each stored interference behaviour is scaled
+        per dimension by the assumed measurement noise and the minimum is
+        taken.  ``inf`` everywhere when no interference is recorded.
+        """
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        entry = self._entries.get(app_id)
+        if entry is None or not entry.interference_vectors:
+            return np.full(matrix.shape[0], np.inf)
+        refs = vectors_to_matrix(entry.interference_vectors)  # (m, d)
+        noise = max(self.measurement_noise, 1e-3)
+        scale = np.maximum(np.abs(refs) * noise, 1e-9)  # (m, d)
+        # (n, m, d) broadcast; reduction over the last axis preserves the
+        # scalar path's summation order.
+        diffs = (matrix[:, None, :] - refs[None, :, :]) / scale[None, :, :]
+        dists = np.sqrt(np.sum(diffs * diffs, axis=2))  # (n, m)
+        return dists.min(axis=1)
+
     def matches_interference(self, app_id: str, vector: MetricVector) -> bool:
         """Whether ``vector`` matches a previously diagnosed interference behaviour."""
         return self.interference_distance(app_id, vector) <= self.acceptance_radius()
+
+    def matches_interference_batch(self, app_id: str, matrix: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`matches_interference`: ``(n,)`` booleans."""
+        return self.interference_distance_batch(app_id, matrix) <= self.acceptance_radius()
 
     def thresholds(self, app_id: str) -> Optional[MetricThresholds]:
         entry = self._entries.get(app_id)

@@ -27,7 +27,31 @@ import numpy as np
 
 from repro.core.config import DeepDiveConfig
 from repro.core.repository import BehaviorRepository
-from repro.metrics.sample import MetricVector
+from repro.metrics.matrix import MetricMatrix
+from repro.metrics.sample import WARNING_METRICS, MetricVector
+
+#: Reason strings shared by the scalar and batch evaluation paths, so a
+#: batch decision compares equal to its scalar counterpart.
+_REASON_CONSERVATIVE = (
+    "no interference-free model learned yet for this application; "
+    "conservative mode invokes the analyzer"
+)
+_REASON_NORMAL = "behaviour matches a known interference-free cluster"
+_REASON_KNOWN_INTERFERENCE = (
+    "behaviour matches a previously diagnosed interference "
+    "signature; no re-profiling needed"
+)
+_REASON_ANALYZE = (
+    "behaviour deviates from every known normal cluster and is not "
+    "corroborated by sibling VMs"
+)
+
+
+def _reason_workload_change(agreeing: int, siblings: int) -> str:
+    return (
+        f"{agreeing}/{siblings} sibling VMs deviate in the "
+        "same region at the same time; treating as a workload change"
+    )
 
 
 class WarningAction(str, enum.Enum):
@@ -126,10 +150,7 @@ class WarningSystem:
                 app_id=app_id,
                 distance=float("inf"),
                 conservative=True,
-                reason=(
-                    "no interference-free model learned yet for this application; "
-                    "conservative mode invokes the analyzer"
-                ),
+                reason=_REASON_CONSERVATIVE,
                 siblings_consulted=len(siblings),
             )
 
@@ -147,7 +168,7 @@ class WarningSystem:
                 app_id=app_id,
                 distance=distance,
                 conservative=False,
-                reason="behaviour matches a known interference-free cluster",
+                reason=_REASON_NORMAL,
                 siblings_consulted=len(siblings),
             )
         if thresholds is not None:
@@ -164,10 +185,7 @@ class WarningSystem:
                 app_id=app_id,
                 distance=distance,
                 conservative=False,
-                reason=(
-                    "behaviour matches a previously diagnosed interference "
-                    "signature; no re-profiling needed"
-                ),
+                reason=_REASON_KNOWN_INTERFERENCE,
                 violated_dimensions=violated,
                 siblings_consulted=len(siblings),
             )
@@ -186,10 +204,7 @@ class WarningSystem:
                     app_id=app_id,
                     distance=distance,
                     conservative=False,
-                    reason=(
-                        f"{agreeing}/{len(siblings)} sibling VMs deviate in the "
-                        "same region at the same time; treating as a workload change"
-                    ),
+                    reason=_reason_workload_change(agreeing, len(siblings)),
                     violated_dimensions=violated,
                     siblings_consulted=len(siblings),
                     siblings_agreeing=agreeing,
@@ -201,14 +216,215 @@ class WarningSystem:
             app_id=app_id,
             distance=distance,
             conservative=False,
-            reason=(
-                "behaviour deviates from every known normal cluster and is not "
-                "corroborated by sibling VMs"
-            ),
+            reason=_REASON_ANALYZE,
             violated_dimensions=violated,
             siblings_consulted=len(siblings),
             siblings_agreeing=agreeing,
         )
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (the vectorized epoch engine)
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self,
+        app_id: str,
+        own: MetricMatrix,
+        sibling_pool: Optional[MetricMatrix] = None,
+    ) -> Dict[str, WarningDecision]:
+        """Run Algorithm 1 for every VM of one application at once.
+
+        Parameters
+        ----------
+        app_id:
+            The application all rows of ``own`` belong to.
+        own:
+            The (smoothed) metric matrix of the VMs to evaluate.
+        sibling_pool:
+            The *latest* metric matrix of every VM running ``app_id``
+            (usually a superset of ``own``'s VMs; a VM is never treated
+            as its own sibling).
+
+        Returns one :class:`WarningDecision` per row, equal — action,
+        distance, violated dimensions, sibling counts and reason — to
+        what :meth:`evaluate` returns for the corresponding scalar call.
+        """
+        decisions: Dict[str, WarningDecision] = {}
+        n = len(own)
+        if n == 0:
+            return decisions
+        self.evaluations[app_id] = self.evaluations.get(app_id, 0) + n
+        pool = sibling_pool if sibling_pool is not None else MetricMatrix.empty()
+        m = len(pool)
+        sib_counts = [m - 1 if name in pool else m for name in own.vm_names]
+
+        # Conservative mode: no model yet (or too few behaviours).
+        if not self.repository.has_model(app_id):
+            for i, name in enumerate(own.vm_names):
+                decisions[name] = WarningDecision(
+                    action=WarningAction.ANALYZE,
+                    vm_name=name,
+                    app_id=app_id,
+                    distance=float("inf"),
+                    conservative=True,
+                    reason=_REASON_CONSERVATIVE,
+                    siblings_consulted=sib_counts[i],
+                )
+            return decisions
+
+        # Local check, one matrix op for the whole epoch.
+        acceptance_radius = self.repository.acceptance_radius()
+        distances = self.repository.distance_batch(app_id, own.array)
+        normal = distances <= acceptance_radius
+        deviating = np.flatnonzero(~normal)
+
+        # Per-dimension MT violations, only for the deviating rows.
+        thresholds = self.repository.thresholds(app_id)
+        violated: Dict[int, Tuple[str, ...]] = {}
+        if thresholds is not None and deviating.size:
+            rows = own.array[deviating]
+            for idx, dims in zip(deviating, self._violated_dimensions_batch(app_id, rows)):
+                violated[int(idx)] = dims
+
+        # Known-interference signatures, batched over the deviating rows.
+        known = np.zeros(n, dtype=bool)
+        if deviating.size:
+            known[deviating] = self.repository.matches_interference_batch(
+                app_id, own.array[deviating]
+            )
+
+        # Global check: deviating, unknown rows with at least one sibling.
+        need_global = [
+            int(i)
+            for i in deviating
+            if not known[i] and sib_counts[i] > 0
+        ]
+        agreeing_counts = np.zeros(n, dtype=int)
+        if need_global and m > 0:
+            pool_deviates = (
+                self.repository.distance_batch(app_id, pool.array) > acceptance_radius
+            )
+            agreeing_counts = self._count_agreeing_batch(
+                own, pool, need_global, pool_deviates
+            )
+
+        for i, name in enumerate(own.vm_names):
+            consulted = sib_counts[i]
+            if normal[i]:
+                decisions[name] = WarningDecision(
+                    action=WarningAction.NORMAL,
+                    vm_name=name,
+                    app_id=app_id,
+                    distance=float(distances[i]),
+                    conservative=False,
+                    reason=_REASON_NORMAL,
+                    siblings_consulted=consulted,
+                )
+                continue
+            dims = violated.get(i, ())
+            if known[i]:
+                decisions[name] = WarningDecision(
+                    action=WarningAction.KNOWN_INTERFERENCE,
+                    vm_name=name,
+                    app_id=app_id,
+                    distance=float(distances[i]),
+                    conservative=False,
+                    reason=_REASON_KNOWN_INTERFERENCE,
+                    violated_dimensions=dims,
+                    siblings_consulted=consulted,
+                )
+                continue
+            agreeing = int(agreeing_counts[i])
+            if consulted > 0:
+                quorum = max(1, int(np.ceil(self.config.global_quorum * consulted)))
+                if agreeing >= quorum:
+                    decisions[name] = WarningDecision(
+                        action=WarningAction.WORKLOAD_CHANGE,
+                        vm_name=name,
+                        app_id=app_id,
+                        distance=float(distances[i]),
+                        conservative=False,
+                        reason=_reason_workload_change(agreeing, consulted),
+                        violated_dimensions=dims,
+                        siblings_consulted=consulted,
+                        siblings_agreeing=agreeing,
+                    )
+                    continue
+            decisions[name] = WarningDecision(
+                action=WarningAction.ANALYZE,
+                vm_name=name,
+                app_id=app_id,
+                distance=float(distances[i]),
+                conservative=False,
+                reason=_REASON_ANALYZE,
+                violated_dimensions=dims,
+                siblings_consulted=consulted,
+                siblings_agreeing=agreeing,
+            )
+        return decisions
+
+    def _violated_dimensions_batch(
+        self, app_id: str, rows: np.ndarray
+    ) -> List[Tuple[str, ...]]:
+        """Row-wise :meth:`_violated_dimensions` over an ``(n, d)`` matrix."""
+        entry = self.repository.entry(app_id)
+        if entry.model is None or entry.scaler is None or entry.thresholds is None:
+            return [() for _ in range(rows.shape[0])]
+        scaled = entry.scaler.transform(rows)
+        diffs = scaled[:, None, :] - entry.model.means[None, :, :]
+        dists = np.sqrt(
+            np.sum(diffs * diffs / entry.model.variances[None, :, :], axis=2)
+        )
+        closest = np.argmin(dists, axis=1)
+        raw_means = entry.scaler.inverse_transform(entry.model.means)
+        references = np.atleast_2d(raw_means)[closest]
+        mask = entry.thresholds.violation_mask(
+            rows, references, dimensions=WARNING_METRICS
+        )
+        return [
+            tuple(name for name, hit in zip(WARNING_METRICS, row) if hit)
+            for row in mask
+        ]
+
+    def _count_agreeing_batch(
+        self,
+        own: MetricMatrix,
+        pool: MetricMatrix,
+        rows: Sequence[int],
+        pool_deviates: np.ndarray,
+        chunk: int = 64,
+    ) -> np.ndarray:
+        """Batched :meth:`_count_agreeing_siblings` for selected rows.
+
+        Works on ``(chunk, m, d)`` blocks so fleets of thousands of VMs
+        never materialise a cubically sized temporary.
+        """
+        counts = np.zeros(len(own), dtype=int)
+        dev_idx = np.flatnonzero(pool_deviates)
+        if dev_idx.size == 0:
+            return counts
+        deviating_pool = pool.array[dev_idx]  # (m', d)
+        pool_abs = np.abs(deviating_pool)
+        dev_pos = {pool.vm_names[int(j)]: col for col, j in enumerate(dev_idx)}
+        noise = max(getattr(self.repository, "measurement_noise", 0.05), 1e-3)
+        limit = self.config.global_similarity_distance
+        row_arr = np.asarray(list(rows), dtype=int)
+        for start in range(0, row_arr.size, chunk):
+            block = row_arr[start:start + chunk]
+            S = own.array[block]  # (b, d)
+            scale = np.maximum(
+                np.maximum(np.abs(S)[:, None, :], pool_abs[None, :, :]) * noise,
+                1e-9,
+            )
+            diffs = (S[:, None, :] - deviating_pool[None, :, :]) / scale
+            gaps = np.sqrt(np.mean(diffs * diffs, axis=2))  # (b, m')
+            agree = gaps <= limit
+            for bi, i in enumerate(block):
+                total = int(agree[bi].sum())
+                self_col = dev_pos.get(own.vm_names[int(i)])
+                if self_col is not None and agree[bi, self_col]:
+                    total -= 1  # a VM is never its own sibling
+                counts[int(i)] = total
+        return counts
 
     # ------------------------------------------------------------------
     def _violated_dimensions(

@@ -1,0 +1,35 @@
+"""Fleet-scale simulation on top of the batch epoch engine.
+
+The paper evaluates DeepDive on a handful of physical machines; the
+ROADMAP's north star is a production-scale system.  This package scales
+the simulation to datacenter fleets: a :class:`Fleet` shards many
+:class:`~repro.virt.cluster.Cluster` instances (one DeepDive deployment
+each, mirroring how a real operator partitions a datacenter into
+independently managed pods), drives every shard's monitoring epoch
+through the vectorized :class:`~repro.metrics.matrix.MetricMatrix`
+engine, and a :class:`DatacenterScenario` synthesises thousands of VMs
+with mixed CloudSuite-like workloads and scheduled interference
+episodes.
+
+``benchmarks/test_fleet_scale.py`` measures the batched epoch engine
+against the scalar per-VM reference loop on these fleets and records
+the speedup in ``BENCH_fleet.json``.
+"""
+
+from repro.fleet.fleet import Fleet, FleetEpochReport, FleetShard
+from repro.fleet.scenario import (
+    DatacenterScenario,
+    InterferenceEpisode,
+    build_fleet,
+    synthesize_datacenter,
+)
+
+__all__ = [
+    "Fleet",
+    "FleetEpochReport",
+    "FleetShard",
+    "DatacenterScenario",
+    "InterferenceEpisode",
+    "build_fleet",
+    "synthesize_datacenter",
+]

@@ -1,0 +1,235 @@
+"""Sharded fleet orchestration.
+
+A datacenter is partitioned into *shards*: independent clusters, each
+watched by its own DeepDive deployment (its own behaviour repository,
+sandbox and placement manager).  The :class:`Fleet` drives all shards
+epoch by epoch — stepping the hardware simulation, applying the
+scenario's interference schedule, and running every shard's monitoring
+epoch through the batch engine — and aggregates the fleet-wide view
+(detections, migrations, profiling cost) the operator dashboards would
+show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import DeepDiveConfig
+from repro.core.deepdive import DeepDive, EpochReport
+from repro.core.events import InterferenceDetectedEvent, MigrationEvent
+from repro.virt.cluster import Cluster
+from repro.virt.sandbox import SandboxEnvironment
+
+
+class FleetShard:
+    """One independently managed cluster plus its DeepDive deployment."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        cluster: Cluster,
+        config: Optional[DeepDiveConfig] = None,
+        engine: str = "batch",
+        mitigate: bool = False,
+        sandbox: Optional[SandboxEnvironment] = None,
+        baseline_loads: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.cluster = cluster
+        self.config = config or DeepDiveConfig()
+        self.deepdive = DeepDive(
+            cluster,
+            sandbox=sandbox,
+            config=self.config,
+            mitigate=mitigate,
+            engine=engine,
+        )
+        #: Steady-state offered load per VM (fraction of nominal); VMs
+        #: absent from the mapping (e.g. scenario stress VMs) keep the
+        #: load set directly on their host.
+        self.baseline_loads: Dict[str, float] = dict(baseline_loads or {})
+
+    # ------------------------------------------------------------------
+    def app_ids(self) -> List[str]:
+        """Distinct applications running on this shard, sorted."""
+        return sorted({vm.app_id for _, vm in self.cluster.all_vms().values()})
+
+    def bootstrap(self, app_ids: Optional[Sequence[str]] = None) -> None:
+        """Bootstrap one VM per application through the sandbox sweep.
+
+        By default only applications with a steady-state baseline load
+        are bootstrapped — scenario stress VMs start idle and are learned
+        (or diagnosed) on the fly, exactly like an unknown tenant.
+        """
+        if app_ids is None:
+            loaded_apps = {
+                vm.app_id
+                for name, (_, vm) in self.cluster.all_vms().items()
+                if self.baseline_loads.get(name, 0.0) > 0.0
+            }
+            app_ids = sorted(loaded_apps)
+        bootstrapped = set()
+        for vm_name, (_, vm) in sorted(self.cluster.all_vms().items()):
+            if vm.app_id in app_ids and vm.app_id not in bootstrapped:
+                self.deepdive.bootstrap_vm(vm_name)
+                bootstrapped.add(vm.app_id)
+
+    def run_epoch(self, analyze: bool = True) -> EpochReport:
+        """Advance the shard by one epoch: simulate, then monitor."""
+        loads = dict(self.baseline_loads)
+        self.cluster.step(loads=loads)
+        return self.deepdive.run_epoch(loads=loads, analyze=analyze)
+
+    # ------------------------------------------------------------------
+    def detections(self) -> List[InterferenceDetectedEvent]:
+        return self.deepdive.events.detections()
+
+    def migrations(self) -> List[MigrationEvent]:
+        return self.deepdive.events.migrations()
+
+
+@dataclass
+class FleetEpochReport:
+    """The fleet-wide outcome of one monitoring epoch."""
+
+    epoch: int
+    #: Per-shard epoch reports (shard id -> report).
+    shard_reports: Dict[str, EpochReport] = field(default_factory=dict)
+
+    def observations(self) -> int:
+        return sum(len(r.observations) for r in self.shard_reports.values())
+
+    def analyzer_invocations(self) -> int:
+        return sum(r.analyzer_invocations() for r in self.shard_reports.values())
+
+    def confirmed_interference(self) -> List[Tuple[str, str]]:
+        """(shard id, vm name) pairs with confirmed interference this epoch."""
+        return [
+            (shard_id, vm_name)
+            for shard_id, report in self.shard_reports.items()
+            for vm_name in report.confirmed_interference()
+        ]
+
+    def action_histogram(self) -> Dict[str, int]:
+        """Warning-action counts across the whole fleet."""
+        histogram: Dict[str, int] = {}
+        for report in self.shard_reports.values():
+            for observation in report.observations.values():
+                key = observation.warning.action.value
+                histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+
+class Fleet:
+    """Many shards, one epoch clock, one interference schedule."""
+
+    def __init__(
+        self,
+        shards: Sequence[FleetShard],
+        schedule: Optional[Sequence["ScheduledStress"]] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        self.shards: Dict[str, FleetShard] = {}
+        for shard in shards:
+            if shard.shard_id in self.shards:
+                raise ValueError(f"duplicate shard id {shard.shard_id!r}")
+            self.shards[shard.shard_id] = shard
+        self.schedule: List[ScheduledStress] = list(schedule or [])
+        self.current_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def total_vms(self) -> int:
+        return sum(len(s.cluster.all_vms()) for s in self.shards.values())
+
+    def total_hosts(self) -> int:
+        return sum(len(s.cluster.hosts) for s in self.shards.values())
+
+    def shard(self, shard_id: str) -> FleetShard:
+        return self.shards[shard_id]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> None:
+        """Bootstrap every shard's loaded applications."""
+        for shard in self.shards.values():
+            shard.bootstrap()
+
+    def _apply_schedule(self) -> None:
+        for stress in self.schedule:
+            shard = self.shards.get(stress.shard_id)
+            if shard is None:
+                continue
+            placement = shard.cluster.all_vms()
+            if stress.vm_name not in placement:
+                continue
+            host_name, _ = placement[stress.vm_name]
+            active = stress.start_epoch <= self.current_epoch < stress.end_epoch
+            shard.cluster.hosts[host_name].set_load(
+                stress.vm_name, stress.intensity if active else 0.0
+            )
+
+    def run_epoch(self, analyze: bool = True) -> FleetEpochReport:
+        """Advance the whole fleet by one epoch."""
+        self._apply_schedule()
+        report = FleetEpochReport(epoch=self.current_epoch)
+        for shard_id, shard in self.shards.items():
+            report.shard_reports[shard_id] = shard.run_epoch(analyze=analyze)
+        self.current_epoch += 1
+        return report
+
+    def run(self, epochs: int, analyze: bool = True) -> List[FleetEpochReport]:
+        """Run several epochs, returning one fleet report per epoch."""
+        return [self.run_epoch(analyze=analyze) for _ in range(epochs)]
+
+    # ------------------------------------------------------------------
+    # Fleet-wide statistics
+    # ------------------------------------------------------------------
+    def detections(self) -> List[Tuple[str, InterferenceDetectedEvent]]:
+        return [
+            (shard_id, event)
+            for shard_id, shard in self.shards.items()
+            for event in shard.detections()
+        ]
+
+    def migrations(self) -> List[Tuple[str, MigrationEvent]]:
+        return [
+            (shard_id, event)
+            for shard_id, shard in self.shards.items()
+            for event in shard.migrations()
+        ]
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate fleet statistics (the operator dashboard numbers)."""
+        return {
+            "shards": float(len(self.shards)),
+            "hosts": float(self.total_hosts()),
+            "vms": float(self.total_vms()),
+            "epochs": float(self.current_epoch),
+            "detections": float(len(self.detections())),
+            "migrations": float(len(self.migrations())),
+            "analyzer_invocations": float(
+                sum(s.deepdive.analyzer_invocations() for s in self.shards.values())
+            ),
+            "profiling_seconds": float(
+                sum(s.deepdive.total_profiling_seconds() for s in self.shards.values())
+            ),
+            "repository_bytes": float(
+                sum(s.deepdive.repository_size_bytes() for s in self.shards.values())
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class ScheduledStress:
+    """A stress VM's on/off window, resolved from an interference episode."""
+
+    shard_id: str
+    vm_name: str
+    start_epoch: int
+    end_epoch: int
+    intensity: float = 1.0

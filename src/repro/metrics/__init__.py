@@ -16,7 +16,15 @@ from repro.metrics.counters import (
     COUNTER_DEFINITIONS,
 )
 from repro.metrics.sample import MetricVector, WARNING_METRICS
-from repro.metrics.normalization import normalize_sample, normalize_samples
+from repro.metrics.matrix import MetricMatrix
+from repro.metrics.normalization import (
+    aggregate_samples,
+    normalize_counter_matrix,
+    normalize_sample,
+    normalize_samples,
+    samples_to_counter_matrix,
+    windows_to_counter_matrix,
+)
 from repro.metrics.cpi import (
     CPIStack,
     CPIStackModel,
@@ -32,9 +40,14 @@ __all__ = [
     "CounterDefinition",
     "COUNTER_DEFINITIONS",
     "MetricVector",
+    "MetricMatrix",
     "WARNING_METRICS",
+    "aggregate_samples",
+    "normalize_counter_matrix",
     "normalize_sample",
     "normalize_samples",
+    "samples_to_counter_matrix",
+    "windows_to_counter_matrix",
     "CPIStack",
     "CPIStackModel",
     "Resource",

@@ -3,14 +3,28 @@
 Kept as free functions so the hypervisor, warning system and experiment
 drivers all normalise identically (Section 4.1: "we normalize the
 metrics with respect to the amount of work performed").
+
+Two implementations coexist:
+
+* the scalar path (:func:`normalize_sample` /
+  :meth:`~repro.metrics.sample.MetricVector.from_sample`) used by the
+  per-VM code paths and kept as the executable reference semantics;
+* the batch path (:func:`samples_to_counter_matrix`,
+  :func:`normalize_counter_matrix`, :func:`windows_to_counter_matrix`)
+  that processes *all* VMs of an epoch as one NumPy array.  The batch
+  math mirrors the scalar operations element-wise (same operations, same
+  order), so the two paths produce bit-identical results — a property
+  pinned by ``tests/property/test_vectorized_equivalence.py``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
-from repro.metrics.counters import CounterSample
-from repro.metrics.sample import MetricVector
+import numpy as np
+
+from repro.metrics.counters import COUNTER_NAMES, CounterSample
+from repro.metrics.sample import WARNING_METRICS, MetricVector
 
 
 def normalize_sample(
@@ -27,15 +41,131 @@ def normalize_samples(
     return [normalize_sample(s, label=label) for s in samples]
 
 
-def aggregate_samples(samples: Iterable[CounterSample]) -> CounterSample:
+def aggregate_samples(
+    samples: Iterable[CounterSample], context: Optional[str] = None
+) -> CounterSample:
     """Sum consecutive epoch samples into one longer-epoch sample.
 
     Useful when the warning system smooths over several monitoring
     epochs before comparing against the behaviour repository.
+
+    Parameters
+    ----------
+    samples:
+        The per-epoch samples to merge; must contain at least one.
+    context:
+        Optional description of where the window came from (e.g. the VM
+        whose history is being smoothed); included in the error message
+        when the window is empty so the failure is diagnosable.
+
+    Raises
+    ------
+    ValueError
+        If ``samples`` is empty.  Counter histories only become empty
+        through a caller bug (asking for a window before the first epoch
+        or slicing with a non-positive length), so the error names the
+        offending window instead of surfacing a cryptic downstream crash.
     """
     merged: Optional[CounterSample] = None
     for sample in samples:
         merged = sample if merged is None else merged.merged(sample)
     if merged is None:
-        raise ValueError("cannot aggregate an empty sequence of samples")
+        where = f" for {context}" if context else ""
+        raise ValueError(
+            f"aggregate_samples{where}: received an empty sequence of "
+            "CounterSample objects; a smoothing/profiling window must "
+            "contain at least one epoch sample"
+        )
     return merged
+
+
+# ----------------------------------------------------------------------
+# Batch (vectorized) path
+# ----------------------------------------------------------------------
+def samples_to_counter_matrix(samples: Sequence[CounterSample]) -> np.ndarray:
+    """Stack raw counter samples into an ``(n, len(COUNTER_NAMES))`` matrix.
+
+    Columns follow the canonical Table-1 order (:data:`COUNTER_NAMES`).
+    """
+    samples = list(samples)
+    out = np.empty((len(samples), len(COUNTER_NAMES)), dtype=float)
+    for i, sample in enumerate(samples):
+        for j, name in enumerate(COUNTER_NAMES):
+            out[i, j] = getattr(sample, name)
+    return out
+
+
+def windows_to_counter_matrix(
+    windows: Sequence[Sequence[CounterSample]],
+    context: Optional[str] = None,
+    names: Optional[Sequence[str]] = None,
+) -> np.ndarray:
+    """Aggregate one smoothing window per VM into one raw counter row each.
+
+    Equivalent to calling :func:`aggregate_samples` on every window and
+    stacking the results, but without materialising the intermediate
+    :class:`CounterSample` objects.  The per-window summation is a left
+    fold in window order — the exact operation sequence of
+    :meth:`CounterSample.merged` — so the result is bit-identical to the
+    scalar path.
+
+    ``names`` optionally labels each window (typically the VM names) so
+    an empty-window error can identify the offender; ``context``
+    describes the batch as a whole.
+    """
+    n = len(windows)
+    out = np.empty((n, len(COUNTER_NAMES)), dtype=float)
+    for i, window in enumerate(windows):
+        raw = samples_to_counter_matrix(window)
+        if raw.shape[0] == 0:
+            where = f" for {context}" if context else ""
+            who = f" (VM {names[i]!r})" if names is not None else ""
+            raise ValueError(
+                f"windows_to_counter_matrix{where}: window {i}{who} is empty; "
+                "every smoothing window must contain at least one epoch sample"
+            )
+        acc = raw[0]
+        for r in range(1, raw.shape[0]):
+            acc = acc + raw[r]
+        out[i] = acc
+    return out
+
+
+def normalize_counter_matrix(raw: np.ndarray) -> np.ndarray:
+    """Normalise an ``(n, len(COUNTER_NAMES))`` raw counter matrix.
+
+    Returns an ``(n, len(WARNING_METRICS))`` matrix whose columns follow
+    the canonical :data:`WARNING_METRICS` order.  Every arithmetic step
+    mirrors :meth:`MetricVector.from_sample` (same operations in the
+    same order on float64), so each row is bit-identical to the scalar
+    normalisation of the corresponding sample.
+    """
+    raw = np.atleast_2d(np.asarray(raw, dtype=float))
+    if raw.shape[1] != len(COUNTER_NAMES):
+        raise ValueError(
+            f"expected {len(COUNTER_NAMES)} counter columns, got {raw.shape[1]}"
+        )
+    col = {name: raw[:, j] for j, name in enumerate(COUNTER_NAMES)}
+    inst = np.maximum(col["inst_retired"], 1.0)
+    pki = 1000.0 / inst
+    total_cycles = np.maximum(
+        col["cpu_unhalted"] + col["disk_stall_cycles"] + col["net_stall_cycles"],
+        1.0,
+    )
+    columns = {
+        "cpi": col["cpu_unhalted"] / inst,
+        "l1_repl_pki": col["l1d_repl"] * pki,
+        "l2_ifetch_pki": col["l2_ifetch"] * pki,
+        "l2_lines_in_pki": col["l2_lines_in"] * pki,
+        "mem_load_pki": col["mem_load"] * pki,
+        "resource_stall_cpi": col["resource_stalls"] / inst,
+        "bus_tran_pki": col["bus_tran_any"] * pki,
+        "bus_ifetch_pki": col["bus_trans_ifetch"] * pki,
+        "bus_brd_pki": col["bus_tran_brd"] * pki,
+        "bus_req_out_pki": col["bus_req_out"] * pki,
+        "br_miss_pki": col["br_miss_pred"] * pki,
+        "disk_stall_cpi": col["disk_stall_cycles"] / inst,
+        "net_stall_cpi": col["net_stall_cycles"] / inst,
+        "cpu_utilization": np.minimum(1.0, col["cpu_unhalted"] / total_cycles),
+    }
+    return np.column_stack([columns[name] for name in WARNING_METRICS])

@@ -152,6 +152,26 @@ class Cluster:
     # ------------------------------------------------------------------
     # Global introspection used by DeepDive's warning system
     # ------------------------------------------------------------------
+    def counter_windows(
+        self, window: int
+    ) -> Dict[str, List[CounterSample]]:
+        """The last ``window`` samples of every VM, in one pass.
+
+        The batch epoch engine's entry point: one bulk read per epoch
+        instead of one host lookup per VM — the last entry of each
+        window is the VM's newest sample.  VMs that have not completed
+        an epoch yet are absent from the result.
+        """
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        out: Dict[str, List[CounterSample]] = {}
+        for host in self.hosts.values():
+            for vm_name in host.vms:
+                history = host.counter_history.get(vm_name)
+                if history:
+                    out[vm_name] = history[-window:]
+        return out
+
     def latest_counters_for_app(
         self, app_id: str, exclude_vm: Optional[str] = None
     ) -> Dict[str, CounterSample]:

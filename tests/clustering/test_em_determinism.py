@@ -1,0 +1,109 @@
+"""Regression: EM clustering is deterministic under a fixed seed.
+
+The vectorization refactor must never silently change cluster
+assignments — the warning thresholds MT, the acceptance regions and
+every downstream decision derive from the fitted mixture.  These tests
+pin bit-identical refits under a fixed seed for the plain EM, the
+constrained EM, and the full repository fit.
+"""
+
+import numpy as np
+
+from repro.clustering.constraints import (
+    CannotLinkConstraints,
+    ConstrainedGaussianMixtureEM,
+)
+from repro.clustering.em import GaussianMixtureEM
+from repro.core.repository import BehaviorRepository
+from repro.metrics.sample import WARNING_METRICS, MetricVector
+
+
+def _two_cluster_data(seed: int = 5, n_per_cluster: int = 40) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.3, size=(n_per_cluster, 4))
+    b = rng.normal(5.0, 0.3, size=(n_per_cluster, 4))
+    return np.vstack([a, b])
+
+
+def _assert_models_identical(m1, m2):
+    assert m1.n_components == m2.n_components
+    assert np.array_equal(m1.weights, m2.weights)
+    assert np.array_equal(m1.means, m2.means)
+    assert np.array_equal(m1.variances, m2.variances)
+    assert m1.log_likelihood == m2.log_likelihood
+    assert m1.n_iter == m2.n_iter
+
+
+class TestEMDeterminism:
+    def test_same_seed_produces_bitwise_identical_fit(self):
+        data = _two_cluster_data()
+        m1 = GaussianMixtureEM(max_components=4, seed=17).fit(data)
+        m2 = GaussianMixtureEM(max_components=4, seed=17).fit(data)
+        _assert_models_identical(m1, m2)
+        assert np.array_equal(m1.predict(data), m2.predict(data))
+
+    def test_fixed_seed_recovers_the_two_planted_clusters(self):
+        data = _two_cluster_data()
+        model = GaussianMixtureEM(max_components=4, seed=17).fit(data)
+        labels = model.predict(data)
+        assert model.n_components == 2
+        # Every point of a planted cluster gets the same label, and the
+        # two planted clusters get different labels.
+        first, second = labels[:40], labels[40:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_constrained_em_is_deterministic(self):
+        data = _two_cluster_data(seed=9)
+        constraints = CannotLinkConstraints()
+        constraints.add(np.full(4, 2.5))
+        fits = [
+            ConstrainedGaussianMixtureEM(
+                max_components=4, acceptance_sigma=3.0, seed=31
+            ).fit(data, constraints)
+            for _ in range(2)
+        ]
+        _assert_models_identical(fits[0], fits[1])
+
+
+class TestRepositoryFitDeterminism:
+    def _populated_repository(self) -> BehaviorRepository:
+        repository = BehaviorRepository(min_normal_behaviors=8, seed=3)
+        rng = np.random.default_rng(1234)
+        for scale in (1.0, 4.0):
+            for _ in range(16):
+                values = {
+                    name: float(v)
+                    for name, v in zip(
+                        WARNING_METRICS,
+                        np.abs(rng.normal(1.0, 0.05, len(WARNING_METRICS)))
+                        * scale,
+                    )
+                }
+                repository.add_normal(
+                    "app", MetricVector(values=values, label="app"), refit=False
+                )
+        return repository
+
+    def test_repository_fit_is_reproducible(self):
+        entries = []
+        for _ in range(2):
+            repository = self._populated_repository()
+            repository.fit("app")
+            entries.append(repository.entry("app"))
+        m1, m2 = entries[0].model, entries[1].model
+        _assert_models_identical(m1, m2)
+        t1, t2 = entries[0].thresholds, entries[1].thresholds
+        assert t1.thresholds == t2.thresholds
+        d1 = entries[0].scaler.mean_
+        d2 = entries[1].scaler.mean_
+        assert np.array_equal(d1, d2)
+
+    def test_refit_on_same_vectors_is_stable(self):
+        repository = self._populated_repository()
+        repository.fit("app")
+        before = repository.entry("app").model
+        repository.fit("app")
+        after = repository.entry("app").model
+        _assert_models_identical(before, after)

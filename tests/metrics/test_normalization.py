@@ -1,0 +1,111 @@
+"""Unit tests for the normalisation helpers (scalar and batch paths)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.counters import COUNTER_NAMES, CounterSample
+from repro.metrics.normalization import (
+    aggregate_samples,
+    normalize_counter_matrix,
+    samples_to_counter_matrix,
+    windows_to_counter_matrix,
+)
+from repro.metrics.sample import WARNING_METRICS, MetricVector
+
+
+def _sample(scale: float = 1.0, epoch_seconds: float = 1.0) -> CounterSample:
+    return CounterSample(
+        cpu_unhalted=3e9 * scale,
+        inst_retired=2e9 * scale,
+        l1d_repl=4e7 * scale,
+        l2_ifetch=1e6 * scale,
+        l2_lines_in=2e7 * scale,
+        mem_load=6e8 * scale,
+        resource_stalls=5e8 * scale,
+        bus_tran_any=3e7 * scale,
+        bus_trans_ifetch=2e5 * scale,
+        bus_tran_brd=1e7 * scale,
+        bus_req_out=8e8 * scale,
+        br_miss_pred=9e6 * scale,
+        disk_stall_cycles=1e8 * scale,
+        net_stall_cycles=5e7 * scale,
+        epoch_seconds=epoch_seconds,
+    )
+
+
+class TestAggregateSamples:
+    def test_empty_sequence_raises_value_error_with_context(self):
+        with pytest.raises(ValueError) as excinfo:
+            aggregate_samples([], context="VM 'cassandra-0' smoothing window")
+        message = str(excinfo.value)
+        assert "cassandra-0" in message
+        assert "empty sequence" in message
+        assert "at least one epoch sample" in message
+
+    def test_empty_sequence_raises_without_context(self):
+        with pytest.raises(ValueError, match="empty sequence"):
+            aggregate_samples([])
+
+    def test_single_sample_is_identity(self):
+        sample = _sample()
+        merged = aggregate_samples([sample])
+        assert merged.as_dict() == sample.as_dict()
+        assert merged.epoch_seconds == sample.epoch_seconds
+
+    def test_multi_sample_sums_counters_and_epoch_seconds(self):
+        samples = [_sample(1.0), _sample(2.0, epoch_seconds=2.0), _sample(0.5)]
+        merged = aggregate_samples(samples)
+        for name in COUNTER_NAMES:
+            assert merged[name] == pytest.approx(
+                sum(s[name] for s in samples)
+            )
+        assert merged.epoch_seconds == pytest.approx(4.0)
+
+    def test_generator_input_is_supported(self):
+        merged = aggregate_samples(_sample() for _ in range(3))
+        assert merged.inst_retired == pytest.approx(3 * 2e9)
+
+
+class TestBatchHelpers:
+    def test_counter_matrix_column_order_is_table1(self):
+        sample = _sample()
+        raw = samples_to_counter_matrix([sample])
+        assert raw.shape == (1, len(COUNTER_NAMES))
+        for j, name in enumerate(COUNTER_NAMES):
+            assert raw[0, j] == sample[name]
+
+    def test_windows_matrix_matches_scalar_aggregation(self):
+        windows = [[_sample(1.0)], [_sample(1.0), _sample(3.0)]]
+        raw = windows_to_counter_matrix(windows)
+        for i, window in enumerate(windows):
+            merged = aggregate_samples(window)
+            for j, name in enumerate(COUNTER_NAMES):
+                assert raw[i, j] == merged[name]
+
+    def test_windows_matrix_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="window 1 is empty"):
+            windows_to_counter_matrix([[_sample()], []], context="test fleet")
+
+    def test_windows_matrix_names_the_offending_vm(self):
+        with pytest.raises(ValueError, match=r"window 1 \(VM 'vm-b'\) is empty"):
+            windows_to_counter_matrix(
+                [[_sample()], []], names=["vm-a", "vm-b"]
+            )
+
+    def test_normalize_matrix_matches_scalar(self):
+        samples = [_sample(0.3), _sample(1.0), _sample(7.0)]
+        out = normalize_counter_matrix(samples_to_counter_matrix(samples))
+        assert out.shape == (3, len(WARNING_METRICS))
+        for i, sample in enumerate(samples):
+            assert np.array_equal(
+                out[i], MetricVector.from_sample(sample).as_array()
+            )
+
+    def test_normalize_matrix_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="counter columns"):
+            normalize_counter_matrix(np.zeros((2, 3)))
+
+    def test_low_instruction_floor_matches_scalar(self):
+        quiet = CounterSample(cpu_unhalted=10.0, inst_retired=0.0)
+        out = normalize_counter_matrix(samples_to_counter_matrix([quiet]))
+        assert np.array_equal(out[0], MetricVector.from_sample(quiet).as_array())

@@ -27,16 +27,19 @@ from repro.core.events import (
 from repro.core.placement import PlacementDecision, PlacementManager
 from repro.core.repository import BehaviorRepository
 from repro.core.warning import WarningAction, WarningDecision, WarningSystem
-from repro.metrics.counters import CounterSample
+from repro.metrics.counters import COUNTER_NAMES, CounterSample
 from repro.metrics.cpi import CPIStackModel
 from repro.metrics.matrix import MetricMatrix
-from repro.metrics.normalization import aggregate_samples
+from repro.metrics.normalization import aggregate_samples, normalize_counter_matrix
 from repro.metrics.sample import MetricVector
 from repro.regression.training import TrainedSynthesizer
-from repro.virt.cluster import Cluster
+from repro.virt.cluster import Cluster, CounterWindowView
 from repro.virt.proxy import RequestProxy
 from repro.virt.sandbox import SandboxEnvironment
 from repro.virt.vm import VirtualMachine
+
+#: Column of ``inst_retired`` in raw counter matrices (Table-1 order).
+_INST_RETIRED_COL = COUNTER_NAMES.index("inst_retired")
 
 
 @dataclass
@@ -247,29 +250,38 @@ class DeepDive:
                 self.observe_load(vm_name, load)
 
         placement = self.cluster.all_vms()
-        # One pass over the hypervisors' histories serves both engines:
-        # the newest sample is the last entry of each smoothing window.
-        windows = self.cluster.counter_windows(self.config.smoothing_epochs)
-        latest_samples: Dict[str, CounterSample] = {
-            vm_name: window[-1] for vm_name, window in windows.items()
-        }
-        # An (almost) idle VM produces no meaningful metric vector; there
-        # is nothing to suffer interference yet.
-        eligible = [
-            vm_name
-            for vm_name in placement
-            if vm_name in latest_samples
-            and latest_samples[vm_name].inst_retired >= 1e3
-        ]
-
         # ------------------------------------------------------------------
         # Phase 1: evaluate every eligible VM against a frozen repository.
+        # An (almost) idle VM produces no meaningful metric vector; there
+        # is nothing to suffer interference yet.
         # ------------------------------------------------------------------
         if engine == "batch":
+            # One columnar read serves the whole epoch: the cluster hands
+            # back every VM's newest counters and smoothing-window sum as
+            # two raw matrices (served directly from the batch substrate's
+            # per-epoch counter blocks when available).
+            view = self.cluster.counter_window_view(self.config.smoothing_epochs)
+            latest_inst = view.latest[:, _INST_RETIRED_COL]
+            eligible = [
+                vm_name
+                for vm_name in placement
+                if vm_name in view.index
+                and latest_inst[view.index[vm_name]] >= 1e3
+            ]
             decisions, vectors = self._evaluate_epoch_batch(
-                placement, latest_samples, eligible, windows
+                placement, eligible, view
             )
         else:
+            windows = self.cluster.counter_windows(self.config.smoothing_epochs)
+            latest_samples: Dict[str, CounterSample] = {
+                vm_name: window[-1] for vm_name, window in windows.items()
+            }
+            eligible = [
+                vm_name
+                for vm_name in placement
+                if vm_name in latest_samples
+                and latest_samples[vm_name].inst_retired >= 1e3
+            ]
             decisions, vectors = self._evaluate_epoch_scalar(
                 placement, latest_samples, eligible
             )
@@ -359,28 +371,41 @@ class DeepDive:
     def _evaluate_epoch_batch(
         self,
         placement: Mapping[str, tuple],
-        latest_samples: Mapping[str, CounterSample],
         eligible: Sequence[str],
-        all_windows: Mapping[str, List[CounterSample]],
+        view: CounterWindowView,
     ) -> tuple:
-        """The vectorized engine: a handful of array ops per application."""
+        """The vectorized engine: a handful of array ops per application.
+
+        Consumes the cluster's columnar counter view directly — the raw
+        window sums and latest samples are already matrices, so each
+        application's metric matrices are a row-gather plus one batch
+        normalisation, with no per-VM sample handling.
+        """
         by_app: Dict[str, List[str]] = {}
         for vm_name in eligible:
             by_app.setdefault(placement[vm_name][1].app_id, []).append(vm_name)
         # Sibling pools, grouped in one pass over the placement (pool
         # order = placement order, matching the scalar sibling dicts).
-        pool_by_app: Dict[str, Dict[str, CounterSample]] = {}
+        pool_by_app: Dict[str, List[str]] = {}
         for vm_name, (_, vm) in placement.items():
-            if vm_name in latest_samples:
-                pool_by_app.setdefault(vm.app_id, {})[vm_name] = latest_samples[vm_name]
+            if vm_name in view.index:
+                pool_by_app.setdefault(vm.app_id, []).append(vm_name)
 
         decisions: Dict[str, WarningDecision] = {}
         vectors: Dict[str, MetricVector] = {}
         for app_id, vm_names in by_app.items():
-            windows = {vm_name: all_windows[vm_name] for vm_name in vm_names}
-            own = MetricMatrix.from_windows(windows, labels=app_id)
-            pool = MetricMatrix.from_samples(
-                pool_by_app.get(app_id, {}), labels=app_id
+            own_rows = [view.index[vm_name] for vm_name in vm_names]
+            own = MetricMatrix(
+                array=normalize_counter_matrix(view.window_sum[own_rows]),
+                vm_names=tuple(vm_names),
+                labels=tuple(app_id for _ in vm_names),
+            )
+            pool_names = pool_by_app.get(app_id, [])
+            pool_rows = [view.index[vm_name] for vm_name in pool_names]
+            pool = MetricMatrix(
+                array=normalize_counter_matrix(view.latest[pool_rows]),
+                vm_names=tuple(pool_names),
+                labels=tuple(app_id for _ in pool_names),
             )
             decisions.update(self.warning_system.evaluate_batch(app_id, own, pool))
             # Materialise the scalar vectors only for rows that may need

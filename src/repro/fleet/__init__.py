@@ -16,7 +16,7 @@ against the scalar per-VM reference loop on these fleets and records
 the speedup in ``BENCH_fleet.json``.
 """
 
-from repro.fleet.fleet import Fleet, FleetEpochReport, FleetShard
+from repro.fleet.fleet import Fleet, FleetEpochReport, FleetRunSummary, FleetShard
 from repro.fleet.scenario import (
     DatacenterScenario,
     InterferenceEpisode,
@@ -27,6 +27,7 @@ from repro.fleet.scenario import (
 __all__ = [
     "Fleet",
     "FleetEpochReport",
+    "FleetRunSummary",
     "FleetShard",
     "DatacenterScenario",
     "InterferenceEpisode",

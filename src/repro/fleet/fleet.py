@@ -8,12 +8,21 @@ scenario's interference schedule, and running every shard's monitoring
 epoch through the batch engine — and aggregates the fleet-wide view
 (detections, migrations, profiling cost) the operator dashboards would
 show.
+
+Shards share nothing (separate clusters, sandboxes, repositories and
+random generators), so the fleet can dispatch their epochs to a
+``concurrent.futures`` thread pool (``max_workers``).  Results merge in
+shard insertion order and each shard's evolution is independent of
+execution order, so a fleet run is bit-identical for any worker count —
+pinned by ``tests/integration/test_parallel_fleet.py``.
 """
 
 from __future__ import annotations
 
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.config import DeepDiveConfig
 from repro.core.deepdive import DeepDive, EpochReport
@@ -47,8 +56,11 @@ class FleetShard:
         )
         #: Steady-state offered load per VM (fraction of nominal); VMs
         #: absent from the mapping (e.g. scenario stress VMs) keep the
-        #: load set directly on their host.
+        #: load set directly on their host.  May be mutated directly;
+        #: changes are pushed to the hosts on the next epoch.
         self.baseline_loads: Dict[str, float] = dict(baseline_loads or {})
+        #: Snapshot of the loads last pushed to hosts and proxies.
+        self._pushed_loads: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def app_ids(self) -> List[str]:
@@ -75,11 +87,25 @@ class FleetShard:
                 self.deepdive.bootstrap_vm(vm_name)
                 bootstrapped.add(vm.app_id)
 
+    def set_baseline_loads(self, loads: Mapping[str, float]) -> None:
+        """Replace the steady-state loads (pushed on the next epoch)."""
+        self.baseline_loads = dict(loads)
+
     def run_epoch(self, analyze: bool = True) -> EpochReport:
-        """Advance the shard by one epoch: simulate, then monitor."""
-        loads = dict(self.baseline_loads)
-        self.cluster.step(loads=loads)
-        return self.deepdive.run_epoch(loads=loads, analyze=analyze)
+        """Advance the shard by one epoch: simulate, then monitor.
+
+        The steady-state baseline loads are pushed to the hosts and the
+        monitoring proxies only when they changed (hosts retain per-VM
+        loads between epochs), so the unchanged steady-state map adds no
+        per-VM work to the hot loop.
+        """
+        if self.baseline_loads != self._pushed_loads:
+            loads = dict(self.baseline_loads)
+            self._pushed_loads = loads
+            self.cluster.step(loads=loads)
+            return self.deepdive.run_epoch(loads=loads, analyze=analyze)
+        self.cluster.step()
+        return self.deepdive.run_epoch(analyze=analyze)
 
     # ------------------------------------------------------------------
     def detections(self) -> List[InterferenceDetectedEvent]:
@@ -121,16 +147,65 @@ class FleetEpochReport:
         return histogram
 
 
+@dataclass
+class FleetRunSummary:
+    """Memory-bounded aggregate of a multi-epoch fleet run.
+
+    Returned by :meth:`Fleet.run` with ``keep_reports=False``: instead of
+    one :class:`FleetEpochReport` per epoch (every VM observation of
+    every epoch stays alive), only running totals and the final epoch's
+    report are retained — constant memory regardless of run length.
+    """
+
+    epochs: int = 0
+    observations: int = 0
+    analyzer_invocations: int = 0
+    #: Total (shard, VM, epoch) interference confirmations.
+    confirmed_interference: int = 0
+    #: Warning-action counts accumulated over the whole run.
+    action_histogram: Dict[str, int] = field(default_factory=dict)
+    #: The last epoch's full report (steady-state snapshot).
+    final_report: Optional[FleetEpochReport] = None
+
+    def accumulate(self, report: FleetEpochReport) -> None:
+        """Fold one epoch report into the running totals."""
+        self.epochs += 1
+        self.observations += report.observations()
+        self.analyzer_invocations += report.analyzer_invocations()
+        self.confirmed_interference += len(report.confirmed_interference())
+        for action, count in report.action_histogram().items():
+            self.action_histogram[action] = (
+                self.action_histogram.get(action, 0) + count
+            )
+        self.final_report = report
+
+
 class Fleet:
-    """Many shards, one epoch clock, one interference schedule."""
+    """Many shards, one epoch clock, one interference schedule.
+
+    Parameters
+    ----------
+    shards:
+        The independently managed shards (unique ids).
+    schedule:
+        Scheduled stress windows applied before each epoch.
+    max_workers:
+        When > 1, shard epochs are dispatched to a thread pool of this
+        size; ``None`` or 1 keeps the serial loop.  Shards share no
+        state, so results are identical for any worker count (the merge
+        order is always shard insertion order).
+    """
 
     def __init__(
         self,
         shards: Sequence[FleetShard],
         schedule: Optional[Sequence["ScheduledStress"]] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         if not shards:
             raise ValueError("a fleet needs at least one shard")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         self.shards: Dict[str, FleetShard] = {}
         for shard in shards:
             if shard.shard_id in self.shards:
@@ -138,6 +213,8 @@ class Fleet:
             self.shards[shard.shard_id] = shard
         self.schedule: List[ScheduledStress] = list(schedule or [])
         self.current_epoch = 0
+        self.max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -173,18 +250,68 @@ class Fleet:
                 stress.vm_name, stress.intensity if active else 0.0
             )
 
+    def _shard_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="fleet-shard"
+            )
+            # Release the worker threads when the fleet is collected,
+            # even if the caller never calls shutdown() explicitly.
+            weakref.finalize(self, self._executor.shutdown, wait=False)
+        return self._executor
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
     def run_epoch(self, analyze: bool = True) -> FleetEpochReport:
-        """Advance the whole fleet by one epoch."""
+        """Advance the whole fleet by one epoch.
+
+        With ``max_workers > 1`` the independent shards run concurrently;
+        reports always merge in shard insertion order, so the outcome is
+        identical to the serial loop.
+        """
         self._apply_schedule()
         report = FleetEpochReport(epoch=self.current_epoch)
-        for shard_id, shard in self.shards.items():
-            report.shard_reports[shard_id] = shard.run_epoch(analyze=analyze)
+        if self.max_workers is None or self.max_workers <= 1 or len(self.shards) <= 1:
+            for shard_id, shard in self.shards.items():
+                report.shard_reports[shard_id] = shard.run_epoch(analyze=analyze)
+        else:
+            executor = self._shard_executor()
+            futures = {
+                shard_id: executor.submit(shard.run_epoch, analyze=analyze)
+                for shard_id, shard in self.shards.items()
+            }
+            for shard_id in self.shards:
+                report.shard_reports[shard_id] = futures[shard_id].result()
         self.current_epoch += 1
         return report
 
-    def run(self, epochs: int, analyze: bool = True) -> List[FleetEpochReport]:
-        """Run several epochs, returning one fleet report per epoch."""
-        return [self.run_epoch(analyze=analyze) for _ in range(epochs)]
+    def run(
+        self, epochs: int, analyze: bool = True, keep_reports: bool = True
+    ) -> Union[List[FleetEpochReport], FleetRunSummary]:
+        """Run several epochs.
+
+        With ``keep_reports=True`` (default) one :class:`FleetEpochReport`
+        per epoch is returned.  Long large-fleet runs set
+        ``keep_reports=False`` to get a constant-memory
+        :class:`FleetRunSummary` instead — per-epoch reports are folded
+        into running totals and discarded.
+        """
+        if keep_reports:
+            return [self.run_epoch(analyze=analyze) for _ in range(epochs)]
+        summary = FleetRunSummary()
+        for _ in range(epochs):
+            summary.accumulate(self.run_epoch(analyze=analyze))
+        return summary
+
+    def shutdown(self) -> None:
+        """Release the shard worker pool (no-op for serial fleets)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     # ------------------------------------------------------------------
     # Fleet-wide statistics

@@ -27,6 +27,14 @@ from repro.hardware.machine import (
     PhysicalMachine,
     EpochResult,
     VMEpochOutcome,
+    outcome_from_batch,
+)
+from repro.hardware.batch import (
+    BatchEpochResult,
+    ClusterLayout,
+    DemandMatrix,
+    HostBatchPlan,
+    simulate_epoch_batch,
 )
 
 __all__ = [
@@ -49,4 +57,10 @@ __all__ = [
     "PhysicalMachine",
     "EpochResult",
     "VMEpochOutcome",
+    "outcome_from_batch",
+    "BatchEpochResult",
+    "ClusterLayout",
+    "DemandMatrix",
+    "HostBatchPlan",
+    "simulate_epoch_batch",
 ]

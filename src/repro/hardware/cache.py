@@ -22,7 +22,9 @@ workload's temporal locality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from repro.hardware.demand import ResourceDemand
 from repro.hardware.specs import ArchitectureSpec
@@ -115,6 +117,64 @@ class SharedCacheModel:
                 miss_ratio=miss_ratio,
             )
         return outcomes
+
+    def resolve_batch(
+        self,
+        instructions: np.ndarray,
+        l1_miss_pki: np.ndarray,
+        ifetch_pki: np.ndarray,
+        working_set_mb: np.ndarray,
+        locality: np.ndarray,
+        domain_ids: np.ndarray,
+        n_domains: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`resolve` over many cache domains at once.
+
+        Rows are (VM, domain) membership pairs — ``instructions`` is the
+        VM's instruction demand already scaled by its access share of the
+        domain, exactly like the scalar path's ``demand.scaled(w)``.
+        ``domain_ids`` segments the rows into independent cache domains
+        (all of the same size, this model's ``size_mb``).
+
+        Returns ``(llc_accesses, llc_misses, occupancy_mb, miss_ratio)``
+        arrays, one entry per row, mirroring :class:`CacheOutcome`.  The
+        arithmetic replays the scalar model operation for operation; the
+        only difference is the float-summation order of the per-domain
+        pressure total, which matches the scalar insertion-order sum
+        because rows are grouped VM-major.
+        """
+        accesses = (
+            instructions * l1_miss_pki / 1000.0
+            + instructions * ifetch_pki / 1000.0
+        )
+        intensity = np.where(
+            instructions > 0,
+            accesses / np.maximum(instructions, 1.0),
+            0.0,
+        )
+        pressure = working_set_mb * (0.25 + np.sqrt(intensity * 1000.0))
+        total_pressure = np.bincount(
+            domain_ids, weights=pressure, minlength=n_domains
+        )[domain_ids]
+        share = np.where(
+            total_pressure > 0,
+            self._size_mb * pressure / np.where(total_pressure > 0, total_pressure, 1.0),
+            self._size_mb,
+        )
+        occupancy = np.minimum(share, working_set_mb)
+        ws_safe = np.where(working_set_mb > 0, working_set_mb, 1.0)
+        fit = np.minimum(1.0, occupancy / ws_safe)
+        overflow = 1.0 - fit
+        ceiling = 1.0 - locality * 0.9
+        ratio = self.COMPULSORY_MISS_RATIO + overflow * ceiling
+        ratio = np.minimum(1.0, np.maximum(self.COMPULSORY_MISS_RATIO, ratio))
+        # A VM with no cache accesses (or no working set) only pays the
+        # compulsory floor and occupies no space, as in the scalar model.
+        inactive = (accesses <= 0) | (working_set_mb <= 0)
+        ratio = np.where(inactive, self.COMPULSORY_MISS_RATIO, ratio)
+        occupancy = np.where(inactive, 0.0, occupancy)
+        misses = accesses * ratio
+        return accesses, misses, occupancy, ratio
 
     def _miss_ratio(self, demand: ResourceDemand, occupancy_mb: float) -> float:
         """Miss ratio given the effective cache space granted to the VM.

@@ -14,7 +14,9 @@ metric from Table 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
 
 from repro.hardware.demand import ResourceDemand
 from repro.hardware.specs import DiskSpec
@@ -111,6 +113,95 @@ class DiskModel:
                 granted_mbps=transferred / max(epoch_seconds, 1e-9),
             )
         return outcomes
+
+    def resolve_batch(
+        self,
+        disk_mb: np.ndarray,
+        sequential_fraction: np.ndarray,
+        host_ids: np.ndarray,
+        n_hosts: int,
+        epoch_seconds: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`resolve` over many disk subsystems at once.
+
+        Rows are VMs; ``host_ids`` segments them into independent disk
+        subsystems.  Returns ``(transferred_mb, wait_seconds,
+        granted_mbps)`` arrays mirroring :class:`DiskOutcome`, replaying
+        the scalar arithmetic element-wise.
+        """
+        active = disk_mb > 0
+        active_f = active.astype(float)
+        k = np.bincount(host_ids, weights=active_f, minlength=n_hosts)
+        interleave = 1.0 / (1.0 + 0.6 * (k - 1.0))
+        total_demand = np.bincount(
+            host_ids, weights=np.where(active, disk_mb, 0.0), minlength=n_hosts
+        )
+        weighted_seq = np.bincount(
+            host_ids,
+            weights=np.where(active, disk_mb * sequential_fraction, 0.0),
+            minlength=n_hosts,
+        ) / np.maximum(total_demand, 1e-9)
+        effective_seq = weighted_seq * interleave
+        aggregate_mbps = self._aggregate_bandwidth_batch(effective_seq)
+        capacity_mb = aggregate_mbps * epoch_seconds
+        utilization = np.minimum(0.95, total_demand / np.maximum(capacity_mb, 1e-9))
+
+        contended_share = np.where(
+            total_demand[host_ids] <= capacity_mb[host_ids],
+            disk_mb,
+            disk_mb * capacity_mb[host_ids] / np.maximum(total_demand[host_ids], 1e-30),
+        )
+        solo_rate = self._aggregate_bandwidth_batch(sequential_fraction)
+        solo_transferred, solo_wait = self._serve_batch(
+            disk_mb,
+            solo_rate,
+            disk_mb / np.maximum(solo_rate * epoch_seconds, 1e-9),
+            epoch_seconds,
+            demanded_mb=disk_mb,
+        )
+        contended_transferred, contended_wait = self._serve_batch(
+            np.minimum(contended_share, solo_transferred),
+            np.minimum(aggregate_mbps[host_ids], solo_rate),
+            utilization[host_ids],
+            epoch_seconds,
+            demanded_mb=disk_mb,
+        )
+        transferred = np.minimum(solo_transferred, contended_transferred)
+        wait = np.minimum(epoch_seconds, np.maximum(solo_wait, contended_wait))
+        granted = transferred / max(epoch_seconds, 1e-9)
+        return (
+            np.where(active, transferred, 0.0),
+            np.where(active, wait, 0.0),
+            np.where(active, granted, 0.0),
+        )
+
+    def _aggregate_bandwidth_batch(self, effective_sequential: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`aggregate_bandwidth_mbps`."""
+        seq = np.minimum(np.maximum(effective_sequential, 0.0), 1.0)
+        per_disk = self._spec.sequential_mbps * (
+            self._spec.random_efficiency + seq * (1.0 - self._spec.random_efficiency)
+        )
+        return per_disk * self._spec.count
+
+    def _serve_batch(
+        self,
+        transfer_mb: np.ndarray,
+        rate_mbps: np.ndarray,
+        utilization: np.ndarray,
+        epoch_seconds: float,
+        demanded_mb: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_serve` (same formulas, array operands)."""
+        capacity_mb = rate_mbps * epoch_seconds
+        transferred = np.minimum(transfer_mb, capacity_mb)
+        queue_factor = 1.0 / (
+            1.0 - np.minimum(0.95, np.maximum(0.0, utilization))
+        )
+        busy_seconds = transferred / np.maximum(rate_mbps, 1e-9)
+        unmet_fraction = 1.0 - transferred / np.maximum(demanded_mb, 1e-9)
+        backlog_seconds = epoch_seconds * np.maximum(0.0, unmet_fraction)
+        wait = np.minimum(epoch_seconds, busy_seconds * queue_factor + backlog_seconds)
+        return transferred, wait
 
     def _serve(
         self,

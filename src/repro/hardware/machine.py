@@ -25,6 +25,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hardware.batch import (
+    BatchEpochResult,
+    ClusterLayout,
+    DemandMatrix,
+    HostBatchPlan,
+    simulate_epoch_batch,
+)
 from repro.hardware.cache import CacheOutcome, SharedCacheModel
 from repro.hardware.demand import ResourceDemand
 from repro.hardware.disk import DiskModel, DiskOutcome
@@ -75,6 +82,28 @@ class EpochResult:
 
     def __contains__(self, vm_name: str) -> bool:
         return vm_name in self.per_vm
+
+
+def outcome_from_batch(
+    batch: BatchEpochResult, row: int, sample: Optional[CounterSample] = None
+) -> VMEpochOutcome:
+    """Materialise one batch-substrate row as a scalar :class:`VMEpochOutcome`.
+
+    ``sample`` optionally reuses an already materialised counter sample
+    (see :meth:`BatchEpochResult.samples`).  The per-resource sub-model
+    outcomes (``cache``/``bus``/``disk``/``nic``) are diagnostics of the
+    scalar substrate and stay ``None``.
+    """
+    return VMEpochOutcome(
+        counters=sample if sample is not None else batch.sample(row),
+        instructions_retired=float(batch.instructions_retired[row]),
+        instructions_demanded=float(batch.instructions_demanded[row]),
+        instructions_attainable=float(batch.instructions_attainable[row]),
+        progress=float(batch.progress[row]),
+        disk_mbps=float(batch.disk_mbps[row]),
+        network_mbps=float(batch.network_mbps[row]),
+        cpi=float(batch.cpi[row]),
+    )
 
 
 class PhysicalMachine:
@@ -141,6 +170,96 @@ class PhysicalMachine:
 
     def _cache_domain_of_core(self, core: int) -> int:
         return core // self.spec.architecture.cores_per_cache_domain
+
+    # ------------------------------------------------------------------
+    # Batch substrate
+    # ------------------------------------------------------------------
+    def batch_plan(
+        self,
+        demands: Mapping[str, ResourceDemand],
+        core_assignment: Optional[Mapping[str, Sequence[int]]] = None,
+    ) -> HostBatchPlan:
+        """The batch substrate's layout for this machine's VM set.
+
+        Depends only on the VM name order, vCPU counts and pinning — not
+        on per-epoch demand values — so hypervisors cache it between
+        placement changes.  Rows follow the iteration order of
+        ``demands`` (the order the scalar substrate resolves VMs in).
+        """
+        assignment = (
+            {n: list(c) for n, c in core_assignment.items()}
+            if core_assignment is not None
+            else self.default_core_assignment(demands)
+        )
+        n_cores: List[float] = []
+        pair_vm: List[int] = []
+        pair_domain: List[int] = []
+        pair_weight: List[float] = []
+        for i, name in enumerate(demands):
+            cores = assignment.get(name)
+            if not cores:
+                raise ValueError(f"no cores assigned to VM {name!r}")
+            n_cores.append(float(len(cores)))
+            weights: Dict[int, float] = {}
+            for core in cores:
+                dom = self._cache_domain_of_core(core)
+                weights[dom] = weights.get(dom, 0.0) + 1.0 / len(cores)
+            for dom, w in weights.items():
+                pair_vm.append(i)
+                pair_domain.append(dom)
+                pair_weight.append(w)
+        return HostBatchPlan(
+            n_vms=len(n_cores),
+            n_cores=np.asarray(n_cores, dtype=float),
+            pair_vm=np.asarray(pair_vm, dtype=np.intp),
+            pair_domain=np.asarray(pair_domain, dtype=np.intp),
+            pair_weight=np.asarray(pair_weight, dtype=float),
+        )
+
+    def run_epoch_batch(
+        self,
+        demands: Mapping[str, ResourceDemand],
+        epoch_seconds: float = 1.0,
+        core_assignment: Optional[Mapping[str, Sequence[int]]] = None,
+        cpu_caps: Optional[Mapping[str, float]] = None,
+    ) -> EpochResult:
+        """:meth:`run_epoch` through the vectorized batch substrate.
+
+        Produces the same :class:`EpochResult` (including the machine's
+        noise-generator consumption) with array operations instead of the
+        per-VM dance; the per-resource sub-model outcomes on each
+        :class:`VMEpochOutcome` are not materialised (``None``).
+        """
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        for demand in demands.values():
+            demand.validate()
+        if not demands:
+            return EpochResult(per_vm={}, epoch_seconds=epoch_seconds)
+        names = list(demands)
+        plan = self.batch_plan(demands, core_assignment=core_assignment)
+        layout = ClusterLayout.assemble(
+            [plan], self.spec.architecture.cache_domains
+        )
+        caps = np.asarray(
+            [(cpu_caps or {}).get(name, 1.0) for name in names], dtype=float
+        )
+        batch = simulate_epoch_batch(
+            self.spec,
+            DemandMatrix.from_demands([demands[name] for name in names]),
+            layout,
+            epoch_seconds,
+            caps,
+            noise_rngs=[(self.noise, self._rng)],
+        )
+        per_vm = {
+            name: outcome_from_batch(batch, i) for i, name in enumerate(names)
+        }
+        return EpochResult(
+            per_vm=per_vm,
+            epoch_seconds=epoch_seconds,
+            bus_utilization=float(batch.host_bus_utilization[0]),
+        )
 
     # ------------------------------------------------------------------
     # Epoch simulation

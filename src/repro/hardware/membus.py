@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
+import numpy as np
+
 from repro.hardware.specs import ArchitectureSpec
 
 #: Bytes per cache line; both modelled architectures use 64-byte lines.
@@ -48,6 +50,22 @@ class BusOutcome:
         if self.traffic_mb <= 0:
             return 1.0
         return min(1.0, self.granted_mb / self.traffic_mb)
+
+
+@dataclass
+class BusBatchOutcome:
+    """Columnar result of :meth:`MemoryBusModel.resolve_batch`.
+
+    Per-VM arrays (``traffic_mb``, ``granted_mb``, ``bandwidth_share``)
+    are indexed by row; per-host arrays (``memory_latency_cycles``,
+    ``utilization``) are indexed by host id.
+    """
+
+    traffic_mb: np.ndarray
+    granted_mb: np.ndarray
+    bandwidth_share: np.ndarray
+    memory_latency_cycles: np.ndarray
+    utilization: np.ndarray
 
 
 class MemoryBusModel:
@@ -114,6 +132,50 @@ class MemoryBusModel:
                 transactions=transactions,
             )
         return outcomes
+
+    def resolve_batch(
+        self,
+        miss_traffic_mb: np.ndarray,
+        writeback_traffic_mb: np.ndarray,
+        dma_traffic_mb: np.ndarray,
+        host_ids: np.ndarray,
+        n_hosts: int,
+        epoch_seconds: float,
+    ) -> "BusBatchOutcome":
+        """Vectorized :meth:`resolve` over many interconnects at once.
+
+        Rows are VMs; ``host_ids`` segments them into independent
+        interconnects (one per host).  Mirrors the scalar arithmetic
+        element-wise; per-host traffic totals accumulate in row order.
+        """
+        per_vm_mb = miss_traffic_mb + writeback_traffic_mb + dma_traffic_mb
+        total_mb = np.bincount(host_ids, weights=per_vm_mb, minlength=n_hosts)
+        capacity_mb = self._spec.memory_bandwidth_mbps * max(epoch_seconds, 1e-9)
+        utilization = np.minimum(
+            self.MAX_UTILIZATION, total_mb / max(capacity_mb, 1e-9)
+        )
+        inflation_sensitivity = 0.5 if self._spec.front_side_bus else 0.25
+        latency = self._spec.memory_cycles * (
+            1.0 + inflation_sensitivity * (utilization / (1.0 - utilization))
+        )
+        scale = np.where(
+            total_mb > capacity_mb,
+            capacity_mb / np.where(total_mb > 0, total_mb, 1.0),
+            1.0,
+        )
+        granted_mb = per_vm_mb * scale[host_ids]
+        bandwidth_share = np.where(
+            per_vm_mb > 0,
+            np.minimum(1.0, granted_mb / np.where(per_vm_mb > 0, per_vm_mb, 1.0)),
+            1.0,
+        )
+        return BusBatchOutcome(
+            traffic_mb=per_vm_mb,
+            granted_mb=granted_mb,
+            bandwidth_share=bandwidth_share,
+            memory_latency_cycles=latency,
+            utilization=utilization,
+        )
 
     def contended_latency(self, utilization: float) -> float:
         """Memory-access latency (cycles) at a given interconnect utilisation.

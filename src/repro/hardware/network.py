@@ -12,7 +12,9 @@ reaches the victims' counter vectors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
 
 from repro.hardware.demand import ResourceDemand
 from repro.hardware.specs import NicSpec
@@ -93,6 +95,42 @@ class NicModel:
                 granted_mbps=granted_mbps,
             )
         return outcomes
+
+    def resolve_batch(
+        self,
+        network_mbit: np.ndarray,
+        host_ids: np.ndarray,
+        n_hosts: int,
+        epoch_seconds: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`resolve` over many NICs at once.
+
+        Rows are VMs; ``host_ids`` segments them into independent NICs.
+        Returns ``(transferred_mbit, wait_seconds, granted_mbps)`` arrays
+        mirroring :class:`NicOutcome`.
+        """
+        active = network_mbit > 0
+        capacity_mbit = self.capacity_mbps * epoch_seconds
+        total_demand = np.bincount(
+            host_ids, weights=np.where(active, network_mbit, 0.0), minlength=n_hosts
+        )
+        total_rows = total_demand[host_ids]
+        transferred = np.where(
+            total_rows <= capacity_mbit,
+            network_mbit,
+            network_mbit * capacity_mbit / np.maximum(total_rows, 1e-30),
+        )
+        granted_mbps = transferred / max(epoch_seconds, 1e-9)
+        utilization = np.minimum(0.99, total_rows / max(capacity_mbit, 1e-9))
+        queue_wait = epoch_seconds * 0.2 * (utilization ** 3)
+        unmet_fraction = 1.0 - transferred / np.maximum(network_mbit, 1e-9)
+        backlog_seconds = epoch_seconds * np.maximum(0.0, unmet_fraction)
+        wait = np.minimum(epoch_seconds, queue_wait + backlog_seconds)
+        return (
+            np.where(active, transferred, 0.0),
+            np.where(active, wait, 0.0),
+            np.where(active, granted_mbps, 0.0),
+        )
 
     def isolation_outcome(
         self, demand: ResourceDemand, epoch_seconds: float

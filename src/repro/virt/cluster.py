@@ -4,18 +4,65 @@ The cluster ties the per-host simulation together: it steps every host
 each epoch, exposes the global view the warning system's "global
 information" path needs (which VMs run the same application code on
 which hosts), and executes migrations decided by the placement manager.
+
+Two hardware substrates drive the per-epoch simulation:
+
+* ``substrate="scalar"`` steps each host through the per-VM reference
+  model (:meth:`~repro.virt.vmm.Host.step`);
+* ``substrate="batch"`` (the default) resolves one epoch for **all VMs
+  on all hosts at once** through the vectorized contention substrate
+  (:mod:`repro.hardware.batch`), emitting the same counter samples and
+  additionally recording a columnar per-epoch counter block that feeds
+  the monitoring pipeline's :class:`~repro.metrics.matrix.MetricMatrix`
+  without per-VM dictionary materialisation.
+
+Both substrates are equivalent (same formulas, same noise draws; pinned
+by ``tests/property/test_substrate_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.hardware.batch import (
+    N_COUNTERS,
+    ClusterLayout,
+    DemandMatrix,
+    simulate_epoch_batch,
+)
+from repro.hardware.machine import outcome_from_batch
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.metrics.counters import CounterSample
+from repro.metrics.normalization import windows_to_counter_matrix
 from repro.virt.migration import MigrationEngine, MigrationRecord
 from repro.virt.vm import VirtualMachine
 from repro.virt.vmm import Host, VMPerformance
+
+
+@dataclass
+class CounterWindowView:
+    """Columnar view of every VM's newest counters and smoothing window.
+
+    ``latest`` and ``window_sum`` are raw ``(n, len(COUNTER_NAMES))``
+    counter matrices (Table-1 column order): row ``i`` belongs to
+    ``vm_names[i]``, ``window_sum[i]`` is the left-fold sum of the VM's
+    last ``window`` epoch samples — exactly what the scalar path's
+    ``aggregate_samples(history[-window:])`` computes.
+    """
+
+    vm_names: Tuple[str, ...]
+    latest: np.ndarray
+    window_sum: np.ndarray
+    index: Dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.index = {name: i for i, name in enumerate(self.vm_names)}
+
+    def __contains__(self, vm_name: str) -> bool:
+        return vm_name in self.index
 
 
 class Cluster:
@@ -30,10 +77,17 @@ class Cluster:
         seed: Optional[int] = None,
         migration_engine: Optional[MigrationEngine] = None,
         host_prefix: str = "pm",
+        substrate: str = "batch",
+        track_performance: bool = True,
+        cache_demands: bool = False,
+        history_limit: Optional[int] = None,
     ) -> None:
         if num_hosts < 1:
             raise ValueError("a cluster needs at least one host")
+        if substrate not in ("scalar", "batch"):
+            raise ValueError(f"unknown hardware substrate {substrate!r}")
         self.epoch_seconds = epoch_seconds
+        self.substrate = substrate
         self.hosts: Dict[str, Host] = {}
         for i in range(num_hosts):
             name = f"{host_prefix}{i}"
@@ -43,9 +97,21 @@ class Cluster:
                 noise=noise,
                 seed=None if seed is None else seed + i,
                 epoch_seconds=epoch_seconds,
+                substrate=substrate,
+                track_performance=track_performance,
+                cache_demands=cache_demands,
+                history_limit=history_limit,
             )
         self.migration_engine = migration_engine or MigrationEngine()
         self.current_epoch = 0
+        #: Cached VM -> (host, VM) placement map plus the placement
+        #: signature it was built at (see :meth:`_placement_signature`).
+        self._placement_cache: Optional[Dict[str, Tuple[str, VirtualMachine]]] = None
+        self._placement_signature_cached: Tuple[int, int] = (-1, -1)
+        #: Cached batch-substrate spec groups + assembled layouts.
+        self._batch_groups = None
+        #: Cached packed demand matrices per group (steady-load epochs).
+        self._batch_matrix_cache: Dict[int, Tuple[DemandMatrix, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Topology management
@@ -60,6 +126,7 @@ class Cluster:
         if host.name in self.hosts:
             raise ValueError(f"host {host.name!r} already in cluster")
         self.hosts[host.name] = host
+        self._placement_cache = None
 
     def place_vm(
         self, vm: VirtualMachine, host_name: str, load: float = 0.0, cpu_cap: float = 1.0
@@ -69,24 +136,47 @@ class Cluster:
 
     def host_of(self, vm_name: str) -> Optional[str]:
         """The host currently running ``vm_name``, or None."""
-        for name, host in self.hosts.items():
-            if host.has_vm(vm_name):
-                return name
-        return None
+        entry = self._placement().get(vm_name)
+        return entry[0] if entry is not None else None
+
+    def _placement_signature(self) -> Tuple[int, int]:
+        """Cheap fingerprint of the cluster's placement state.
+
+        Host placement versions only ever increase, so any VM add/remove
+        (including the two sides of a migration) changes the sum; the
+        host count covers :meth:`add_host`.
+        """
+        return (
+            len(self.hosts),
+            sum(host.placement_version for host in self.hosts.values()),
+        )
+
+    def _placement(self) -> Dict[str, Tuple[str, VirtualMachine]]:
+        """The cached VM -> (host name, VM) map, rebuilt only when the
+        placement changed (migrations, added hosts/VMs)."""
+        signature = self._placement_signature()
+        if self._placement_cache is None or signature != self._placement_signature_cached:
+            out: Dict[str, Tuple[str, VirtualMachine]] = {}
+            for host_name, host in self.hosts.items():
+                for vm_name, vm in host._vms.items():
+                    out[vm_name] = (host_name, vm)
+            self._placement_cache = out
+            self._placement_signature_cached = signature
+        return self._placement_cache
 
     def all_vms(self) -> Dict[str, Tuple[str, VirtualMachine]]:
-        """All VMs in the cluster: vm name -> (host name, VM)."""
-        out: Dict[str, Tuple[str, VirtualMachine]] = {}
-        for host_name, host in self.hosts.items():
-            for vm_name, vm in host.vms.items():
-                out[vm_name] = (host_name, vm)
-        return out
+        """All VMs in the cluster: vm name -> (host name, VM).
+
+        Served from the placement cache; the returned dict is a copy, so
+        callers may not observe later placement changes through it.
+        """
+        return dict(self._placement())
 
     def vms_running_app(self, app_id: str) -> List[Tuple[str, VirtualMachine]]:
         """All (host, VM) pairs running the given application code."""
         return [
             (host_name, vm)
-            for vm_name, (host_name, vm) in self.all_vms().items()
+            for host_name, vm in self._placement().values()
             if vm.app_id == app_id
         ]
 
@@ -111,17 +201,117 @@ class Cluster:
         """
         per_host_loads: Dict[str, Dict[str, float]] = {}
         if loads:
-            placement = self.all_vms()
+            placement = self._placement()
             for vm_name, load in loads.items():
                 if vm_name not in placement:
                     raise KeyError(f"VM {vm_name!r} not placed in the cluster")
                 host_name = placement[vm_name][0]
                 per_host_loads.setdefault(host_name, {})[vm_name] = load
 
-        results: Dict[str, Dict[str, VMPerformance]] = {}
-        for host_name, host in self.hosts.items():
-            results[host_name] = host.step(per_host_loads.get(host_name))
+        if self.substrate == "batch":
+            results = self._step_batch(per_host_loads)
+        else:
+            results = {
+                host_name: host.step(per_host_loads.get(host_name))
+                for host_name, host in self.hosts.items()
+            }
         self.current_epoch += 1
+        return results
+
+    def _batch_group_plan(
+        self, collected: Mapping[str, Tuple[Dict, Dict]]
+    ) -> List[Tuple[MachineSpec, float, List[Tuple[str, Host, Tuple[str, ...]]], ClusterLayout]]:
+        """The (cached) spec groups and assembled layouts of the cluster.
+
+        Rebuilt only when the placement changes: layouts depend on the
+        VM sets, vCPU counts and pinning, not on per-epoch demand values.
+        Hosts sharing a machine spec and epoch length form one batch;
+        heterogeneous clusters simply split into a few batches.
+        """
+        signature = (
+            self._placement_signature(),
+            tuple(host.epoch_seconds for host in self.hosts.values()),
+        )
+        if self._batch_groups is not None and self._batch_groups[0] == signature:
+            return self._batch_groups[1]
+        self._batch_matrix_cache = {}
+        grouped: Dict[Tuple[int, float], List[Tuple[str, Host]]] = {}
+        for host_name, host in self.hosts.items():
+            key = (id(host.machine.spec), host.epoch_seconds)
+            grouped.setdefault(key, []).append((host_name, host))
+        built = []
+        for (_, epoch_seconds), members in grouped.items():
+            spec = members[0][1].machine.spec
+            plans = []
+            with_names: List[Tuple[str, Host, Tuple[str, ...]]] = []
+            for host_name, host in members:
+                plans.append(host.batch_plan(collected[host_name][0]))
+                with_names.append((host_name, host, host._batch_plan[1]))
+            layout = ClusterLayout.assemble(plans, spec.architecture.cache_domains)
+            built.append((spec, epoch_seconds, with_names, layout))
+        self._batch_groups = (signature, built)
+        return built
+
+    def _step_batch(
+        self, per_host_loads: Mapping[str, Mapping[str, float]]
+    ) -> Dict[str, Dict[str, VMPerformance]]:
+        """One vectorized epoch over all hosts of the cluster."""
+        collected: Dict[str, Tuple[Dict, Dict]] = {
+            host_name: host.collect_demands(per_host_loads.get(host_name))
+            for host_name, host in self.hosts.items()
+        }
+        results: Dict[str, Dict[str, VMPerformance]] = {}
+        for g, (spec, epoch_seconds, members, layout) in enumerate(
+            self._batch_group_plan(collected)
+        ):
+            cached = self._batch_matrix_cache.get(g)
+            if cached is None or any(host.demands_changed for _, host, _ in members):
+                rows: List[Tuple[float, ...]] = []
+                caps: List[float] = []
+                for host_name, host, _names in members:
+                    rows.extend(host.demand_rows())
+                    caps.extend(host.cpu_cap_values())
+                cached = (
+                    DemandMatrix.from_rows(rows),
+                    np.asarray(caps, dtype=float),
+                )
+                self._batch_matrix_cache[g] = cached
+            demand_matrix, cap_array = cached
+            noise_rngs = [
+                (host.machine.noise, host.machine._rng) for _, host, _ in members
+            ]
+
+            batch = simulate_epoch_batch(
+                spec,
+                demand_matrix,
+                layout,
+                epoch_seconds,
+                cap_array,
+                noise_rngs,
+            )
+
+            samples = batch.samples()
+            offset = 0
+            for host_name, host, names in members:
+                k = len(names)
+                block = batch.counters[offset:offset + k]
+                if host.track_performance:
+                    outcomes = {
+                        name: outcome_from_batch(batch, offset + j, samples[offset + j])
+                        for j, name in enumerate(names)
+                    }
+                    results[host_name] = host.commit_epoch(
+                        outcomes,
+                        collected[host_name][1],
+                        counter_block=(names, block),
+                    )
+                else:
+                    host.commit_epoch_counters(
+                        dict(zip(names, samples[offset:offset + k])),
+                        counter_block=(names, block),
+                    )
+                    results[host_name] = {}
+                offset += k
         return results
 
     # ------------------------------------------------------------------
@@ -157,7 +347,7 @@ class Cluster:
     ) -> Dict[str, List[CounterSample]]:
         """The last ``window`` samples of every VM, in one pass.
 
-        The batch epoch engine's entry point: one bulk read per epoch
+        The scalar monitoring path's entry point: one bulk read per epoch
         instead of one host lookup per VM — the last entry of each
         window is the VM's newest sample.  VMs that have not completed
         an epoch yet are absent from the result.
@@ -166,11 +356,84 @@ class Cluster:
             raise ValueError("window must be at least 1")
         out: Dict[str, List[CounterSample]] = {}
         for host in self.hosts.values():
-            for vm_name in host.vms:
+            for vm_name in host._vms:
                 history = host.counter_history.get(vm_name)
                 if history:
                     out[vm_name] = history[-window:]
         return out
+
+    def counter_window_view(self, window: int) -> CounterWindowView:
+        """Columnar equivalent of :meth:`counter_windows`.
+
+        When the batch substrate's per-epoch counter blocks cover the
+        requested window with a stable VM placement, the view is a few
+        array slices and sums; hosts where that is not the case (scalar
+        substrate, recent migrations, VMs younger than the window) fall
+        back to their per-sample histories, so the view is always exactly
+        equivalent to the scalar window assembly.
+        """
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        names_parts: List[str] = []
+        latest_parts: List[np.ndarray] = []
+        sum_parts: List[np.ndarray] = []
+        for host in self.hosts.values():
+            if not host._vms:
+                continue
+            entries = host.columnar_history
+            n_entries = len(entries)
+            k = min(window, n_entries)
+            fast = False
+            if k > 0:
+                names = entries[-1][0]
+                fast = (
+                    host.columnar_stable_epochs >= k
+                    # A history_limit shorter than the window trims the
+                    # scalar path's sample window; fall back so both
+                    # engines smooth over the identical (trimmed) epochs.
+                    and (host.history_limit is None or window <= host.history_limit)
+                    and len(names) == len(host._vms)
+                    and all(n in host._vms for n in names)
+                    and (
+                        n_entries >= window
+                        or (
+                            # The columnar record (and every VM's sample
+                            # history) covers the host's entire life, so
+                            # a short window is simply all of it.
+                            n_entries == host.current_epoch
+                            and all(
+                                len(host.counter_history[n]) == n_entries
+                                for n in names
+                            )
+                        )
+                    )
+                )
+            if fast:
+                tail = entries[-k:]
+                acc = tail[0][1]
+                for _, block in tail[1:]:
+                    acc = acc + block
+                names_parts.extend(names)
+                latest_parts.append(tail[-1][1])
+                sum_parts.append(acc)
+            else:
+                for vm_name in host._vms:
+                    history = host.counter_history.get(vm_name)
+                    if not history:
+                        continue
+                    raw = windows_to_counter_matrix([history[-window:]])
+                    latest = windows_to_counter_matrix([history[-1:]])
+                    names_parts.append(vm_name)
+                    latest_parts.append(latest)
+                    sum_parts.append(raw)
+        if not names_parts:
+            empty = np.empty((0, N_COUNTERS), dtype=float)
+            return CounterWindowView(vm_names=(), latest=empty, window_sum=empty)
+        return CounterWindowView(
+            vm_names=tuple(names_parts),
+            latest=np.vstack(latest_parts),
+            window_sum=np.vstack(sum_parts),
+        )
 
     def latest_counters_for_app(
         self, app_id: str, exclude_vm: Optional[str] = None

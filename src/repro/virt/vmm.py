@@ -16,8 +16,12 @@ schedulers) and explicit core pinning, mirroring the testbed setup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.hardware.batch import HostBatchPlan, pack_demand
+from repro.hardware.demand import ResourceDemand
 from repro.hardware.machine import EpochResult, PhysicalMachine, VMEpochOutcome
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.metrics.counters import CounterSample
@@ -41,6 +45,11 @@ class VMPerformance:
 class Host:
     """One physical machine plus the hypervisor that runs VMs on it."""
 
+    #: Epochs of columnar counter history retained for the batch
+    #: monitoring fast path (must cover the warning system's smoothing
+    #: window; longer windows fall back to the per-sample path).
+    COLUMNAR_WINDOW_EPOCHS = 32
+
     def __init__(
         self,
         name: str = "pm0",
@@ -48,10 +57,37 @@ class Host:
         noise: float = 0.01,
         seed: Optional[int] = None,
         epoch_seconds: float = 1.0,
+        substrate: str = "scalar",
+        track_performance: bool = True,
+        cache_demands: bool = False,
+        history_limit: Optional[int] = None,
     ) -> None:
+        if substrate not in ("scalar", "batch"):
+            raise ValueError(f"unknown hardware substrate {substrate!r}")
+        if history_limit is not None and history_limit < 1:
+            raise ValueError("history_limit must be positive")
         self.name = name
         self.machine = PhysicalMachine(spec=spec, name=name, noise=noise, seed=seed)
         self.epoch_seconds = epoch_seconds
+        #: Which hardware substrate :meth:`step` resolves contention
+        #: through: the per-VM ``"scalar"`` reference or the vectorized
+        #: ``"batch"`` path.  Both produce equivalent results (pinned by
+        #: the substrate-equivalence property tests).
+        self.substrate = substrate
+        #: Whether to materialise per-VM ground-truth performance reports
+        #: each epoch.  Fleet monitoring only consumes counters, so large
+        #: simulations turn this off to keep the epoch loop lean.
+        self.track_performance = track_performance
+        #: Whether to reuse a VM's previous demand object when its load
+        #: is unchanged.  Requires ``Workload.demand`` to be a pure
+        #: function of the load (true for every built-in workload); leave
+        #: off when workload parameters are mutated in place mid-run.
+        self.cache_demands = cache_demands
+        #: When set, per-VM counter/performance histories are trimmed to
+        #: the last ``history_limit`` epochs (constant memory for long
+        #: runs).  Must cover every window consumers read — the warning
+        #: system's smoothing window and the analyzer's recent window.
+        self.history_limit = history_limit
         self._vms: Dict[str, VirtualMachine] = {}
         self._loads: Dict[str, float] = {}
         self._cpu_caps: Dict[str, float] = {}
@@ -61,6 +97,27 @@ class Host:
         #: Ground-truth performance history per VM.
         self.performance_history: Dict[str, List[VMPerformance]] = {}
         self.current_epoch = 0
+        #: Bumped on every placement mutation; lets the cluster and the
+        #: batch substrate cache placement-derived structures.
+        self.placement_version = 0
+        #: Cached per-VM demand of the previous epoch, keyed by the
+        #: (load, epoch_seconds) it was generated for.  ``Workload.demand``
+        #: is a pure function of the load, so reusing the object skips the
+        #: per-epoch demand regeneration for steady-load VMs.
+        self._demand_cache: Dict[str, Tuple[float, float, ResourceDemand, Tuple[float, ...]]] = {}
+        #: Cached batch-substrate layout (placement version it was built at).
+        self._batch_plan: Optional[Tuple[int, Tuple[str, ...], HostBatchPlan]] = None
+        #: Columnar counter history: one ``(vm_names, (n, 14) matrix)``
+        #: entry per epoch, newest last, populated by the batch substrate
+        #: and trimmed to the last :data:`COLUMNAR_WINDOW_EPOCHS` epochs.
+        self.columnar_history: List[Tuple[Tuple[str, ...], np.ndarray]] = []
+        #: Number of trailing columnar entries sharing one VM-name tuple
+        #: (lets the monitoring fast path validate a window in O(1)).
+        self.columnar_stable_epochs = 0
+        #: Whether the last :meth:`collect_demands` produced any demand
+        #: that differs from the previous epoch's (steady-load epochs
+        #: let the batch substrate reuse its packed demand matrix).
+        self.demands_changed = True
 
     # ------------------------------------------------------------------
     # VM management
@@ -103,6 +160,7 @@ class Host:
             self._pinning[vm.name] = list(cores)
         self.counter_history.setdefault(vm.name, [])
         self.performance_history.setdefault(vm.name, [])
+        self.placement_version += 1
         vm.state = VMState.RUNNING
 
     def remove_vm(self, name: str) -> VirtualMachine:
@@ -113,6 +171,8 @@ class Host:
         self._loads.pop(name, None)
         self._cpu_caps.pop(name, None)
         self._pinning.pop(name, None)
+        self._demand_cache.pop(name, None)
+        self.placement_version += 1
         return vm
 
     def set_load(self, name: str, load: float) -> None:
@@ -128,10 +188,170 @@ class Host:
         if not 0.0 < cap <= 1.0:
             raise ValueError("cpu_cap must be in (0, 1]")
         self._cpu_caps[name] = cap
+        # Caps feed the (cached) batch-substrate inputs.
+        self.placement_version += 1
 
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
+    def collect_demands(
+        self, loads: Optional[Mapping[str, float]] = None
+    ) -> Tuple[Dict[str, ResourceDemand], Dict[str, float]]:
+        """Gather every VM's demand and offered load for the next epoch.
+
+        With ``cache_demands`` on, a VM whose load did not change reuses
+        the previous epoch's (already validated) demand object —
+        ``Workload.demand`` is a pure function of the offered load for
+        every built-in workload.
+        """
+        if loads:
+            for name, load in loads.items():
+                self.set_load(name, load)
+
+        demands: Dict[str, ResourceDemand] = {}
+        offered: Dict[str, float] = {}
+        cache = self._demand_cache
+        reuse = self.cache_demands
+        changed = False
+        for name, vm in self._vms.items():
+            frac = self._loads.get(name, 0.0)
+            absolute_load = frac * vm.workload.nominal_load
+            offered[name] = absolute_load
+            cached = cache.get(name) if reuse else None
+            if cached is not None and cached[0] == absolute_load and cached[1] == self.epoch_seconds:
+                demands[name] = cached[2]
+            else:
+                changed = True
+                demand = vm.demand(absolute_load, epoch_seconds=self.epoch_seconds)
+                demand.validate()
+                cache[name] = (
+                    absolute_load,
+                    self.epoch_seconds,
+                    demand,
+                    pack_demand(demand),
+                )
+                demands[name] = demand
+        self.demands_changed = changed
+        return demands, offered
+
+    def demand_rows(self) -> List[Tuple[float, ...]]:
+        """The packed demand rows of the last :meth:`collect_demands` call."""
+        return [self._demand_cache[name][3] for name in self._vms]
+
+    def core_assignment_for(
+        self, demands: Mapping[str, ResourceDemand]
+    ) -> Optional[Dict[str, List[int]]]:
+        """Explicit vCPU pinning merged over the default assignment."""
+        if not self._pinning:
+            return None
+        core_assignment = self.machine.default_core_assignment(demands)
+        core_assignment.update(
+            {n: cores for n, cores in self._pinning.items() if n in demands}
+        )
+        return core_assignment
+
+    def batch_plan(self, demands: Mapping[str, ResourceDemand]) -> HostBatchPlan:
+        """The (cached) batch-substrate layout for the current placement."""
+        names = tuple(demands)
+        cached = self._batch_plan
+        if (
+            cached is not None
+            and cached[0] == self.placement_version
+            and cached[1] == names
+        ):
+            return cached[2]
+        plan = self.machine.batch_plan(
+            demands, core_assignment=self.core_assignment_for(demands)
+        )
+        self._batch_plan = (self.placement_version, names, plan)
+        return plan
+
+    def cpu_cap_values(self) -> List[float]:
+        """Per-VM CPU caps in placement order (batch-substrate input)."""
+        return [self._cpu_caps.get(name, 1.0) for name in self._vms]
+
+    def commit_epoch(
+        self,
+        outcomes: Mapping[str, VMEpochOutcome],
+        offered: Mapping[str, float],
+        counter_block: Optional[Tuple[Tuple[str, ...], np.ndarray]] = None,
+    ) -> Dict[str, VMPerformance]:
+        """Record one epoch's outcomes into the host's histories.
+
+        ``counter_block`` optionally carries the epoch's raw counters as
+        one ``(vm_names, matrix)`` pair for the columnar monitoring fast
+        path (the batch substrate provides it for free).
+        """
+        performances: Dict[str, VMPerformance] = {}
+        track = self.track_performance
+        for name, vm in self._vms.items():
+            outcome = outcomes[name]
+            self.counter_history[name].append(outcome.counters)
+            if not track:
+                continue
+            report = vm.workload.performance(
+                load=offered[name],
+                instructions_demanded=outcome.instructions_demanded,
+                instructions_retired=outcome.instructions_retired,
+                epoch_seconds=self.epoch_seconds,
+                instructions_attainable=outcome.instructions_attainable,
+            )
+            perf = VMPerformance(report=report, outcome=outcome, offered_load=offered[name])
+            performances[name] = perf
+            self.performance_history[name].append(perf)
+        self._trim_histories()
+        self._record_columnar(counter_block)
+        self.current_epoch += 1
+        return performances
+
+    def _trim_histories(self) -> None:
+        """Amortised history trim (no-op without a ``history_limit``)."""
+        limit = self.history_limit
+        if limit is None:
+            return
+        for store in (self.counter_history, self.performance_history):
+            for history in store.values():
+                if len(history) > 2 * limit:
+                    del history[: len(history) - limit]
+
+    def _record_columnar(
+        self, counter_block: Optional[Tuple[Tuple[str, ...], np.ndarray]]
+    ) -> None:
+        history = self.columnar_history
+        if counter_block is None:
+            if history:
+                # A scalar epoch would leave a gap in the columnar record;
+                # drop it so the monitoring fast path falls back cleanly.
+                history.clear()
+                self.columnar_stable_epochs = 0
+            return
+        if history and history[-1][0] == counter_block[0]:
+            self.columnar_stable_epochs += 1
+        else:
+            self.columnar_stable_epochs = 1
+        history.append(counter_block)
+        cap = self.COLUMNAR_WINDOW_EPOCHS
+        if len(history) > 2 * cap:
+            del history[: len(history) - cap]
+
+    def commit_epoch_counters(
+        self,
+        samples: Mapping[str, CounterSample],
+        counter_block: Optional[Tuple[Tuple[str, ...], np.ndarray]] = None,
+    ) -> None:
+        """Lean epoch commit: record counters only, no ground truth.
+
+        Used by the batch substrate when ``track_performance`` is off —
+        the monitoring pipeline only ever reads counters, so skipping the
+        per-VM performance materialisation keeps the fleet epoch loop
+        free of avoidable per-VM work.
+        """
+        for name in self._vms:
+            self.counter_history[name].append(samples[name])
+        self._trim_histories()
+        self._record_columnar(counter_block)
+        self.current_epoch += 1
+
     def step(
         self, loads: Optional[Mapping[str, float]] = None
     ) -> Dict[str, VMPerformance]:
@@ -146,49 +366,25 @@ class Host:
         Returns
         -------
         dict
-            Per-VM ground-truth performance and counters for the epoch.
+            Per-VM ground-truth performance and counters for the epoch
+            (empty when ``track_performance`` is off).
         """
-        if loads:
-            for name, load in loads.items():
-                self.set_load(name, load)
-
-        demands = {}
-        offered: Dict[str, float] = {}
-        for name, vm in self._vms.items():
-            frac = self._loads.get(name, 0.0)
-            absolute_load = frac * vm.workload.nominal_load
-            offered[name] = absolute_load
-            demands[name] = vm.demand(absolute_load, epoch_seconds=self.epoch_seconds)
-
-        core_assignment = None
-        if self._pinning:
-            core_assignment = self.machine.default_core_assignment(demands)
-            core_assignment.update(
-                {n: cores for n, cores in self._pinning.items() if n in demands}
-            )
-
-        result = self.machine.run_epoch(
-            demands,
-            epoch_seconds=self.epoch_seconds,
-            core_assignment=core_assignment,
-            cpu_caps=self._cpu_caps,
-        )
-        performances: Dict[str, VMPerformance] = {}
-        for name, vm in self._vms.items():
-            outcome = result.per_vm[name]
-            report = vm.workload.performance(
-                load=offered[name],
-                instructions_demanded=outcome.instructions_demanded,
-                instructions_retired=outcome.instructions_retired,
+        demands, offered = self.collect_demands(loads)
+        if self.substrate == "batch":
+            result = self.machine.run_epoch_batch(
+                demands,
                 epoch_seconds=self.epoch_seconds,
-                instructions_attainable=outcome.instructions_attainable,
+                core_assignment=self.core_assignment_for(demands),
+                cpu_caps=self._cpu_caps,
             )
-            perf = VMPerformance(report=report, outcome=outcome, offered_load=offered[name])
-            performances[name] = perf
-            self.counter_history[name].append(outcome.counters)
-            self.performance_history[name].append(perf)
-        self.current_epoch += 1
-        return performances
+        else:
+            result = self.machine.run_epoch(
+                demands,
+                epoch_seconds=self.epoch_seconds,
+                core_assignment=self.core_assignment_for(demands),
+                cpu_caps=self._cpu_caps,
+            )
+        return self.commit_epoch(result.per_vm, offered)
 
     # ------------------------------------------------------------------
     # Introspection used by DeepDive

@@ -1,0 +1,170 @@
+"""Parallel shard execution and memory-bounded fleet runs.
+
+Shards share nothing, so a fleet's evolution must be bit-identical for
+any ``max_workers`` value — the worker pool only changes wall-clock, not
+results.  ``keep_reports=False`` must aggregate exactly what the report
+list would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import (
+    FleetRunSummary,
+    InterferenceEpisode,
+    build_fleet,
+    synthesize_datacenter,
+)
+
+
+def _config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _build(max_workers, mitigate=True):
+    scenario = synthesize_datacenter(
+        48,
+        num_shards=4,
+        seed=33,
+        episodes=[
+            InterferenceEpisode(
+                shard=0, host_index=0, start_epoch=3, end_epoch=7, kind="memory"
+            ),
+            InterferenceEpisode(
+                shard=2, host_index=1, start_epoch=4, end_epoch=8, kind="disk"
+            ),
+        ],
+    )
+    fleet = build_fleet(
+        scenario,
+        config=_config(),
+        engine="batch",
+        mitigate=mitigate,
+        substrate="batch",
+        max_workers=max_workers,
+    )
+    fleet.bootstrap()
+    return fleet
+
+
+def _report_fingerprint(report):
+    return {
+        (shard_id, vm_name): (
+            obs.warning.action.value,
+            obs.warning.distance,
+            obs.warning.siblings_consulted,
+            obs.warning.siblings_agreeing,
+            obs.interference_confirmed,
+        )
+        for shard_id, shard_report in report.shard_reports.items()
+        for vm_name, obs in shard_report.observations.items()
+    }
+
+
+class TestParallelDeterminism:
+    def test_worker_count_does_not_change_results(self):
+        """max_workers=1 and max_workers=4 produce bit-identical runs."""
+        serial = _build(max_workers=1)
+        parallel = _build(max_workers=4)
+        try:
+            for epoch in range(9):
+                r1 = serial.run_epoch(analyze=True)
+                r4 = parallel.run_epoch(analyze=True)
+                assert r1.epoch == r4.epoch
+                assert list(r1.shard_reports) == list(r4.shard_reports), (
+                    "merge order must be shard insertion order"
+                )
+                assert _report_fingerprint(r1) == _report_fingerprint(r4), (
+                    f"epoch {epoch} diverges between worker counts"
+                )
+            assert serial.stats() == parallel.stats()
+            assert [
+                (sid, e.vm_name, e.epoch) for sid, e in serial.detections()
+            ] == [
+                (sid, e.vm_name, e.epoch) for sid, e in parallel.detections()
+            ]
+            # Counter streams are bit-identical, not merely close.
+            for sid, shard_s in serial.shards.items():
+                shard_p = parallel.shards[sid]
+                for host_name, host_s in shard_s.cluster.hosts.items():
+                    host_p = shard_p.cluster.hosts[host_name]
+                    for vm_name, history_s in host_s.counter_history.items():
+                        history_p = host_p.counter_history[vm_name]
+                        assert len(history_s) == len(history_p)
+                        for s, p in zip(history_s, history_p):
+                            assert np.array_equal(
+                                np.array(list(s.as_dict().values())),
+                                np.array(list(p.as_dict().values())),
+                            )
+        finally:
+            serial.shutdown()
+            parallel.shutdown()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            _build(max_workers=0)
+
+
+class TestBaselineLoadPropagation:
+    def test_direct_baseline_mutation_reaches_hosts(self):
+        """Mutating shard.baseline_loads directly (the PR 1 interface)
+        still changes host loads on the next epoch, despite the
+        push-only-when-changed optimisation."""
+        fleet = _build(max_workers=1, mitigate=False)
+        shard = next(iter(fleet.shards.values()))
+        vm_name = next(iter(shard.baseline_loads))
+        cluster = shard.cluster
+        fleet.run_epoch(analyze=False)
+        host = cluster.hosts[cluster.host_of(vm_name)]
+        assert host.get_load(vm_name) == shard.baseline_loads[vm_name]
+        shard.baseline_loads[vm_name] = 0.123
+        fleet.run_epoch(analyze=False)
+        assert host.get_load(vm_name) == 0.123
+
+
+class TestMemoryBoundedRun:
+    def test_histories_stay_bounded(self):
+        """Fleet hosts trim per-VM histories, so long runs hold constant
+        memory (the default history_limit covers every consumer window)."""
+        fleet = _build(max_workers=1, mitigate=False)
+        fleet.run(12, analyze=False, keep_reports=False)
+        limits = set()
+        for shard in fleet.shards.values():
+            for host in shard.cluster.hosts.values():
+                limits.add(host.history_limit)
+                for history in host.counter_history.values():
+                    assert len(history) <= 2 * host.history_limit
+        assert limits == {64}
+
+    def test_summary_matches_report_list(self):
+        """keep_reports=False aggregates exactly what the list would."""
+        listed = _build(max_workers=1, mitigate=False)
+        summarized = _build(max_workers=1, mitigate=False)
+        reports = listed.run(9, analyze=True)
+        summary = summarized.run(9, analyze=True, keep_reports=False)
+        assert isinstance(summary, FleetRunSummary)
+        assert summary.epochs == len(reports) == 9
+        assert summary.observations == sum(r.observations() for r in reports)
+        assert summary.analyzer_invocations == sum(
+            r.analyzer_invocations() for r in reports
+        )
+        assert summary.confirmed_interference == sum(
+            len(r.confirmed_interference()) for r in reports
+        )
+        expected_histogram = {}
+        for r in reports:
+            for action, count in r.action_histogram().items():
+                expected_histogram[action] = expected_histogram.get(action, 0) + count
+        assert summary.action_histogram == expected_histogram
+        assert summary.final_report is not None
+        assert summary.final_report.epoch == reports[-1].epoch
+        assert _report_fingerprint(summary.final_report) == _report_fingerprint(
+            reports[-1]
+        )

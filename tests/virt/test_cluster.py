@@ -94,3 +94,49 @@ class TestGlobalIntrospection:
         counters = cluster.latest_counters_for_app("data_serving", exclude_vm="cass0")
         assert set(counters) == {"cass1", "cass2"}
         assert all(sample.inst_retired > 0 for sample in counters.values())
+
+
+class TestPlacementCache:
+    """The VM -> host map is cached between epochs and invalidated on
+    every placement change instead of rescanning all hosts."""
+
+    def test_cache_reused_between_calls(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0", load=0.5)
+        first = cluster._placement()
+        assert cluster._placement() is first  # no rebuild without changes
+        cluster.step()
+        assert cluster._placement() is first  # stepping is not a placement change
+
+    def test_invalidated_on_place_and_remove(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0", load=0.5)
+        before = cluster._placement()
+        other = VirtualMachine("cass-extra", DataServingWorkload())
+        cluster.place_vm(other, "pm1", load=0.4)
+        after = cluster.all_vms()
+        assert after is not before
+        assert set(after) == {data_serving_vm.name, "cass-extra"}
+        cluster.hosts["pm1"].remove_vm("cass-extra")
+        assert set(cluster.all_vms()) == {data_serving_vm.name}
+
+    def test_invalidated_on_migration(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0", load=0.5)
+        assert cluster.host_of(data_serving_vm.name) == "pm0"
+        cluster.migrate_vm(data_serving_vm.name, "pm2")
+        assert cluster.host_of(data_serving_vm.name) == "pm2"
+        assert cluster.all_vms()[data_serving_vm.name][0] == "pm2"
+
+    def test_invalidated_on_add_host(self, cluster, data_serving_vm):
+        from repro.virt.vmm import Host
+
+        cluster.place_vm(data_serving_vm, "pm0", load=0.5)
+        cluster.all_vms()
+        extra = Host(name="pm99", noise=0.0, seed=9)
+        extra.add_vm(VirtualMachine("cass-new", DataServingWorkload()), load=0.3)
+        cluster.add_host(extra)
+        assert cluster.host_of("cass-new") == "pm99"
+
+    def test_returned_copy_is_isolated(self, cluster, data_serving_vm):
+        cluster.place_vm(data_serving_vm, "pm0", load=0.5)
+        snapshot = cluster.all_vms()
+        snapshot.clear()
+        assert data_serving_vm.name in cluster.all_vms()

@@ -12,7 +12,6 @@ reported by pytest-benchmark then measure the cost of regenerating the
 figure, not statistical run-to-run variation.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -46,7 +46,9 @@ def test_ablation_global_information(benchmark):
         system = WarningSystem(repo, DeepDiveConfig())
 
         # A qualitative workload change hitting ten replicas at once.
-        shifted = [_vector(scale=2.2, cpi=3.2, noise=0.015, seed=100 + i) for i in range(10)]
+        shifted = [
+            _vector(scale=2.2, cpi=3.2, noise=0.015, seed=100 + i) for i in range(10)
+        ]
         with_global = 0
         without_global = 0
         for i, vector in enumerate(shifted):
@@ -54,15 +56,23 @@ def test_ablation_global_information(benchmark):
             decision = system.evaluate(f"vm{i}", "app", vector, siblings)
             if decision.action is WarningAction.ANALYZE:
                 with_global += 1
-            decision_local = system.evaluate(f"vm{i}", "app", vector, sibling_vectors={})
+            decision_local = system.evaluate(
+                f"vm{i}", "app", vector, sibling_vectors={}
+            )
             if decision_local.action is WarningAction.ANALYZE:
                 without_global += 1
         return with_global, without_global
 
     with_global, without_global = run_once(benchmark, run_ablation)
     print()
-    print(f"[Ablation/global] analyzer invocations with global information   : {with_global}/10")
-    print(f"[Ablation/global] analyzer invocations without global information: {without_global}/10")
+    print(
+        "[Ablation/global] analyzer invocations with global information   : "
+        f"{with_global}/10"
+    )
+    print(
+        "[Ablation/global] analyzer invocations without global information: "
+        f"{without_global}/10"
+    )
 
     # Global information suppresses the cluster-wide false alarms entirely;
     # without it every replica would have been profiled.

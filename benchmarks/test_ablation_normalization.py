@@ -38,8 +38,14 @@ def test_ablation_normalization(benchmark):
     raw_sep = raw.per_workload["data_serving"].separation
 
     print()
-    print(f"[Ablation/normalisation] separation with per-instruction normalisation: {norm_sep:.2f}")
-    print(f"[Ablation/normalisation] separation with raw counters               : {raw_sep:.2f}")
+    print(
+        "[Ablation/normalisation] separation with per-instruction normalisation: "
+        f"{norm_sep:.2f}"
+    )
+    print(
+        "[Ablation/normalisation] separation with raw counters               : "
+        f"{raw_sep:.2f}"
+    )
 
     # Normalisation is what makes the clusters separable across loads.
     assert norm_sep > 2.0

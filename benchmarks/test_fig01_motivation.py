@@ -15,10 +15,22 @@ from repro.experiments import fig01_motivation
 def test_fig01_motivation(benchmark):
     result = run_once(benchmark, fig01_motivation.run, epochs=288)
 
-    print("\n[Fig 1] mean throughput (quiet)      :", round(result.mean_throughput_quiet, 1))
-    print("[Fig 1] mean throughput (interfered) :", round(result.mean_throughput_interfered, 1))
-    print("[Fig 1] throughput drop              :", f"{result.throughput_drop_fraction():.1%}")
-    print("[Fig 1] latency increase             :", f"{result.latency_increase_fraction():.1%}")
+    print(
+        "\n[Fig 1] mean throughput (quiet)      :",
+        round(result.mean_throughput_quiet, 1),
+    )
+    print(
+        "[Fig 1] mean throughput (interfered) :",
+        round(result.mean_throughput_interfered, 1),
+    )
+    print(
+        "[Fig 1] throughput drop              :",
+        f"{result.throughput_drop_fraction():.1%}",
+    )
+    print(
+        "[Fig 1] latency increase             :",
+        f"{result.latency_increase_fraction():.1%}",
+    )
 
     # Interference episodes must be clearly visible in both metrics.
     assert result.throughput_drop_fraction() > 0.2

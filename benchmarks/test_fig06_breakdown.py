@@ -20,11 +20,13 @@ def test_fig06_culprit_identification(benchmark):
     print()
     for cell in result.cells:
         factors = ", ".join(
-            f"{resource.value}={factor:+.3f}" for resource, factor in cell.factors.items()
+            f"{resource.value}={factor:+.3f}"
+            for resource, factor in cell.factors.items()
         )
         print(
             f"[Fig 6] {cell.workload:15s} scenario {cell.scenario}: "
-            f"culprit={cell.culprit.value:10s} correct={cell.culprit_correct} ({factors})"
+            f"culprit={cell.culprit.value:10s} "
+            f"correct={cell.culprit_correct} ({factors})"
         )
     print(f"[Fig 6] attribution accuracy: {result.accuracy():.0%}")
 

@@ -17,15 +17,20 @@ from repro.experiments.common import CLOUD_WORKLOADS
 
 def test_fig08_detection_and_false_positives(benchmark):
     results = run_once(
-        benchmark, fig08_detection.run, workloads=CLOUD_WORKLOADS,
-        days=3, epochs_per_day=48,
+        benchmark,
+        fig08_detection.run,
+        workloads=CLOUD_WORKLOADS,
+        days=3,
+        epochs_per_day=48,
     )
 
     print()
     for workload, result in results.items():
+        detection = ["%.0f%%" % (100 * r) for r in result.detection_rates()]
+        false_positive = ["%.1f%%" % (100 * r) for r in result.false_positive_rates()]
         print(
-            f"[Fig 8] {workload:15s} detection/day={['%.0f%%' % (100 * r) for r in result.detection_rates()]} "
-            f"false-positive/day={['%.1f%%' % (100 * r) for r in result.false_positive_rates()]} "
+            f"[Fig 8] {workload:15s} detection/day={detection} "
+            f"false-positive/day={false_positive} "
             f"missed episodes={result.missed_episodes} "
             f"profiling={result.total_profiling_seconds / 60.0:.1f} min"
         )

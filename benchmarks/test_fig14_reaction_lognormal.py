@@ -12,7 +12,7 @@ import math
 
 from conftest import run_once
 
-from repro.experiments import fig13_reaction_poisson, fig14_reaction_lognormal
+from repro.experiments import fig14_reaction_lognormal
 
 
 def test_fig14_reaction_time_lognormal(benchmark):
@@ -47,6 +47,9 @@ def test_fig14_minimum_servers_under_burst(benchmark):
         fig14_reaction_lognormal.minimum_servers_under_burst,
         interference_fraction=0.2,
     )
-    print(f"\n[Fig 14] minimum acceptable profiling servers at 20% interference: {minimum}")
+    print(
+        "\n[Fig 14] minimum acceptable profiling servers at 20% interference: "
+        f"{minimum}"
+    )
     # The paper's claim: fewer than 10 dedicated profiling machines suffice.
     assert minimum < 10

@@ -12,16 +12,25 @@ Three axes of the fleet hot loop are measured and recorded in
   PR 1 baseline the acceptance floor is measured against;
 * **parallel** — serial versus thread-pool shard dispatch (results are
   worker-count independent; on multi-core hosts the pool overlaps the
-  shards' numpy work).
+  shards' numpy work);
+* **process** — the state-owning process-pool executor
+  (:mod:`repro.fleet.executor`): single-worker versus multi-worker
+  process execution, epochs exchanged as columnar decision arrays.  The
+  recorded ``multiworker_speedup_over_single_worker`` is the number that
+  scales with cores (and is ~1x on single-core runners, which is why no
+  floor is asserted — ``cpu_count`` is recorded alongside).
 
 All compared configurations produce equivalent decisions (pinned by the
 property suites); the benchmarks only measure cost.  Run the tiny-scale
-smoke variants with ``pytest -m bench_smoke``.
+smoke variants with ``pytest -m bench_smoke``; ``FLEET_SMOKE_EXECUTOR``
+selects the executor the smoke fleet runs under (the CI matrix runs
+``thread`` and ``process``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -76,6 +85,7 @@ def _prepare_fleet(
     warmup_epochs: int = 3,
     substrate: str = "batch",
     max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
     track_performance: bool = False,
 ):
     """Build, bootstrap and warm a fleet into a quiet steady state.
@@ -92,6 +102,7 @@ def _prepare_fleet(
         mitigate=False,
         substrate=substrate,
         max_workers=max_workers,
+        executor=executor,
         track_performance=track_performance,
     )
     fleet.bootstrap()
@@ -227,6 +238,87 @@ def _run_substrate_comparison(
 
 
 # ----------------------------------------------------------------------
+# Process-executor comparison (end-to-end Fleet.run_epoch, columnar).
+# ----------------------------------------------------------------------
+def _time_fleet_epoch_columnar(fleet, reps: int) -> float:
+    """Best-of-``reps`` wall time of one columnar fleet epoch — the
+    process executor's native exchange format (serial and thread fleets
+    derive the same arrays in-process, so the comparison is like for
+    like)."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fleet.run_epoch(analyze=False, report="columnar")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _columnar_fingerprint(report) -> Dict:
+    return {
+        (shard_id, vm_name): (
+            int(shard_report.action_codes[i]),
+            float(shard_report.distances[i]),
+            int(shard_report.siblings_consulted[i]),
+            int(shard_report.siblings_agreeing[i]),
+        )
+        for shard_id, shard_report in report.shard_reports.items()
+        for i, vm_name in enumerate(shard_report.vm_names)
+    }
+
+
+def _run_process_comparison(
+    num_vms: int,
+    num_shards: int,
+    reps: int,
+    multi_workers: int = 4,
+) -> Dict:
+    """Serial in-process execution versus single- and multi-worker
+    process execution (state-owning workers, columnar exchange)."""
+    serial = _prepare_fleet(num_vms, num_shards, executor="serial")
+    single = _prepare_fleet(
+        num_vms, num_shards, executor="process", max_workers=1
+    )
+    multi = _prepare_fleet(
+        num_vms, num_shards, executor="process", max_workers=multi_workers
+    )
+    try:
+        # All fleets are at the same epoch; executors must agree exactly.
+        reference = _columnar_fingerprint(
+            serial.run_epoch(analyze=False, report="columnar")
+        )
+        assert reference == _columnar_fingerprint(
+            single.run_epoch(analyze=False, report="columnar")
+        ), "single-worker process execution diverges from serial"
+        assert reference == _columnar_fingerprint(
+            multi.run_epoch(analyze=False, report="columnar")
+        ), f"{multi_workers}-worker process execution diverges from serial"
+        serial_s = _time_fleet_epoch_columnar(serial, reps)
+        single_s = _time_fleet_epoch_columnar(single, reps)
+        multi_s = _time_fleet_epoch_columnar(multi, reps)
+    finally:
+        multi.shutdown()
+        single.shutdown()
+        serial.shutdown()
+    vms = serial.total_vms()
+    return {
+        "benchmark": "fleet_process_executor",
+        "vms": vms,
+        "hosts": serial.total_hosts(),
+        "shards": num_shards,
+        "timing_reps": reps,
+        "multi_workers": multi_workers,
+        "cpu_count": os.cpu_count(),
+        "serial_epoch_seconds": serial_s,
+        "process_1w_epoch_seconds": single_s,
+        "process_multiworker_epoch_seconds": multi_s,
+        "multiworker_speedup_over_single_worker": single_s / multi_s,
+        "process_speedup_over_serial": serial_s / multi_s,
+        "multiworker_vm_epochs_per_second": vms / multi_s,
+        "unix_time": time.time(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Tiny-scale smoke runs (tier-1 time budget): pytest -m bench_smoke
 # ----------------------------------------------------------------------
 @pytest.mark.bench_smoke
@@ -247,6 +339,37 @@ def test_fleet_substrate_smoke():
     assert record["vms"] == 60
     assert record["batch_epoch_seconds"] > 0
     print("\nfleet substrate smoke:", json.dumps(record, indent=2))
+
+
+@pytest.mark.bench_smoke
+def test_fleet_executor_smoke():
+    """The env-selected executor completes an epoch and agrees with the
+    serial loop (the CI matrix runs this under thread and process)."""
+    executor = os.environ.get("FLEET_SMOKE_EXECUTOR", "thread")
+    serial = _prepare_fleet(60, num_shards=2, executor="serial")
+    fleet = _prepare_fleet(60, num_shards=2, executor=executor, max_workers=2)
+    try:
+        reference = _columnar_fingerprint(
+            serial.run_epoch(analyze=False, report="columnar")
+        )
+        assert reference == _columnar_fingerprint(
+            fleet.run_epoch(analyze=False, report="columnar")
+        ), f"executor {executor!r} diverges from serial"
+        elapsed = _time_fleet_epoch_columnar(fleet, reps=2)
+        assert elapsed > 0
+        record = {
+            "benchmark": "fleet_executor_smoke",
+            "executor": executor,
+            "vms": fleet.total_vms(),
+            "epoch_seconds": elapsed,
+            "cpu_count": os.cpu_count(),
+            "unix_time": time.time(),
+        }
+        _merge_bench_record(f"fleet_executor_smoke_{executor}", record)
+        print(f"\nfleet executor smoke [{executor}]:", json.dumps(record, indent=2))
+    finally:
+        fleet.shutdown()
+        serial.shutdown()
 
 
 @pytest.mark.bench_smoke
@@ -321,3 +444,30 @@ def test_fleet_substrate_scale_10000_vms():
         f"substrate speedup collapsed at 10k VMs: "
         f"{record['substrate_speedup']:.1f}x"
     )
+
+
+def test_fleet_process_scale_2000_vms():
+    """Serial vs process execution at 2k VMs: executors agree exactly;
+    the epoch timings and worker scaling are recorded."""
+    record = _run_process_comparison(num_vms=2000, num_shards=4, reps=3)
+    _merge_bench_record("fleet_process_2k", record)
+    print("\nfleet process 2k:", json.dumps(record, indent=2))
+    assert record["process_multiworker_epoch_seconds"] > 0
+
+
+def test_fleet_process_scale_10000_vms():
+    """Serial vs process execution at the north star's 10k-VM fleet:
+    records the end-to-end multi-worker speedup over single-worker
+    process execution (the number that scales with cores — ~1x on a
+    single-core runner, recorded together with ``cpu_count``)."""
+    record = _run_process_comparison(num_vms=10_000, num_shards=8, reps=2)
+    _merge_bench_record("fleet_process_10k", record)
+    print("\nfleet process 10k:", json.dumps(record, indent=2))
+    assert record["multiworker_speedup_over_single_worker"] > 0
+    if (os.cpu_count() or 1) >= 4:
+        # On real multi-core hardware the shard groups must overlap.
+        assert record["multiworker_speedup_over_single_worker"] >= 1.5, (
+            "multi-worker process execution failed to scale with cores: "
+            f"{record['multiworker_speedup_over_single_worker']:.2f}x "
+            f"on {os.cpu_count()} cores"
+        )

@@ -21,13 +21,18 @@ def main() -> None:
 
     for cell in result.cells:
         print(f"{cell.workload} — scenario {cell.scenario}")
-        print(f"  {'resource':>12s} {'isolation':>10s} {'production':>11s} {'factor':>8s}")
+        print(
+            f"  {'resource':>12s} {'isolation':>10s} {'production':>11s} {'factor':>8s}"
+        )
         for resource in Resource:
             iso = cell.isolation[resource]
             prod = cell.production[resource]
             factor = cell.factors[resource]
             marker = "  <-- culprit" if resource is cell.culprit else ""
-            print(f"  {resource.value:>12s} {iso:10.2f} {prod:11.2f} {factor:8.2f}{marker}")
+            print(
+                f"  {resource.value:>12s} {iso:10.2f} {prod:11.2f} "
+                f"{factor:8.2f}{marker}"
+            )
         status = "correct" if cell.culprit_correct else "UNEXPECTED"
         print(f"  blamed resource: {cell.culprit.value} ({status})\n")
 

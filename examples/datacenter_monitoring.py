@@ -69,7 +69,10 @@ def main() -> None:
         print(f"{day.day:4d} {day.interference_epochs:20d} {day.detected_epochs:9d} "
               f"{day.detection_rate:15.0%} {day.false_positive_rate:20.1%}")
     print(f"\nMissed interference episodes : {result.missed_episodes}")
-    print(f"Total profiling time         : {result.total_profiling_seconds / 60:.1f} minutes")
+    print(
+        "Total profiling time         : "
+        f"{result.total_profiling_seconds / 60:.1f} minutes"
+    )
 
     print("\nComparing against always-reprofile baselines (Figure 12 setting) ...\n")
     overhead = fig12_overhead.run(days=2, epochs_per_day=48, seed=11)

@@ -35,7 +35,9 @@ def main() -> None:
     print(f"Average placement  : {result.average_degradation:.2f}")
     print(f"Worst placement    : {result.worst_degradation:.2f}")
     if result.chose_best:
-        print("\nThe synthetic-benchmark evaluation picked the oracle-best destination.")
+        print(
+            "\nThe synthetic-benchmark evaluation picked the oracle-best destination."
+        )
     else:
         print(f"\nRegret versus the oracle best: {result.regret:.2f}")
 

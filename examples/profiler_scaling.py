@@ -24,7 +24,8 @@ def _print_panel(title, curves, fractions):
     print(header)
     for servers, points in sorted(curves.items()):
         row = "".join(
-            f"{p.mean_reaction_minutes:7.1f}{'*' if p.unstable else ' '}" for p in points
+            f"{p.mean_reaction_minutes:7.1f}{'*' if p.unstable else ' '}"
+            for p in points
         )
         print(f"  {servers:7d} {row}")
     print("  (* = unstable: the profiling queue keeps growing)\n")
@@ -36,8 +37,10 @@ def main() -> None:
 
     print("Poisson arrivals, 1000 new VMs/day (Figure 13)\n")
     poisson = fig13_reaction_poisson.run(
-        interference_fractions=fractions, servers=servers,
-        alphas=(1.0, 2.0, math.inf), days=5.0,
+        interference_fractions=fractions,
+        servers=servers,
+        alphas=(1.0, 2.0, math.inf),
+        days=5.0,
     )
     _print_panel("Mean reaction time [min], local information only:",
                  poisson.local_only, fractions)
@@ -46,8 +49,10 @@ def main() -> None:
 
     print("Bursty lognormal arrivals (Figure 14)\n")
     lognormal = fig14_reaction_lognormal.run(
-        interference_fractions=fractions, servers=servers,
-        alphas=(1.0, math.inf), days=5.0,
+        interference_fractions=fractions,
+        servers=servers,
+        alphas=(1.0, math.inf),
+        days=5.0,
     )
     _print_panel("Mean reaction time [min], local information only:",
                  lognormal.local_only, fractions)

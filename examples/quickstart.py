@@ -33,8 +33,10 @@ def main() -> None:
         "cassandra-0", DataServingWorkload(key_skew=0.6), vcpus=2, memory_gb=2.0
     )
     neighbour = VirtualMachine(
-        "noisy-neighbour", MemoryStressWorkload(working_set_mb=192.0),
-        vcpus=2, memory_gb=1.0,
+        "noisy-neighbour",
+        MemoryStressWorkload(working_set_mb=192.0),
+        vcpus=2,
+        memory_gb=1.0,
     )
     cluster.place_vm(victim, "pm0", load=0.7)
     cluster.place_vm(neighbour, "pm0", load=0.0)
@@ -48,13 +50,18 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("Bootstrapping the interference-free behaviour set ...")
     deepdive.bootstrap_vm(victim.name)
-    print(f"  learned {deepdive.repository.normal_count(victim.app_id)} normal behaviours "
-          f"({deepdive.repository_size_bytes()} bytes)\n")
+    print(
+        f"  learned {deepdive.repository.normal_count(victim.app_id)} "
+        f"normal behaviours "
+        f"({deepdive.repository_size_bytes()} bytes)\n"
+    )
 
     # ------------------------------------------------------------------
     # Monitor: ten quiet epochs, then the neighbour wakes up.
     # ------------------------------------------------------------------
-    print(f"{'epoch':>5s} {'neighbour':>10s} {'warning':>20s} {'analyzer verdict':>30s}")
+    print(
+        f"{'epoch':>5s} {'neighbour':>10s} {'warning':>20s} {'analyzer verdict':>30s}"
+    )
     for epoch in range(20):
         interfering = epoch >= 10
         cluster.get_host("pm0").set_load(neighbour.name, 1.0 if interfering else 0.0)

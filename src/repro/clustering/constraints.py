@@ -15,7 +15,7 @@ interference behaviours would otherwise blur together.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ cluster spread.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -174,15 +174,17 @@ class GaussianMixtureEM:
         for iteration in range(1, self.max_iter + 1):
             resp = model.responsibilities(data)
             weights, means, variances = self._m_step(data, resp)
-            ll = float(np.mean(
-                _logsumexp(
-                    GaussianMixtureModel(
-                        weights, means, variances, 0.0, 0, False
-                    ).log_prob_per_component(data)
-                    + np.log(weights),
-                    axis=1,
+            ll = float(
+                np.mean(
+                    _logsumexp(
+                        GaussianMixtureModel(
+                            weights, means, variances, 0.0, 0, False
+                        ).log_prob_per_component(data)
+                        + np.log(weights),
+                        axis=1,
+                    )
                 )
-            ))
+            )
             model = GaussianMixtureModel(
                 weights=weights,
                 means=means,

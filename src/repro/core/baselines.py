@@ -11,7 +11,7 @@ normal behaviours and stops invoking the analyzer after the first day.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.metrics.counters import CounterSample
@@ -79,7 +79,9 @@ class ThresholdBaseline:
                 (1.0 - self.reference_alpha) * self._reference_rate
                 + self.reference_alpha * rate
             )
-        decision = BaselineDecision(epoch=epoch, trigger=trigger, relative_change=change)
+        decision = BaselineDecision(
+            epoch=epoch, trigger=trigger, relative_change=change
+        )
         self.decisions.append(decision)
         return decision
 

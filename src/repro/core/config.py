@@ -8,7 +8,7 @@ analyzer's profiling window, and the global-information quorum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

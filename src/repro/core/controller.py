@@ -88,7 +88,8 @@ class PersistenceController:
                 detections_in_window=detections,
                 window_size=len(window),
                 reason=(
-                    f"interference persisted in {detections}/{len(window)} recent epochs"
+                    "interference persisted in "
+                    f"{detections}/{len(window)} recent epochs"
                 ),
             )
         elif in_cooldown:

@@ -176,7 +176,9 @@ class DeepDive:
         """Record the load the proxy forwarded to a VM this epoch."""
         self.register_vm(vm_name).observe(load)
 
-    def bootstrap_vm(self, vm_name: str, load_levels: Optional[Sequence[float]] = None) -> None:
+    def bootstrap_vm(
+        self, vm_name: str, load_levels: Optional[Sequence[float]] = None
+    ) -> None:
         """Run the analyzer's bootstrap sweep for a VM's application."""
         placement = self.cluster.all_vms()
         if vm_name not in placement:

@@ -22,7 +22,7 @@ cause performance degradation elsewhere."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.analyzer import AnalysisResult
 from repro.core.config import DeepDiveConfig
 from repro.metrics.counters import CounterSample
-from repro.metrics.cpi import Resource, degradation_from_instructions
+from repro.metrics.cpi import Resource
 from repro.metrics.normalization import aggregate_samples
 from repro.metrics.sample import MetricVector
 from repro.regression.training import TrainedSynthesizer
@@ -179,7 +179,9 @@ class PlacementManager:
         # Isolation baselines: each background VM alone, and the probe alone.
         background_baselines: Dict[str, float] = {}
         for vm, load in background.items():
-            solo = self.sandbox.profile(vm, loads=[load] * epochs, profile_epochs=epochs)
+            solo = self.sandbox.profile(
+                vm, loads=[load] * epochs, profile_epochs=epochs
+            )
             background_baselines[vm.name] = solo.counters.inst_retired / max(
                 solo.counters.epoch_seconds, 1e-9
             )
@@ -227,7 +229,9 @@ class PlacementManager:
             if probe_baseline_rate > 0
             else 0.0
         )
-        background_degradation = float(np.mean(bg_degradations)) if bg_degradations else 0.0
+        background_degradation = (
+            float(np.mean(bg_degradations)) if bg_degradations else 0.0
+        )
 
         score = max(background_degradation, probe_degradation)
         return CandidateEvaluation(

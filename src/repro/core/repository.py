@@ -308,7 +308,9 @@ class BehaviorRepository:
             best = min(best, dist)
         return best
 
-    def interference_distance_batch(self, app_id: str, matrix: np.ndarray) -> np.ndarray:
+    def interference_distance_batch(
+        self, app_id: str, matrix: np.ndarray
+    ) -> np.ndarray:
         """Row-wise :meth:`interference_distance` for an ``(n, d)`` matrix.
 
         Element-wise identical to the scalar loop: for every candidate
@@ -335,7 +337,10 @@ class BehaviorRepository:
 
     def matches_interference_batch(self, app_id: str, matrix: np.ndarray) -> np.ndarray:
         """Row-wise :meth:`matches_interference`: ``(n,)`` booleans."""
-        return self.interference_distance_batch(app_id, matrix) <= self.acceptance_radius()
+        return (
+            self.interference_distance_batch(app_id, matrix)
+            <= self.acceptance_radius()
+        )
 
     def thresholds(self, app_id: str) -> Optional[MetricThresholds]:
         entry = self._entries.get(app_id)
@@ -365,7 +370,9 @@ class BehaviorRepository:
         total = 0
         dims = len(WARNING_METRICS)
         for entry in entries:
-            total += 8 * dims * (len(entry.normal_vectors) + len(entry.interference_vectors))
+            total += (
+                8 * dims * (len(entry.normal_vectors) + len(entry.interference_vectors))
+            )
             if entry.model is not None:
                 k = entry.model.n_components
                 total += 8 * (k + 2 * k * dims)

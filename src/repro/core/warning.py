@@ -20,7 +20,7 @@ accelerates the learning of the normal-behaviour set.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -282,7 +282,9 @@ class WarningSystem:
         violated: Dict[int, Tuple[str, ...]] = {}
         if thresholds is not None and deviating.size:
             rows = own.array[deviating]
-            for idx, dims in zip(deviating, self._violated_dimensions_batch(app_id, rows)):
+            for idx, dims in zip(
+                deviating, self._violated_dimensions_batch(app_id, rows)
+            ):
                 violated[int(idx)] = dims
 
         # Known-interference signatures, batched over the deviating rows.

@@ -9,7 +9,7 @@ never sees but the evaluation scores against).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,12 +20,7 @@ from repro.metrics.sample import MetricVector
 from repro.virt.vm import VirtualMachine
 from repro.virt.vmm import Host
 from repro.workloads.base import PerformanceReport, Workload
-from repro.workloads.cloud import (
-    DataAnalyticsWorkload,
-    DataServingWorkload,
-    WebSearchWorkload,
-    make_cloud_workload,
-)
+from repro.workloads.cloud import make_cloud_workload
 from repro.workloads.stress import make_stress_workload
 
 #: The three cloud workloads of the evaluation, in the paper's order.

@@ -10,7 +10,7 @@ co-located memory-stress VM on and off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np
@@ -44,12 +44,16 @@ class MotivationResult:
 
     @property
     def mean_latency_quiet(self) -> float:
-        values = [l for l, a in zip(self.latency_ms, self.interference_active) if not a]
+        values = [
+            lat for lat, a in zip(self.latency_ms, self.interference_active) if not a
+        ]
         return float(np.mean(values)) if values else 0.0
 
     @property
     def mean_latency_interfered(self) -> float:
-        values = [l for l, a in zip(self.latency_ms, self.interference_active) if a]
+        values = [
+            lat for lat, a in zip(self.latency_ms, self.interference_active) if a
+        ]
         return float(np.mean(values)) if values else 0.0
 
     def throughput_drop_fraction(self) -> float:

@@ -14,12 +14,16 @@ three displayed dimensions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.common import CLOUD_WORKLOADS, centroid_separation, run_colocation
+from repro.experiments.common import (
+    CLOUD_WORKLOADS,
+    centroid_separation,
+    run_colocation,
+)
 from repro.metrics.sample import MetricVector
 
 #: The three dimensions displayed in the paper's Figure 4: L1, L2, memory.

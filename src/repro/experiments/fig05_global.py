@@ -11,10 +11,9 @@ interference that affects only some machines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.experiments.common import centroid_separation, make_stress_vm, make_victim_vm
 from repro.metrics.sample import MetricVector

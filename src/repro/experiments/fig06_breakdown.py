@@ -14,8 +14,8 @@ whether it matches the scenario's intended resource.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.common import CLOUD_WORKLOADS, run_colocation
 from repro.metrics.cpi import CPIStackModel, Resource, StallBreakdown
@@ -143,7 +143,11 @@ def run(
         if workload == "data_analytics":
             workload_kwargs = {"remote_fetch_fraction": 0.6}
         isolation = run_colocation(
-            workload, load=load, stress_kind=None, epochs=epochs, seed=seed,
+            workload,
+            load=load,
+            stress_kind=None,
+            epochs=epochs,
+            seed=seed,
             workload_kwargs=workload_kwargs,
         )
         iso_counters = isolation.aggregate_counters()

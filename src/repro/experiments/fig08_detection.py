@@ -26,21 +26,16 @@ that later days can learn.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.config import DeepDiveConfig
 from repro.core.deepdive import DeepDive
 from repro.experiments.common import make_stress_vm, make_victim_vm
 from repro.virt.cluster import Cluster
 from repro.virt.vmm import Host
-from repro.workloads.traces import (
-    InterferenceSchedule,
-    ec2_like_interference_schedule,
-    hotmail_like_trace,
-)
+from repro.workloads.traces import ec2_like_interference_schedule, hotmail_like_trace
 
 #: Ground-truth threshold: client-visible degradation above which an epoch
 #: counts as interference (the paper's 20%).
@@ -201,7 +196,9 @@ def run_workload(
                 continue
 
             # Ground truth: client-visible performance loss versus shadow.
-            prod_rate = cluster.get_host("pm0").latest_counters(victim.name).inst_retired
+            prod_rate = (
+                cluster.get_host("pm0").latest_counters(victim.name).inst_retired
+            )
             shadow_rate = shadow_host.latest_counters(shadow_vm.name).inst_retired
             true_degradation = 0.0
             if shadow_rate > 0:
@@ -232,7 +229,8 @@ def run_workload(
                 detected_epochs=detected_epochs,
                 clean_epochs=clean_epochs,
                 false_positive_epochs=false_positives,
-                analyzer_invocations=deepdive.analyzer_invocations() - invocations_before,
+                analyzer_invocations=deepdive.analyzer_invocations()
+                - invocations_before,
             )
         )
 
@@ -241,7 +239,8 @@ def run_workload(
     missed_episodes = 0
     for episode in schedule:
         if not any(
-            episode.start_epoch <= e < episode.end_epoch for e in detected_episode_epochs
+            episode.start_epoch <= e < episode.end_epoch
+            for e in detected_episode_epochs
         ):
             had_truth = any(
                 d.interference_epochs > 0

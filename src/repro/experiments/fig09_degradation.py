@@ -12,8 +12,8 @@ under 5% on average.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,7 +47,10 @@ DEFAULT_SWEEPS: Dict[str, List[dict]] = {
         for mbps in (50.0, 150.0, 300.0, 450.0, 600.0, 700.0)
     ],
     "disk": [
-        {"stress_kwargs": {"target_mbps": mbps, "sequential_fraction": 0.15}, "stress_level": 1.0}
+        {
+            "stress_kwargs": {"target_mbps": mbps, "sequential_fraction": 0.15},
+            "stress_level": 1.0,
+        }
         for mbps in (1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
     ],
 }

@@ -10,7 +10,7 @@ and a mean of 10% across all experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -18,7 +18,6 @@ import numpy as np
 from repro.experiments.common import (
     CLOUD_WORKLOADS,
     PAIRED_STRESS,
-    instruction_rate_degradation,
     make_stress_vm,
     make_victim_vm,
     run_colocation,
@@ -150,7 +149,9 @@ def run(
         solo = run_colocation(workload, load=load, epochs=epochs, seed=seed)
         solo_counters = solo.aggregate_counters()
         target = MetricVector.from_sample(solo_counters)
-        target_rate = solo_counters.inst_retired / max(solo_counters.epoch_seconds, 1e-9)
+        target_rate = solo_counters.inst_retired / max(
+            solo_counters.epoch_seconds, 1e-9
+        )
         benchmark = synthesizer.synthesize(target, target_inst_rate=target_rate)
         synthetic_vm = VirtualMachine(
             name=f"{workload}-synthetic",

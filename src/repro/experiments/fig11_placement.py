@@ -13,7 +13,7 @@ choice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -129,7 +129,9 @@ def run(
         trainer = SyntheticBenchmarkTrainer(samples=training_samples, seed=seed)
         synthesizer = trainer.train()
 
-    config = DeepDiveConfig(placement_eval_epochs=eval_epochs, profile_epochs=eval_epochs)
+    config = DeepDiveConfig(
+        placement_eval_epochs=eval_epochs, profile_epochs=eval_epochs
+    )
     sandbox = SandboxEnvironment(
         num_hosts=1, spec=XEON_X5472, profile_epochs=eval_epochs, seed=seed
     )

@@ -11,10 +11,9 @@ keep growing because every load fluctuation triggers a full analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.baselines import ThresholdBaseline
 from repro.core.config import DeepDiveConfig
@@ -127,7 +126,9 @@ def run(
             baseline_cumulative[threshold].append(baseline_seconds[threshold] / 60.0)
 
     return OverheadResult(
-        deepdive=OverheadCurve(label="DeepDive", cumulative_minutes=deepdive_cumulative),
+        deepdive=OverheadCurve(
+            label="DeepDive", cumulative_minutes=deepdive_cumulative
+        ),
         baselines={
             t: OverheadCurve(
                 label=f"Baseline-{int(t * 100)}%",

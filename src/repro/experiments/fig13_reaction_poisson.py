@@ -15,8 +15,8 @@ Three panels:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -40,7 +40,11 @@ class ReactionTimeFigure:
 
     def mean_reaction(self, panel: str, key, fraction: float) -> float:
         """Mean reaction time (minutes) for one curve at one fraction."""
-        curves = {"local": self.local_only, "global": self.with_global, "alpha": self.alpha_sweep}[panel]
+        curves = {
+            "local": self.local_only,
+            "global": self.with_global,
+            "alpha": self.alpha_sweep,
+        }[panel]
         for point in curves[key]:
             if np.isclose(point.interference_fraction, fraction):
                 return point.mean_reaction_minutes
@@ -77,7 +81,9 @@ def run(
         seed=seed,
     )
     local = study.sweep(interference_fractions, servers, use_global_information=False)
-    with_global = study.sweep(interference_fractions, servers, use_global_information=True)
+    with_global = study.sweep(
+        interference_fractions, servers, use_global_information=True
+    )
     alpha_curves = study.alpha_sweep(interference_fractions, alphas, num_servers=4)
     return ReactionTimeFigure(
         local_only=local,

@@ -7,7 +7,6 @@ than ten dedicated profiling machines are still enough.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.experiments.fig13_reaction_poisson import (
@@ -38,7 +37,9 @@ def run(
         seed=seed,
     )
     local = study.sweep(interference_fractions, servers, use_global_information=False)
-    with_global = study.sweep(interference_fractions, servers, use_global_information=True)
+    with_global = study.sweep(
+        interference_fractions, servers, use_global_information=True
+    )
     alpha_curves = study.alpha_sweep(interference_fractions, alphas, num_servers=4)
     return ReactionTimeFigure(
         local_only=local,

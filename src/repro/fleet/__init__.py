@@ -16,6 +16,13 @@ against the scalar per-VM reference loop on these fleets and records
 the speedup in ``BENCH_fleet.json``.
 """
 
+from repro.fleet.executor import (
+    ColumnarFleetReport,
+    ColumnarShardReport,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ThreadShardExecutor,
+)
 from repro.fleet.fleet import Fleet, FleetEpochReport, FleetRunSummary, FleetShard
 from repro.fleet.scenario import (
     DatacenterScenario,
@@ -25,10 +32,15 @@ from repro.fleet.scenario import (
 )
 
 __all__ = [
+    "ColumnarFleetReport",
+    "ColumnarShardReport",
     "Fleet",
     "FleetEpochReport",
     "FleetRunSummary",
     "FleetShard",
+    "ProcessShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
     "DatacenterScenario",
     "InterferenceEpisode",
     "build_fleet",

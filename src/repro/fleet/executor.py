@@ -1,0 +1,533 @@
+"""Shard execution strategies: serial, thread pool, process pool.
+
+A fleet's shards share nothing, so the only question is *where* their
+epochs run:
+
+* ``"serial"`` — one loop in the calling thread (the reference);
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`;
+  NumPy releases the GIL inside the batch substrate's array ops, but the
+  Python share of each epoch (monitoring actions, history bookkeeping)
+  still serialises on one interpreter;
+* ``"process"`` — one single-worker
+  :class:`~concurrent.futures.ProcessPoolExecutor` per shard group.
+  Each worker process receives its shards' **full simulation state once**
+  (pickled at start-up), owns it for the rest of the run, and exchanges
+  only compact columnar epoch results with the parent — NumPy counter
+  blocks and decision arrays, never per-VM Python objects — so fleet
+  throughput scales with cores instead of with one interpreter.
+
+Whatever the strategy, per-shard results merge in shard insertion
+order and every shard evolves from its own pickled RNG state, so a
+fleet run is **bit-identical for any worker count** (pinned by
+``tests/integration/test_parallel_fleet.py``).
+
+The process strategy deliberately uses *dedicated* single-worker pools
+instead of one shared pool: task-to-worker affinity is what lets each
+worker keep its shards' state resident.  Workers are spawned (not
+forked), so the exchanged state is exactly the explicit payload and the
+strategy behaves identically on every platform and Python version.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.warning import WarningAction
+from repro.hardware.batch import N_COUNTERS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deepdive import EpochReport
+    from repro.fleet.fleet import FleetShard, ScheduledStress
+
+#: Supported shard execution strategies.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Stable warning-action code table shared by parent and workers (the
+#: decision arrays store indices into this tuple).
+WARNING_ACTIONS: Tuple[str, ...] = tuple(action.value for action in WarningAction)
+_ACTION_INDEX: Dict[str, int] = {value: i for i, value in enumerate(WARNING_ACTIONS)}
+
+
+def apply_stress_schedule(
+    shards: Mapping[str, "FleetShard"],
+    schedule: Sequence["ScheduledStress"],
+    epoch: int,
+) -> None:
+    """Switch scheduled stress VMs on or off for the given epoch.
+
+    Runs wherever the shard state lives: in the fleet process for the
+    serial/thread strategies, inside each worker (against its own shard
+    subset) for the process strategy.
+    """
+    for stress in schedule:
+        shard = shards.get(stress.shard_id)
+        if shard is None:
+            continue
+        placement = shard.cluster.all_vms()
+        if stress.vm_name not in placement:
+            continue
+        host_name, _ = placement[stress.vm_name]
+        active = stress.start_epoch <= epoch < stress.end_epoch
+        shard.cluster.hosts[host_name].set_load(
+            stress.vm_name, stress.intensity if active else 0.0
+        )
+
+
+# ----------------------------------------------------------------------
+# Columnar epoch results (the process strategy's wire format)
+# ----------------------------------------------------------------------
+@dataclass
+class ColumnarShardReport:
+    """One shard's epoch outcome as flat arrays.
+
+    Row ``i`` of every array describes the epoch's ``i``-th observation
+    (DeepDive's deterministic placement order).  The arrays carry
+    everything the fleet aggregates — actions, analyzer invocations,
+    confirmations, distances and sibling counts — without materialising
+    per-VM observation objects, which is what keeps the parent/worker
+    exchange cheap at 10k VMs.
+
+    ``vm_names`` may be ``None`` in transit when the shard's VM set is
+    unchanged since the previously shipped epoch (the common steady
+    state); the parent-side executor rehydrates it from its cache before
+    the report reaches callers.
+    """
+
+    shard_id: str
+    epoch: int
+    #: Observation names in row order (``None`` only in transit).
+    vm_names: Optional[Tuple[str, ...]]
+    #: Index into :data:`WARNING_ACTIONS` per observation.
+    action_codes: np.ndarray
+    #: Mahalanobis distance of each warning decision.
+    distances: np.ndarray
+    #: Sibling VMs consulted / agreeing for the global check.
+    siblings_consulted: np.ndarray
+    siblings_agreeing: np.ndarray
+    #: Whether the analyzer ran for the observation.
+    analyzed: np.ndarray
+    #: Whether interference was confirmed (analysis or known signature).
+    confirmed: np.ndarray
+    #: Sum of the shard's raw counter block for the epoch (Table-1
+    #: column order), or ``None`` when a host lacks columnar history
+    #: (scalar substrate).  Fleet-level telemetry, free to compute from
+    #: the batch substrate's per-epoch blocks.
+    counter_totals: Optional[np.ndarray] = None
+
+    def observations(self) -> int:
+        return int(self.action_codes.shape[0])
+
+    def analyzer_invocations(self) -> int:
+        return int(np.count_nonzero(self.analyzed))
+
+    def confirmed_interference(self) -> List[str]:
+        names = self.vm_names or ()
+        return [names[i] for i in np.nonzero(self.confirmed)[0]]
+
+    def action_histogram(self) -> Dict[str, int]:
+        counts = np.bincount(self.action_codes, minlength=len(WARNING_ACTIONS))
+        return {
+            WARNING_ACTIONS[i]: int(count)
+            for i, count in enumerate(counts.tolist())
+            if count
+        }
+
+
+@dataclass
+class ColumnarFleetReport:
+    """Fleet-wide columnar epoch outcome (mirrors ``FleetEpochReport``).
+
+    Exposes the same aggregate API as
+    :class:`~repro.fleet.fleet.FleetEpochReport`, so
+    :meth:`~repro.fleet.fleet.FleetRunSummary.accumulate` consumes either
+    interchangeably; only the per-VM observation objects are absent.
+    """
+
+    epoch: int
+    shard_reports: Dict[str, ColumnarShardReport] = field(default_factory=dict)
+
+    def observations(self) -> int:
+        return sum(r.observations() for r in self.shard_reports.values())
+
+    def analyzer_invocations(self) -> int:
+        return sum(r.analyzer_invocations() for r in self.shard_reports.values())
+
+    def confirmed_interference(self) -> List[Tuple[str, str]]:
+        return [
+            (shard_id, vm_name)
+            for shard_id, report in self.shard_reports.items()
+            for vm_name in report.confirmed_interference()
+        ]
+
+    def action_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for report in self.shard_reports.values():
+            for action, count in report.action_histogram().items():
+                histogram[action] = histogram.get(action, 0) + count
+        return histogram
+
+    def counter_totals(self) -> Optional[np.ndarray]:
+        """Fleet-wide raw counter sums for the epoch, or ``None``."""
+        total = np.zeros(N_COUNTERS, dtype=float)
+        for report in self.shard_reports.values():
+            if report.counter_totals is None:
+                return None
+            total += report.counter_totals
+        return total
+
+
+def _shard_counter_totals(shard: "FleetShard") -> Optional[np.ndarray]:
+    total = np.zeros(N_COUNTERS, dtype=float)
+    for host in shard.cluster.hosts.values():
+        if not host.vms:
+            continue
+        history = host.columnar_history
+        if not history:
+            return None
+        total += history[-1][1].sum(axis=0)
+    return total
+
+
+def columnar_from_report(
+    shard_id: str, epoch: int, report: "EpochReport", shard: "FleetShard"
+) -> ColumnarShardReport:
+    """Flatten one shard's :class:`EpochReport` into decision arrays."""
+    observations = report.observations
+    n = len(observations)
+    vm_names: List[str] = []
+    action_codes = np.empty(n, dtype=np.int8)
+    distances = np.empty(n, dtype=float)
+    siblings_consulted = np.empty(n, dtype=np.int32)
+    siblings_agreeing = np.empty(n, dtype=np.int32)
+    analyzed = np.zeros(n, dtype=bool)
+    confirmed = np.zeros(n, dtype=bool)
+    for i, (vm_name, obs) in enumerate(observations.items()):
+        vm_names.append(vm_name)
+        warning = obs.warning
+        action_codes[i] = _ACTION_INDEX[warning.action.value]
+        distances[i] = warning.distance
+        siblings_consulted[i] = warning.siblings_consulted
+        siblings_agreeing[i] = warning.siblings_agreeing
+        analyzed[i] = obs.analysis is not None
+        confirmed[i] = obs.interference_confirmed
+    return ColumnarShardReport(
+        shard_id=shard_id,
+        epoch=epoch,
+        vm_names=tuple(vm_names),
+        action_codes=action_codes,
+        distances=distances,
+        siblings_consulted=siblings_consulted,
+        siblings_agreeing=siblings_agreeing,
+        analyzed=analyzed,
+        confirmed=confirmed,
+        counter_totals=_shard_counter_totals(shard),
+    )
+
+
+#: A strategy's per-shard epoch result: the full report or its columns.
+ShardEpochResult = Union["EpochReport", ColumnarShardReport]
+
+
+# ----------------------------------------------------------------------
+# In-process strategies
+# ----------------------------------------------------------------------
+class SerialShardExecutor:
+    """The reference strategy: shard epochs run in the calling thread."""
+
+    kind = "serial"
+
+    def __init__(
+        self,
+        shards: Mapping[str, "FleetShard"],
+        schedule: Sequence["ScheduledStress"],
+    ) -> None:
+        self._shards = shards
+        self._schedule = schedule
+
+    def run_shard_epochs(
+        self, epoch: int, analyze: bool, report: str
+    ) -> Dict[str, ShardEpochResult]:
+        apply_stress_schedule(self._shards, self._schedule, epoch)
+        out: Dict[str, ShardEpochResult] = {}
+        for shard_id, shard in self._shards.items():
+            out[shard_id] = _shard_epoch(shard_id, shard, epoch, analyze, report)
+        return out
+
+    def bootstrap(self) -> None:
+        for shard in self._shards.values():
+            shard.bootstrap()
+
+    def shutdown(self) -> None:
+        pass
+
+
+class ThreadShardExecutor(SerialShardExecutor):
+    """Shard epochs dispatched to a thread pool.
+
+    The batch substrate's NumPy kernels release the GIL, so threads
+    overlap the array share of an epoch; the Python share still
+    serialises (the process strategy exists for that).
+    """
+
+    kind = "thread"
+
+    def __init__(
+        self,
+        shards: Mapping[str, "FleetShard"],
+        schedule: Sequence["ScheduledStress"],
+        max_workers: int,
+    ) -> None:
+        super().__init__(shards, schedule)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fleet-shard"
+        )
+        # Release the worker threads when the strategy is collected,
+        # even if the caller never calls shutdown() explicitly.
+        weakref.finalize(self, self._pool.shutdown, wait=False)
+
+    def run_shard_epochs(
+        self, epoch: int, analyze: bool, report: str
+    ) -> Dict[str, ShardEpochResult]:
+        apply_stress_schedule(self._shards, self._schedule, epoch)
+        futures = {
+            shard_id: self._pool.submit(
+                _shard_epoch, shard_id, shard, epoch, analyze, report
+            )
+            for shard_id, shard in self._shards.items()
+        }
+        return {shard_id: futures[shard_id].result() for shard_id in self._shards}
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _shard_epoch(
+    shard_id: str, shard: "FleetShard", epoch: int, analyze: bool, report: str
+) -> ShardEpochResult:
+    epoch_report = shard.run_epoch(analyze=analyze)
+    if report == "full":
+        return epoch_report
+    return columnar_from_report(shard_id, epoch, epoch_report, shard)
+
+
+# ----------------------------------------------------------------------
+# Process strategy: state-owning workers, columnar exchange
+# ----------------------------------------------------------------------
+#: Worker-process state installed by :func:`_worker_init`.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    shards, schedule = pickle.loads(payload)
+    _WORKER_STATE["shards"] = {shard.shard_id: shard for shard in shards}
+    _WORKER_STATE["schedule"] = schedule
+    _WORKER_STATE["sent_names"] = {}
+
+
+def _worker_ready() -> bool:
+    return "shards" in _WORKER_STATE
+
+
+def _worker_bootstrap() -> None:
+    for shard in _WORKER_STATE["shards"].values():
+        shard.bootstrap()
+
+
+def _worker_run_epoch(
+    epoch: int, analyze: bool, report: str
+) -> List[Tuple[str, ShardEpochResult]]:
+    shards: Dict[str, "FleetShard"] = _WORKER_STATE["shards"]
+    sent_names: Dict[str, Tuple[str, ...]] = _WORKER_STATE["sent_names"]
+    apply_stress_schedule(shards, _WORKER_STATE["schedule"], epoch)
+    out: List[Tuple[str, ShardEpochResult]] = []
+    for shard_id, shard in shards.items():
+        result = _shard_epoch(shard_id, shard, epoch, analyze, report)
+        if isinstance(result, ColumnarShardReport):
+            # Ship the VM-name table only when it changed — steady-state
+            # epochs are pure arrays on the wire.
+            if sent_names.get(shard_id) == result.vm_names:
+                result.vm_names = None
+            else:
+                sent_names[shard_id] = result.vm_names
+        out.append((shard_id, result))
+    return out
+
+
+def _worker_collect() -> Dict[str, Dict[str, object]]:
+    collected: Dict[str, Dict[str, object]] = {}
+    for shard_id, shard in _WORKER_STATE["shards"].items():
+        deepdive = shard.deepdive
+        collected[shard_id] = {
+            "detections": shard.detections(),
+            "migrations": shard.migrations(),
+            "analyzer_invocations": deepdive.analyzer_invocations(),
+            "profiling_seconds": deepdive.total_profiling_seconds(),
+            "repository_bytes": deepdive.repository_size_bytes(),
+        }
+    return collected
+
+
+class ProcessShardExecutor:
+    """Shard groups dispatched to dedicated state-owning worker processes.
+
+    ``max_workers`` groups are formed round-robin over shard insertion
+    order; each group gets its own single-worker
+    :class:`ProcessPoolExecutor` whose initializer installs the group's
+    pickled shards (and schedule subset) as resident worker state.  Every
+    epoch, the parent submits one task per group and merges the columnar
+    results in shard insertion order, so results are identical to serial
+    execution for any worker count.
+
+    The parent's shard objects are only the start-of-run template: once
+    workers hold the state, mutating them (or the schedule) from the
+    parent has no effect.  Fleet-wide statistics are gathered on demand
+    through :meth:`collect`.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        shards: Mapping[str, "FleetShard"],
+        schedule: Sequence["ScheduledStress"],
+        max_workers: int,
+        start_method: str = "spawn",
+    ) -> None:
+        self._shards = shards
+        self._schedule = list(schedule)
+        self._shard_order = list(shards)
+        self._start_method = start_method
+        workers = max(1, min(max_workers, len(self._shard_order)))
+        self._groups: List[List[str]] = [[] for _ in range(workers)]
+        for i, shard_id in enumerate(self._shard_order):
+            self._groups[i % workers].append(shard_id)
+        self._pools: Optional[List[ProcessPoolExecutor]] = None
+        self._stopped = False
+        self._broken = False
+        #: Last VM-name table received per shard (rehydrates reports
+        #: whose names were elided on the wire).
+        self._names_cache: Dict[str, Tuple[str, ...]] = {}
+
+    @property
+    def workers(self) -> int:
+        return len(self._groups)
+
+    @property
+    def started(self) -> bool:
+        return self._pools is not None
+
+    def _ensure_started(self) -> List[ProcessPoolExecutor]:
+        if self._pools is not None:
+            return self._pools
+        if self._stopped:
+            # Respawning would silently reset the run to the parent's
+            # start-of-run template state.
+            raise RuntimeError(
+                "process shard executor was shut down; build a new Fleet "
+                "to start another run"
+            )
+        context = multiprocessing.get_context(self._start_method)
+        pools: List[ProcessPoolExecutor] = []
+        for group in self._groups:
+            members = set(group)
+            payload = pickle.dumps(
+                (
+                    [self._shards[shard_id] for shard_id in group],
+                    [s for s in self._schedule if s.shard_id in members],
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            pool = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(payload,),
+            )
+            weakref.finalize(self, pool.shutdown, wait=False)
+            pools.append(pool)
+        # Surface spawn/unpickling failures eagerly rather than on the
+        # first epoch.
+        for pool in pools:
+            if not pool.submit(_worker_ready).result():
+                raise RuntimeError("fleet worker failed to initialise its shards")
+        self._pools = pools
+        return pools
+
+    def run_shard_epochs(
+        self, epoch: int, analyze: bool, report: str
+    ) -> Dict[str, ShardEpochResult]:
+        if self._broken:
+            raise RuntimeError(
+                "a previous fleet epoch failed mid-flight, so the worker-side "
+                "shard states are no longer in lock step; build a new Fleet"
+            )
+        pools = self._ensure_started()
+        futures = [
+            pool.submit(_worker_run_epoch, epoch, analyze, report) for pool in pools
+        ]
+        merged: Dict[str, ShardEpochResult] = {}
+        try:
+            for future in futures:
+                for shard_id, result in future.result():
+                    merged[shard_id] = result
+                    # Commit name tables as they arrive, before the
+                    # ordered merge, so a later worker's failure cannot
+                    # desync the elision caches.
+                    if (
+                        isinstance(result, ColumnarShardReport)
+                        and result.vm_names is not None
+                    ):
+                        self._names_cache[shard_id] = result.vm_names
+        except BaseException:
+            # Some workers advanced their shards this epoch and some did
+            # not; the run cannot continue deterministically.
+            self._broken = True
+            raise
+        out: Dict[str, ShardEpochResult] = {}
+        for shard_id in self._shard_order:
+            result = merged[shard_id]
+            if isinstance(result, ColumnarShardReport) and result.vm_names is None:
+                result.vm_names = self._names_cache[shard_id]
+            out[shard_id] = result
+        return out
+
+    def bootstrap(self) -> None:
+        pools = self._ensure_started()
+        for future in [pool.submit(_worker_bootstrap) for pool in pools]:
+            future.result()
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """Per-shard statistics and event logs from the workers."""
+        pools = self._ensure_started()
+        merged: Dict[str, Dict[str, object]] = {}
+        for future in [pool.submit(_worker_collect) for pool in pools]:
+            merged.update(future.result())
+        return merged
+
+    def shutdown(self) -> None:
+        self._stopped = True
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
+
+
+def make_shard_executor(
+    kind: str,
+    shards: Mapping[str, "FleetShard"],
+    schedule: Sequence["ScheduledStress"],
+    max_workers: int,
+) -> Union[SerialShardExecutor, ThreadShardExecutor, ProcessShardExecutor]:
+    """Instantiate the strategy for ``kind`` (see :data:`EXECUTOR_KINDS`)."""
+    if kind == "process":
+        return ProcessShardExecutor(shards, schedule, max_workers=max_workers)
+    if kind == "thread" and max_workers > 1 and len(shards) > 1:
+        return ThreadShardExecutor(shards, schedule, max_workers=max_workers)
+    return SerialShardExecutor(shards, schedule)

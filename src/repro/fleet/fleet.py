@@ -10,23 +10,30 @@ epoch through the batch engine — and aggregates the fleet-wide view
 show.
 
 Shards share nothing (separate clusters, sandboxes, repositories and
-random generators), so the fleet can dispatch their epochs to a
-``concurrent.futures`` thread pool (``max_workers``).  Results merge in
-shard insertion order and each shard's evolution is independent of
-execution order, so a fleet run is bit-identical for any worker count —
-pinned by ``tests/integration/test_parallel_fleet.py``.
+random generators), so the fleet can dispatch their epochs to any of the
+:mod:`repro.fleet.executor` strategies — ``"serial"``, a ``"thread"``
+pool, or state-owning ``"process"`` workers exchanging columnar epoch
+results.  Results merge in shard insertion order and each shard's
+evolution is independent of execution order, so a fleet run is
+bit-identical for any strategy and worker count — pinned by
+``tests/integration/test_parallel_fleet.py``.
 """
 
 from __future__ import annotations
 
-import weakref
-from concurrent.futures import ThreadPoolExecutor
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.config import DeepDiveConfig
 from repro.core.deepdive import DeepDive, EpochReport
 from repro.core.events import InterferenceDetectedEvent, MigrationEvent
+from repro.fleet.executor import (
+    EXECUTOR_KINDS,
+    ColumnarFleetReport,
+    ProcessShardExecutor,
+    make_shard_executor,
+)
 from repro.virt.cluster import Cluster
 from repro.virt.sandbox import SandboxEnvironment
 
@@ -190,10 +197,20 @@ class Fleet:
     schedule:
         Scheduled stress windows applied before each epoch.
     max_workers:
-        When > 1, shard epochs are dispatched to a thread pool of this
-        size; ``None`` or 1 keeps the serial loop.  Shards share no
-        state, so results are identical for any worker count (the merge
-        order is always shard insertion order).
+        Worker count for the thread/process strategies; ``None`` or 1
+        keeps the serial loop (with an explicit ``executor`` the default
+        is ``os.cpu_count()``).  Shards share no state, so results are
+        identical for any worker count (the merge order is always shard
+        insertion order).
+    executor:
+        Shard execution strategy: ``"serial"``, ``"thread"`` or
+        ``"process"`` (see :mod:`repro.fleet.executor`).  The default
+        infers ``"thread"`` when ``max_workers > 1`` (the pre-existing
+        behaviour) and ``"serial"`` otherwise.  With ``"process"``, the
+        worker processes own the shard state for the whole run: the
+        fleet's own shard objects are the start-of-run template, and
+        mid-run mutations of them (or of ``schedule``) do not reach the
+        workers — fleet statistics are fetched from the workers instead.
     """
 
     def __init__(
@@ -201,11 +218,22 @@ class Fleet:
         shards: Sequence[FleetShard],
         schedule: Optional[Sequence["ScheduledStress"]] = None,
         max_workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> None:
         if not shards:
             raise ValueError("a fleet needs at least one shard")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if executor is None:
+            executor = (
+                "thread" if max_workers is not None and max_workers > 1 else "serial"
+            )
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+            )
+        if executor in ("thread", "process") and max_workers is None:
+            max_workers = os.cpu_count() or 1
         self.shards: Dict[str, FleetShard] = {}
         for shard in shards:
             if shard.shard_id in self.shards:
@@ -214,7 +242,11 @@ class Fleet:
         self.schedule: List[ScheduledStress] = list(schedule or [])
         self.current_epoch = 0
         self.max_workers = max_workers
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self.executor = executor
+        self._strategy = None
+        #: Last statistics snapshot fetched from process workers (kept
+        #: so the fleet stays inspectable after :meth:`shutdown`).
+        self._last_collected: Optional[Dict[str, Dict[str, object]]] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -232,33 +264,38 @@ class Fleet:
     # Simulation
     # ------------------------------------------------------------------
     def bootstrap(self) -> None:
-        """Bootstrap every shard's loaded applications."""
-        for shard in self.shards.values():
-            shard.bootstrap()
+        """Bootstrap every shard's loaded applications.
 
-    def _apply_schedule(self) -> None:
-        for stress in self.schedule:
-            shard = self.shards.get(stress.shard_id)
-            if shard is None:
-                continue
-            placement = shard.cluster.all_vms()
-            if stress.vm_name not in placement:
-                continue
-            host_name, _ = placement[stress.vm_name]
-            active = stress.start_epoch <= self.current_epoch < stress.end_epoch
-            shard.cluster.hosts[host_name].set_load(
-                stress.vm_name, stress.intensity if active else 0.0
-            )
+        With the process strategy the bootstrap runs inside the workers
+        (spawning them if needed) so the learned repositories live with
+        the shard state.
+        """
+        strategy = self._shard_strategy()
+        strategy.bootstrap()
+        self._last_collected = None
 
-    def _shard_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.max_workers, thread_name_prefix="fleet-shard"
+    def _shard_strategy(self):
+        if self._strategy is None:
+            self._strategy = make_shard_executor(
+                self.executor,
+                self.shards,
+                self.schedule,
+                max_workers=self.max_workers or 1,
             )
-            # Release the worker threads when the fleet is collected,
-            # even if the caller never calls shutdown() explicitly.
-            weakref.finalize(self, self._executor.shutdown, wait=False)
-        return self._executor
+        return self._strategy
+
+    def _collected(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Worker-side shard statistics, or ``None`` when state is local.
+
+        The snapshot is cached between epochs — worker state only changes
+        when an epoch runs, so consecutive ``stats()``/``detections()``/
+        ``migrations()`` calls share one worker round trip.
+        """
+        strategy = self._strategy
+        if isinstance(strategy, ProcessShardExecutor) and strategy.started:
+            if self._last_collected is None:
+                self._last_collected = strategy.collect()
+        return self._last_collected
 
     def __enter__(self) -> "Fleet":
         return self
@@ -266,28 +303,45 @@ class Fleet:
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.shutdown()
 
-    def run_epoch(self, analyze: bool = True) -> FleetEpochReport:
+    def run_epoch(
+        self, analyze: bool = True, report: str = "full"
+    ) -> Union[FleetEpochReport, ColumnarFleetReport]:
         """Advance the whole fleet by one epoch.
 
-        With ``max_workers > 1`` the independent shards run concurrently;
-        reports always merge in shard insertion order, so the outcome is
-        identical to the serial loop.
+        Shards run under the configured execution strategy; reports
+        always merge in shard insertion order, so the outcome is
+        identical to the serial loop for any worker count.
+
+        Parameters
+        ----------
+        analyze:
+            Whether warning suspicions may invoke the analyzer.
+        report:
+            ``"full"`` (default) returns a :class:`FleetEpochReport` with
+            per-VM observations; ``"columnar"`` returns a
+            :class:`~repro.fleet.executor.ColumnarFleetReport` of flat
+            decision arrays — the process strategy's native exchange
+            format, which avoids shipping per-VM objects between
+            processes and is what long ``keep_reports=False`` runs use.
         """
-        self._apply_schedule()
-        report = FleetEpochReport(epoch=self.current_epoch)
-        if self.max_workers is None or self.max_workers <= 1 or len(self.shards) <= 1:
-            for shard_id, shard in self.shards.items():
-                report.shard_reports[shard_id] = shard.run_epoch(analyze=analyze)
+        if report not in ("full", "columnar"):
+            raise ValueError(f"unknown report mode {report!r}")
+        strategy = self._shard_strategy()
+        shard_reports = strategy.run_shard_epochs(
+            self.current_epoch, analyze=analyze, report=report
+        )
+        # Worker-side state advanced; drop the cached statistics snapshot.
+        self._last_collected = None
+        if report == "full":
+            out: Union[FleetEpochReport, ColumnarFleetReport] = FleetEpochReport(
+                epoch=self.current_epoch, shard_reports=shard_reports
+            )
         else:
-            executor = self._shard_executor()
-            futures = {
-                shard_id: executor.submit(shard.run_epoch, analyze=analyze)
-                for shard_id, shard in self.shards.items()
-            }
-            for shard_id in self.shards:
-                report.shard_reports[shard_id] = futures[shard_id].result()
+            out = ColumnarFleetReport(
+                epoch=self.current_epoch, shard_reports=shard_reports
+            )
         self.current_epoch += 1
-        return report
+        return out
 
     def run(
         self, epochs: int, analyze: bool = True, keep_reports: bool = True
@@ -298,25 +352,57 @@ class Fleet:
         per epoch is returned.  Long large-fleet runs set
         ``keep_reports=False`` to get a constant-memory
         :class:`FleetRunSummary` instead — per-epoch reports are folded
-        into running totals and discarded.
+        into running totals and discarded.  Under the process strategy
+        the intermediate epochs then travel as columnar decision arrays
+        and only the final epoch materialises a full report (the
+        summary's steady-state snapshot), so the hot loop never ships
+        per-VM objects across processes.
         """
         if keep_reports:
             return [self.run_epoch(analyze=analyze) for _ in range(epochs)]
         summary = FleetRunSummary()
-        for _ in range(epochs):
-            summary.accumulate(self.run_epoch(analyze=analyze))
+        columnar_hot_loop = self.executor == "process"
+        for i in range(epochs):
+            mode = (
+                "columnar"
+                if columnar_hot_loop and i < epochs - 1
+                else "full"
+            )
+            summary.accumulate(self.run_epoch(analyze=analyze, report=mode))
         return summary
 
     def shutdown(self) -> None:
-        """Release the shard worker pool (no-op for serial fleets)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Release the shard workers (no-op for serial fleets).
+
+        For a process fleet the final worker-side statistics are fetched
+        first, so :meth:`stats`, :meth:`detections` and
+        :meth:`migrations` keep answering after the workers are gone.
+        Restarting a shut-down process fleet would silently reset the
+        worker state to the start-of-run template, so further epochs are
+        refused; thread and serial fleets can keep running.
+        """
+        strategy = self._strategy
+        if strategy is None:
+            return
+        if isinstance(strategy, ProcessShardExecutor):
+            if strategy.started:
+                self._last_collected = strategy.collect()
+            strategy.shutdown()
+        else:
+            strategy.shutdown()
+            self._strategy = None
 
     # ------------------------------------------------------------------
     # Fleet-wide statistics
     # ------------------------------------------------------------------
     def detections(self) -> List[Tuple[str, InterferenceDetectedEvent]]:
+        collected = self._collected()
+        if collected is not None:
+            return [
+                (shard_id, event)
+                for shard_id in self.shards
+                for event in collected[shard_id]["detections"]
+            ]
         return [
             (shard_id, event)
             for shard_id, shard in self.shards.items()
@@ -324,6 +410,13 @@ class Fleet:
         ]
 
     def migrations(self) -> List[Tuple[str, MigrationEvent]]:
+        collected = self._collected()
+        if collected is not None:
+            return [
+                (shard_id, event)
+                for shard_id in self.shards
+                for event in collected[shard_id]["migrations"]
+            ]
         return [
             (shard_id, event)
             for shard_id, shard in self.shards.items()
@@ -331,23 +424,44 @@ class Fleet:
         ]
 
     def stats(self) -> Dict[str, float]:
-        """Aggregate fleet statistics (the operator dashboard numbers)."""
+        """Aggregate fleet statistics (the operator dashboard numbers).
+
+        Under the process strategy the numbers come from the workers'
+        live shard state (fetched on demand), not from the fleet's
+        start-of-run template objects.
+        """
+        collected = self._collected()
+        if collected is not None:
+            per_shard = list(collected.values())
+            analyzer_invocations = sum(
+                s["analyzer_invocations"] for s in per_shard
+            )
+            profiling_seconds = sum(s["profiling_seconds"] for s in per_shard)
+            repository_bytes = sum(s["repository_bytes"] for s in per_shard)
+            detections = sum(len(s["detections"]) for s in per_shard)
+            migrations = sum(len(s["migrations"]) for s in per_shard)
+        else:
+            analyzer_invocations = sum(
+                s.deepdive.analyzer_invocations() for s in self.shards.values()
+            )
+            profiling_seconds = sum(
+                s.deepdive.total_profiling_seconds() for s in self.shards.values()
+            )
+            repository_bytes = sum(
+                s.deepdive.repository_size_bytes() for s in self.shards.values()
+            )
+            detections = len(self.detections())
+            migrations = len(self.migrations())
         return {
             "shards": float(len(self.shards)),
             "hosts": float(self.total_hosts()),
             "vms": float(self.total_vms()),
             "epochs": float(self.current_epoch),
-            "detections": float(len(self.detections())),
-            "migrations": float(len(self.migrations())),
-            "analyzer_invocations": float(
-                sum(s.deepdive.analyzer_invocations() for s in self.shards.values())
-            ),
-            "profiling_seconds": float(
-                sum(s.deepdive.total_profiling_seconds() for s in self.shards.values())
-            ),
-            "repository_bytes": float(
-                sum(s.deepdive.repository_size_bytes() for s in self.shards.values())
-            ),
+            "detections": float(detections),
+            "migrations": float(migrations),
+            "analyzer_invocations": float(analyzer_invocations),
+            "profiling_seconds": float(profiling_seconds),
+            "repository_bytes": float(repository_bytes),
         }
 
 

@@ -193,6 +193,7 @@ def build_fleet(
     mitigate: bool = False,
     substrate: str = "batch",
     max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
     track_performance: bool = False,
     history_limit: Optional[int] = 64,
 ) -> Fleet:
@@ -211,8 +212,12 @@ def build_fleet(
         Hardware contention substrate (``"batch"``/``"scalar"``); both
         produce equivalent counters, scalar is the reference/baseline.
     max_workers:
-        Shard worker-pool size for :meth:`Fleet.run_epoch` (``None`` =
+        Shard worker count for :meth:`Fleet.run_epoch` (``None`` =
         serial); any value yields identical results.
+    executor:
+        Shard execution strategy (``"serial"``/``"thread"``/``"process"``,
+        see :class:`~repro.fleet.fleet.Fleet`); the default infers it
+        from ``max_workers``.
     track_performance:
         Whether hosts materialise per-VM ground-truth performance
         reports.  The fleet's monitoring pipeline only reads counters,
@@ -315,4 +320,6 @@ def build_fleet(
                 baseline_loads=baseline_loads,
             )
         )
-    return Fleet(shards, schedule=schedule, max_workers=max_workers)
+    return Fleet(
+        shards, schedule=schedule, max_workers=max_workers, executor=executor
+    )

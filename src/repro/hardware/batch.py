@@ -29,7 +29,7 @@ tolerance ``1e-9`` relative), which cannot change any warning decision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -110,6 +110,21 @@ class DemandMatrix:
             table = np.asarray(rows, dtype=float)
         else:
             table = np.empty((0, len(DEMAND_FIELDS)), dtype=float)
+        return cls.from_table(table)
+
+    @classmethod
+    def from_table(cls, table: np.ndarray) -> "DemandMatrix":
+        """Columnar view over an ``(n, len(DEMAND_FIELDS))`` row matrix.
+
+        The zero-copy entry point for callers that already hold packed
+        demand rows (the hosts' columnar demand layer); columns are
+        slices of ``table``.
+        """
+        if table.ndim != 2 or table.shape[1] != len(DEMAND_FIELDS):
+            raise ValueError(
+                f"expected an (n, {len(DEMAND_FIELDS)}) demand table, "
+                f"got shape {table.shape}"
+            )
         return cls(**{name: table[:, j] for j, name in enumerate(DEMAND_FIELDS)})
 
     @classmethod

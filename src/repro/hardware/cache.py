@@ -22,7 +22,7 @@ workload's temporal locality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -158,7 +158,9 @@ class SharedCacheModel:
         )[domain_ids]
         share = np.where(
             total_pressure > 0,
-            self._size_mb * pressure / np.where(total_pressure > 0, total_pressure, 1.0),
+            self._size_mb
+            * pressure
+            / np.where(total_pressure > 0, total_pressure, 1.0),
             self._size_mb,
         )
         occupancy = np.minimum(share, working_set_mb)

@@ -94,7 +94,9 @@ class DiskModel:
             # neighbour's efficiency), and never makes it wait less.
             solo_rate = self.aggregate_bandwidth_mbps(d.disk_sequential_fraction)
             solo_transferred, solo_wait = self._serve(
-                d.disk_mb, solo_rate, d.disk_mb / max(solo_rate * epoch_seconds, 1e-9),
+                d.disk_mb,
+                solo_rate,
+                d.disk_mb / max(solo_rate * epoch_seconds, 1e-9),
                 epoch_seconds,
             )
             contended_transferred, contended_wait = self._serve(
@@ -175,7 +177,9 @@ class DiskModel:
             np.where(active, granted, 0.0),
         )
 
-    def _aggregate_bandwidth_batch(self, effective_sequential: np.ndarray) -> np.ndarray:
+    def _aggregate_bandwidth_batch(
+        self, effective_sequential: np.ndarray
+    ) -> np.ndarray:
         """Vectorized :meth:`aggregate_bandwidth_mbps`."""
         seq = np.minimum(np.maximum(effective_sequential, 0.0), 1.0)
         per_disk = self._spec.sequential_mbps * (

@@ -20,8 +20,8 @@ matches a specific silicon part.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -158,14 +158,27 @@ class PhysicalMachine:
         there are more vCPUs than cores, cores are time-shared and the
         per-VM cycle budget shrinks accordingly.
         """
+        return self.core_assignment_for_vcpus(
+            {name: demand.vcpus for name, demand in demands.items()}
+        )
+
+    def core_assignment_for_vcpus(
+        self, vcpus: Mapping[str, int]
+    ) -> Dict[str, List[int]]:
+        """:meth:`default_core_assignment` from per-VM vCPU counts alone.
+
+        The assignment depends only on the VM names and vCPU counts, so
+        callers that have not materialised demand objects (the columnar
+        demand layer) can plan without them.
+        """
         assignment: Dict[str, List[int]] = {}
         next_core = 0
         total_cores = self.spec.architecture.cores
-        for name in sorted(demands):
-            vcpus = demands[name].vcpus
-            cores = [(next_core + i) % total_cores for i in range(vcpus)]
+        for name in sorted(vcpus):
+            count = vcpus[name]
+            cores = [(next_core + i) % total_cores for i in range(count)]
             assignment[name] = cores
-            next_core = (next_core + vcpus) % total_cores
+            next_core = (next_core + count) % total_cores
         return assignment
 
     def _cache_domain_of_core(self, core: int) -> int:
@@ -186,16 +199,27 @@ class PhysicalMachine:
         placement changes.  Rows follow the iteration order of
         ``demands`` (the order the scalar substrate resolves VMs in).
         """
+        return self.batch_plan_for_vcpus(
+            {name: demand.vcpus for name, demand in demands.items()},
+            core_assignment=core_assignment,
+        )
+
+    def batch_plan_for_vcpus(
+        self,
+        vcpus: Mapping[str, int],
+        core_assignment: Optional[Mapping[str, Sequence[int]]] = None,
+    ) -> HostBatchPlan:
+        """:meth:`batch_plan` from per-VM vCPU counts alone."""
         assignment = (
             {n: list(c) for n, c in core_assignment.items()}
             if core_assignment is not None
-            else self.default_core_assignment(demands)
+            else self.core_assignment_for_vcpus(vcpus)
         )
         n_cores: List[float] = []
         pair_vm: List[int] = []
         pair_domain: List[int] = []
         pair_weight: List[float] = []
-        for i, name in enumerate(demands):
+        for i, name in enumerate(vcpus):
             cores = assignment.get(name)
             if not cores:
                 raise ValueError(f"no cores assigned to VM {name!r}")
@@ -363,7 +387,9 @@ class PhysicalMachine:
         bus_outcomes = self._bus_model.resolve(
             miss_traffic, writeback_traffic, dma_traffic, epoch_seconds
         )
-        bus_utilization = next(iter(bus_outcomes.values())).utilization if bus_outcomes else 0.0
+        bus_utilization = (
+            next(iter(bus_outcomes.values())).utilization if bus_outcomes else 0.0
+        )
 
         # ------------------------------------------------------------------
         # 4. Per-VM CPI and instruction retirement.
@@ -405,7 +431,10 @@ class PhysicalMachine:
         if inst_demand <= 0:
             sample = CounterSample.zeros(epoch_seconds=epoch_seconds)
             idle_capacity = (
-                len(cores) * arch.frequency_hz * epoch_seconds / max(arch.base_cpi, 1e-9)
+                len(cores)
+                * arch.frequency_hz
+                * epoch_seconds
+                / max(arch.base_cpi, 1e-9)
             )
             return VMEpochOutcome(
                 counters=sample,

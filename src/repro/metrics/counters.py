@@ -11,7 +11,7 @@ each VM at the end of every monitoring epoch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict, Iterator, Mapping, Tuple
 
 

@@ -32,7 +32,9 @@ from repro.metrics.sample import WARNING_METRICS, MetricVector
 Labels = Union[None, str, Mapping[str, str]]
 
 
-def _resolve_labels(vm_names: Sequence[str], labels: Labels) -> Tuple[Optional[str], ...]:
+def _resolve_labels(
+    vm_names: Sequence[str], labels: Labels
+) -> Tuple[Optional[str], ...]:
     if labels is None:
         return tuple(None for _ in vm_names)
     if isinstance(labels, str):

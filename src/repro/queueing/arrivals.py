@@ -8,7 +8,7 @@ process, both normalised to a configurable number of new VMs per day.
 from __future__ import annotations
 
 import abc
-from typing import Iterator, List, Optional
+from typing import Optional
 
 import numpy as np
 

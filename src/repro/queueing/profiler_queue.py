@@ -13,7 +13,7 @@ improvement in Figures 13(b) and 14(b).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
 from repro.queueing.popularity import ZipfPopularity
-from repro.queueing.profiler_queue import ProfilingQueueSimulator, SimulationOutcome
+from repro.queueing.profiler_queue import ProfilingQueueSimulator
 
 
 @dataclass

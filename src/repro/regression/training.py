@@ -18,7 +18,7 @@ the VM to mimic and returns a configured
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,11 +26,7 @@ from repro.hardware.machine import PhysicalMachine
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.metrics.sample import WARNING_METRICS, MetricVector
 from repro.regression.linear import RidgeRegression, polynomial_features
-from repro.workloads.synthetic import (
-    SYNTHETIC_INPUT_NAMES,
-    SyntheticBenchmark,
-    SyntheticInputs,
-)
+from repro.workloads.synthetic import SyntheticBenchmark, SyntheticInputs
 
 
 @dataclass

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.virt.vm import VirtualMachine, VMState
 
@@ -66,7 +66,9 @@ class CloneManager:
         disk_penalty = 0.0 if self.cow_disk else 30.0
         return self.base_overhead_seconds + transfer + disk_penalty
 
-    def clone(self, vm: VirtualMachine, clone_name: Optional[str] = None) -> CloneHandle:
+    def clone(
+        self, vm: VirtualMachine, clone_name: Optional[str] = None
+    ) -> CloneHandle:
         """Create a clone of ``vm`` ready to run in the sandbox."""
         name = clone_name or f"{vm.name}-clone-{next(self._counter)}"
         clone = vm.clone(clone_name=name)

@@ -65,6 +65,13 @@ class CounterWindowView:
         return vm_name in self.index
 
 
+#: One batch-substrate execution group: hosts sharing a machine spec and
+#: epoch length, with their assembled cluster layout.
+BatchGroup = Tuple[
+    MachineSpec, float, List[Tuple[str, "Host", Tuple[str, ...]]], ClusterLayout
+]
+
+
 class Cluster:
     """A set of production hosts plus the migration machinery."""
 
@@ -129,7 +136,11 @@ class Cluster:
         self._placement_cache = None
 
     def place_vm(
-        self, vm: VirtualMachine, host_name: str, load: float = 0.0, cpu_cap: float = 1.0
+        self,
+        vm: VirtualMachine,
+        host_name: str,
+        load: float = 0.0,
+        cpu_cap: float = 1.0,
     ) -> None:
         """Place a VM on a named host."""
         self.hosts[host_name].add_vm(vm, load=load, cpu_cap=cpu_cap)
@@ -155,7 +166,10 @@ class Cluster:
         """The cached VM -> (host name, VM) map, rebuilt only when the
         placement changed (migrations, added hosts/VMs)."""
         signature = self._placement_signature()
-        if self._placement_cache is None or signature != self._placement_signature_cached:
+        if (
+            self._placement_cache is None
+            or signature != self._placement_signature_cached
+        ):
             out: Dict[str, Tuple[str, VirtualMachine]] = {}
             for host_name, host in self.hosts.items():
                 for vm_name, vm in host._vms.items():
@@ -218,9 +232,7 @@ class Cluster:
         self.current_epoch += 1
         return results
 
-    def _batch_group_plan(
-        self, collected: Mapping[str, Tuple[Dict, Dict]]
-    ) -> List[Tuple[MachineSpec, float, List[Tuple[str, Host, Tuple[str, ...]]], ClusterLayout]]:
+    def _batch_group_plan(self) -> List[BatchGroup]:
         """The (cached) spec groups and assembled layouts of the cluster.
 
         Rebuilt only when the placement changes: layouts depend on the
@@ -245,8 +257,8 @@ class Cluster:
             plans = []
             with_names: List[Tuple[str, Host, Tuple[str, ...]]] = []
             for host_name, host in members:
-                plans.append(host.batch_plan(collected[host_name][0]))
-                with_names.append((host_name, host, host._batch_plan[1]))
+                plans.append(host.batch_plan_current())
+                with_names.append((host_name, host, tuple(host._vms)))
             layout = ClusterLayout.assemble(plans, spec.architecture.cache_domains)
             built.append((spec, epoch_seconds, with_names, layout))
         self._batch_groups = (signature, built)
@@ -256,23 +268,20 @@ class Cluster:
         self, per_host_loads: Mapping[str, Mapping[str, float]]
     ) -> Dict[str, Dict[str, VMPerformance]]:
         """One vectorized epoch over all hosts of the cluster."""
-        collected: Dict[str, Tuple[Dict, Dict]] = {
-            host_name: host.collect_demands(per_host_loads.get(host_name))
-            for host_name, host in self.hosts.items()
-        }
+        for host_name, host in self.hosts.items():
+            host.collect_demand_rows(per_host_loads.get(host_name))
         results: Dict[str, Dict[str, VMPerformance]] = {}
         for g, (spec, epoch_seconds, members, layout) in enumerate(
-            self._batch_group_plan(collected)
+            self._batch_group_plan()
         ):
             cached = self._batch_matrix_cache.get(g)
             if cached is None or any(host.demands_changed for _, host, _ in members):
-                rows: List[Tuple[float, ...]] = []
+                tables = [host.demand_row_matrix() for _, host, _ in members]
                 caps: List[float] = []
-                for host_name, host, _names in members:
-                    rows.extend(host.demand_rows())
+                for _, host, _names in members:
                     caps.extend(host.cpu_cap_values())
                 cached = (
-                    DemandMatrix.from_rows(rows),
+                    DemandMatrix.from_table(np.vstack(tables)),
                     np.asarray(caps, dtype=float),
                 )
                 self._batch_matrix_cache[g] = cached
@@ -296,13 +305,14 @@ class Cluster:
                 k = len(names)
                 block = batch.counters[offset:offset + k]
                 if host.track_performance:
+                    offered = host.offered_map()
                     outcomes = {
                         name: outcome_from_batch(batch, offset + j, samples[offset + j])
                         for j, name in enumerate(names)
                     }
                     results[host_name] = host.commit_epoch(
                         outcomes,
-                        collected[host_name][1],
+                        offered,
                         counter_block=(names, block),
                     )
                 else:

@@ -11,8 +11,8 @@ stop-and-copy pause is).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.virt.vm import VirtualMachine, VMState
 

@@ -15,14 +15,15 @@ production VM observing a load level and its clone receiving the copy.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 
 class RequestProxy:
     """Duplicates the offered-load stream of one production VM."""
 
-    def __init__(self, vm_name: str, lag_epochs: int = 0, history_limit: int = 10_000) -> None:
+    def __init__(
+        self, vm_name: str, lag_epochs: int = 0, history_limit: int = 10_000
+    ) -> None:
         if lag_epochs < 0:
             raise ValueError("lag_epochs must be non-negative")
         if history_limit <= 0:

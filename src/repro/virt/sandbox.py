@@ -15,7 +15,7 @@ counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.hardware.specs import MachineSpec, XEON_X5472

@@ -15,18 +15,39 @@ schedulers) and explicit core pinning, mirroring the testbed setup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hardware.batch import HostBatchPlan, pack_demand
+from repro.hardware.batch import DEMAND_FIELDS, HostBatchPlan, pack_demand
 from repro.hardware.demand import ResourceDemand
-from repro.hardware.machine import EpochResult, PhysicalMachine, VMEpochOutcome
+from repro.hardware.machine import PhysicalMachine, VMEpochOutcome
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.metrics.counters import CounterSample
 from repro.virt.vm import VirtualMachine, VMState
-from repro.workloads.base import PerformanceReport
+from repro.workloads.base import PerformanceReport, Workload
+
+
+@dataclass
+class HostDemandPlan:
+    """Placement-derived layout of a host's columnar demand generation.
+
+    VMs whose workloads share a :meth:`~repro.workloads.base.Workload.batch_key`
+    form one group whose demand rows are produced by a single
+    ``demand_batch`` call; workloads that opt out (``batch_key() is
+    None``) fall back to per-VM scalar demands.  The plan depends only on
+    the placement, so hosts cache it between placement changes.
+    """
+
+    #: VM names in placement (row) order.
+    names: Tuple[str, ...]
+    #: Nominal load per VM row.
+    nominal: np.ndarray
+    #: One (representative workload, row indices) pair per batch group.
+    groups: List[Tuple[Workload, np.ndarray]]
+    #: (row index, VM) pairs resolved through scalar ``demand`` calls.
+    scalar_vms: List[Tuple[int, VirtualMachine]]
 
 
 @dataclass
@@ -104,9 +125,27 @@ class Host:
         #: (load, epoch_seconds) it was generated for.  ``Workload.demand``
         #: is a pure function of the load, so reusing the object skips the
         #: per-epoch demand regeneration for steady-load VMs.
-        self._demand_cache: Dict[str, Tuple[float, float, ResourceDemand, Tuple[float, ...]]] = {}
+        self._demand_cache: Dict[
+            str, Tuple[float, float, ResourceDemand, Tuple[float, ...]]
+        ] = {}
         #: Cached batch-substrate layout (placement version it was built at).
         self._batch_plan: Optional[Tuple[int, Tuple[str, ...], HostBatchPlan]] = None
+        #: Bumped whenever a VM's offered load actually changes value;
+        #: together with the placement version it keys the columnar
+        #: demand-row cache (steady-load epochs reuse the packed matrix).
+        self._loads_version = 0
+        #: Cached columnar demand plan (placement version it was built at).
+        self._demand_plan_cache: Optional[Tuple[int, HostDemandPlan]] = None
+        #: Cache key (placement, loads, epoch_seconds) of the current
+        #: packed demand-row matrix.
+        self._demand_rows_key: Optional[Tuple[int, int, float]] = None
+        #: Packed ``(n_vms, len(DEMAND_FIELDS))`` demand rows of the last
+        #: :meth:`collect_demand_rows` call, plus the matching VM names
+        #: and absolute offered loads.
+        self._row_matrix: Optional[np.ndarray] = None
+        self._demand_names: Tuple[str, ...] = ()
+        self._offered_array: Optional[np.ndarray] = None
+        self._offered_map_cache: Optional[Dict[str, float]] = None
         #: Columnar counter history: one ``(vm_names, (n, 14) matrix)``
         #: entry per epoch, newest last, populated by the batch substrate
         #: and trimmed to the last :data:`COLUMNAR_WINDOW_EPOCHS` epochs.
@@ -179,7 +218,10 @@ class Host:
         """Update the offered load (fraction of nominal) for a VM."""
         if name not in self._vms:
             raise KeyError(f"VM {name!r} not on host {self.name!r}")
-        self._loads[name] = max(0.0, load)
+        load = max(0.0, load)
+        if self._loads.get(name) != load:
+            self._loads[name] = load
+            self._loads_version += 1
 
     def get_load(self, name: str) -> float:
         return self._loads[name]
@@ -218,7 +260,11 @@ class Host:
             absolute_load = frac * vm.workload.nominal_load
             offered[name] = absolute_load
             cached = cache.get(name) if reuse else None
-            if cached is not None and cached[0] == absolute_load and cached[1] == self.epoch_seconds:
+            if (
+                cached is not None
+                and cached[0] == absolute_load
+                and cached[1] == self.epoch_seconds
+            ):
                 demands[name] = cached[2]
             else:
                 changed = True
@@ -238,6 +284,114 @@ class Host:
         """The packed demand rows of the last :meth:`collect_demands` call."""
         return [self._demand_cache[name][3] for name in self._vms]
 
+    # ------------------------------------------------------------------
+    # Columnar demand generation (batch-substrate epoch edge)
+    # ------------------------------------------------------------------
+    def _demand_plan(self) -> HostDemandPlan:
+        cached = self._demand_plan_cache
+        if cached is not None and cached[0] == self.placement_version:
+            return cached[1]
+        names = tuple(self._vms)
+        nominal = np.array(
+            [vm.workload.nominal_load for vm in self._vms.values()], dtype=float
+        )
+        group_rows: Dict[object, List[int]] = {}
+        representatives: Dict[object, Workload] = {}
+        scalar_vms: List[Tuple[int, VirtualMachine]] = []
+        for i, vm in enumerate(self._vms.values()):
+            key = vm.workload.batch_key()
+            if key is None:
+                scalar_vms.append((i, vm))
+            else:
+                group_rows.setdefault(key, []).append(i)
+                representatives.setdefault(key, vm.workload)
+        plan = HostDemandPlan(
+            names=names,
+            nominal=nominal,
+            groups=[
+                (representatives[key], np.asarray(rows, dtype=np.intp))
+                for key, rows in group_rows.items()
+            ],
+            scalar_vms=scalar_vms,
+        )
+        self._demand_plan_cache = (self.placement_version, plan)
+        return plan
+
+    def collect_demand_rows(
+        self, loads: Optional[Mapping[str, float]] = None
+    ) -> None:
+        """Refresh the packed demand-row matrix for the next batch epoch.
+
+        The columnar counterpart of :meth:`collect_demands`: per-epoch
+        demand for the whole host is produced group-wise through
+        ``Workload.demand_batch`` (one array op per distinct workload
+        configuration) instead of one Python ``demand`` call per VM, and
+        steady-load epochs reuse the cached matrix outright.  Requires
+        ``cache_demands`` semantics — ``Workload.demand`` must be a pure
+        function of the load — so hosts constructed with
+        ``cache_demands=False`` fall back to :meth:`collect_demands`.
+
+        Afterwards :meth:`demand_row_matrix`, :meth:`offered_map` and
+        :attr:`demands_changed` describe the epoch.
+        """
+        if not self.cache_demands:
+            demands, offered = self.collect_demands(loads)
+            rows = self.demand_rows()
+            self._demand_names = tuple(demands)
+            self._row_matrix = (
+                np.asarray(rows, dtype=float)
+                if rows
+                else np.empty((0, len(DEMAND_FIELDS)), dtype=float)
+            )
+            self._offered_array = None
+            self._offered_map_cache = dict(offered)
+            self._demand_rows_key = None
+            return
+        if loads:
+            for name, load in loads.items():
+                self.set_load(name, load)
+        key = (self.placement_version, self._loads_version, self.epoch_seconds)
+        if key == self._demand_rows_key:
+            self.demands_changed = False
+            return
+        plan = self._demand_plan()
+        n = len(plan.names)
+        frac = np.fromiter(
+            (self._loads.get(name, 0.0) for name in plan.names), dtype=float, count=n
+        )
+        offered = frac * plan.nominal
+        rows = np.empty((n, len(DEMAND_FIELDS)), dtype=float)
+        for workload, indices in plan.groups:
+            rows[indices] = workload.demand_batch(
+                offered[indices], epoch_seconds=self.epoch_seconds
+            )
+        for i, vm in plan.scalar_vms:
+            demand = vm.demand(float(offered[i]), epoch_seconds=self.epoch_seconds)
+            demand.validate()
+            rows[i] = pack_demand(demand)
+        self._demand_names = plan.names
+        self._row_matrix = rows
+        self._offered_array = offered
+        self._offered_map_cache = None
+        self._demand_rows_key = key
+        self.demands_changed = True
+
+    def demand_row_matrix(self) -> np.ndarray:
+        """The packed rows of the last :meth:`collect_demand_rows` call."""
+        if self._row_matrix is None:
+            raise RuntimeError("collect_demand_rows() has not run yet")
+        return self._row_matrix
+
+    def offered_map(self) -> Dict[str, float]:
+        """Absolute offered load per VM for the collected epoch."""
+        if self._offered_map_cache is None:
+            if self._offered_array is None:
+                raise RuntimeError("collect_demand_rows() has not run yet")
+            self._offered_map_cache = dict(
+                zip(self._demand_names, self._offered_array.tolist())
+            )
+        return self._offered_map_cache
+
     def core_assignment_for(
         self, demands: Mapping[str, ResourceDemand]
     ) -> Optional[Dict[str, List[int]]]:
@@ -250,9 +404,15 @@ class Host:
         )
         return core_assignment
 
-    def batch_plan(self, demands: Mapping[str, ResourceDemand]) -> HostBatchPlan:
-        """The (cached) batch-substrate layout for the current placement."""
-        names = tuple(demands)
+    def batch_plan_current(self) -> HostBatchPlan:
+        """The (cached) batch layout of the current placement.
+
+        Demand-object-free equivalent of :meth:`batch_plan`: the layout
+        depends only on the VM set, vCPU allocations and pinning, all of
+        which the host knows without generating demands (the hypervisor
+        schedules ``vm.vcpus`` regardless of what the workload asks for).
+        """
+        names = tuple(self._vms)
         cached = self._batch_plan
         if (
             cached is not None
@@ -260,8 +420,15 @@ class Host:
             and cached[1] == names
         ):
             return cached[2]
-        plan = self.machine.batch_plan(
-            demands, core_assignment=self.core_assignment_for(demands)
+        vcpus = {name: vm.vcpus for name, vm in self._vms.items()}
+        core_assignment = None
+        if self._pinning:
+            core_assignment = self.machine.core_assignment_for_vcpus(vcpus)
+            core_assignment.update(
+                {n: cores for n, cores in self._pinning.items() if n in vcpus}
+            )
+        plan = self.machine.batch_plan_for_vcpus(
+            vcpus, core_assignment=core_assignment
         )
         self._batch_plan = (self.placement_version, names, plan)
         return plan
@@ -296,7 +463,9 @@ class Host:
                 epoch_seconds=self.epoch_seconds,
                 instructions_attainable=outcome.instructions_attainable,
             )
-            perf = VMPerformance(report=report, outcome=outcome, offered_load=offered[name])
+            perf = VMPerformance(
+                report=report, outcome=outcome, offered_load=offered[name]
+            )
             performances[name] = perf
             self.performance_history[name].append(perf)
         self._trim_histories()

@@ -15,9 +15,33 @@ from __future__ import annotations
 import abc
 import copy
 from dataclasses import dataclass
-from typing import Optional
+from typing import Hashable, Optional, Sequence, Union
 
+import numpy as np
+
+from repro.hardware.batch import DEMAND_FIELDS, pack_demand
 from repro.hardware.demand import ResourceDemand
+
+
+def demand_table(n: int, **columns: Union[float, np.ndarray]) -> np.ndarray:
+    """Assemble an ``(n, len(DEMAND_FIELDS))`` demand-row matrix.
+
+    Every :data:`~repro.hardware.batch.DEMAND_FIELDS` column must be
+    provided, either as a scalar (broadcast over the ``n`` rows) or as an
+    ``(n,)`` array.  The helper keeps vectorized ``demand_batch``
+    implementations declarative — one named value per demand field, in
+    any order — while guaranteeing the packed column layout matches
+    :func:`~repro.hardware.batch.pack_demand`.
+    """
+    table = np.empty((n, len(DEMAND_FIELDS)), dtype=float)
+    for j, name in enumerate(DEMAND_FIELDS):
+        try:
+            table[:, j] = columns.pop(name)
+        except KeyError:
+            raise TypeError(f"demand_table() missing demand field {name!r}") from None
+    if columns:
+        raise TypeError(f"demand_table() got unknown fields {sorted(columns)}")
+    return table
 
 
 @dataclass
@@ -163,13 +187,54 @@ class Workload(abc.ABC):
     #: Human-readable workload name ("data_serving", "memory_stress", ...).
     name: str = "workload"
 
-    def __init__(self, app_id: Optional[str] = None, seed: Optional[int] = None) -> None:
+    def __init__(
+        self, app_id: Optional[str] = None, seed: Optional[int] = None
+    ) -> None:
         self.app_id = app_id or self.name
         self.seed = seed
 
     @abc.abstractmethod
     def demand(self, load: float, epoch_seconds: float = 1.0) -> ResourceDemand:
         """Resource demand for one epoch at the given load intensity."""
+
+    # ------------------------------------------------------------------
+    # Columnar demand generation (the fleet hot path)
+    # ------------------------------------------------------------------
+    def batch_key(self) -> Optional[Hashable]:
+        """Grouping key for columnar demand generation, or ``None``.
+
+        Two workload instances with equal (non-``None``) keys must
+        produce identical demands for identical loads — the key has to
+        capture every demand-affecting parameter (but not identity-only
+        attributes like ``app_id`` or ``seed``).  Hosts group the VMs of
+        an epoch by this key and generate each group's demand rows with
+        one :meth:`demand_batch` call.  The default ``None`` opts the
+        workload out of grouping; it then falls back to per-VM
+        :meth:`demand` calls, which is always correct.
+        """
+        return None
+
+    def demand_batch(
+        self, loads: Union[Sequence[float], np.ndarray], epoch_seconds: float = 1.0
+    ) -> np.ndarray:
+        """Packed demand rows for a vector of load intensities.
+
+        Returns an ``(len(loads), len(DEMAND_FIELDS))`` matrix whose row
+        ``i`` equals ``pack_demand(self.demand(loads[i], epoch_seconds))``
+        for a validated demand — the contract the property suite pins
+        (``tests/property/test_workload_batch.py``) and the batch
+        hardware substrate consumes directly.  The base implementation
+        loops over :meth:`demand`; the built-in models override it with
+        vectorized formulas that replay the scalar arithmetic operation
+        for operation, so the rows are bit-identical.
+        """
+        loads = np.asarray(loads, dtype=float)
+        table = np.empty((loads.size, len(DEMAND_FIELDS)), dtype=float)
+        for i, load in enumerate(loads.tolist()):
+            demand = self.demand(load, epoch_seconds=epoch_seconds)
+            demand.validate()
+            table[i] = pack_demand(demand)
+        return table
 
     @abc.abstractmethod
     def client_model(self) -> ClientModel:

@@ -20,7 +20,7 @@ on-disk index for unpopular words; Data Analytics alternates map
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Hashable, Optional
 
 import numpy as np
 
@@ -30,7 +30,15 @@ from repro.workloads.base import (
     ClientModel,
     RequestServingClientModel,
     Workload,
+    demand_table,
 )
+
+
+def _checked_loads(loads) -> np.ndarray:
+    loads = np.asarray(loads, dtype=float)
+    if np.any(loads < 0):
+        raise ValueError("load must be non-negative")
+    return loads
 
 
 class DataServingWorkload(Workload):
@@ -93,6 +101,34 @@ class DataServingWorkload(Workload):
         return ResourceDemand(
             instructions=instructions,
             vcpus=2,
+            working_set_mb=hot_ws,
+            loads_pki=340.0,
+            l1_miss_pki=26.0 + 8.0 * (1.0 - self.key_skew),
+            ifetch_pki=3.0,
+            branches_pki=160.0,
+            branch_mispredict_rate=0.035,
+            locality=0.55 + 0.25 * self.key_skew,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=0.35,
+            network_mbit=network_mbit,
+            write_fraction=0.25 + 0.3 * write_fraction,
+        )
+
+    def batch_key(self) -> Hashable:
+        return (self.name, self.key_skew, self.read_fraction, self.dataset_gb)
+
+    def demand_batch(self, loads, epoch_seconds: float = 1.0) -> np.ndarray:
+        # Vectorized replay of :meth:`demand`, operation for operation.
+        loads = _checked_loads(loads)
+        requests = loads * epoch_seconds
+        instructions = requests * self.INSTRUCTIONS_PER_REQUEST
+        hot_ws = 6.0 + (1.0 - self.key_skew) * 58.0
+        write_fraction = 1.0 - self.read_fraction
+        disk_mb = requests * (0.004 * (1.0 - self.key_skew) + 0.012 * write_fraction)
+        network_mbit = requests * 0.012
+        return demand_table(
+            loads.size,
+            instructions=instructions,
             working_set_mb=hot_ws,
             loads_pki=340.0,
             l1_miss_pki=26.0 + 8.0 * (1.0 - self.key_skew),
@@ -175,6 +211,33 @@ class WebSearchWorkload(Workload):
             write_fraction=0.1,
         )
 
+    def batch_key(self) -> Hashable:
+        return (self.name, self.word_skew, self.index_gb)
+
+    def demand_batch(self, loads, epoch_seconds: float = 1.0) -> np.ndarray:
+        loads = _checked_loads(loads)
+        queries = loads * epoch_seconds
+        instructions = queries * self.INSTRUCTIONS_PER_REQUEST
+        cold_fraction = 1.0 - self.word_skew
+        hot_ws = 10.0 + cold_fraction * 30.0
+        disk_mb = queries * 0.06 * cold_fraction
+        network_mbit = queries * 0.02
+        return demand_table(
+            loads.size,
+            instructions=instructions,
+            working_set_mb=hot_ws,
+            loads_pki=310.0,
+            l1_miss_pki=18.0 + 6.0 * cold_fraction,
+            ifetch_pki=4.0,
+            branches_pki=180.0,
+            branch_mispredict_rate=0.03,
+            locality=0.7 + 0.15 * self.word_skew,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=0.6,
+            network_mbit=network_mbit,
+            write_fraction=0.1,
+        )
+
     def client_model(self) -> ClientModel:
         return RequestServingClientModel(
             instructions_per_request=self.INSTRUCTIONS_PER_REQUEST,
@@ -234,6 +297,37 @@ class DataAnalyticsWorkload(Workload):
         return ResourceDemand(
             instructions=instructions,
             vcpus=2,
+            working_set_mb=48.0,
+            loads_pki=290.0,
+            l1_miss_pki=22.0,
+            ifetch_pki=2.0,
+            branches_pki=140.0,
+            branch_mispredict_rate=0.025,
+            locality=0.5,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=0.85,
+            network_mbit=network_mbit,
+            write_fraction=0.4,
+        )
+
+    def batch_key(self) -> Hashable:
+        return (
+            self.name,
+            self.remote_fetch_fraction,
+            self.shuffle_fraction,
+            self.dataset_gb,
+        )
+
+    def demand_batch(self, loads, epoch_seconds: float = 1.0) -> np.ndarray:
+        loads = _checked_loads(loads)
+        tasks = loads * epoch_seconds
+        instructions = tasks * self.INSTRUCTIONS_PER_TASK
+        disk_mb = tasks * 90.0 * (1.0 - self.shuffle_fraction)
+        shuffle_mb = tasks * 140.0 * self.shuffle_fraction
+        network_mbit = shuffle_mb * 8.0 * self.remote_fetch_fraction
+        return demand_table(
+            loads.size,
+            instructions=instructions,
             working_set_mb=48.0,
             loads_pki=290.0,
             l1_miss_pki=22.0,

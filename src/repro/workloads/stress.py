@@ -16,10 +16,22 @@ The paper uses three stressors to inject controllable interference
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Hashable, Optional
+
+import numpy as np
 
 from repro.hardware.demand import ResourceDemand
-from repro.workloads.base import ClientModel, RequestServingClientModel, Workload
+from repro.workloads.base import (
+    ClientModel,
+    RequestServingClientModel,
+    Workload,
+    demand_table,
+)
+
+
+def _stress_levels(loads) -> np.ndarray:
+    """Vectorized ``min(1.0, max(0.0, load))`` matching the scalar models."""
+    return np.minimum(1.0, np.maximum(0.0, np.asarray(loads, dtype=float)))
 
 
 class _StressClientModel(RequestServingClientModel):
@@ -89,6 +101,28 @@ class MemoryStressWorkload(Workload):
             write_fraction=0.5,
         )
 
+    def batch_key(self) -> Hashable:
+        return (self.name, self.working_set_mb, self.intensity, self.locality)
+
+    def demand_batch(self, loads, epoch_seconds: float = 1.0) -> np.ndarray:
+        level = _stress_levels(loads) * self.intensity
+        instructions = 4.0e9 * epoch_seconds * level
+        return demand_table(
+            level.size,
+            instructions=instructions,
+            working_set_mb=self.working_set_mb,
+            loads_pki=500.0,
+            l1_miss_pki=120.0,
+            ifetch_pki=0.5,
+            branches_pki=60.0,
+            branch_mispredict_rate=0.01,
+            locality=self.locality,
+            disk_mb=0.0,
+            disk_sequential_fraction=1.0,
+            network_mbit=0.0,
+            write_fraction=0.5,
+        )
+
     def client_model(self) -> ClientModel:
         return _StressClientModel()
 
@@ -121,6 +155,29 @@ class NetworkStressWorkload(Workload):
         return ResourceDemand(
             instructions=instructions,
             vcpus=1,
+            working_set_mb=2.0,
+            loads_pki=250.0,
+            l1_miss_pki=8.0,
+            ifetch_pki=1.0,
+            branches_pki=120.0,
+            branch_mispredict_rate=0.02,
+            locality=0.9,
+            disk_mb=0.0,
+            disk_sequential_fraction=1.0,
+            network_mbit=mbit,
+            write_fraction=0.1,
+        )
+
+    def batch_key(self) -> Hashable:
+        return (self.name, self.target_mbps)
+
+    def demand_batch(self, loads, epoch_seconds: float = 1.0) -> np.ndarray:
+        level = _stress_levels(loads)
+        mbit = self.target_mbps * epoch_seconds * level * 2.0
+        instructions = mbit * 2.5e5
+        return demand_table(
+            level.size,
+            instructions=instructions,
             working_set_mb=2.0,
             loads_pki=250.0,
             l1_miss_pki=8.0,
@@ -170,6 +227,29 @@ class DiskStressWorkload(Workload):
         return ResourceDemand(
             instructions=instructions,
             vcpus=1,
+            working_set_mb=4.0,
+            loads_pki=200.0,
+            l1_miss_pki=10.0,
+            ifetch_pki=1.0,
+            branches_pki=100.0,
+            branch_mispredict_rate=0.015,
+            locality=0.85,
+            disk_mb=disk_mb,
+            disk_sequential_fraction=self.sequential_fraction,
+            network_mbit=0.0,
+            write_fraction=0.5,
+        )
+
+    def batch_key(self) -> Hashable:
+        return (self.name, self.target_mbps, self.sequential_fraction)
+
+    def demand_batch(self, loads, epoch_seconds: float = 1.0) -> np.ndarray:
+        level = _stress_levels(loads)
+        disk_mb = self.target_mbps * epoch_seconds * level * 2.0
+        instructions = disk_mb * 2.0e6
+        return demand_table(
+            level.size,
+            instructions=instructions,
             working_set_mb=4.0,
             loads_pki=200.0,
             l1_miss_pki=10.0,

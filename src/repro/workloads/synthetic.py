@@ -19,11 +19,12 @@ lives in :mod:`repro.regression.training`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hardware.batch import pack_demand
 from repro.hardware.demand import ResourceDemand
 from repro.workloads.base import ClientModel, RequestServingClientModel, Workload
 
@@ -77,13 +78,17 @@ class SyntheticInputs:
         return SyntheticInputs(
             compute_iterations=float(np.clip(self.compute_iterations, 0.0, 50.0)),
             working_set_mb=float(np.clip(self.working_set_mb, 0.25, 2048.0)),
-            pointer_chase_fraction=float(np.clip(self.pointer_chase_fraction, 0.0, 1.0)),
+            pointer_chase_fraction=float(
+                np.clip(self.pointer_chase_fraction, 0.0, 1.0)
+            ),
             locality=float(np.clip(self.locality, 0.0, 1.0)),
             load_intensity_pki=float(np.clip(self.load_intensity_pki, 0.0, 900.0)),
             l1_stress_pki=float(np.clip(self.l1_stress_pki, 0.0, 300.0)),
             branch_intensity_pki=float(np.clip(self.branch_intensity_pki, 0.0, 400.0)),
             disk_mbps=float(np.clip(self.disk_mbps, 0.0, 500.0)),
-            disk_sequential_fraction=float(np.clip(self.disk_sequential_fraction, 0.0, 1.0)),
+            disk_sequential_fraction=float(
+                np.clip(self.disk_sequential_fraction, 0.0, 1.0)
+            ),
             network_mbps=float(np.clip(self.network_mbps, 0.0, 2000.0)),
             parallelism=float(np.clip(self.parallelism, 1.0, 8.0)),
         )
@@ -141,6 +146,18 @@ class SyntheticBenchmark(Workload):
             network_mbit=p.network_mbps * epoch_seconds,
             write_fraction=0.4,
         )
+
+    def batch_key(self) -> Hashable:
+        return (self.name,) + tuple(self.inputs.as_array().tolist())
+
+    def demand_batch(self, loads, epoch_seconds: float = 1.0) -> np.ndarray:
+        # The benchmark ignores the offered load entirely, so the batch
+        # is one packed scalar row repeated per VM.
+        loads = np.asarray(loads, dtype=float)
+        demand = self.demand(0.0, epoch_seconds=epoch_seconds)
+        demand.validate()
+        row = np.asarray(pack_demand(demand), dtype=float)
+        return np.tile(row, (loads.size, 1))
 
     def client_model(self) -> ClientModel:
         return RequestServingClientModel(

@@ -48,7 +48,9 @@ class TestMetricThresholds:
 
     def test_violations_reported(self):
         mt = self._thresholds()
-        violated = mt.violated_dimensions({"cpi": 3.0, "bus": 9.5}, {"cpi": 2.0, "bus": 10.0})
+        violated = mt.violated_dimensions(
+            {"cpi": 3.0, "bus": 9.5}, {"cpi": 2.0, "bus": 10.0}
+        )
         assert violated == ("cpi",)
         assert not mt.matches({"cpi": 3.0, "bus": 9.5}, {"cpi": 2.0, "bus": 10.0})
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.analyzer import AnalysisVerdict, InterferenceAnalyzer
-from repro.core.config import DeepDiveConfig
 from repro.core.repository import BehaviorRepository
 from repro.metrics.cpi import Resource
 from repro.virt.sandbox import SandboxEnvironment
@@ -77,7 +76,8 @@ class TestAnalysis:
         assert result.culprit in (Resource.MEMORY_BUS, Resource.CACHE)
         assert result.factors[result.culprit] > 0
         # The behaviour is recorded as an interference constraint.
-        assert len(analyzer.repository.entry(data_serving_vm.app_id).interference_vectors) == 1
+        entry = analyzer.repository.entry(data_serving_vm.app_id)
+        assert len(entry.interference_vectors) == 1
         assert analyzer.invocations == 1
         assert result.profiling_seconds > 0
 

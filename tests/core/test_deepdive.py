@@ -143,7 +143,10 @@ class TestMitigation:
         cluster = Cluster(num_hosts=3, seed=33, noise=0.01)
         victim = VirtualMachine("victim", DataServingWorkload(), vcpus=2, memory_gb=2.0)
         stress = VirtualMachine(
-            "aggressor", MemoryStressWorkload(working_set_mb=256.0), vcpus=2, memory_gb=1.0
+            "aggressor",
+            MemoryStressWorkload(working_set_mb=256.0),
+            vcpus=2,
+            memory_gb=1.0,
         )
         cluster.place_vm(victim, "pm0", load=1.0)
         cluster.place_vm(stress, "pm0", load=1.0)

@@ -33,7 +33,10 @@ class TestEventLog:
         )
         log.record(
             MigrationEvent(
-                epoch=3, vm_name="vm0", source="pm0", destination="pm1",
+                epoch=3,
+                vm_name="vm0",
+                source="pm0",
+                destination="pm1",
                 predicted_degradation=0.02,
             )
         )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import DeepDiveConfig
 from repro.core.placement import PlacementManager
 from repro.metrics.counters import CounterSample
 from repro.metrics.cpi import Resource
@@ -27,7 +26,9 @@ def _loaded_host(name, workload, load, seed=0):
 
 
 class TestAggressorSelection:
-    def test_selects_heaviest_user_of_culprit_resource(self, host, data_serving_vm, stress_vm):
+    def test_selects_heaviest_user_of_culprit_resource(
+        self, host, data_serving_vm, stress_vm
+    ):
         host.add_vm(data_serving_vm, load=0.8, cores=[0, 1])
         host.add_vm(stress_vm, load=1.0, cores=[2, 3])
         host.step()
@@ -40,7 +41,9 @@ class TestAggressorSelection:
         host.add_vm(data_serving_vm, load=0.8, cores=[0, 1])
         host.add_vm(stress_vm, load=1.0, cores=[2, 3])
         host.step()
-        manager = PlacementManager(SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1))
+        manager = PlacementManager(
+            SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1)
+        )
         aggressor = manager.select_aggressor(
             host, Resource.MEMORY_BUS, exclude=[stress_vm.name]
         )
@@ -48,7 +51,9 @@ class TestAggressorSelection:
 
     def test_no_counters_returns_none(self, host, data_serving_vm):
         host.add_vm(data_serving_vm)
-        manager = PlacementManager(SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1))
+        manager = PlacementManager(
+            SandboxEnvironment(num_hosts=1, profile_epochs=3, seed=1)
+        )
         assert manager.select_aggressor(host, Resource.CACHE) is None
 
 
@@ -57,7 +62,9 @@ class TestSyntheticRepresentation:
         probe = manager.synthetic_representation(stress_vm, [CounterSample.zeros()])
         assert probe.cloned_from == stress_vm.name
 
-    def test_with_synthesizer_builds_synthetic_vm(self, fast_config, stress_vm, machine):
+    def test_with_synthesizer_builds_synthetic_vm(
+        self, fast_config, stress_vm, machine
+    ):
         from repro.regression.training import SyntheticBenchmarkTrainer
 
         synthesizer = SyntheticBenchmarkTrainer(samples=40, seed=5).train()

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.repository import BehaviorRepository
 from repro.metrics.counters import CounterSample
-from repro.metrics.sample import WARNING_METRICS, MetricVector
+from repro.metrics.sample import MetricVector
 
 
 def _vector(scale=1.0, cpi=2.0, noise=0.0, seed=0):
@@ -75,7 +75,10 @@ class TestMatching:
         repo = BehaviorRepository()
         _populate(repo)
         assert repo.matches("app", _vector(noise=0.02, seed=999))
-        assert repo.distance("app", _vector(noise=0.02, seed=999)) < repo.acceptance_radius()
+        assert (
+            repo.distance("app", _vector(noise=0.02, seed=999))
+            < repo.acceptance_radius()
+        )
 
     def test_interference_vector_does_not_match(self):
         repo = BehaviorRepository()

@@ -16,7 +16,6 @@ from repro.core.repository import BehaviorRepository
 from repro.core.warning import WarningAction, WarningSystem
 from repro.metrics.sample import MetricVector
 from repro.virt.sandbox import SandboxEnvironment
-from repro.virt.vmm import Host
 
 
 @pytest.fixture
@@ -36,13 +35,17 @@ def _production_vector(host, vm, load):
 
 
 class TestConservativeBootstrap:
-    def test_everything_escalates_before_any_learning(self, config, data_serving_vm, host):
+    def test_everything_escalates_before_any_learning(
+        self, config, data_serving_vm, host
+    ):
         repository = BehaviorRepository()
         warning = WarningSystem(repository, config)
         host.add_vm(data_serving_vm, load=0.5)
         for _ in range(3):
             vector = _production_vector(host, data_serving_vm, 0.5)
-            decision = warning.evaluate(data_serving_vm.name, data_serving_vm.app_id, vector)
+            decision = warning.evaluate(
+                data_serving_vm.name, data_serving_vm.app_id, vector
+            )
             assert decision.action is WarningAction.ANALYZE
             assert decision.conservative
 
@@ -58,11 +61,15 @@ class TestConservativeBootstrap:
         # range matches without further analyzer help.
         for load in (0.25, 0.5, 0.75, 0.95):
             vector = _production_vector(host, data_serving_vm, load)
-            decision = warning.evaluate(data_serving_vm.name, data_serving_vm.app_id, vector)
+            decision = warning.evaluate(
+                data_serving_vm.name, data_serving_vm.app_id, vector
+            )
             assert decision.action is WarningAction.NORMAL, load
             assert not decision.conservative
 
-    def test_incremental_learning_reduces_escalations(self, config, data_serving_vm, host):
+    def test_incremental_learning_reduces_escalations(
+        self, config, data_serving_vm, host
+    ):
         """Without a bootstrap sweep, analyzing-and-certifying each new
         behaviour (the paper's false-positive learning loop) still makes
         the escalation rate drop over time."""

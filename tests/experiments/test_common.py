@@ -49,8 +49,13 @@ class TestColocationRuns:
     def test_stress_reduces_rates_at_saturation(self):
         iso = run_colocation("data_serving", load=1.1, epochs=4, seed=3)
         prod = run_colocation(
-            "data_serving", load=1.1, stress_kind="memory", stress_level=0.5,
-            stress_kwargs={"working_set_mb": 256.0}, epochs=4, seed=3,
+            "data_serving",
+            load=1.1,
+            stress_kind="memory",
+            stress_level=0.5,
+            stress_kwargs={"working_set_mb": 256.0},
+            epochs=4,
+            seed=3,
             share_cache_domain=True,
         )
         assert prod.mean_inst_rate < iso.mean_inst_rate
@@ -87,7 +92,9 @@ class TestSeparation:
     def test_separated_groups_score_high(self):
         a = self._vectors(1.0)
         b = self._vectors(3.0)
-        score = centroid_separation(a, b, ("l1_repl_pki", "l2_lines_in_pki", "bus_tran_pki"))
+        score = centroid_separation(
+            a, b, ("l1_repl_pki", "l2_lines_in_pki", "bus_tran_pki")
+        )
         assert score > 5.0
 
     def test_identical_groups_score_low(self):

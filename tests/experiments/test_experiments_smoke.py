@@ -7,7 +7,6 @@ and the headline qualitative property holds.
 
 import math
 
-import pytest
 
 from repro.experiments import (
     fig01_motivation,
@@ -35,8 +34,13 @@ class TestCommonHelpers:
     def test_run_colocation_isolation_vs_stress(self):
         iso = run_colocation("data_serving", load=1.1, epochs=5, seed=1)
         prod = run_colocation(
-            "data_serving", load=1.1, stress_kind="memory", stress_level=0.4,
-            stress_kwargs={"working_set_mb": 128.0}, epochs=5, seed=1,
+            "data_serving",
+            load=1.1,
+            stress_kind="memory",
+            stress_level=0.4,
+            stress_kwargs={"working_set_mb": 128.0},
+            epochs=5,
+            seed=1,
         )
         assert instruction_rate_degradation(prod, iso) > 0.05
         assert client_reported_degradation(prod, iso) > 0.05
@@ -52,8 +56,11 @@ class TestFigureSmoke:
 
     def test_fig04(self):
         result = fig04_clusters.run(
-            workloads=("data_serving",), load_levels=(0.4, 0.8),
-            variations_per_workload=1, interference_levels=(1.0,), epochs=4,
+            workloads=("data_serving",),
+            load_levels=(0.4, 0.8),
+            variations_per_workload=1,
+            interference_levels=(1.0,),
+            epochs=4,
         )
         assert result.per_workload["data_serving"].separation > 2.0
 
@@ -66,7 +73,9 @@ class TestFigureSmoke:
         assert result.accuracy() >= 2.0 / 3.0
 
     def test_fig07(self):
-        result = fig07_i7_port.run(load_levels=(0.5,), interference_levels=(1.0,), epochs=4)
+        result = fig07_i7_port.run(
+            load_levels=(0.5,), interference_levels=(1.0,), epochs=4
+        )
         assert result.separation > 2.0
 
     def test_fig08(self):
@@ -90,13 +99,20 @@ class TestFigureSmoke:
 
     def test_fig13(self):
         result = fig13_reaction_poisson.run(
-            interference_fractions=(0.2, 0.6), servers=(2, 8), alphas=(1.0, math.inf),
+            interference_fractions=(0.2, 0.6),
+            servers=(2, 8),
+            alphas=(1.0, math.inf),
             days=1.0,
         )
-        assert result.mean_reaction("local", 8, 0.6) <= result.mean_reaction("local", 2, 0.6)
+        assert result.mean_reaction("local", 8, 0.6) <= result.mean_reaction(
+            "local", 2, 0.6
+        )
 
     def test_fig14(self):
         result = fig14_reaction_lognormal.run(
-            interference_fractions=(0.2,), servers=(4,), alphas=(1.0, math.inf), days=1.0
+            interference_fractions=(0.2,),
+            servers=(4,),
+            alphas=(1.0, math.inf),
+            days=1.0,
         )
         assert result.mean_reaction("local", 4, 0.2) > 0.0

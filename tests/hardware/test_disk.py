@@ -59,7 +59,9 @@ class TestDiskModel:
             {"small": _demand(mb=100.0, seq=0.2), "big": _demand(mb=300.0, seq=0.2)},
             epoch_seconds=1.0,
         )
-        ratio = outcomes["big"].transferred_mb / max(outcomes["small"].transferred_mb, 1e-9)
+        ratio = outcomes["big"].transferred_mb / max(
+            outcomes["small"].transferred_mb, 1e-9
+        )
         assert ratio == pytest.approx(3.0, rel=0.01)
 
     def test_wait_never_exceeds_epoch(self, disk):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.hardware.demand import ResourceDemand
 from repro.hardware.machine import PhysicalMachine
-from repro.hardware.specs import XEON_X5472
 
 
 class TestRunEpochBasics:
@@ -50,7 +49,9 @@ class TestRunEpochBasics:
     def test_attainable_at_least_retired(self, machine, cpu_demand, io_demand):
         for demand in (cpu_demand, io_demand):
             outcome = machine.run_in_isolation(demand)
-            assert outcome.instructions_attainable >= outcome.instructions_retired - 1e-6
+            assert (
+                outcome.instructions_attainable >= outcome.instructions_retired - 1e-6
+            )
 
     def test_missing_core_assignment_rejected(self, machine, cpu_demand):
         with pytest.raises(ValueError):
@@ -71,7 +72,9 @@ class TestRunEpochBasics:
     def test_noise_perturbs_counters(self, cpu_demand):
         quiet = PhysicalMachine(noise=0.0, seed=1).run_in_isolation(cpu_demand)
         noisy = PhysicalMachine(noise=0.05, seed=1).run_in_isolation(cpu_demand)
-        assert noisy.counters.l1d_repl != pytest.approx(quiet.counters.l1d_repl, rel=1e-6)
+        assert noisy.counters.l1d_repl != pytest.approx(
+            quiet.counters.l1d_repl, rel=1e-6
+        )
 
     def test_counters_validate(self, noisy_machine, memory_demand, io_demand):
         result = noisy_machine.run_epoch({"mem": memory_demand, "io": io_demand})
@@ -80,7 +83,9 @@ class TestRunEpochBasics:
 
 
 class TestInterferenceEffects:
-    def test_memory_stress_slows_colocated_victim(self, machine, cpu_demand, memory_demand):
+    def test_memory_stress_slows_colocated_victim(
+        self, machine, cpu_demand, memory_demand
+    ):
         alone = machine.run_in_isolation(cpu_demand.scaled(3.0))
         together = machine.run_epoch(
             {"victim": cpu_demand.scaled(3.0), "stress": memory_demand.scaled(3.0)}
@@ -125,7 +130,9 @@ class TestInterferenceEffects:
         assert self._per_inst(victim, "disk_stall_cycles") > self._per_inst(
             alone.counters, "disk_stall_cycles"
         )
-        assert together.per_vm["victim"].instructions_retired < alone.instructions_retired
+        assert (
+            together.per_vm["victim"].instructions_retired < alone.instructions_retired
+        )
 
     def test_network_contention_creates_net_stalls(self, machine):
         victim = ResourceDemand(instructions=5e8, network_mbit=300.0)

@@ -30,8 +30,10 @@ class TestDetectAttributeMitigate:
         network, migrate the aggressor, and observe recovery."""
         cluster = Cluster(num_hosts=2, seed=77, noise=0.01)
         victim = VirtualMachine(
-            "analytics", DataAnalyticsWorkload(remote_fetch_fraction=0.7),
-            vcpus=2, memory_gb=2.0,
+            "analytics",
+            DataAnalyticsWorkload(remote_fetch_fraction=0.7),
+            vcpus=2,
+            memory_gb=2.0,
         )
         iperf = VirtualMachine(
             "iperf", NetworkStressWorkload(target_mbps=700.0), vcpus=2, memory_gb=1.0
@@ -56,7 +58,9 @@ class TestDetectAttributeMitigate:
             if deepdive.events.migrations():
                 break
 
-        detections = [e for e in deepdive.events.detections() if e.vm_name == victim.name]
+        detections = [
+            e for e in deepdive.events.detections() if e.vm_name == victim.name
+        ]
         assert detections, "interference on the victim must be detected"
         assert detections[0].culprit is Resource.NETWORK
 
@@ -70,7 +74,10 @@ class TestDetectAttributeMitigate:
             cluster.step(loads={victim.name: 1.0})
             report = deepdive.observe_epoch(loads={victim.name: 1.0})
         final = report.observations[victim.name]
-        assert final.warning.action in (WarningAction.NORMAL, WarningAction.WORKLOAD_CHANGE)
+        assert final.warning.action in (
+            WarningAction.NORMAL,
+            WarningAction.WORKLOAD_CHANGE,
+        )
 
 
 class TestGlobalInformationPath:

@@ -1,9 +1,10 @@
 """Parallel shard execution and memory-bounded fleet runs.
 
 Shards share nothing, so a fleet's evolution must be bit-identical for
-any ``max_workers`` value — the worker pool only changes wall-clock, not
-results.  ``keep_reports=False`` must aggregate exactly what the report
-list would.
+any execution strategy and ``max_workers`` value — thread pools and
+state-owning worker processes only change wall-clock, not results.
+``keep_reports=False`` must aggregate exactly what the report list
+would.
 """
 
 import numpy as np
@@ -11,6 +12,7 @@ import pytest
 
 from repro.core.config import DeepDiveConfig
 from repro.fleet import (
+    ColumnarFleetReport,
     FleetRunSummary,
     InterferenceEpisode,
     build_fleet,
@@ -28,7 +30,7 @@ def _config() -> DeepDiveConfig:
     )
 
 
-def _build(max_workers, mitigate=True):
+def _build(max_workers, mitigate=True, executor=None):
     scenario = synthesize_datacenter(
         48,
         num_shards=4,
@@ -49,6 +51,7 @@ def _build(max_workers, mitigate=True):
         mitigate=mitigate,
         substrate="batch",
         max_workers=max_workers,
+        executor=executor,
     )
     fleet.bootstrap()
     return fleet
@@ -110,6 +113,113 @@ class TestParallelDeterminism:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             _build(max_workers=0)
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            _build(max_workers=1, executor="fibers")
+
+
+def _summary_fingerprint(summary):
+    return (
+        summary.epochs,
+        summary.observations,
+        summary.analyzer_invocations,
+        summary.confirmed_interference,
+        summary.action_histogram,
+        _report_fingerprint(summary.final_report),
+    )
+
+
+class TestProcessExecutorDeterminism:
+    """``executor="process"`` must be a pure wall-clock optimisation.
+
+    Workers own their shards' full simulation state (pickled once at
+    start-up, including every RNG) and exchange only columnar epoch
+    results, so a process fleet with any worker count must produce a
+    bit-identical :class:`FleetRunSummary` — and identical detections,
+    migrations and statistics — to the serial loop.
+    """
+
+    EPOCHS = 8
+
+    def test_process_workers_bit_identical_to_serial(self):
+        serial = _build(max_workers=1, executor="serial")
+        reference = _summary_fingerprint(
+            serial.run(self.EPOCHS, analyze=True, keep_reports=False)
+        )
+        serial_stats = serial.stats()
+        serial_detections = [
+            (sid, e.vm_name, e.epoch) for sid, e in serial.detections()
+        ]
+        serial_migrations = [
+            (sid, e.vm_name, e.source, e.destination)
+            for sid, e in serial.migrations()
+        ]
+        serial.shutdown()
+        for workers in (1, 2, 4):
+            fleet = _build(max_workers=workers, executor="process")
+            try:
+                summary = fleet.run(self.EPOCHS, analyze=True, keep_reports=False)
+                assert _summary_fingerprint(summary) == reference, (
+                    f"process run with {workers} workers diverges from serial"
+                )
+                assert fleet.stats() == serial_stats
+                assert [
+                    (sid, e.vm_name, e.epoch) for sid, e in fleet.detections()
+                ] == serial_detections
+                assert [
+                    (sid, e.vm_name, e.source, e.destination)
+                    for sid, e in fleet.migrations()
+                ] == serial_migrations
+            finally:
+                fleet.shutdown()
+
+    def test_columnar_report_matches_full_report(self):
+        """Per-epoch columnar decision arrays agree with the full
+        per-VM reports, shard for shard."""
+        full = _build(max_workers=1, executor="serial")
+        process = _build(max_workers=2, executor="process")
+        try:
+            for _ in range(6):
+                r_full = full.run_epoch(analyze=True)
+                r_col = process.run_epoch(analyze=True, report="columnar")
+                assert isinstance(r_col, ColumnarFleetReport)
+                assert list(r_col.shard_reports) == list(r_full.shard_reports)
+                assert r_col.observations() == r_full.observations()
+                assert r_col.analyzer_invocations() == r_full.analyzer_invocations()
+                assert r_col.confirmed_interference() == (
+                    r_full.confirmed_interference()
+                )
+                assert r_col.action_histogram() == r_full.action_histogram()
+                for sid, shard_full in r_full.shard_reports.items():
+                    shard_col = r_col.shard_reports[sid]
+                    assert shard_col.vm_names == tuple(shard_full.observations)
+                    for i, (vm_name, obs) in enumerate(
+                        shard_full.observations.items()
+                    ):
+                        assert shard_col.distances[i] == obs.warning.distance
+                        assert (
+                            shard_col.siblings_consulted[i]
+                            == obs.warning.siblings_consulted
+                        )
+                        assert (
+                            shard_col.siblings_agreeing[i]
+                            == obs.warning.siblings_agreeing
+                        )
+        finally:
+            full.shutdown()
+            process.shutdown()
+
+    def test_shutdown_process_fleet_refuses_new_epochs(self):
+        fleet = _build(max_workers=2, executor="process", mitigate=False)
+        fleet.run_epoch(analyze=False)
+        stats = fleet.stats()
+        fleet.shutdown()
+        # Statistics survive shutdown; new epochs would silently reset
+        # worker state and are refused.
+        assert fleet.stats() == stats
+        with pytest.raises(RuntimeError):
+            fleet.run_epoch(analyze=False)
 
 
 class TestBaselineLoadPropagation:

@@ -109,7 +109,9 @@ class TestCulpritAttribution:
         assert ranked[0] is Resource.DISK
 
     def test_fallback_factors_without_calibration(self):
-        prod = StallBreakdown(core=1.0, cache=0.8, memory_bus=0.4, disk=0.0, network=0.0)
+        prod = StallBreakdown(
+            core=1.0, cache=0.8, memory_bus=0.4, disk=0.0, network=0.0
+        )
         iso = StallBreakdown(core=1.0, cache=0.2, memory_bus=0.2, disk=0.0, network=0.0)
         stack = CPIStack(production=prod, isolation=iso)
         factors = stack.factors()

@@ -1,10 +1,13 @@
 """Tests for the normalised metric vectors."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.counters import CounterSample
-from repro.metrics.normalization import aggregate_samples, normalize_sample, normalize_samples
+from repro.metrics.normalization import (
+    aggregate_samples,
+    normalize_sample,
+    normalize_samples,
+)
 from repro.metrics.sample import (
     WARNING_METRICS,
     MetricVector,

@@ -6,16 +6,15 @@ input, not just the hand-picked cases of the unit tests.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.clustering.scaling import StandardScaler
 from repro.hardware.demand import ResourceDemand
 from repro.hardware.machine import PhysicalMachine
-from repro.metrics.counters import COUNTER_NAMES, CounterSample
+from repro.metrics.counters import CounterSample
 from repro.metrics.cpi import CPIStackModel, Resource, degradation_from_instructions
-from repro.metrics.sample import WARNING_METRICS, MetricVector
+from repro.metrics.sample import MetricVector
 from repro.workloads.synthetic import SyntheticBenchmark, SyntheticInputs
 
 _MACHINE = PhysicalMachine(noise=0.0, seed=123)
@@ -82,8 +81,12 @@ class TestMachineInvariants:
     def test_colocated_vm_never_faster_than_alone(self, demand, load_factor):
         """Adding a co-runner can only slow a VM down (work-conserving model)."""
         competitor = ResourceDemand(
-            instructions=3e9, working_set_mb=256.0, l1_miss_pki=120.0, locality=0.05,
-            disk_mb=20.0, network_mbit=500.0,
+            instructions=3e9,
+            working_set_mb=256.0,
+            l1_miss_pki=120.0,
+            locality=0.05,
+            disk_mb=20.0,
+            network_mbit=500.0,
         )
         scaled = demand.scaled(load_factor)
         alone = _MACHINE.run_in_isolation(scaled)

@@ -58,7 +58,10 @@ def assert_outcomes_equivalent(scalar, batch, context=""):
         v_s = np.array(list(o_s.counters.as_dict().values()))
         v_b = np.array(list(o_b.counters.as_dict().values()))
         np.testing.assert_allclose(
-            v_b, v_s, rtol=RTOL, atol=ATOL,
+            v_b,
+            v_s,
+            rtol=RTOL,
+            atol=ATOL,
             err_msg=f"{context} VM {name!r} counters diverge",
         )
         for field in (
@@ -74,7 +77,10 @@ def assert_outcomes_equivalent(scalar, batch, context=""):
             if a == b:  # covers inf == inf and exact matches
                 continue
             np.testing.assert_allclose(
-                b, a, rtol=RTOL, atol=ATOL,
+                b,
+                a,
+                rtol=RTOL,
+                atol=ATOL,
                 err_msg=f"{context} VM {name!r} field {field} diverges",
             )
 

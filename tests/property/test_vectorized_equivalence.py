@@ -100,8 +100,8 @@ def _seeded_vector(rng, base_scale=1.0) -> MetricVector:
     values = {
         name: float(v)
         for name, v in zip(
-            WARNING_METRICS, np.abs(rng.normal(1.0, 0.1, len(WARNING_METRICS)))
-            * base_scale,
+            WARNING_METRICS,
+            np.abs(rng.normal(1.0, 0.1, len(WARNING_METRICS))) * base_scale,
         )
     }
     return MetricVector(values=values, label="app")

@@ -1,0 +1,146 @@
+"""Scalar/batch workload-demand equivalence properties.
+
+``Workload.demand_batch`` is the columnar epoch edge: a host generates
+the demand rows of a whole epoch with one array op per distinct workload
+configuration.  Each built-in model's vectorized implementation must
+replay the scalar ``demand`` arithmetic operation for operation, so the
+packed rows are **bit-identical** to ``pack_demand(demand(load))`` — the
+property that keeps the batch hardware substrate equivalent to the
+scalar reference whichever demand path produced its inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.batch import DEMAND_FIELDS, pack_demand
+from repro.workloads.base import Workload, demand_table
+from repro.workloads.cloud import (
+    DataAnalyticsWorkload,
+    DataServingWorkload,
+    WebSearchWorkload,
+)
+from repro.workloads.stress import (
+    DiskStressWorkload,
+    MemoryStressWorkload,
+    NetworkStressWorkload,
+)
+from repro.workloads.synthetic import SyntheticBenchmark, SyntheticInputs
+
+workload_strategy = st.one_of(
+    st.builds(
+        DataServingWorkload,
+        key_skew=st.floats(min_value=0.0, max_value=1.0),
+        read_fraction=st.floats(min_value=0.0, max_value=1.0),
+        dataset_gb=st.floats(min_value=1.0, max_value=64.0),
+    ),
+    st.builds(
+        WebSearchWorkload,
+        word_skew=st.floats(min_value=0.0, max_value=1.0),
+        index_gb=st.floats(min_value=0.5, max_value=8.0),
+    ),
+    st.builds(
+        DataAnalyticsWorkload,
+        remote_fetch_fraction=st.floats(min_value=0.0, max_value=1.0),
+        shuffle_fraction=st.floats(min_value=0.0, max_value=1.0),
+        dataset_gb=st.floats(min_value=1.0, max_value=64.0),
+    ),
+    st.builds(
+        MemoryStressWorkload,
+        working_set_mb=st.floats(min_value=1.0, max_value=512.0),
+        intensity=st.floats(min_value=0.1, max_value=1.0),
+        locality=st.floats(min_value=0.0, max_value=1.0),
+    ),
+    st.builds(
+        NetworkStressWorkload,
+        target_mbps=st.floats(min_value=1.0, max_value=900.0),
+    ),
+    st.builds(
+        DiskStressWorkload,
+        target_mbps=st.floats(min_value=0.5, max_value=20.0),
+        sequential_fraction=st.floats(min_value=0.0, max_value=1.0),
+    ),
+    st.builds(
+        SyntheticBenchmark,
+        inputs=st.builds(
+            SyntheticInputs,
+            compute_iterations=st.floats(min_value=0.0, max_value=50.0),
+            working_set_mb=st.floats(min_value=0.25, max_value=2048.0),
+            pointer_chase_fraction=st.floats(min_value=0.0, max_value=1.0),
+            parallelism=st.floats(min_value=1.0, max_value=8.0),
+        ),
+    ),
+)
+
+
+class TestDemandBatchEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        workload=workload_strategy,
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=2000.0), min_size=1, max_size=8
+        ),
+        epoch_seconds=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    def test_rows_bit_identical_to_scalar(self, workload, loads, epoch_seconds):
+        """For any model, loads and epoch length, the vectorized rows
+        equal the packed scalar demands bit for bit."""
+        batch = workload.demand_batch(loads, epoch_seconds=epoch_seconds)
+        assert batch.shape == (len(loads), len(DEMAND_FIELDS))
+        scalar = np.asarray(
+            [
+                pack_demand(workload.demand(load, epoch_seconds=epoch_seconds))
+                for load in loads
+            ],
+            dtype=float,
+        )
+        assert np.array_equal(batch, scalar), (
+            f"{type(workload).__name__} demand_batch diverges from scalar demand"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(workload=workload_strategy)
+    def test_batch_key_groups_equivalent_instances(self, workload):
+        """A copy of a workload (fresh seed/app_id) shares the batch key,
+        so grouping by key never mixes demand-distinct configurations."""
+        twin = workload.copy()
+        twin.app_id = "other-app"
+        twin.seed = 1234
+        assert workload.batch_key() == twin.batch_key()
+        assert workload.batch_key() is not None
+
+    def test_negative_loads_rejected_like_scalar(self):
+        """Cloud models refuse negative loads on both paths."""
+        workload = DataServingWorkload()
+        with pytest.raises(ValueError):
+            workload.demand(-1.0)
+        with pytest.raises(ValueError):
+            workload.demand_batch([0.5, -1.0])
+
+    def test_base_fallback_matches_scalar_loop(self):
+        """The default (non-vectorized) demand_batch is usable by any
+        custom subclass and agrees with the scalar loop."""
+
+        class CustomWorkload(DataServingWorkload):
+            name = "custom"
+
+            def batch_key(self):
+                return None
+
+        workload = CustomWorkload(key_skew=0.3)
+        loads = [0.0, 10.0, 250.0]
+        batch = Workload.demand_batch(workload, loads, epoch_seconds=2.0)
+        scalar = np.asarray(
+            [pack_demand(workload.demand(load, epoch_seconds=2.0)) for load in loads],
+            dtype=float,
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_demand_table_rejects_bad_fields(self):
+        with pytest.raises(TypeError):
+            demand_table(2, instructions=1.0)  # missing fields
+        kwargs = {name: 0.0 for name in DEMAND_FIELDS}
+        kwargs["bogus"] = 1.0
+        with pytest.raises(TypeError):
+            demand_table(2, **kwargs)

@@ -41,7 +41,9 @@ class TestLognormalArrivals:
     def test_burstier_than_poisson(self):
         """At the same mean rate, the lognormal gaps have a higher variance."""
         poisson = PoissonArrivals(vms_per_day=1000.0, seed=0).interarrival_times(50000)
-        lognormal = LognormalArrivals(vms_per_day=1000.0, sigma=1.5, seed=0).interarrival_times(50000)
+        lognormal = LognormalArrivals(
+            vms_per_day=1000.0, sigma=1.5, seed=0
+        ).interarrival_times(50000)
         assert lognormal.std() > poisson.std()
 
     def test_sigma_validation(self):

@@ -69,7 +69,9 @@ class TestTrainer:
         )
 
     def test_ridge_method_also_works(self, machine):
-        synthesizer = SyntheticBenchmarkTrainer(samples=60, method="ridge", seed=4).train()
+        synthesizer = SyntheticBenchmarkTrainer(
+            samples=60, method="ridge", seed=4
+        ).train()
         outcome = machine.run_in_isolation(DataServingWorkload().demand(400.0))
         target = MetricVector.from_sample(outcome.counters)
         inputs = synthesizer.inputs_for(target)

@@ -51,7 +51,9 @@ class TestMigration:
         assert record.destination == "pm2"
         assert record.total_seconds > 0
         # The load travels with the VM.
-        assert cluster.get_host("pm2").get_load(data_serving_vm.name) == pytest.approx(0.4)
+        assert cluster.get_host("pm2").get_load(data_serving_vm.name) == pytest.approx(
+            0.4
+        )
 
     def test_migrate_unknown_vm(self, cluster):
         with pytest.raises(KeyError):

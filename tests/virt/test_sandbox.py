@@ -61,7 +61,10 @@ class TestSandboxEnvironment:
     def test_profile_colocated_measures_interference(self, sandbox, data_serving_vm):
         solo = sandbox.profile(data_serving_vm, loads=[1.1] * 5)
         stress = VirtualMachine(
-            "bg-stress", MemoryStressWorkload(working_set_mb=256.0), vcpus=2, memory_gb=1.0
+            "bg-stress",
+            MemoryStressWorkload(working_set_mb=256.0),
+            vcpus=2,
+            memory_gb=1.0,
         )
         colocated = sandbox.profile_colocated(
             data_serving_vm, background={stress: 1.0}, loads=[1.1] * 5

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.virt.vm import VirtualMachine
-from repro.virt.vmm import Host
 from repro.workloads.cloud import DataServingWorkload
 from repro.workloads.stress import MemoryStressWorkload
 

@@ -45,7 +45,9 @@ class TestRequestServingClientModel:
         assert report.latency_ms == pytest.approx(5.0)
 
     def test_no_capacity_gives_timeout_latency(self):
-        report = self._model().performance(100.0, 1e8, 0.0, 1.0, instructions_attainable=0.0)
+        report = self._model().performance(
+            100.0, 1e8, 0.0, 1.0, instructions_attainable=0.0
+        )
         assert report.latency_ms == pytest.approx(1000.0)
         assert report.goodput_fraction == 0.0
 

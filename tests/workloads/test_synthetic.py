@@ -1,6 +1,5 @@
 """Tests for the synthetic mimicking benchmark."""
 
-import numpy as np
 import pytest
 
 from repro.workloads.synthetic import (
@@ -80,12 +79,18 @@ class TestSyntheticBenchmark:
 
     def test_mimics_pressure_on_machine(self, machine):
         """A benchmark with a bigger working set causes more cache misses."""
-        small = SyntheticBenchmark(SyntheticInputs(working_set_mb=2.0, l1_stress_pki=60.0))
+        small = SyntheticBenchmark(
+            SyntheticInputs(working_set_mb=2.0, l1_stress_pki=60.0)
+        )
         large = SyntheticBenchmark(
             SyntheticInputs(working_set_mb=512.0, l1_stress_pki=60.0, locality=0.1)
         )
         small_out = machine.run_in_isolation(small.demand(1.0))
         large_out = machine.run_in_isolation(large.demand(1.0))
-        small_miss = small_out.counters.l2_lines_in / max(small_out.counters.inst_retired, 1)
-        large_miss = large_out.counters.l2_lines_in / max(large_out.counters.inst_retired, 1)
+        small_miss = small_out.counters.l2_lines_in / max(
+            small_out.counters.inst_retired, 1
+        )
+        large_miss = large_out.counters.l2_lines_in / max(
+            large_out.counters.inst_retired, 1
+        )
         assert large_miss > small_miss

@@ -18,13 +18,20 @@ Three axes of the fleet hot loop are measured and recorded in
   process execution, epochs exchanged as columnar decision arrays.  The
   recorded ``multiworker_speedup_over_single_worker`` is the number that
   scales with cores (and is ~1x on single-core runners, which is why no
-  floor is asserted — ``cpu_count`` is recorded alongside).
+  floor is asserted — ``cpu_count`` is recorded alongside);
+* **epoch edge** — the cost of recording one epoch's counters into the
+  hosts' telemetry: eager per-VM ``CounterSample`` materialisation +
+  history appends (``history_mode="eager"``; both modes also pay the
+  shared ring write, see ``_time_edge_mode``) versus one ring ingest
+  per host (:class:`repro.metrics.store.HostCounterStore`, the default
+  lazy mode).
 
 All compared configurations produce equivalent decisions (pinned by the
 property suites); the benchmarks only measure cost.  Run the tiny-scale
 smoke variants with ``pytest -m bench_smoke``; ``FLEET_SMOKE_EXECUTOR``
-selects the executor the smoke fleet runs under (the CI matrix runs
-``thread`` and ``process``).
+selects the executor and ``FLEET_SMOKE_HISTORY_MODE`` the counter-store
+mode the smoke fleet runs under (the CI matrix covers ``thread`` /
+``process`` executors and an eager-history leg).
 """
 
 from __future__ import annotations
@@ -35,10 +42,13 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+import numpy as np
 import pytest
 
 from repro.core.config import DeepDiveConfig
 from repro.fleet import InterferenceEpisode, build_fleet, synthesize_datacenter
+from repro.metrics.counters import N_COUNTERS
+from repro.metrics.store import HostCounterStore
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_fleet.json"
@@ -87,6 +97,7 @@ def _prepare_fleet(
     max_workers: Optional[int] = None,
     executor: Optional[str] = None,
     track_performance: bool = False,
+    history_mode: str = "lazy",
 ):
     """Build, bootstrap and warm a fleet into a quiet steady state.
 
@@ -104,6 +115,7 @@ def _prepare_fleet(
         max_workers=max_workers,
         executor=executor,
         track_performance=track_performance,
+        history_mode=history_mode,
     )
     fleet.bootstrap()
     for _ in range(warmup_epochs):
@@ -319,6 +331,82 @@ def _run_process_comparison(
 
 
 # ----------------------------------------------------------------------
+# Epoch-edge comparison (counter recording only): eager sample
+# materialisation + history appends vs one ring ingest per host.
+# ----------------------------------------------------------------------
+def _synth_host_blocks(
+    num_vms: int, vms_per_host: int = 2, seed: int = 3
+) -> list:
+    """Per-host ``(names, block)`` pairs shaped like a fleet epoch.
+
+    The ingest cost depends only on the shapes (one small block per
+    host, fleet-scale host counts), not on the counter values, so the
+    blocks are synthesized instead of paying a full fleet build.
+    """
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for h in range(num_vms // vms_per_host):
+        names = tuple(f"h{h:05d}v{v}" for v in range(vms_per_host))
+        blocks.append(
+            (names, rng.uniform(1.0, 1e9, size=(vms_per_host, N_COUNTERS)))
+        )
+    return blocks
+
+
+def _time_edge_mode(blocks, lazy: bool, epochs: int, reps: int, limit: int):
+    """Best-of-``reps`` wall time of ``epochs`` telemetry commits.
+
+    ``lazy=False`` is the eager mode: materialise one ``CounterSample``
+    per VM, append to its history, amortised trim — the pre-store
+    per-VM work, **plus** the ring write both modes share (the old path
+    paid a cheap per-host list append there instead, so the recorded
+    eager time very slightly overstates the pre-store edge and the
+    speedup is an upper bound on the before/after ratio; the per-VM
+    term dominates it by far).  ``lazy=True`` is the ring ingest the
+    fleet hot loop now performs.
+    """
+    best = float("inf")
+    for _ in range(reps):
+        stores = []
+        for names, _block in blocks:
+            store = HostCounterStore(history_limit=limit, lazy=lazy)
+            for name in names:
+                store.ensure(name)
+            stores.append(store)
+        start = time.perf_counter()
+        for _ in range(epochs):
+            for store, (names, block) in zip(stores, blocks):
+                store.ingest(names, block, 1.0)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_epoch_edge_comparison(
+    num_vms: int, epochs: int, reps: int, history_limit: int = 64
+) -> Dict:
+    blocks = _synth_host_blocks(num_vms)
+    eager_s = _time_edge_mode(
+        blocks, lazy=False, epochs=epochs, reps=reps, limit=history_limit
+    )
+    lazy_s = _time_edge_mode(
+        blocks, lazy=True, epochs=epochs, reps=reps, limit=history_limit
+    )
+    return {
+        "benchmark": "fleet_epoch_edge",
+        "vms": num_vms,
+        "hosts": len(blocks),
+        "epochs": epochs,
+        "timing_reps": reps,
+        "history_limit": history_limit,
+        "eager_seconds": eager_s,
+        "lazy_seconds": lazy_s,
+        "speedup": eager_s / lazy_s,
+        "lazy_vm_epochs_per_second": num_vms * epochs / lazy_s,
+        "unix_time": time.time(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Tiny-scale smoke runs (tier-1 time budget): pytest -m bench_smoke
 # ----------------------------------------------------------------------
 @pytest.mark.bench_smoke
@@ -342,12 +430,43 @@ def test_fleet_substrate_smoke():
 
 
 @pytest.mark.bench_smoke
+def test_fleet_epoch_edge_smoke():
+    """Both telemetry modes complete and agree on recorded history at
+    tiny scale (the CI matrix also runs the whole smoke suite with
+    ``FLEET_SMOKE_HISTORY_MODE=eager``)."""
+    record = _run_epoch_edge_comparison(num_vms=200, epochs=12, reps=2)
+    assert record["eager_seconds"] > 0 and record["lazy_seconds"] > 0
+    # The timed paths must also record identical histories.
+    for names, block in _synth_host_blocks(20):
+        lazy = HostCounterStore(history_limit=4, lazy=True)
+        eager = HostCounterStore(history_limit=4, lazy=False)
+        for name in names:
+            lazy.ensure(name)
+            eager.ensure(name)
+        for epoch in range(12):
+            lazy.ingest(names, block + epoch, 1.0)
+            eager.ingest(names, block + epoch, 1.0)
+        for name in names:
+            assert list(lazy.histories[name]) == list(eager.histories[name])
+    _merge_bench_record("fleet_epoch_edge_smoke", record)
+    print("\nfleet epoch edge smoke:", json.dumps(record, indent=2))
+
+
+@pytest.mark.bench_smoke
 def test_fleet_executor_smoke():
-    """The env-selected executor completes an epoch and agrees with the
-    serial loop (the CI matrix runs this under thread and process)."""
+    """The env-selected executor and history mode complete an epoch and
+    agree with the serial loop (the CI matrix runs this under thread and
+    process executors plus an eager-history leg)."""
     executor = os.environ.get("FLEET_SMOKE_EXECUTOR", "thread")
+    history_mode = os.environ.get("FLEET_SMOKE_HISTORY_MODE", "lazy")
     serial = _prepare_fleet(60, num_shards=2, executor="serial")
-    fleet = _prepare_fleet(60, num_shards=2, executor=executor, max_workers=2)
+    fleet = _prepare_fleet(
+        60,
+        num_shards=2,
+        executor=executor,
+        max_workers=2,
+        history_mode=history_mode,
+    )
     try:
         reference = _columnar_fingerprint(
             serial.run_epoch(analyze=False, report="columnar")
@@ -360,6 +479,7 @@ def test_fleet_executor_smoke():
         record = {
             "benchmark": "fleet_executor_smoke",
             "executor": executor,
+            "history_mode": history_mode,
             "vms": fleet.total_vms(),
             "epoch_seconds": elapsed,
             "cpu_count": os.cpu_count(),
@@ -453,6 +573,30 @@ def test_fleet_process_scale_2000_vms():
     _merge_bench_record("fleet_process_2k", record)
     print("\nfleet process 2k:", json.dumps(record, indent=2))
     assert record["process_multiworker_epoch_seconds"] > 0
+
+
+def test_fleet_epoch_edge_2000_vms():
+    """Epoch-edge cost at 2k VMs: ring ingest vs eager materialisation
+    (recorded; the acceptance floor is asserted at 10k)."""
+    record = _run_epoch_edge_comparison(num_vms=2000, epochs=30, reps=3)
+    _merge_bench_record("fleet_epoch_edge_2k", record)
+    print("\nfleet epoch edge 2k:", json.dumps(record, indent=2))
+    assert record["lazy_seconds"] > 0
+
+
+def test_fleet_epoch_edge_10000_vms():
+    """The ring ingest is >= 1.3x the eager epoch edge at the north
+    star's 10k-VM fleet (sample materialisation + history appends were
+    the last per-VM Python work in a batch epoch)."""
+    record = _run_epoch_edge_comparison(num_vms=10_000, epochs=20, reps=3)
+    _merge_bench_record("fleet_epoch_edge_10k", record)
+    print("\nfleet epoch edge 10k:", json.dumps(record, indent=2))
+    assert record["speedup"] >= 1.3, (
+        f"ring ingest speedup {record['speedup']:.2f}x below the 1.3x "
+        f"acceptance floor (eager {record['eager_seconds']:.3f}s vs lazy "
+        f"{record['lazy_seconds']:.3f}s for {record['epochs']} epochs at "
+        f"{record['vms']} VMs)"
+    )
 
 
 def test_fleet_process_scale_10000_vms():

@@ -423,6 +423,13 @@ class DeepDive:
     def _smoothed_vector(
         self, host_name: str, vm_name: str, app_id: str
     ) -> MetricVector:
+        """One VM's smoothed metric vector (the scalar engine's path).
+
+        ``counter_history`` is a lazy view over the host's columnar
+        counter store, so slicing the window materialises exactly the
+        ``smoothing_epochs`` samples it aggregates — no per-epoch
+        eager materialisation happens anywhere upstream.
+        """
         history = self.cluster.hosts[host_name].counter_history.get(vm_name, [])
         window = history[-self.config.smoothing_epochs:]
         aggregate = aggregate_samples(
@@ -438,7 +445,9 @@ class DeepDive:
         The window matches the smoothing window that triggered the
         warning, so the degradation estimate reflects the *current*
         conditions rather than a stale mix of epochs before and after an
-        interference episode started.
+        interference episode started.  Slicing the lazy history
+        materialises the window's samples on demand — only VMs that
+        actually reach the analyzer pay for sample objects.
         """
         history = self.cluster.hosts[host_name].counter_history.get(vm_name, [])
         return history[-self.config.smoothing_epochs:]

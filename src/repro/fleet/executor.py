@@ -116,9 +116,9 @@ class ColumnarShardReport:
     #: Whether interference was confirmed (analysis or known signature).
     confirmed: np.ndarray
     #: Sum of the shard's raw counter block for the epoch (Table-1
-    #: column order), or ``None`` when a host lacks columnar history
-    #: (scalar substrate).  Fleet-level telemetry, free to compute from
-    #: the batch substrate's per-epoch blocks.
+    #: column order), or ``None`` when a host has no resident batch
+    #: epoch (scalar substrate).  Fleet-level telemetry, read straight
+    #: from the hosts' counter-store rings.
     counter_totals: Optional[np.ndarray] = None
 
     def observations(self) -> int:
@@ -188,10 +188,10 @@ def _shard_counter_totals(shard: "FleetShard") -> Optional[np.ndarray]:
     for host in shard.cluster.hosts.values():
         if not host.vms:
             continue
-        history = host.columnar_history
-        if not history:
+        latest = host.counter_store.latest_block()
+        if latest is None:
             return None
-        total += history[-1][1].sum(axis=0)
+        total += latest.sum(axis=0)
     return total
 
 

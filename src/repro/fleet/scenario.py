@@ -196,6 +196,7 @@ def build_fleet(
     executor: Optional[str] = None,
     track_performance: bool = False,
     history_limit: Optional[int] = 64,
+    history_mode: str = "lazy",
 ) -> Fleet:
     """Materialise a scenario into a runnable :class:`Fleet`.
 
@@ -227,6 +228,12 @@ def build_fleet(
         Per-VM history retention in epochs (default 64, comfortably
         covering the smoothing and analyzer windows) so long fleet runs
         hold constant memory; ``None`` retains everything.
+    history_mode:
+        ``"lazy"`` (default) serves per-VM counter histories from the
+        hosts' columnar ring stores, materialising samples only on
+        access; ``"eager"`` materialises every epoch immediately (the
+        reference mode, bit-identical results — pinned by
+        ``tests/property/test_lazy_history_equivalence.py``).
     """
     config = config or DeepDiveConfig()
     rng = np.random.default_rng(scenario.seed)
@@ -249,6 +256,7 @@ def build_fleet(
             track_performance=track_performance,
             cache_demands=True,
             history_limit=history_limit,
+            history_mode=history_mode,
         )
         baseline_loads: Dict[str, float] = {}
         for h in range(scenario.hosts_per_shard):

@@ -39,10 +39,7 @@ from repro.hardware.disk import DiskModel
 from repro.hardware.membus import CACHE_LINE_BYTES, MemoryBusModel
 from repro.hardware.network import NicModel
 from repro.hardware.specs import MachineSpec
-from repro.metrics.counters import COUNTER_NAMES, CounterSample
-
-#: Number of Table-1 counters (columns of the batch counter matrix).
-N_COUNTERS = len(COUNTER_NAMES)
+from repro.metrics.counters import COUNTER_NAMES, N_COUNTERS, CounterSample
 
 #: Column index of ``inst_retired`` in the batch counter matrix.
 INST_RETIRED_COL = COUNTER_NAMES.index("inst_retired")
@@ -240,16 +237,45 @@ class BatchEpochResult:
             *self.counters[row].tolist(), epoch_seconds=self.epoch_seconds
         )
 
-    def samples(self) -> List[CounterSample]:
-        """Materialise every row as a :class:`CounterSample` in one pass.
+    def samples(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> List[CounterSample]:
+        """Materialise rows ``[start, stop)`` as :class:`CounterSample`\\ s.
 
-        One bulk ``tolist`` conversion instead of one per row — the
-        cheap way to feed per-VM counter histories from a batch epoch.
+        One bulk ``tolist`` conversion instead of one per row — used by
+        ground-truth tracking, which materialises per-VM outcomes
+        anyway.  The monitoring pipeline no longer calls this: counter
+        blocks feed :class:`~repro.metrics.store.HostCounterStore` rings
+        directly and samples materialise lazily on access.
         """
         eps = self.epoch_seconds
         return [
-            CounterSample(*row, epoch_seconds=eps) for row in self.counters.tolist()
+            CounterSample(*row, epoch_seconds=eps)
+            for row in self.counters[start:stop].tolist()
         ]
+
+
+class BatchBuffers:
+    """Reusable output buffers for :func:`simulate_epoch_batch`.
+
+    Steady placements resolve the same VM-row count epoch after epoch;
+    keeping one ``BatchBuffers`` per batch group lets the epoch write
+    its counter matrix into a preallocated buffer instead of allocating
+    (and copying via ``column_stack``) a fresh one every epoch.
+
+    A result produced with buffers is valid until the **next** epoch
+    that reuses them — callers must consume (or copy) the counter block
+    within the epoch, which the counter-store ring ingest does.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Optional[np.ndarray] = None
+
+    def counters(self, n: int) -> np.ndarray:
+        """An ``(n, N_COUNTERS)`` float64 buffer (reallocated on resize)."""
+        if self._counters is None or self._counters.shape[0] != n:
+            self._counters = np.empty((n, N_COUNTERS), dtype=float)
+        return self._counters
 
 
 def simulate_epoch_batch(
@@ -259,6 +285,7 @@ def simulate_epoch_batch(
     epoch_seconds: float,
     cpu_caps: np.ndarray,
     noise_rngs: Sequence[Tuple[float, np.random.Generator]],
+    buffers: Optional[BatchBuffers] = None,
 ) -> BatchEpochResult:
     """Resolve one epoch of contention for all VMs on all hosts at once.
 
@@ -279,6 +306,11 @@ def simulate_epoch_batch(
         One ``(noise, generator)`` pair per host, in host index order;
         consumed exactly like the scalar substrate so counter streams
         stay aligned between substrates.
+    buffers:
+        Optional reusable output buffers (see :class:`BatchBuffers`);
+        with them, steady-placement epochs write the counter matrix in
+        place instead of allocating a fresh one, and the result is only
+        valid until the next epoch that reuses the buffers.
     """
     if epoch_seconds <= 0:
         raise ValueError("epoch_seconds must be positive")
@@ -401,9 +433,15 @@ def simulate_epoch_batch(
     disk_stall = disk_wait * arch.frequency_hz * layout.n_cores * work_fraction
     net_stall = nic_wait * arch.frequency_hz * layout.n_cores * work_fraction
 
-    # Columns in COUNTER_NAMES order.
-    counters = np.column_stack(
-        [
+    # Columns in COUNTER_NAMES order, written into the (possibly
+    # reused) output buffer — same values ``column_stack`` produced.
+    counters = (
+        buffers.counters(n)
+        if buffers is not None
+        else np.empty((n, N_COUNTERS), dtype=float)
+    )
+    for j, column in enumerate(
+        (
             busy_cycles,
             retired,
             l1_misses,
@@ -418,8 +456,9 @@ def simulate_epoch_batch(
             branches_missed,
             disk_stall,
             net_stall,
-        ]
-    )
+        )
+    ):
+        counters[:, j] = column
     counters[~active] = 0.0
 
     # ------------------------------------------------------------------

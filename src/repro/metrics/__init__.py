@@ -31,6 +31,12 @@ from repro.metrics.cpi import (
     Resource,
     StallBreakdown,
 )
+from repro.metrics.store import (
+    CounterHistoryView,
+    HostCounterStore,
+    LazyCounterHistory,
+    trimmed_length,
+)
 
 __all__ = [
     "COUNTER_NAMES",
@@ -52,4 +58,8 @@ __all__ = [
     "CPIStackModel",
     "Resource",
     "StallBreakdown",
+    "CounterHistoryView",
+    "HostCounterStore",
+    "LazyCounterHistory",
+    "trimmed_length",
 ]

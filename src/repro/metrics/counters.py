@@ -69,6 +69,10 @@ COUNTER_DEFINITIONS: Tuple[CounterDefinition, ...] = (
 #: All counter names, in the canonical (Table 1) order.
 COUNTER_NAMES: Tuple[str, ...] = tuple(d.name for d in COUNTER_DEFINITIONS)
 
+#: Number of Table-1 counters — the column count of every raw counter
+#: matrix (batch epoch results, telemetry-ring rows).
+N_COUNTERS: int = len(COUNTER_NAMES)
+
 #: Counters obtained from the PMU.
 CORE_COUNTERS: Tuple[str, ...] = tuple(
     d.name for d in COUNTER_DEFINITIONS if d.source == "pmu"
@@ -90,6 +94,16 @@ class CounterSample:
     recovered, but the warning system never uses wall-clock rates: it
     normalises everything by ``inst_retired`` (see
     :mod:`repro.metrics.normalization`).
+
+    .. warning::
+       The counter fields are declared in :data:`COUNTER_NAMES` (Table 1)
+       order **and must stay that way**: the columnar pipeline
+       materialises samples positionally — ``CounterSample(*row)`` with
+       ``row`` a raw counter-matrix row — in
+       :meth:`repro.hardware.batch.BatchEpochResult.sample` and the lazy
+       :class:`repro.metrics.store.HostCounterStore`.  Reordering a field
+       would silently scramble every counter; the coupling is pinned by
+       ``tests/metrics/test_counter_store.py``.
     """
 
     cpu_unhalted: float = 0.0

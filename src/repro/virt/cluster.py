@@ -22,6 +22,7 @@ by ``tests/property/test_substrate_equivalence.py``).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -29,6 +30,7 @@ import numpy as np
 
 from repro.hardware.batch import (
     N_COUNTERS,
+    BatchBuffers,
     ClusterLayout,
     DemandMatrix,
     simulate_epoch_batch,
@@ -36,7 +38,6 @@ from repro.hardware.batch import (
 from repro.hardware.machine import outcome_from_batch
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.metrics.counters import CounterSample
-from repro.metrics.normalization import windows_to_counter_matrix
 from repro.virt.migration import MigrationEngine, MigrationRecord
 from repro.virt.vm import VirtualMachine
 from repro.virt.vmm import Host, VMPerformance
@@ -88,6 +89,7 @@ class Cluster:
         track_performance: bool = True,
         cache_demands: bool = False,
         history_limit: Optional[int] = None,
+        history_mode: str = "lazy",
     ) -> None:
         if num_hosts < 1:
             raise ValueError("a cluster needs at least one host")
@@ -108,6 +110,7 @@ class Cluster:
                 track_performance=track_performance,
                 cache_demands=cache_demands,
                 history_limit=history_limit,
+                history_mode=history_mode,
             )
         self.migration_engine = migration_engine or MigrationEngine()
         self.current_epoch = 0
@@ -119,6 +122,12 @@ class Cluster:
         self._batch_groups = None
         #: Cached packed demand matrices per group (steady-load epochs).
         self._batch_matrix_cache: Dict[int, Tuple[DemandMatrix, np.ndarray]] = {}
+        #: Reusable batch-substrate output buffers per group (steady
+        #: placements stop reallocating the epoch's counter matrix).
+        self._batch_buffers: Dict[int, BatchBuffers] = {}
+        #: Hosts already warned about a history_limit shorter than a
+        #: requested monitoring window (one warning per host).
+        self._short_history_warned: set = set()
 
     # ------------------------------------------------------------------
     # Topology management
@@ -247,6 +256,7 @@ class Cluster:
         if self._batch_groups is not None and self._batch_groups[0] == signature:
             return self._batch_groups[1]
         self._batch_matrix_cache = {}
+        self._batch_buffers = {}
         grouped: Dict[Tuple[int, float], List[Tuple[str, Host]]] = {}
         for host_name, host in self.hosts.items():
             key = (id(host.machine.spec), host.epoch_seconds)
@@ -290,6 +300,9 @@ class Cluster:
                 (host.machine.noise, host.machine._rng) for _, host, _ in members
             ]
 
+            buffers = self._batch_buffers.get(g)
+            if buffers is None:
+                buffers = self._batch_buffers[g] = BatchBuffers()
             batch = simulate_epoch_batch(
                 spec,
                 demand_matrix,
@@ -297,17 +310,21 @@ class Cluster:
                 epoch_seconds,
                 cap_array,
                 noise_rngs,
+                buffers=buffers,
             )
 
-            samples = batch.samples()
             offset = 0
             for host_name, host, names in members:
                 k = len(names)
                 block = batch.counters[offset:offset + k]
                 if host.track_performance:
+                    # Ground-truth tracking materialises per-VM outcomes
+                    # (and their samples) eagerly; fleet monitoring runs
+                    # with tracking off and never enters this branch.
                     offered = host.offered_map()
+                    samples = batch.samples(offset, offset + k)
                     outcomes = {
-                        name: outcome_from_batch(batch, offset + j, samples[offset + j])
+                        name: outcome_from_batch(batch, offset + j, samples[j])
                         for j, name in enumerate(names)
                     }
                     results[host_name] = host.commit_epoch(
@@ -316,10 +333,9 @@ class Cluster:
                         counter_block=(names, block),
                     )
                 else:
-                    host.commit_epoch_counters(
-                        dict(zip(names, samples[offset:offset + k])),
-                        counter_block=(names, block),
-                    )
+                    # The lean epoch edge: one ring ingest per host, no
+                    # CounterSample objects, no per-VM dicts or appends.
+                    host.commit_epoch_block(names, block)
                     results[host_name] = {}
                 offset += k
         return results
@@ -366,21 +382,27 @@ class Cluster:
             raise ValueError("window must be at least 1")
         out: Dict[str, List[CounterSample]] = {}
         for host in self.hosts.values():
+            store = host.counter_store
             for vm_name in host._vms:
-                history = host.counter_history.get(vm_name)
-                if history:
-                    out[vm_name] = history[-window:]
+                if vm_name in store and store.length(vm_name):
+                    out[vm_name] = store.histories[vm_name][-window:]
         return out
 
     def counter_window_view(self, window: int) -> CounterWindowView:
         """Columnar equivalent of :meth:`counter_windows`.
 
-        When the batch substrate's per-epoch counter blocks cover the
-        requested window with a stable VM placement, the view is a few
-        array slices and sums; hosts where that is not the case (scalar
-        substrate, recent migrations, VMs younger than the window) fall
-        back to their per-sample histories, so the view is always exactly
-        equivalent to the scalar window assembly.
+        When a host's counter-store ring covers the requested window
+        with a stable VM placement, the view is a few array slices and
+        sums read straight from the ring; hosts where that is not the
+        case (scalar substrate, recent migrations, VMs younger than the
+        window) fall back to a per-VM assembly — itself served from raw
+        ring rows wherever the epochs live there — so the view is always
+        exactly equivalent to the scalar window assembly.
+
+        A ``history_limit`` shorter than the window silently trims the
+        smoothing windows to the retained epochs; the first time that
+        happens on a host, a :class:`RuntimeWarning` names the host and
+        limit so the misconfiguration is visible.
         """
         if window < 1:
             raise ValueError("window must be at least 1")
@@ -390,52 +412,41 @@ class Cluster:
         for host in self.hosts.values():
             if not host._vms:
                 continue
-            entries = host.columnar_history
-            n_entries = len(entries)
-            k = min(window, n_entries)
-            fast = False
-            if k > 0:
-                names = entries[-1][0]
-                fast = (
-                    host.columnar_stable_epochs >= k
-                    # A history_limit shorter than the window trims the
-                    # scalar path's sample window; fall back so both
-                    # engines smooth over the identical (trimmed) epochs.
-                    and (host.history_limit is None or window <= host.history_limit)
-                    and len(names) == len(host._vms)
-                    and all(n in host._vms for n in names)
-                    and (
-                        n_entries >= window
-                        or (
-                            # The columnar record (and every VM's sample
-                            # history) covers the host's entire life, so
-                            # a short window is simply all of it.
-                            n_entries == host.current_epoch
-                            and all(
-                                len(host.counter_history[n]) == n_entries
-                                for n in names
-                            )
-                        )
-                    )
-                )
-            if fast:
-                tail = entries[-k:]
-                acc = tail[0][1]
-                for _, block in tail[1:]:
-                    acc = acc + block
+            store = host.counter_store
+            fast = store.window_view(
+                window, tuple(host._vms), host.current_epoch
+            )
+            if fast is not None:
+                names, latest, acc = fast
                 names_parts.extend(names)
-                latest_parts.append(tail[-1][1])
+                latest_parts.append(latest)
                 sum_parts.append(acc)
-            else:
-                for vm_name in host._vms:
-                    history = host.counter_history.get(vm_name)
-                    if not history:
-                        continue
-                    raw = windows_to_counter_matrix([history[-window:]])
-                    latest = windows_to_counter_matrix([history[-1:]])
-                    names_parts.append(vm_name)
-                    latest_parts.append(latest)
-                    sum_parts.append(raw)
+                continue
+            if (
+                host.history_limit is not None
+                and window > host.history_limit
+                and host.name not in self._short_history_warned
+            ):
+                self._short_history_warned.add(host.name)
+                warnings.warn(
+                    f"counter_window_view: host {host.name!r} retains only "
+                    f"history_limit={host.history_limit} epochs but a "
+                    f"window of {window} was requested; smoothing windows "
+                    "on this host are trimmed to the retained epochs "
+                    "(per-VM fallback assembly)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            for vm_name in host._vms:
+                if vm_name not in store:
+                    continue
+                fold = store.vm_window_fold(vm_name, window)
+                if fold is None:
+                    continue
+                acc_row, latest_row = fold
+                names_parts.append(vm_name)
+                latest_parts.append(latest_row)
+                sum_parts.append(acc_row)
         if not names_parts:
             empty = np.empty((0, N_COUNTERS), dtype=float)
             return CounterWindowView(vm_names=(), latest=empty, window_sum=empty)

@@ -25,6 +25,7 @@ from repro.hardware.demand import ResourceDemand
 from repro.hardware.machine import PhysicalMachine, VMEpochOutcome
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.metrics.counters import CounterSample
+from repro.metrics.store import CounterHistoryView, HostCounterStore
 from repro.virt.vm import VirtualMachine, VMState
 from repro.workloads.base import PerformanceReport, Workload
 
@@ -66,11 +67,6 @@ class VMPerformance:
 class Host:
     """One physical machine plus the hypervisor that runs VMs on it."""
 
-    #: Epochs of columnar counter history retained for the batch
-    #: monitoring fast path (must cover the warning system's smoothing
-    #: window; longer windows fall back to the per-sample path).
-    COLUMNAR_WINDOW_EPOCHS = 32
-
     def __init__(
         self,
         name: str = "pm0",
@@ -82,11 +78,14 @@ class Host:
         track_performance: bool = True,
         cache_demands: bool = False,
         history_limit: Optional[int] = None,
+        history_mode: str = "lazy",
     ) -> None:
         if substrate not in ("scalar", "batch"):
             raise ValueError(f"unknown hardware substrate {substrate!r}")
         if history_limit is not None and history_limit < 1:
             raise ValueError("history_limit must be positive")
+        if history_mode not in ("lazy", "eager"):
+            raise ValueError(f"unknown history mode {history_mode!r}")
         self.name = name
         self.machine = PhysicalMachine(spec=spec, name=name, noise=noise, seed=seed)
         self.epoch_seconds = epoch_seconds
@@ -109,12 +108,21 @@ class Host:
         #: runs).  Must cover every window consumers read — the warning
         #: system's smoothing window and the analyzer's recent window.
         self.history_limit = history_limit
+        #: ``"lazy"`` (default) serves per-VM counter histories from the
+        #: columnar ring store, materialising ``CounterSample`` objects
+        #: only on access; ``"eager"`` is the reference mode that
+        #: materialises every epoch immediately (bit-identical contents,
+        #: pinned by ``tests/property/test_lazy_history_equivalence.py``).
+        self.history_mode = history_mode
         self._vms: Dict[str, VirtualMachine] = {}
         self._loads: Dict[str, float] = {}
         self._cpu_caps: Dict[str, float] = {}
         self._pinning: Dict[str, List[int]] = {}
-        #: Counter history per VM (most recent last).
-        self.counter_history: Dict[str, List[CounterSample]] = {}
+        #: Columnar counter telemetry: batch epochs land here as raw
+        #: ring-buffered blocks; per-VM sample histories are lazy views.
+        self._counter_store = HostCounterStore(
+            history_limit=history_limit, lazy=(history_mode == "lazy")
+        )
         #: Ground-truth performance history per VM.
         self.performance_history: Dict[str, List[VMPerformance]] = {}
         self.current_epoch = 0
@@ -146,13 +154,6 @@ class Host:
         self._demand_names: Tuple[str, ...] = ()
         self._offered_array: Optional[np.ndarray] = None
         self._offered_map_cache: Optional[Dict[str, float]] = None
-        #: Columnar counter history: one ``(vm_names, (n, 14) matrix)``
-        #: entry per epoch, newest last, populated by the batch substrate
-        #: and trimmed to the last :data:`COLUMNAR_WINDOW_EPOCHS` epochs.
-        self.columnar_history: List[Tuple[Tuple[str, ...], np.ndarray]] = []
-        #: Number of trailing columnar entries sharing one VM-name tuple
-        #: (lets the monitoring fast path validate a window in O(1)).
-        self.columnar_stable_epochs = 0
         #: Whether the last :meth:`collect_demands` produced any demand
         #: that differs from the previous epoch's (steady-load epochs
         #: let the batch substrate reuse its packed demand matrix).
@@ -197,7 +198,7 @@ class Host:
         self._cpu_caps[vm.name] = cpu_cap
         if cores is not None:
             self._pinning[vm.name] = list(cores)
-        self.counter_history.setdefault(vm.name, [])
+        self._counter_store.ensure(vm.name)
         self.performance_history.setdefault(vm.name, [])
         self.placement_version += 1
         vm.state = VMState.RUNNING
@@ -446,79 +447,60 @@ class Host:
         """Record one epoch's outcomes into the host's histories.
 
         ``counter_block`` optionally carries the epoch's raw counters as
-        one ``(vm_names, matrix)`` pair for the columnar monitoring fast
-        path (the batch substrate provides it for free).
+        one ``(vm_names, matrix)`` pair (the batch substrate provides it
+        for free): the block is ingested into the columnar counter store
+        directly and no per-VM sample is recorded — the store serves
+        bit-identical samples lazily.  Without a block (the scalar
+        substrate), the already materialised samples are appended.
         """
         performances: Dict[str, VMPerformance] = {}
-        track = self.track_performance
-        for name, vm in self._vms.items():
-            outcome = outcomes[name]
-            self.counter_history[name].append(outcome.counters)
-            if not track:
-                continue
-            report = vm.workload.performance(
-                load=offered[name],
-                instructions_demanded=outcome.instructions_demanded,
-                instructions_retired=outcome.instructions_retired,
-                epoch_seconds=self.epoch_seconds,
-                instructions_attainable=outcome.instructions_attainable,
+        if counter_block is not None:
+            names, block = counter_block
+            self._counter_store.ingest(names, block, self.epoch_seconds)
+        else:
+            self._counter_store.append_samples(
+                {name: outcomes[name].counters for name in self._vms}
             )
-            perf = VMPerformance(
-                report=report, outcome=outcome, offered_load=offered[name]
-            )
-            performances[name] = perf
-            self.performance_history[name].append(perf)
+        if self.track_performance:
+            for name, vm in self._vms.items():
+                outcome = outcomes[name]
+                report = vm.workload.performance(
+                    load=offered[name],
+                    instructions_demanded=outcome.instructions_demanded,
+                    instructions_retired=outcome.instructions_retired,
+                    epoch_seconds=self.epoch_seconds,
+                    instructions_attainable=outcome.instructions_attainable,
+                )
+                perf = VMPerformance(
+                    report=report, outcome=outcome, offered_load=offered[name]
+                )
+                performances[name] = perf
+                self.performance_history[name].append(perf)
         self._trim_histories()
-        self._record_columnar(counter_block)
         self.current_epoch += 1
         return performances
 
     def _trim_histories(self) -> None:
-        """Amortised history trim (no-op without a ``history_limit``)."""
+        """Amortised performance-history trim (counter histories trim
+        inside the columnar store); no-op without a ``history_limit``."""
         limit = self.history_limit
         if limit is None:
             return
-        for store in (self.counter_history, self.performance_history):
-            for history in store.values():
-                if len(history) > 2 * limit:
-                    del history[: len(history) - limit]
+        for history in self.performance_history.values():
+            if len(history) > 2 * limit:
+                del history[: len(history) - limit]
 
-    def _record_columnar(
-        self, counter_block: Optional[Tuple[Tuple[str, ...], np.ndarray]]
+    def commit_epoch_block(
+        self, names: Tuple[str, ...], block: np.ndarray
     ) -> None:
-        history = self.columnar_history
-        if counter_block is None:
-            if history:
-                # A scalar epoch would leave a gap in the columnar record;
-                # drop it so the monitoring fast path falls back cleanly.
-                history.clear()
-                self.columnar_stable_epochs = 0
-            return
-        if history and history[-1][0] == counter_block[0]:
-            self.columnar_stable_epochs += 1
-        else:
-            self.columnar_stable_epochs = 1
-        history.append(counter_block)
-        cap = self.COLUMNAR_WINDOW_EPOCHS
-        if len(history) > 2 * cap:
-            del history[: len(history) - cap]
-
-    def commit_epoch_counters(
-        self,
-        samples: Mapping[str, CounterSample],
-        counter_block: Optional[Tuple[Tuple[str, ...], np.ndarray]] = None,
-    ) -> None:
-        """Lean epoch commit: record counters only, no ground truth.
+        """Lean epoch commit: one ring ingest, zero per-VM work.
 
         Used by the batch substrate when ``track_performance`` is off —
-        the monitoring pipeline only ever reads counters, so skipping the
-        per-VM performance materialisation keeps the fleet epoch loop
-        free of avoidable per-VM work.
+        the monitoring pipeline only ever reads counter windows, which
+        the store serves columnar, so the fleet epoch edge is a single
+        array assignment per host.
         """
-        for name in self._vms:
-            self.counter_history[name].append(samples[name])
-        self._trim_histories()
-        self._record_columnar(counter_block)
+        self._counter_store.ingest(names, block, self.epoch_seconds)
         self.current_epoch += 1
 
     def step(
@@ -558,10 +540,25 @@ class Host:
     # ------------------------------------------------------------------
     # Introspection used by DeepDive
     # ------------------------------------------------------------------
+    @property
+    def counter_store(self) -> HostCounterStore:
+        """The host's columnar counter telemetry (ring + lazy histories)."""
+        return self._counter_store
+
+    @property
+    def counter_history(self) -> CounterHistoryView:
+        """Per-VM counter histories (most recent last), as a lazy mapping.
+
+        Behaves like the former ``Dict[str, List[CounterSample]]`` —
+        iteration, ``.get``/``.items``, per-VM ``len``/indexing/slicing —
+        but samples recorded by batch epochs materialise only when a
+        scalar path, report or example actually indexes them.
+        """
+        return self._counter_store.histories
+
     def latest_counters(self, name: str) -> Optional[CounterSample]:
         """The most recent counter sample for a VM, or None before the first epoch."""
-        history = self.counter_history.get(name, [])
-        return history[-1] if history else None
+        return self._counter_store.latest_sample(name)
 
     def latest_performance(self, name: str) -> Optional[VMPerformance]:
         history = self.performance_history.get(name, [])

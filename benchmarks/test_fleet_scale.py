@@ -46,7 +46,12 @@ import numpy as np
 import pytest
 
 from repro.core.config import DeepDiveConfig
-from repro.fleet import InterferenceEpisode, build_fleet, synthesize_datacenter
+from repro.fleet import (
+    InterferenceEpisode,
+    build_fleet,
+    churn_timeline,
+    synthesize_datacenter,
+)
 from repro.metrics.counters import N_COUNTERS
 from repro.metrics.store import HostCounterStore
 
@@ -88,6 +93,25 @@ def _fast_config() -> DeepDiveConfig:
     )
 
 
+def _churn_timeline_for(
+    num_vms: int, num_shards: int, epochs: int, seed: int
+):
+    """A ~1%-per-epoch churn timeline sized to the fleet.
+
+    Half the churn budget goes to arrivals (``0.5% * num_vms`` per
+    epoch); short exponential lifetimes make departures match that rate
+    once the first tenants expire, so the steady event mix is roughly
+    1% of the VM population per epoch.
+    """
+    return churn_timeline(
+        [f"shard{s}" for s in range(num_shards)],
+        epochs=epochs,
+        seed=seed,
+        arrivals_per_epoch=max(0.25, 0.005 * num_vms),
+        mean_lifetime_epochs=max(4.0, epochs / 3.0),
+    )
+
+
 def _prepare_fleet(
     num_vms: int,
     num_shards: int,
@@ -98,14 +122,26 @@ def _prepare_fleet(
     executor: Optional[str] = None,
     track_performance: bool = False,
     history_mode: str = "lazy",
+    churn_epochs: Optional[int] = None,
 ):
     """Build, bootstrap and warm a fleet into a quiet steady state.
 
     The warmup epochs run with the analyzer enabled so the repositories
     certify the production behaviours; afterwards the monitoring path is
-    the steady-state hot loop the benchmarks time.
+    the steady-state hot loop the benchmarks time.  ``churn_epochs``
+    attaches a ~1%-per-epoch churn timeline covering that many epochs
+    (arrivals, departures and admission running alongside the hot loop).
     """
-    scenario = synthesize_datacenter(num_vms, num_shards=num_shards, seed=seed)
+    scenario = synthesize_datacenter(
+        num_vms,
+        num_shards=num_shards,
+        seed=seed,
+        timeline=(
+            _churn_timeline_for(num_vms, num_shards, churn_epochs, seed)
+            if churn_epochs is not None
+            else None
+        ),
+    )
     fleet = build_fleet(
         scenario,
         config=_fast_config(),
@@ -407,6 +443,84 @@ def _run_epoch_edge_comparison(
 
 
 # ----------------------------------------------------------------------
+# Churn comparison: steady-state hot loop vs 1%-per-epoch lifecycle
+# churn (arrivals through interference-aware admission, departures,
+# ring grow/shrink, demand-matrix and placement-cache rebuilds).
+# ----------------------------------------------------------------------
+def _time_epochs(fleet, epochs: int) -> float:
+    """Wall time of ``epochs`` consecutive epochs (analyzer off).
+
+    Churn makes consecutive epochs deliberately non-identical, so the
+    whole stretch is timed once instead of best-of-reps on one epoch.
+    """
+    start = time.perf_counter()
+    for _ in range(epochs):
+        fleet.run_epoch(analyze=False)
+    return time.perf_counter() - start
+
+
+def _run_churn_comparison(
+    num_vms: int, num_shards: int, epochs: int, seed: int = 7, reps: int = 2
+) -> Dict:
+    """Best-of-``reps`` stretches for both fleets (fresh fleets per rep;
+    a churn stretch is never the same epoch twice, so whole stretches —
+    not single epochs — are the comparable unit)."""
+    steady_s = float("inf")
+    churn_s = float("inf")
+    vms_before = vms_after = num_vms
+    lifecycle: Dict[str, Dict[str, int]] = {}
+    for _ in range(reps):
+        steady = _prepare_fleet(num_vms, num_shards, seed=seed)
+        steady_s = min(steady_s, _time_epochs(steady, epochs))
+        churn = _prepare_fleet(
+            num_vms, num_shards, seed=seed, churn_epochs=epochs + 10
+        )
+        vms_before = churn.total_vms()
+        warmup_stats = churn.lifecycle_stats()
+        elapsed = _time_epochs(churn, epochs)
+        if elapsed < churn_s:
+            churn_s = elapsed
+            vms_after = churn.total_vms()
+            # Only the timed stretch's events count toward the rate:
+            # the warmup epochs churned too.
+            lifecycle = {
+                shard_id: {
+                    key: value - warmup_stats.get(shard_id, {}).get(key, 0)
+                    for key, value in stats.items()
+                }
+                for shard_id, stats in churn.lifecycle_stats().items()
+            }
+    totals: Dict[str, int] = {}
+    for stats in lifecycle.values():
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    events = (
+        totals.get("arrivals_admitted", 0)
+        + totals.get("arrivals_rejected", 0)
+        + totals.get("departures", 0)
+    )
+    steady_rate = num_vms * epochs / steady_s
+    churn_vms = 0.5 * (vms_before + vms_after)
+    churn_rate = churn_vms * epochs / churn_s
+    return {
+        "benchmark": "fleet_churn",
+        "vms": num_vms,
+        "shards": num_shards,
+        "epochs": epochs,
+        "timing_reps": reps,
+        "lifecycle_events": events,
+        "churn_pct_per_epoch": 100.0 * events / (churn_vms * epochs),
+        "lifecycle_totals": totals,
+        "steady_epoch_seconds": steady_s / epochs,
+        "churn_epoch_seconds": churn_s / epochs,
+        "steady_vm_epochs_per_second": steady_rate,
+        "churn_vm_epochs_per_second": churn_rate,
+        "churn_throughput_fraction": churn_rate / steady_rate,
+        "unix_time": time.time(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Tiny-scale smoke runs (tier-1 time budget): pytest -m bench_smoke
 # ----------------------------------------------------------------------
 @pytest.mark.bench_smoke
@@ -453,19 +567,38 @@ def test_fleet_epoch_edge_smoke():
 
 
 @pytest.mark.bench_smoke
+def test_fleet_churn_smoke():
+    """Steady vs churn throughput at tiny scale: the lifecycle engine
+    must actually churn the fleet and both loops must complete (the
+    >= 50% throughput floor is asserted at 2k scale)."""
+    record = _run_churn_comparison(num_vms=60, num_shards=2, epochs=8)
+    assert record["lifecycle_events"] > 0, "the smoke timeline must churn"
+    assert record["churn_vm_epochs_per_second"] > 0
+    _merge_bench_record("fleet_churn_smoke", record)
+    print("\nfleet churn smoke:", json.dumps(record, indent=2))
+
+
+@pytest.mark.bench_smoke
 def test_fleet_executor_smoke():
     """The env-selected executor and history mode complete an epoch and
     agree with the serial loop (the CI matrix runs this under thread and
-    process executors plus an eager-history leg)."""
+    process executors plus eager-history and churn legs).  With
+    ``FLEET_SMOKE_CHURN=1`` both fleets carry the same churn timeline,
+    so the fingerprint comparison covers worker-side lifecycle
+    application too."""
     executor = os.environ.get("FLEET_SMOKE_EXECUTOR", "thread")
     history_mode = os.environ.get("FLEET_SMOKE_HISTORY_MODE", "lazy")
-    serial = _prepare_fleet(60, num_shards=2, executor="serial")
+    churn_epochs = 16 if os.environ.get("FLEET_SMOKE_CHURN") == "1" else None
+    serial = _prepare_fleet(
+        60, num_shards=2, executor="serial", churn_epochs=churn_epochs
+    )
     fleet = _prepare_fleet(
         60,
         num_shards=2,
         executor=executor,
         max_workers=2,
         history_mode=history_mode,
+        churn_epochs=churn_epochs,
     )
     try:
         reference = _columnar_fingerprint(
@@ -480,7 +613,11 @@ def test_fleet_executor_smoke():
             "benchmark": "fleet_executor_smoke",
             "executor": executor,
             "history_mode": history_mode,
-            "vms": fleet.total_vms(),
+            "churn": churn_epochs is not None,
+            # Live topology: under the process executor churn happens in
+            # the workers, so the parent's total_vms() is a stale
+            # template — stats() collects from the workers.
+            "vms": int(fleet.stats()["vms"]),
             "epoch_seconds": elapsed,
             "cpu_count": os.cpu_count(),
             "unix_time": time.time(),
@@ -596,6 +733,25 @@ def test_fleet_epoch_edge_10000_vms():
         f"acceptance floor (eager {record['eager_seconds']:.3f}s vs lazy "
         f"{record['lazy_seconds']:.3f}s for {record['epochs']} epochs at "
         f"{record['vms']} VMs)"
+    )
+
+
+def test_fleet_churn_scale_2000_vms():
+    """1%-per-epoch churn (arrivals via interference-aware admission,
+    departures, ring grow/shrink, cache rebuilds) must sustain >= 50%
+    of the steady-state ``Fleet.run_epoch`` VM-epochs/s at 2k VMs."""
+    record = _run_churn_comparison(num_vms=2000, num_shards=4, epochs=15)
+    _merge_bench_record("fleet_churn_2k", record)
+    print("\nfleet churn 2k:", json.dumps(record, indent=2))
+    assert record["lifecycle_events"] >= 100, (
+        f"expected a churn-heavy run, got {record['lifecycle_events']} events"
+    )
+    assert record["churn_throughput_fraction"] >= 0.5, (
+        f"churn throughput fell to "
+        f"{100 * record['churn_throughput_fraction']:.0f}% of steady state "
+        f"({record['churn_vm_epochs_per_second']:.0f} vs "
+        f"{record['steady_vm_epochs_per_second']:.0f} VM-epochs/s) — "
+        "below the 50% acceptance floor"
     )
 
 

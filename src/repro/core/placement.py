@@ -51,6 +51,28 @@ _AGGRESSIVENESS_COUNTER: Dict[Resource, str] = {
 }
 
 
+def contention_scores(pressure: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+    """Predicted degradation per host from resource overcommit.
+
+    ``pressure`` and ``capacity`` are ``(n_hosts, n_resources)`` arrays
+    (same resource columns in both).  Under proportional sharing a
+    resource at utilisation ``u > 1`` grants each demand only ``1/u`` of
+    what it asked for, so the predicted degradation is
+    ``max(0, 1 - 1/u)``; a host's score is its *worst* resource —
+    mirroring the manager's ``max(background, vm)`` scoring rule.  The
+    fleet lifecycle engine's interference-aware admission ranks
+    candidate hosts with this model (demand-derived, so scores are
+    identical across hardware substrates); the sandbox-profiled
+    :meth:`PlacementManager.evaluate_candidate` remains the
+    high-fidelity path for confirmed-interference mitigation.
+    """
+    if pressure.shape != capacity.shape:
+        raise ValueError("pressure and capacity must have matching shapes")
+    util = pressure / np.maximum(capacity, 1e-12)
+    degradation = np.maximum(0.0, 1.0 - 1.0 / np.maximum(util, 1e-12))
+    return degradation.max(axis=1)
+
+
 @dataclass
 class CandidateEvaluation:
     """Predicted outcome of migrating the VM to one candidate host."""
@@ -310,7 +332,9 @@ class PlacementManager:
         if not recent:
             recent = [CounterSample.zeros()]
         candidates = {
-            name: h for name, h in cluster.hosts.items() if name != victim_host
+            name: h
+            for name, h in cluster.hosts.items()
+            if name != victim_host and name not in cluster.drained_hosts
         }
         decision = self.decide(
             vm,

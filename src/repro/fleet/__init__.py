@@ -24,25 +24,47 @@ from repro.fleet.executor import (
     ThreadShardExecutor,
 )
 from repro.fleet.fleet import Fleet, FleetEpochReport, FleetRunSummary, FleetShard
+from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine, LifecycleStats
 from repro.fleet.scenario import (
     DatacenterScenario,
     InterferenceEpisode,
     build_fleet,
     synthesize_datacenter,
 )
+from repro.fleet.timeline import (
+    FleetTimeline,
+    FlashCrowd,
+    HostDrain,
+    HostReturn,
+    LoadPhase,
+    VMArrival,
+    VMDeparture,
+    churn_timeline,
+)
 
 __all__ = [
+    "AdmissionPolicy",
     "ColumnarFleetReport",
     "ColumnarShardReport",
     "Fleet",
     "FleetEpochReport",
     "FleetRunSummary",
     "FleetShard",
+    "FleetTimeline",
+    "FlashCrowd",
+    "HostDrain",
+    "HostReturn",
+    "LifecycleEngine",
+    "LifecycleStats",
+    "LoadPhase",
     "ProcessShardExecutor",
     "SerialShardExecutor",
     "ThreadShardExecutor",
+    "VMArrival",
+    "VMDeparture",
     "DatacenterScenario",
     "InterferenceEpisode",
     "build_fleet",
     "synthesize_datacenter",
+    "churn_timeline",
 ]

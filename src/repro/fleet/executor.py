@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from repro.hardware.batch import N_COUNTERS
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.deepdive import EpochReport
     from repro.fleet.fleet import FleetShard, ScheduledStress
+    from repro.fleet.lifecycle import LifecycleEngine
 
 #: Supported shard execution strategies.
 EXECUTOR_KINDS = ("serial", "thread", "process")
@@ -247,14 +249,23 @@ class SerialShardExecutor:
         self,
         shards: Mapping[str, "FleetShard"],
         schedule: Sequence["ScheduledStress"],
+        lifecycle: Optional["LifecycleEngine"] = None,
     ) -> None:
         self._shards = shards
         self._schedule = schedule
+        self._lifecycle = lifecycle
+
+    def _pre_epoch(self, epoch: int) -> None:
+        """Lifecycle events first (they may move or remove the very VMs
+        the stress schedule addresses), then the stress schedule."""
+        if self._lifecycle is not None:
+            self._lifecycle.apply(self._shards, epoch)
+        apply_stress_schedule(self._shards, self._schedule, epoch)
 
     def run_shard_epochs(
         self, epoch: int, analyze: bool, report: str
     ) -> Dict[str, ShardEpochResult]:
-        apply_stress_schedule(self._shards, self._schedule, epoch)
+        self._pre_epoch(epoch)
         out: Dict[str, ShardEpochResult] = {}
         for shard_id, shard in self._shards.items():
             out[shard_id] = _shard_epoch(shard_id, shard, epoch, analyze, report)
@@ -283,8 +294,9 @@ class ThreadShardExecutor(SerialShardExecutor):
         shards: Mapping[str, "FleetShard"],
         schedule: Sequence["ScheduledStress"],
         max_workers: int,
+        lifecycle: Optional["LifecycleEngine"] = None,
     ) -> None:
-        super().__init__(shards, schedule)
+        super().__init__(shards, schedule, lifecycle=lifecycle)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="fleet-shard"
         )
@@ -295,7 +307,9 @@ class ThreadShardExecutor(SerialShardExecutor):
     def run_shard_epochs(
         self, epoch: int, analyze: bool, report: str
     ) -> Dict[str, ShardEpochResult]:
-        apply_stress_schedule(self._shards, self._schedule, epoch)
+        # Lifecycle + stress mutations run single-threaded before the
+        # dispatch, so worker threads only ever race on disjoint shards.
+        self._pre_epoch(epoch)
         futures = {
             shard_id: self._pool.submit(
                 _shard_epoch, shard_id, shard, epoch, analyze, report
@@ -325,9 +339,10 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _worker_init(payload: bytes) -> None:
-    shards, schedule = pickle.loads(payload)
+    shards, schedule, lifecycle = pickle.loads(payload)
     _WORKER_STATE["shards"] = {shard.shard_id: shard for shard in shards}
     _WORKER_STATE["schedule"] = schedule
+    _WORKER_STATE["lifecycle"] = lifecycle
     _WORKER_STATE["sent_names"] = {}
 
 
@@ -345,6 +360,11 @@ def _worker_run_epoch(
 ) -> List[Tuple[str, ShardEpochResult]]:
     shards: Dict[str, "FleetShard"] = _WORKER_STATE["shards"]
     sent_names: Dict[str, Tuple[str, ...]] = _WORKER_STATE["sent_names"]
+    lifecycle = _WORKER_STATE.get("lifecycle")
+    if lifecycle is not None:
+        # Each worker owns its shards' lifecycle subset; churn therefore
+        # happens where the state lives, epochs before the stress toggle.
+        lifecycle.apply(shards, epoch)
     apply_stress_schedule(shards, _WORKER_STATE["schedule"], epoch)
     out: List[Tuple[str, ShardEpochResult]] = []
     for shard_id, shard in shards.items():
@@ -362,6 +382,8 @@ def _worker_run_epoch(
 
 def _worker_collect() -> Dict[str, Dict[str, object]]:
     collected: Dict[str, Dict[str, object]] = {}
+    lifecycle = _WORKER_STATE.get("lifecycle")
+    lifecycle_stats = lifecycle.stats_dict() if lifecycle is not None else {}
     for shard_id, shard in _WORKER_STATE["shards"].items():
         deepdive = shard.deepdive
         collected[shard_id] = {
@@ -370,6 +392,9 @@ def _worker_collect() -> Dict[str, Dict[str, object]]:
             "analyzer_invocations": deepdive.analyzer_invocations(),
             "profiling_seconds": deepdive.total_profiling_seconds(),
             "repository_bytes": deepdive.repository_size_bytes(),
+            "vms": len(shard.cluster.all_vms()),
+            "hosts": len(shard.cluster.hosts),
+            "lifecycle": lifecycle_stats.get(shard_id, {}),
         }
     return collected
 
@@ -399,9 +424,11 @@ class ProcessShardExecutor:
         schedule: Sequence["ScheduledStress"],
         max_workers: int,
         start_method: str = "spawn",
+        lifecycle: Optional["LifecycleEngine"] = None,
     ) -> None:
         self._shards = shards
         self._schedule = list(schedule)
+        self._lifecycle = lifecycle
         self._shard_order = list(shards)
         self._start_method = start_method
         workers = max(1, min(max_workers, len(self._shard_order)))
@@ -433,6 +460,15 @@ class ProcessShardExecutor:
                 "process shard executor was shut down; build a new Fleet "
                 "to start another run"
             )
+        if self._lifecycle is not None and self._lifecycle.record_decisions:
+            warnings.warn(
+                "lifecycle record_decisions: the placement-decision log is "
+                "recorded inside the worker processes and is not collected "
+                "back to the parent engine; audit admission decisions with "
+                "a serial or thread fleet instead",
+                RuntimeWarning,
+                stacklevel=4,
+            )
         context = multiprocessing.get_context(self._start_method)
         pools: List[ProcessPoolExecutor] = []
         for group in self._groups:
@@ -441,6 +477,9 @@ class ProcessShardExecutor:
                 (
                     [self._shards[shard_id] for shard_id in group],
                     [s for s in self._schedule if s.shard_id in members],
+                    self._lifecycle.subset(group)
+                    if self._lifecycle is not None
+                    else None,
                 ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -524,10 +563,15 @@ def make_shard_executor(
     shards: Mapping[str, "FleetShard"],
     schedule: Sequence["ScheduledStress"],
     max_workers: int,
+    lifecycle: Optional["LifecycleEngine"] = None,
 ) -> Union[SerialShardExecutor, ThreadShardExecutor, ProcessShardExecutor]:
     """Instantiate the strategy for ``kind`` (see :data:`EXECUTOR_KINDS`)."""
     if kind == "process":
-        return ProcessShardExecutor(shards, schedule, max_workers=max_workers)
+        return ProcessShardExecutor(
+            shards, schedule, max_workers=max_workers, lifecycle=lifecycle
+        )
     if kind == "thread" and max_workers > 1 and len(shards) > 1:
-        return ThreadShardExecutor(shards, schedule, max_workers=max_workers)
-    return SerialShardExecutor(shards, schedule)
+        return ThreadShardExecutor(
+            shards, schedule, max_workers=max_workers, lifecycle=lifecycle
+        )
+    return SerialShardExecutor(shards, schedule, lifecycle=lifecycle)

@@ -23,7 +23,16 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.config import DeepDiveConfig
 from repro.core.deepdive import DeepDive, EpochReport
@@ -34,8 +43,12 @@ from repro.fleet.executor import (
     ProcessShardExecutor,
     make_shard_executor,
 )
+from repro.fleet.lifecycle import LifecycleStats
 from repro.virt.cluster import Cluster
 from repro.virt.sandbox import SandboxEnvironment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.lifecycle import LifecycleEngine
 
 
 class FleetShard:
@@ -104,13 +117,25 @@ class FleetShard:
         The steady-state baseline loads are pushed to the hosts and the
         monitoring proxies only when they changed (hosts retain per-VM
         loads between epochs), so the unchanged steady-state map adds no
-        per-VM work to the hot loop.
+        per-VM work to the hot loop.  Under lifecycle churn the map
+        changes most epochs, so only the *changed* entries are pushed —
+        unchanged VMs keep their host-resident load and their last proxy
+        observation, exactly as in a steady fleet.
         """
         if self.baseline_loads != self._pushed_loads:
-            loads = dict(self.baseline_loads)
-            self._pushed_loads = loads
-            self.cluster.step(loads=loads)
-            return self.deepdive.run_epoch(loads=loads, analyze=analyze)
+            pushed = self._pushed_loads
+            if pushed is None:
+                delta = dict(self.baseline_loads)
+            else:
+                delta = {
+                    name: load
+                    for name, load in self.baseline_loads.items()
+                    if pushed.get(name) != load
+                }
+            self._pushed_loads = dict(self.baseline_loads)
+            if delta:
+                self.cluster.step(loads=delta)
+                return self.deepdive.run_epoch(loads=delta, analyze=analyze)
         self.cluster.step()
         return self.deepdive.run_epoch(analyze=analyze)
 
@@ -211,6 +236,13 @@ class Fleet:
         fleet's own shard objects are the start-of-run template, and
         mid-run mutations of them (or of ``schedule``) do not reach the
         workers — fleet statistics are fetched from the workers instead.
+    lifecycle:
+        Optional :class:`~repro.fleet.lifecycle.LifecycleEngine` whose
+        timeline (VM churn, host maintenance, load phases) is applied
+        before each epoch's simulation step, wherever the shard state
+        lives.  The timeline is validated against the fleet topology at
+        construction; an event referencing an unknown shard or host
+        raises :class:`ValueError` immediately.
     """
 
     def __init__(
@@ -219,6 +251,7 @@ class Fleet:
         schedule: Optional[Sequence["ScheduledStress"]] = None,
         max_workers: Optional[int] = None,
         executor: Optional[str] = None,
+        lifecycle: Optional["LifecycleEngine"] = None,
     ) -> None:
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -240,6 +273,9 @@ class Fleet:
                 raise ValueError(f"duplicate shard id {shard.shard_id!r}")
             self.shards[shard.shard_id] = shard
         self.schedule: List[ScheduledStress] = list(schedule or [])
+        self.lifecycle = lifecycle
+        if lifecycle is not None:
+            lifecycle.validate(self.shards)
         self.current_epoch = 0
         self.max_workers = max_workers
         self.executor = executor
@@ -281,6 +317,7 @@ class Fleet:
                 self.shards,
                 self.schedule,
                 max_workers=self.max_workers or 1,
+                lifecycle=self.lifecycle,
             )
         return self._strategy
 
@@ -440,6 +477,10 @@ class Fleet:
             repository_bytes = sum(s["repository_bytes"] for s in per_shard)
             detections = sum(len(s["detections"]) for s in per_shard)
             migrations = sum(len(s["migrations"]) for s in per_shard)
+            # Under lifecycle churn the parent's shard objects are a
+            # stale template; the workers report the live topology.
+            vms = sum(s.get("vms", 0) for s in per_shard)
+            hosts = sum(s.get("hosts", 0) for s in per_shard)
         else:
             analyzer_invocations = sum(
                 s.deepdive.analyzer_invocations() for s in self.shards.values()
@@ -452,16 +493,46 @@ class Fleet:
             )
             detections = len(self.detections())
             migrations = len(self.migrations())
+            vms = self.total_vms()
+            hosts = self.total_hosts()
         return {
             "shards": float(len(self.shards)),
-            "hosts": float(self.total_hosts()),
-            "vms": float(self.total_vms()),
+            "hosts": float(hosts),
+            "vms": float(vms),
             "epochs": float(self.current_epoch),
             "detections": float(detections),
             "migrations": float(migrations),
             "analyzer_invocations": float(analyzer_invocations),
             "profiling_seconds": float(profiling_seconds),
             "repository_bytes": float(repository_bytes),
+        }
+
+    def lifecycle_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard lifecycle counters (arrivals, departures, drains...).
+
+        Empty when the fleet has no lifecycle engine; otherwise one
+        entry per shard (all-zero counters for shards the timeline never
+        touched), whichever executor runs the engine.  Under the process
+        strategy the counters come from the workers (where the engine
+        subsets actually ran); otherwise from the fleet's own engine.
+        """
+        if self.lifecycle is None:
+            return {}
+        collected = self._collected()
+        if collected is not None:
+            per_shard = {
+                shard_id: dict(collected[shard_id].get("lifecycle") or {})
+                for shard_id in self.shards
+            }
+        else:
+            stats = self.lifecycle.stats_dict()
+            per_shard = {
+                shard_id: stats.get(shard_id, {}) for shard_id in self.shards
+            }
+        zeros = LifecycleStats().as_dict()
+        return {
+            shard_id: (stats if stats else dict(zeros))
+            for shard_id, stats in per_shard.items()
         }
 
 

@@ -21,28 +21,25 @@ import numpy as np
 
 from repro.core.config import DeepDiveConfig
 from repro.fleet.fleet import Fleet, FleetShard, ScheduledStress
+from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine
+from repro.fleet.timeline import ARRIVAL_WORKLOADS, FleetTimeline
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.virt.cluster import Cluster
 from repro.virt.sandbox import SandboxEnvironment
 from repro.virt.vm import VirtualMachine
 from repro.workloads.base import Workload
-from repro.workloads.cloud import (
-    DataAnalyticsWorkload,
-    DataServingWorkload,
-    WebSearchWorkload,
-)
 from repro.workloads.stress import (
     DiskStressWorkload,
     MemoryStressWorkload,
     NetworkStressWorkload,
 )
 
-#: Production workload factories the scenario mix draws from.
-WORKLOAD_FACTORIES: Dict[str, Callable[[Optional[int]], Workload]] = {
-    "data_serving": lambda seed: DataServingWorkload(seed=seed),
-    "web_search": lambda seed: WebSearchWorkload(seed=seed),
-    "data_analytics": lambda seed: DataAnalyticsWorkload(seed=seed),
-}
+#: Production workload factories the scenario mix draws from (shared
+#: with lifecycle-timeline arrivals, so churned-in tenants run the same
+#: application population the fleet bootstrapped).
+WORKLOAD_FACTORIES: Dict[str, Callable[[Optional[int]], Workload]] = dict(
+    ARRIVAL_WORKLOADS
+)
 
 #: Stress workload factories for interference episodes.
 STRESS_FACTORIES: Dict[str, Callable[[Optional[int]], Workload]] = {
@@ -123,6 +120,14 @@ class DatacenterScenario:
     #: baseline.
     anti_affinity: Tuple[str, ...] = ("data_analytics",)
     episodes: Sequence[InterferenceEpisode] = ()
+    #: Optional lifecycle timeline (VM churn, host maintenance, load
+    #: phases) applied by a :class:`~repro.fleet.lifecycle.LifecycleEngine`
+    #: before each epoch.  Shard ids follow the build's ``shard{i}``
+    #: naming; host names are ``s{i}pm{j}``.
+    timeline: Optional[FleetTimeline] = None
+    #: Admission policy for timeline arrivals and drain evacuations; the
+    #: default derives anti-affinity from the scenario's own rule.
+    admission: Optional[AdmissionPolicy] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -234,6 +239,12 @@ def build_fleet(
         access; ``"eager"`` materialises every epoch immediately (the
         reference mode, bit-identical results — pinned by
         ``tests/property/test_lazy_history_equivalence.py``).
+
+    A scenario with a ``timeline`` gets a
+    :class:`~repro.fleet.lifecycle.LifecycleEngine` attached to the
+    fleet: identical timelines produce bit-identical fleet evolutions
+    for every substrate/history-mode/executor combination
+    (``tests/property/test_lifecycle_equivalence.py``).
     """
     config = config or DeepDiveConfig()
     rng = np.random.default_rng(scenario.seed)
@@ -328,6 +339,16 @@ def build_fleet(
                 baseline_loads=baseline_loads,
             )
         )
+    lifecycle: Optional[LifecycleEngine] = None
+    if scenario.timeline is not None:
+        admission = scenario.admission or AdmissionPolicy(
+            anti_affinity=tuple(scenario.anti_affinity)
+        )
+        lifecycle = LifecycleEngine(scenario.timeline, admission=admission)
     return Fleet(
-        shards, schedule=schedule, max_workers=max_workers, executor=executor
+        shards,
+        schedule=schedule,
+        max_workers=max_workers,
+        executor=executor,
+        lifecycle=lifecycle,
     )

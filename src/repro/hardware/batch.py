@@ -29,7 +29,7 @@ tolerance ``1e-9`` relative), which cannot change any warning decision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +60,13 @@ DEMAND_FIELDS: Tuple[str, ...] = (
     "network_mbit",
     "write_fraction",
 )
+
+#: Column index per packed demand field — for consumers (admission
+#: scoring, diagnostics) that read individual columns out of packed
+#: demand rows without materialising :class:`ResourceDemand` objects.
+DEMAND_FIELD_INDEX: Dict[str, int] = {
+    name: i for i, name in enumerate(DEMAND_FIELDS)
+}
 
 
 def pack_demand(demand: ResourceDemand) -> Tuple[float, ...]:

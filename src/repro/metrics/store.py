@@ -33,6 +33,22 @@ The lazy store is a pure optimisation of the eager per-VM history:
   live as plain per-VM sample lists inside the store, exactly as
   before (object identity included).
 
+Mid-run placement changes (the grow/shrink path)
+------------------------------------------------
+The ring is sized to the VM set of the segment it serves, **not** to a
+construction-time ``n_vms``: when VMs register after construction the
+store resizes the ring in place instead of silently mis-sizing (or
+paying a full flush).  A VM *appended* to the name tuple (an arrival,
+or a migration target) grows the ring's VM axis — existing columns,
+ring contents and ``trimmed_length`` phases are preserved, and the new
+VM's history simply begins at the epoch it joined.  VMs *removed* from
+the tuple (a departure or migration source) shrink the ring after
+materialising just their own column into their retained sample list.
+Only a reordering or a combined add+remove falls back to the full
+flush-and-restart.  Lifecycle churn therefore keeps the single-array
+ingest hot path; ``tests/metrics/test_counter_store.py`` pins the
+grow/shrink semantics against the eager reference.
+
 ``tests/property/test_lazy_history_equivalence.py`` pins the contract
 fleet-wide; ``tests/metrics/test_counter_store.py`` pins it at the
 store level.
@@ -83,6 +99,13 @@ def trimmed_length(total: int, limit: Optional[int]) -> int:
     return limit + (total - 2 * limit - 1) % (limit + 1)
 
 
+def _is_subsequence(needle: Tuple[str, ...], haystack: Tuple[str, ...]) -> bool:
+    """Whether ``needle`` is ``haystack`` with some elements removed
+    (relative order preserved) — the shape of a pure VM departure."""
+    it = iter(haystack)
+    return all(name in it for name in needle)
+
+
 def sample_row(sample: CounterSample) -> np.ndarray:
     """One sample's counters as a ``(len(COUNTER_NAMES),)`` float row."""
     return np.array(
@@ -122,9 +145,16 @@ class HostCounterStore:
         # --- live ring segment (one per stable VM-name tuple) ---
         self._ring_names: Optional[Tuple[str, ...]] = None
         self._ring_index: Dict[str, int] = {}
-        #: Logical history length per ring VM at ring start.
+        #: Logical history length per ring VM at the epoch it joined.
         self._ring_base: Dict[str, int] = {}
-        #: True when every ring VM started the segment with no history
+        #: Ring epoch (0-based within the segment) each VM joined at —
+        #: 0 for founding members, ``_appended`` at join time for VMs
+        #: added through the grow path.
+        self._ring_start: Dict[str, int] = {}
+        #: Largest join epoch among the current ring VMs (0 when every
+        #: VM founded the segment); gates the columnar window fast path.
+        self._ring_max_start = 0
+        #: True when every ring VM joined at epoch 0 with no history
         #: (lets the window fast path validate a short window in O(1)).
         self._ring_all_new = False
         self._ring_data: Optional[np.ndarray] = None
@@ -158,12 +188,23 @@ class HostCounterStore:
 
         The hot path of the store — one array assignment into the ring
         (plus, in eager mode, the reference per-VM materialisation).
-        A change in the VM-name tuple (migrations, added VMs) flushes
-        the previous ring segment into the per-VM sample lists first.
+        A change in the VM-name tuple resizes the ring in place when the
+        change is a pure append (VMs arriving) or a pure removal (VMs
+        departing, order preserved); any other change flushes the
+        previous ring segment into the per-VM sample lists first.
         """
         if names != self._ring_names:
-            self.flush()
-            self._start_ring(names, int(block.shape[0]))
+            old = self._ring_names
+            if old is None or self._appended == 0:
+                self.flush()
+                self._start_ring(names, int(block.shape[0]))
+            elif len(names) > len(old) and names[: len(old)] == old:
+                self._grow_vms(names)
+            elif names and len(names) < len(old) and _is_subsequence(names, old):
+                self._shrink_vms(names)
+            else:
+                self.flush()
+                self._start_ring(names, int(block.shape[0]))
         data = self._ring_data
         cap = data.shape[0]
         if self._appended >= cap:
@@ -207,35 +248,47 @@ class HostCounterStore:
         if names is None:
             return
         if self.lazy and self._appended:
-            a = self._appended
-            data = self._ring_data
-            eps = self._ring_eps
-            cap = data.shape[0]
             for name in names:
-                length = self.length(name)
-                live_ring = min(length, a)
-                live_prefix = length - live_ring
-                prefix = self._prefix[name]
-                kept = (
-                    prefix[len(prefix) - live_prefix:] if live_prefix else []
-                )
-                col = self._ring_index[name]
-                for j in range(a - live_ring, a):
-                    pos = j % cap
-                    kept.append(
-                        CounterSample(
-                            *data[pos, col].tolist(),
-                            epoch_seconds=float(eps[pos]),
-                        )
-                    )
-                self._prefix[name] = kept
+                self._flush_vm(name)
         self._ring_names = None
         self._ring_index = {}
         self._ring_base = {}
+        self._ring_start = {}
+        self._ring_max_start = 0
         self._ring_all_new = False
         self._ring_data = None
         self._ring_eps = None
         self._appended = 0
+
+    def _flush_vm(self, name: str) -> None:
+        """Materialise one ring VM's live samples into its prefix list.
+
+        After the call ``self._prefix[name]`` holds exactly the VM's
+        logical (trimmed) history; the caller is responsible for taking
+        the VM out of the ring bookkeeping.  Eager stores already keep
+        the prefix lists current, so this is lazy-only work.
+        """
+        if not self.lazy:
+            return
+        a = self._appended
+        data = self._ring_data
+        eps = self._ring_eps
+        cap = data.shape[0]
+        length = self.length(name)
+        live_ring = min(length, a - self._ring_start[name])
+        live_prefix = length - live_ring
+        prefix = self._prefix[name]
+        kept = prefix[len(prefix) - live_prefix:] if live_prefix else []
+        col = self._ring_index[name]
+        for j in range(a - live_ring, a):
+            pos = j % cap
+            kept.append(
+                CounterSample(
+                    *data[pos, col].tolist(),
+                    epoch_seconds=float(eps[pos]),
+                )
+            )
+        self._prefix[name] = kept
 
     def _start_ring(self, names: Tuple[str, ...], n_vms: int) -> None:
         limit = self.history_limit
@@ -247,10 +300,62 @@ class HostCounterStore:
             self.ensure(name)
             base[name] = len(self._prefix[name])
         self._ring_base = base
+        self._ring_start = {name: 0 for name in names}
+        self._ring_max_start = 0
         self._ring_all_new = all(value == 0 for value in base.values())
         self._ring_data = np.empty((capacity, n_vms, N_COUNTERS), dtype=float)
         self._ring_eps = np.empty(capacity, dtype=float)
         self._appended = 0
+
+    def _grow_vms(self, names: Tuple[str, ...]) -> None:
+        """Extend the ring's VM axis in place (``names`` appends VMs).
+
+        The documented grow path for post-construction VM registration:
+        existing columns (and therefore every resident VM's ring
+        contents, ``trimmed_length`` phase and window reads) carry over
+        untouched; the appended VMs' histories begin at the current
+        epoch, recorded in ``_ring_start`` so lengths and window folds
+        never read rows from before they joined.
+        """
+        old_data = self._ring_data
+        capacity, n_old = old_data.shape[0], old_data.shape[1]
+        data = np.empty((capacity, len(names), N_COUNTERS), dtype=float)
+        data[:, :n_old] = old_data
+        self._ring_data = data
+        for name in names[n_old:]:
+            self.ensure(name)
+            self._ring_base[name] = len(self._prefix[name])
+            self._ring_start[name] = self._appended
+        self._ring_names = tuple(names)
+        self._ring_index = {name: i for i, name in enumerate(names)}
+        self._ring_max_start = max(self._ring_start.values())
+        self._ring_all_new = all(
+            self._ring_start[n] == 0 and self._ring_base[n] == 0 for n in names
+        )
+
+    def _shrink_vms(self, names: Tuple[str, ...]) -> None:
+        """Drop departed VMs' columns in place (``names`` removes VMs).
+
+        Each departed VM's own column is materialised into its retained
+        sample list first (histories survive departure, as with a full
+        flush), then the ring keeps serving the remaining VMs without
+        interrupting the segment.
+        """
+        old = self._ring_names
+        keep = set(names)
+        for name in old:
+            if name not in keep:
+                self._flush_vm(name)
+                del self._ring_base[name]
+                del self._ring_start[name]
+        cols = [self._ring_index[name] for name in names]
+        self._ring_data = np.ascontiguousarray(self._ring_data[:, cols])
+        self._ring_names = tuple(names)
+        self._ring_index = {name: i for i, name in enumerate(names)}
+        self._ring_max_start = max(self._ring_start.values())
+        self._ring_all_new = all(
+            self._ring_start[n] == 0 and self._ring_base[n] == 0 for n in names
+        )
 
     def _grow(self) -> np.ndarray:
         """Double an unlimited ring's capacity (amortised O(1) ingest)."""
@@ -288,8 +393,9 @@ class HostCounterStore:
         if prefix is None:
             raise KeyError(name)
         if self._in_lazy_ring(name):
+            appended = self._appended - self._ring_start[name]
             return trimmed_length(
-                self._ring_base[name] + self._appended, self.history_limit
+                self._ring_base[name] + appended, self.history_limit
             )
         return len(prefix)
 
@@ -299,7 +405,7 @@ class HostCounterStore:
             return self._prefix[name][index]
         length = self.length(name)
         a = self._appended
-        live_ring = min(length, a)
+        live_ring = min(length, a - self._ring_start[name])
         live_prefix = length - live_ring
         if index < live_prefix:
             prefix = self._prefix[name]
@@ -330,11 +436,12 @@ class HostCounterStore:
 
         Returns ``None`` when the ring cannot serve the window exactly
         as the per-sample assembly would — the VM set changed since the
-        segment started, a ``history_limit`` shorter than the window
-        trims the sample windows, or some VM is younger than the window
-        (unless the segment covers the host's entire life).  The window
-        sum is a left fold in epoch order, bit-identical to
-        ``aggregate_samples`` over the materialised samples.
+        segment started in a way the grow/shrink path could not absorb,
+        a ``history_limit`` shorter than the window trims the sample
+        windows, or some VM is younger than the window (unless the
+        segment covers the host's entire life).  The window sum is a
+        left fold in epoch order, bit-identical to ``aggregate_samples``
+        over the materialised samples.
         """
         if self._ring_names is None or self._ring_names != current_names:
             return None
@@ -344,7 +451,7 @@ class HostCounterStore:
         limit = self.history_limit
         if limit is not None and window > limit:
             return None
-        if a >= window:
+        if a - self._ring_max_start >= window:
             k = window
         elif a == current_epoch and self._ring_all_new:
             # The segment (and every VM's history) covers the host's
@@ -380,7 +487,7 @@ class HostCounterStore:
         rows: List[np.ndarray] = []
         if self._in_lazy_ring(name):
             a = self._appended
-            live_ring = min(length, a)
+            live_ring = min(length, a - self._ring_start[name])
             live_prefix = length - live_ring
             prefix = self._prefix[name]
             data = self._ring_data

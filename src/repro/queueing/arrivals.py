@@ -40,6 +40,31 @@ class ArrivalProcess(abc.ABC):
             return np.empty(0)
         return np.cumsum(self.interarrival_times(count))
 
+    def arrival_epochs(
+        self, horizon_epochs: int, epoch_seconds: float = 1.0
+    ) -> np.ndarray:
+        """Epoch indices of every arrival inside ``[0, horizon_epochs)``.
+
+        Draws inter-arrival gaps (in batches, from the process's seeded
+        generator) until the cumulative time passes the horizon, then
+        quantises the timestamps onto the epoch grid — the form the
+        fleet lifecycle timelines consume.  Deterministic in the
+        process seed; a non-decreasing ``int`` array is returned.
+        """
+        if horizon_epochs < 1:
+            raise ValueError("horizon_epochs must be positive")
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        horizon_seconds = horizon_epochs * epoch_seconds
+        expected = horizon_seconds / self.mean_interarrival_seconds
+        count = max(16, int(expected * 1.5) + 8)
+        times = self.arrival_times(count)
+        while times.size and times[-1] < horizon_seconds:
+            count *= 2
+            times = self.arrival_times(count)
+        epochs = np.floor(times / epoch_seconds).astype(int)
+        return epochs[epochs < horizon_epochs]
+
 
 class PoissonArrivals(ArrivalProcess):
     """Exponential inter-arrival times (a Poisson arrival process)."""

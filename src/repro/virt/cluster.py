@@ -113,6 +113,13 @@ class Cluster:
                 history_mode=history_mode,
             )
         self.migration_engine = migration_engine or MigrationEngine()
+        #: Hosts currently out of service for maintenance.  Every
+        #: placement flow respects it: the lifecycle engine's admission
+        #: and drain evacuations, and the placement manager's
+        #: mitigation migrations (:meth:`PlacementManager.resolve_interference`
+        #: skips drained candidates).  Simulation still steps drained
+        #: hosts (they may hold stranded VMs until capacity appears).
+        self.drained_hosts: set = set()
         self.current_epoch = 0
         #: Cached VM -> (host, VM) placement map plus the placement
         #: signature it was built at (see :meth:`_placement_signature`).
@@ -158,6 +165,20 @@ class Cluster:
         """The host currently running ``vm_name``, or None."""
         entry = self._placement().get(vm_name)
         return entry[0] if entry is not None else None
+
+    def remove_vm(self, vm_name: str) -> VirtualMachine:
+        """Remove a VM from the cluster entirely (a tenant departure).
+
+        The host's placement version bumps, so every placement-derived
+        cache (placement map, batch group layouts, packed demand
+        matrices, counter-store ring segment) refreshes on the next
+        epoch; the VM's counter/performance histories are retained on
+        its last host, exactly as after :meth:`Host.remove_vm`.
+        """
+        host_name = self.host_of(vm_name)
+        if host_name is None:
+            raise KeyError(f"VM {vm_name!r} not placed in the cluster")
+        return self.hosts[host_name].remove_vm(vm_name)
 
     def _placement_signature(self) -> Tuple[int, int]:
         """Cheap fingerprint of the cluster's placement state.

@@ -61,6 +61,19 @@ class LoadTrace:
         """Scale every load value by ``factor``."""
         return LoadTrace(self.values * factor, self.epoch_seconds, self.name)
 
+    def quantized(self, quantum: float) -> "LoadTrace":
+        """Round every value to the nearest multiple of ``quantum``.
+
+        Used when a trace drives fleet-wide load phases: quantisation
+        collapses noisy neighbouring epochs onto the same level, so a
+        phase event fires only on genuine level changes and steady
+        stretches keep the hosts' cached demand matrices valid.
+        """
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        values = np.round(self.values / quantum) * quantum
+        return LoadTrace(values, self.epoch_seconds, self.name)
+
     def slice(self, start: int, stop: int) -> "LoadTrace":
         return LoadTrace(self.values[start:stop], self.epoch_seconds, self.name)
 

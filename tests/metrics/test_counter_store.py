@@ -142,6 +142,130 @@ class TestIngestEquivalence:
             eager.ingest(("a", "b"), block, 1.0)
             _assert_equal_stores(lazy, eager)
 
+    def test_grow_path_preserves_ring_continuity(self):
+        """Post-construction VM registration takes the in-place grow
+        path: the segment (and the resident VMs' ring contents) carries
+        over instead of flushing, and the appended VM's history begins
+        at the epoch it joined."""
+        limit = 4
+        lazy, eager = _pair(limit, lazy_names=("a", "b"))
+        for epoch in range(3):
+            block = _block(epoch, 2)
+            lazy.ingest(("a", "b"), block, 1.0)
+            eager.ingest(("a", "b"), block, 1.0)
+        appended_before = lazy._appended
+        for store in (lazy, eager):
+            store.ensure("c")
+        for epoch in range(3, 6):
+            block = _block(epoch, 3)
+            lazy.ingest(("a", "b", "c"), block, 1.0)
+            eager.ingest(("a", "b", "c"), block, 1.0)
+            _assert_equal_stores(lazy, eager)
+        # The segment was grown, not restarted: epochs kept counting.
+        assert lazy._appended == appended_before + 3
+        assert len(lazy.histories["c"]) == 3
+        assert len(lazy.histories["a"]) == 6
+
+    def test_grow_path_preserves_trim_phase(self):
+        """Growing mid-sawtooth must not disturb the resident VMs'
+        amortised-trim phase (lengths keep replaying the eager trim)."""
+        limit = 2
+        lazy, eager = _pair(limit, lazy_names=("a",))
+        for epoch in range(2 * limit + 1):  # "a" is past its first trim
+            block = _block(epoch, 1)
+            lazy.ingest(("a",), block, 1.0)
+            eager.ingest(("a",), block, 1.0)
+        for store in (lazy, eager):
+            store.ensure("b")
+        for epoch in range(2 * limit + 1, 2 * limit + 9):
+            block = _block(epoch, 2)
+            lazy.ingest(("a", "b"), block, 1.0)
+            eager.ingest(("a", "b"), block, 1.0)
+            _assert_equal_stores(lazy, eager)
+
+    def test_grow_gates_window_fast_path_until_covered(self):
+        """After a grow, the columnar window fast path must refuse
+        windows the youngest VM cannot cover (the per-VM fallback trims
+        those), then resume serving exact folds once it can."""
+        store = HostCounterStore(history_limit=8, lazy=True)
+        for name in ("a", "b"):
+            store.ensure(name)
+        for epoch in range(4):
+            store.ingest(("a", "b"), _block(epoch, 2), 1.0)
+        store.ensure("c")
+        names = ("a", "b", "c")
+        store.ingest(names, _block(4, 3), 1.0)
+        assert store.window_view(3, names, 5) is None  # "c" has 1 epoch
+        assert store.window_view(1, names, 5) is not None
+        for epoch in range(5, 8):
+            store.ingest(names, _block(epoch, 3), 1.0)
+        view = store.window_view(3, names, 8)
+        assert view is not None
+        _got_names, latest, acc = view
+        for i, name in enumerate(names):
+            samples = store.histories[name][-3:]
+            expected = sample_row(samples[0])
+            for s in samples[1:]:
+                expected = expected + sample_row(s)
+            assert np.array_equal(acc[i], expected)
+            assert np.array_equal(latest[i], sample_row(samples[-1]))
+
+    def test_shrink_path_keeps_segment_and_departed_history(self):
+        """A pure removal shrinks the ring in place: the departed VM's
+        history is materialised and retained, the remaining VMs keep
+        their segment (the window fast path stays available)."""
+        lazy, eager = _pair(4, lazy_names=("a", "b", "c"))
+        names = ("a", "b", "c")
+        for epoch in range(5):
+            block = _block(epoch, 3)
+            lazy.ingest(names, block, 1.0)
+            eager.ingest(names, block, 1.0)
+        appended_before = lazy._appended
+        for epoch in range(5, 8):
+            block = _block(epoch, 2)
+            lazy.ingest(("a", "c"), block, 1.0)
+            eager.ingest(("a", "c"), block, 1.0)
+            _assert_equal_stores(lazy, eager)
+        assert lazy._appended == appended_before + 3
+        assert list(lazy.histories["b"]) == list(eager.histories["b"])
+        # The survivors' ring segment kept running: exact fast windows.
+        assert lazy.window_view(4, ("a", "c"), 8) is not None
+
+    def test_reorder_still_flushes(self):
+        """Only pure appends/removals resize in place; a reordering is
+        not a lifecycle shape and falls back to the full flush."""
+        lazy, eager = _pair(4, lazy_names=("a", "b"))
+        for epoch in range(3):
+            block = _block(epoch, 2)
+            lazy.ingest(("a", "b"), block, 1.0)
+            eager.ingest(("a", "b"), block, 1.0)
+        for epoch in range(3, 6):
+            block = _block(epoch, 2)
+            lazy.ingest(("b", "a"), block, 1.0)
+            eager.ingest(("b", "a"), block, 1.0)
+            _assert_equal_stores(lazy, eager)
+        assert lazy._appended == 3  # restarted segment
+
+    def test_departed_vm_can_rejoin_with_prior_history(self):
+        """Depart (shrink), then re-arrive (grow): the rejoining VM's
+        prefix history must splice with its new ring epochs exactly as
+        the eager lists do."""
+        limit = 3
+        lazy, eager = _pair(limit, lazy_names=("a", "b"))
+        for epoch in range(4):
+            block = _block(epoch, 2)
+            lazy.ingest(("a", "b"), block, 1.0)
+            eager.ingest(("a", "b"), block, 1.0)
+        for epoch in range(4, 6):
+            block = _block(epoch, 1)
+            lazy.ingest(("a",), block, 1.0)
+            eager.ingest(("a",), block, 1.0)
+        for epoch in range(6, 14):
+            block = _block(epoch, 2)
+            lazy.ingest(("a", "b"), block, 1.0)
+            eager.ingest(("a", "b"), block, 1.0)
+            _assert_equal_stores(lazy, eager)
+
     def test_epoch_seconds_preserved_per_epoch(self):
         lazy, eager = _pair(None, lazy_names=("a",))
         for epoch, eps in enumerate((0.5, 1.0, 2.0)):

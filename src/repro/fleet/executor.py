@@ -11,10 +11,13 @@ epochs run:
 * ``"process"`` — one single-worker
   :class:`~concurrent.futures.ProcessPoolExecutor` per shard group.
   Each worker process receives its shards' **full simulation state once**
-  (pickled at start-up), owns it for the rest of the run, and exchanges
-  only compact columnar epoch results with the parent — NumPy counter
-  blocks and decision arrays, never per-VM Python objects — so fleet
-  throughput scales with cores instead of with one interpreter.
+  (pickled at start-up), owns it for the rest of the run, and publishes
+  its columnar epoch results through double-buffered
+  :mod:`multiprocessing.shared_memory` segments
+  (:mod:`repro.fleet.shm`): decision arrays and counter-total rows are
+  written in place and only a tiny descriptor crosses the pool pipe, so
+  fleet throughput scales with cores instead of with one interpreter
+  and the IPC tax stays near zero.
 
 Whatever the strategy, per-shard results merge in shard insertion
 order and every shard evolves from its own pickled RNG state, so a
@@ -31,6 +34,7 @@ strategy behaves identically on every platform and Python version.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import warnings
 import weakref
@@ -41,6 +45,12 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.warning import WarningAction
+from repro.fleet.shm import (
+    ShmBlockReader,
+    ShmBlockWriter,
+    ShmEpochDescriptor,
+    close_readers,
+)
 from repro.hardware.batch import N_COUNTERS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -118,9 +128,15 @@ class ColumnarShardReport:
     #: Whether interference was confirmed (analysis or known signature).
     confirmed: np.ndarray
     #: Sum of the shard's raw counter block for the epoch (Table-1
-    #: column order), or ``None`` when a host has no resident batch
-    #: epoch (scalar substrate).  Fleet-level telemetry, read straight
-    #: from the hosts' counter-store rings.
+    #: column order), read straight from the hosts' counter-store rings.
+    #: Contract: a shard whose hosts hold **no resident VMs at all**
+    #: (mass departures, full drain) reports an explicit **all-zeros
+    #: row** — the telemetry is present and genuinely zero.  ``None``
+    #: means the telemetry is **unavailable**: at least one populated
+    #: host has no resident batch counter block (scalar substrate, or a
+    #: scalar epoch flushed the ring).  Fleet-level aggregation skips
+    #: unavailable shards instead of discarding the fleet total (see
+    #: :meth:`ColumnarFleetReport.counter_totals`).
     counter_totals: Optional[np.ndarray] = None
 
     def observations(self) -> int:
@@ -176,20 +192,38 @@ class ColumnarFleetReport:
         return histogram
 
     def counter_totals(self) -> Optional[np.ndarray]:
-        """Fleet-wide raw counter sums for the epoch, or ``None``."""
+        """Fleet-wide raw counter sums over shards with telemetry.
+
+        Shards whose totals are unavailable (``None`` — a populated
+        host without a resident batch counter block, i.e. the scalar
+        substrate) are *skipped* rather than nulling the whole fleet's
+        telemetry; emptied-out shards contribute explicit zeros.
+        Returns ``None`` only when no shard has totals at all.
+        """
         total = np.zeros(N_COUNTERS, dtype=float)
+        available = False
         for report in self.shard_reports.values():
-            if report.counter_totals is None:
-                return None
-            total += report.counter_totals
-        return total
+            if report.counter_totals is not None:
+                total += report.counter_totals
+                available = True
+        return total if available else None
 
 
 def _shard_counter_totals(shard: "FleetShard") -> Optional[np.ndarray]:
+    """One shard's epoch counter totals, or ``None`` when unavailable.
+
+    See :attr:`ColumnarShardReport.counter_totals` for the contract:
+    hosts without resident VMs contribute nothing (a fully emptied-out
+    shard is an explicit all-zeros row, not "unavailable"), while a
+    *populated* host without a resident batch counter block — the
+    scalar substrate's steady state — makes the shard's telemetry
+    unavailable.
+    """
+    populated = [host for host in shard.cluster.hosts.values() if host.vms]
+    if not populated:
+        return np.zeros(N_COUNTERS, dtype=float)
     total = np.zeros(N_COUNTERS, dtype=float)
-    for host in shard.cluster.hosts.values():
-        if not host.vms:
-            continue
+    for host in populated:
         latest = host.counter_store.latest_block()
         if latest is None:
             return None
@@ -357,7 +391,7 @@ def _worker_bootstrap() -> None:
 
 def _worker_run_epoch(
     epoch: int, analyze: bool, report: str
-) -> List[Tuple[str, ShardEpochResult]]:
+) -> Union[ShmEpochDescriptor, List[Tuple[str, ShardEpochResult]]]:
     shards: Dict[str, "FleetShard"] = _WORKER_STATE["shards"]
     sent_names: Dict[str, Tuple[str, ...]] = _WORKER_STATE["sent_names"]
     lifecycle = _WORKER_STATE.get("lifecycle")
@@ -377,14 +411,25 @@ def _worker_run_epoch(
             else:
                 sent_names[shard_id] = result.vm_names
         out.append((shard_id, result))
+    if report == "columnar":
+        # Columnar epochs travel through shared memory: the decision
+        # arrays and counter rows are written in place and only the
+        # descriptor (plus any changed VM-name tables) hits the pipe.
+        writer = _WORKER_STATE.get("shm_writer")
+        if writer is None:
+            writer = ShmBlockWriter(len(shards))
+            _WORKER_STATE["shm_writer"] = writer
+        return writer.write(epoch, [result for _, result in out])
     return out
 
 
-def _worker_collect() -> Dict[str, Dict[str, object]]:
+def _collect_from_shards(
+    shards: Mapping[str, "FleetShard"], lifecycle: Optional["LifecycleEngine"]
+) -> Dict[str, Dict[str, object]]:
+    """Per-shard statistics snapshot from wherever the state lives."""
     collected: Dict[str, Dict[str, object]] = {}
-    lifecycle = _WORKER_STATE.get("lifecycle")
     lifecycle_stats = lifecycle.stats_dict() if lifecycle is not None else {}
-    for shard_id, shard in _WORKER_STATE["shards"].items():
+    for shard_id, shard in shards.items():
         deepdive = shard.deepdive
         collected[shard_id] = {
             "detections": shard.detections(),
@@ -399,6 +444,12 @@ def _worker_collect() -> Dict[str, Dict[str, object]]:
     return collected
 
 
+def _worker_collect() -> Dict[str, Dict[str, object]]:
+    return _collect_from_shards(
+        _WORKER_STATE["shards"], _WORKER_STATE.get("lifecycle")
+    )
+
+
 class ProcessShardExecutor:
     """Shard groups dispatched to dedicated state-owning worker processes.
 
@@ -409,6 +460,18 @@ class ProcessShardExecutor:
     epoch, the parent submits one task per group and merges the columnar
     results in shard insertion order, so results are identical to serial
     execution for any worker count.
+
+    Columnar epochs are exchanged through each worker's double-buffered
+    shared-memory segments (:mod:`repro.fleet.shm`): the worker writes
+    decision arrays and counter rows in place and ships only a
+    descriptor, and the parent serves NumPy views straight off the
+    segments.  Such views stay valid until the worker rewrites the same
+    buffer — two further columnar epochs — which the hot
+    ``keep_reports=False`` loop never outlives; copy the arrays to hold
+    a columnar report longer.  The parent owns segment cleanup: shutdown
+    (or interpreter exit, via ``weakref.finalize``) closes and unlinks
+    every attached segment, so no ``/dev/shm`` entries survive a run,
+    killed workers included.
 
     The parent's shard objects are only the start-of-run template: once
     workers hold the state, mutating them (or the schedule) from the
@@ -436,8 +499,11 @@ class ProcessShardExecutor:
         for i, shard_id in enumerate(self._shard_order):
             self._groups[i % workers].append(shard_id)
         self._pools: Optional[List[ProcessPoolExecutor]] = None
+        #: One shared-memory reader per pool (parallel to ``_pools``).
+        self._readers: Optional[List[ShmBlockReader]] = None
         self._stopped = False
         self._broken = False
+        self._ever_started = False
         #: Last VM-name table received per shard (rehydrates reports
         #: whose names were elided on the wire).
         self._names_cache: Dict[str, Tuple[str, ...]] = {}
@@ -497,6 +563,12 @@ class ProcessShardExecutor:
             if not pool.submit(_worker_ready).result():
                 raise RuntimeError("fleet worker failed to initialise its shards")
         self._pools = pools
+        self._ever_started = True
+        readers = [ShmBlockReader() for _ in pools]
+        self._readers = readers
+        # Unlink the transport segments at interpreter exit even if the
+        # caller never reaches shutdown() — /dev/shm must end empty.
+        weakref.finalize(self, close_readers, readers)
         return pools
 
     def run_shard_epochs(
@@ -508,32 +580,95 @@ class ProcessShardExecutor:
                 "shard states are no longer in lock step; build a new Fleet"
             )
         pools = self._ensure_started()
-        futures = [
-            pool.submit(_worker_run_epoch, epoch, analyze, report) for pool in pools
-        ]
         merged: Dict[str, ShardEpochResult] = {}
+        futures = []
         try:
-            for future in futures:
-                for shard_id, result in future.result():
-                    merged[shard_id] = result
+            # Submission inside the guard: a pool that already noticed a
+            # dead worker raises BrokenProcessPool at submit time.
+            for pool in pools:
+                futures.append(pool.submit(_worker_run_epoch, epoch, analyze, report))
+            for reader, future in zip(self._readers, futures):
+                result = future.result()
+                if isinstance(result, ShmEpochDescriptor):
+                    # Columnar epoch: the payload lives in the worker's
+                    # shared segments; materialise views (remapping on a
+                    # regrow handshake).
+                    pairs = reader.read(result)
+                else:
+                    pairs = result
+                for shard_id, shard_result in pairs:
+                    merged[shard_id] = shard_result
                     # Commit name tables as they arrive, before the
                     # ordered merge, so a later worker's failure cannot
                     # desync the elision caches.
                     if (
-                        isinstance(result, ColumnarShardReport)
-                        and result.vm_names is not None
+                        isinstance(shard_result, ColumnarShardReport)
+                        and shard_result.vm_names is not None
                     ):
-                        self._names_cache[shard_id] = result.vm_names
+                        self._names_cache[shard_id] = shard_result.vm_names
         except BaseException:
             # Some workers advanced their shards this epoch and some did
             # not; the run cannot continue deterministically.
             self._broken = True
+            self._drain_descriptors(futures)
             raise
+        return self._ordered_merge(epoch, merged)
+
+    def _drain_descriptors(self, futures: Sequence[object]) -> None:
+        """Attach surviving workers' epoch segments after a failure.
+
+        When one worker dies mid-epoch, the surviving workers may already
+        have written their buffers — possibly into segments freshly
+        created this epoch whose names only the undelivered descriptors
+        carry.  Attaching them here puts every live segment under the
+        readers' ownership, so shutdown still unlinks all of /dev/shm.
+        (A worker that dies *between* creating a segment and shipping its
+        descriptor is covered by the resource tracker at interpreter
+        exit instead.)
+        """
+        for reader, future in zip(self._readers or (), futures):
+            try:
+                result = future.result(timeout=5.0)
+                if isinstance(result, ShmEpochDescriptor):
+                    reader.read(result)
+            except BaseException:
+                continue
+
+    def _ordered_merge(
+        self, epoch: int, merged: Dict[str, ShardEpochResult]
+    ) -> Dict[str, ShardEpochResult]:
+        """Validate the collected shard set and merge in insertion order.
+
+        A worker returning an unexpected or incomplete shard set (or a
+        name-elided report with no cached name table) means the
+        worker-side states can no longer be trusted: the executor is
+        marked broken and the failure names the offending shards instead
+        of surfacing as a raw ``KeyError`` mid-merge.
+        """
+        missing = [sid for sid in self._shard_order if sid not in merged]
+        unexpected = [sid for sid in merged if sid not in self._shards]
+        if missing or unexpected:
+            self._broken = True
+            raise RuntimeError(
+                f"fleet epoch {epoch} returned an inconsistent shard set "
+                f"(missing: {missing or 'none'}, unexpected: "
+                f"{unexpected or 'none'}); the worker states are no longer "
+                "in lock step — build a new Fleet"
+            )
         out: Dict[str, ShardEpochResult] = {}
         for shard_id in self._shard_order:
             result = merged[shard_id]
             if isinstance(result, ColumnarShardReport) and result.vm_names is None:
-                result.vm_names = self._names_cache[shard_id]
+                names = self._names_cache.get(shard_id)
+                if names is None:
+                    self._broken = True
+                    raise RuntimeError(
+                        f"fleet epoch {epoch} elided the VM-name table of "
+                        f"shard {shard_id!r} but no table was ever shipped; "
+                        "the worker states are no longer in lock step — "
+                        "build a new Fleet"
+                    )
+                result.vm_names = names
             out[shard_id] = result
         return out
 
@@ -542,12 +677,42 @@ class ProcessShardExecutor:
         for future in [pool.submit(_worker_bootstrap) for pool in pools]:
             future.result()
 
-    def collect(self) -> Dict[str, Dict[str, object]]:
-        """Per-shard statistics and event logs from the workers."""
+    def worker_pids(self) -> List[int]:
+        """One resident worker pid per shard group (spawning if needed)."""
         pools = self._ensure_started()
+        return [pool.submit(os.getpid).result() for pool in pools]
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """Per-shard statistics and event logs.
+
+        Fetched from the workers when they are running.  Before any
+        worker has started (no bootstrap, no epoch) the parent's
+        template shards *are* the current state, so they are served
+        directly instead of cold-spawning every pool just to read the
+        same start-of-run snapshot back.
+        """
+        if self._broken:
+            raise RuntimeError(
+                "fleet workers are broken (a previous epoch failed "
+                "mid-flight); statistics can no longer be collected"
+            )
+        if self._pools is None:
+            if self._ever_started:
+                # Started then shut down: the worker state is gone and
+                # the template would silently misreport the run
+                # (Fleet.shutdown caches a final snapshot beforehand).
+                raise RuntimeError(
+                    "process shard executor was shut down; worker "
+                    "statistics were discarded — collect before shutdown"
+                )
+            return _collect_from_shards(self._shards, self._lifecycle)
         merged: Dict[str, Dict[str, object]] = {}
-        for future in [pool.submit(_worker_collect) for pool in pools]:
-            merged.update(future.result())
+        try:
+            for future in [pool.submit(_worker_collect) for pool in self._pools]:
+                merged.update(future.result())
+        except BaseException:
+            self._broken = True
+            raise
         return merged
 
     def shutdown(self) -> None:
@@ -556,6 +721,11 @@ class ProcessShardExecutor:
             for pool in self._pools:
                 pool.shutdown(wait=True)
             self._pools = None
+        if self._readers is not None:
+            # Workers are gone; close and unlink every transport
+            # segment so /dev/shm ends the run empty.
+            close_readers(self._readers)
+            self._readers = None
 
 
 def make_shard_executor(

@@ -360,6 +360,11 @@ class Fleet:
             decision arrays — the process strategy's native exchange
             format, which avoids shipping per-VM objects between
             processes and is what long ``keep_reports=False`` runs use.
+            Under the process strategy the columnar arrays are NumPy
+            views into the workers' double-buffered shared-memory
+            segments (:mod:`repro.fleet.shm`), valid until the same
+            buffer's next turn — two further columnar epochs; copy them
+            to hold a report longer.
         """
         if report not in ("full", "columnar"):
             raise ValueError(f"unknown report mode {report!r}")
@@ -423,7 +428,15 @@ class Fleet:
             return
         if isinstance(strategy, ProcessShardExecutor):
             if strategy.started:
-                self._last_collected = strategy.collect()
+                try:
+                    self._last_collected = strategy.collect()
+                except RuntimeError:
+                    # Broken workers (e.g. one was killed mid-run) can't
+                    # answer a final collect; shutdown must still
+                    # release the pools and unlink the shared-memory
+                    # transport segments.  Keep whatever snapshot was
+                    # already cached.
+                    pass
             strategy.shutdown()
         else:
             strategy.shutdown()

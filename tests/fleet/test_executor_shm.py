@@ -1,0 +1,362 @@
+"""Process-executor sharp edges: shared-memory transport, worker
+lifecycle, stats collection and counter-total semantics.
+
+The bit-identity of process execution is pinned by
+``tests/integration/test_parallel_fleet.py`` and the property suites;
+this module covers the transport machinery itself (layout roundtrip,
+double-buffer validity window, churn regrow, segment cleanup) and the
+failure-path contracts: no cold worker spawn just to read template
+statistics, a named ``RuntimeError`` instead of a raw ``KeyError`` on an
+inconsistent worker shard set, recovery after a killed worker, and the
+empty-shard vs. scalar-substrate counter-totals contract.
+"""
+
+import os
+import signal
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import build_fleet, synthesize_datacenter
+from repro.fleet.executor import (
+    ColumnarFleetReport,
+    ColumnarShardReport,
+    ProcessShardExecutor,
+    _shard_counter_totals,
+)
+from repro.fleet.shm import (
+    SEGMENT_PREFIX,
+    ShmBlockReader,
+    ShmBlockWriter,
+    leaked_segments,
+)
+from repro.hardware.batch import N_COUNTERS
+
+
+def _config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _tiny_process_fleet(max_workers=2, num_vms=16, num_shards=2):
+    scenario = synthesize_datacenter(num_vms, num_shards=num_shards, seed=21)
+    return build_fleet(
+        scenario,
+        config=_config(),
+        engine="batch",
+        mitigate=False,
+        executor="process",
+        max_workers=max_workers,
+    )
+
+
+def _columnar_report(shard_id, n, seed, counters=True):
+    rng = np.random.default_rng(seed)
+    return ColumnarShardReport(
+        shard_id=shard_id,
+        epoch=0,
+        vm_names=tuple(f"{shard_id}-vm{i}" for i in range(n)),
+        action_codes=rng.integers(0, 4, n).astype(np.int8),
+        distances=rng.uniform(0, 9, n),
+        siblings_consulted=rng.integers(0, 7, n).astype(np.int32),
+        siblings_agreeing=rng.integers(0, 7, n).astype(np.int32),
+        analyzed=rng.uniform(size=n) < 0.5,
+        confirmed=rng.uniform(size=n) < 0.2,
+        counter_totals=rng.uniform(1, 1e6, N_COUNTERS) if counters else None,
+    )
+
+
+def _assert_report_equal(received, sent):
+    assert received.shard_id == sent.shard_id
+    assert received.vm_names == sent.vm_names
+    for attr in (
+        "action_codes",
+        "distances",
+        "siblings_consulted",
+        "siblings_agreeing",
+        "analyzed",
+        "confirmed",
+    ):
+        assert np.array_equal(getattr(received, attr), getattr(sent, attr))
+        assert getattr(received, attr).dtype == getattr(sent, attr).dtype
+    if sent.counter_totals is None:
+        assert received.counter_totals is None
+    else:
+        assert np.array_equal(received.counter_totals, sent.counter_totals)
+
+
+class TestShmTransport:
+    def test_roundtrip_preserves_arrays_bitwise(self):
+        writer = ShmBlockWriter(n_shards=3)
+        reader = ShmBlockReader()
+        try:
+            sent = [
+                _columnar_report("s0", 7, seed=1),
+                _columnar_report("s1", 0, seed=2),  # an emptied-out shard
+                _columnar_report("s2", 11, seed=3, counters=False),
+            ]
+            received = reader.read(writer.write(0, sent))
+            assert [shard_id for shard_id, _ in received] == ["s0", "s1", "s2"]
+            for (_, got), want in zip(received, sent):
+                _assert_report_equal(got, want)
+        finally:
+            reader.close()
+            writer.close()
+        assert leaked_segments() == []
+
+    def test_double_buffering_keeps_previous_epoch_valid(self):
+        """Epoch ``e`` views must survive epoch ``e + 1`` (the documented
+        validity window) and the two epochs must land in different
+        buffers of different segments."""
+        writer = ShmBlockWriter(n_shards=1)
+        reader = ShmBlockReader()
+        try:
+            first = _columnar_report("s0", 5, seed=4)
+            second = _columnar_report("s0", 5, seed=5)
+            desc0 = writer.write(0, [first])
+            (_, view0) = reader.read(desc0)[0]
+            desc1 = writer.write(1, [second])
+            (_, view1) = reader.read(desc1)[0]
+            assert desc0.buffer_index != desc1.buffer_index
+            assert desc0.segment != desc1.segment
+            _assert_report_equal(view0, first)  # still intact
+            _assert_report_equal(view1, second)
+            # Epoch 2 reuses buffer 0 and overwrites epoch 0 in place.
+            third = _columnar_report("s0", 5, seed=6)
+            desc2 = writer.write(2, [third])
+            assert desc2.buffer_index == desc0.buffer_index
+            assert desc2.segment == desc0.segment
+            _assert_report_equal(view0, third)
+        finally:
+            reader.close()
+            writer.close()
+        assert leaked_segments() == []
+
+    def test_regrow_handshake_replaces_and_unlinks_segment(self):
+        """Growing past capacity allocates a fresh segment; the parent
+        remaps on the next descriptor and unlinks the replaced one."""
+        writer = ShmBlockWriter(n_shards=1, slack_fraction=0.0, min_slack_rows=0)
+        reader = ShmBlockReader()
+        try:
+            small = _columnar_report("s0", 4, seed=7)
+            desc0 = writer.write(0, [small])
+            reader.read(desc0)
+            desc1 = writer.write(1, [small])
+            reader.read(desc1)
+            # Two live segments (one per buffer), zero slack.
+            assert len(leaked_segments()) == 2
+            grown = _columnar_report("s0", 9, seed=8)
+            desc2 = writer.write(2, [grown])
+            assert desc2.buffer_index == desc0.buffer_index
+            assert desc2.segment != desc0.segment
+            assert desc2.capacity_rows >= 9
+            (_, got) = reader.read(desc2)[0]
+            _assert_report_equal(got, grown)
+            # The replaced segment is gone from /dev/shm; the pair of
+            # live ones remains.
+            live = leaked_segments()
+            assert len(live) == 2
+            assert not any(desc0.segment == name for name in live)
+        finally:
+            reader.close()
+            writer.close()
+        assert leaked_segments() == []
+
+    def test_segment_names_carry_the_leak_probe_prefix(self):
+        writer = ShmBlockWriter(n_shards=1)
+        try:
+            desc = writer.write(0, [_columnar_report("s0", 2, seed=9)])
+            assert desc.segment.startswith(SEGMENT_PREFIX)
+            assert desc.segment in leaked_segments()
+        finally:
+            # Creator-side close releases the handle; the name must
+            # still be unlinkable by the (here: same-process) reader.
+            reader = ShmBlockReader()
+            reader.read(desc)
+            reader.close()
+            writer.close()
+        assert leaked_segments() == []
+
+
+class TestCollectWithoutWorkers:
+    def test_stats_on_virgin_process_fleet_does_not_spawn(self):
+        """Template statistics must not cold-spawn every worker pool."""
+        fleet = _tiny_process_fleet()
+        try:
+            stats = fleet.stats()
+            detections = fleet.detections()
+            assert fleet._strategy is None or not fleet._strategy.started
+            assert stats["vms"] == float(fleet.total_vms())
+            assert detections == []
+        finally:
+            fleet.shutdown()
+
+    def test_executor_collect_serves_template_before_start(self):
+        fleet = _tiny_process_fleet()
+        try:
+            strategy = fleet._shard_strategy()
+            assert isinstance(strategy, ProcessShardExecutor)
+            collected = strategy.collect()
+            assert not strategy.started, "collect() must not spawn workers"
+            assert set(collected) == set(fleet.shards)
+            for shard_id, shard in fleet.shards.items():
+                assert collected[shard_id]["vms"] == len(shard.cluster.all_vms())
+                assert collected[shard_id]["detections"] == []
+        finally:
+            fleet.shutdown()
+
+    def test_executor_collect_after_real_run_is_refused_post_shutdown(self):
+        fleet = _tiny_process_fleet(max_workers=1, num_vms=8)
+        try:
+            fleet.run_epoch(analyze=False)
+            strategy = fleet._strategy
+        finally:
+            fleet.shutdown()
+        # Fleet cached the final snapshot; the executor itself refuses
+        # to silently fall back to the stale template.
+        assert fleet.stats()["epochs"] == 1.0
+        with pytest.raises(RuntimeError, match="shut down"):
+            strategy.collect()
+
+
+class TestOrderedMergeValidation:
+    def _executor(self):
+        shards = {"s0": object(), "s1": object(), "s2": object()}
+        return ProcessShardExecutor(shards, schedule=[], max_workers=2)
+
+    def _result(self, shard_id, names=("a", "b")):
+        report = _columnar_report(shard_id, len(names), seed=11)
+        return report
+
+    def test_missing_shard_raises_named_runtime_error(self):
+        executor = self._executor()
+        merged = {"s0": self._result("s0"), "s2": self._result("s2")}
+        with pytest.raises(RuntimeError, match=r"missing: \['s1'\]"):
+            executor._ordered_merge(3, merged)
+        assert executor._broken
+        with pytest.raises(RuntimeError, match="lock step"):
+            executor.run_shard_epochs(4, analyze=False, report="columnar")
+
+    def test_unexpected_shard_raises_named_runtime_error(self):
+        executor = self._executor()
+        merged = {
+            sid: self._result(sid) for sid in ("s0", "s1", "s2", "rogue")
+        }
+        with pytest.raises(RuntimeError, match=r"unexpected: \['rogue'\]"):
+            executor._ordered_merge(0, merged)
+        assert executor._broken
+
+    def test_elided_names_without_cache_raise_runtime_error(self):
+        executor = self._executor()
+        merged = {sid: self._result(sid) for sid in ("s0", "s1", "s2")}
+        merged["s1"].vm_names = None
+        with pytest.raises(RuntimeError, match="'s1'"):
+            executor._ordered_merge(0, merged)
+        assert executor._broken
+
+    def test_complete_set_merges_in_insertion_order(self):
+        executor = self._executor()
+        merged = {sid: self._result(sid) for sid in ("s2", "s0", "s1")}
+        out = executor._ordered_merge(0, merged)
+        assert list(out) == ["s0", "s1", "s2"]
+        assert not executor._broken
+
+
+def _host(vms, block):
+    store = SimpleNamespace(latest_block=lambda block=block: block)
+    return SimpleNamespace(vms=vms, counter_store=store)
+
+
+def _stub_shard(hosts):
+    return SimpleNamespace(cluster=SimpleNamespace(hosts=hosts))
+
+
+class TestCounterTotalsContract:
+    def test_emptied_out_shard_reports_explicit_zeros(self):
+        """Mass departures leave zeros, not 'telemetry unavailable'."""
+        shard = _stub_shard(
+            {
+                "h0": _host(vms={}, block=None),
+                "h1": _host(vms={}, block=np.ones((1, N_COUNTERS))),
+            }
+        )
+        totals = _shard_counter_totals(shard)
+        assert totals is not None
+        assert np.array_equal(totals, np.zeros(N_COUNTERS))
+
+    def test_populated_host_without_block_is_unavailable(self):
+        shard = _stub_shard(
+            {
+                "h0": _host(vms={"vm": object()}, block=None),
+                "h1": _host(vms={"vm2": object()}, block=np.ones((1, N_COUNTERS))),
+            }
+        )
+        assert _shard_counter_totals(shard) is None
+
+    def test_fleet_totals_skip_unavailable_shards(self):
+        """One scalar-substrate shard must not null every other shard's
+        telemetry."""
+        with_data = _columnar_report("s0", 3, seed=12)
+        without = _columnar_report("s1", 3, seed=13, counters=False)
+        report = ColumnarFleetReport(
+            epoch=0, shard_reports={"s0": with_data, "s1": without}
+        )
+        assert np.array_equal(report.counter_totals(), with_data.counter_totals)
+
+    def test_fleet_totals_none_only_when_no_shard_has_telemetry(self):
+        report = ColumnarFleetReport(
+            epoch=0,
+            shard_reports={
+                "s0": _columnar_report("s0", 2, seed=14, counters=False),
+                "s1": _columnar_report("s1", 2, seed=15, counters=False),
+            },
+        )
+        assert report.counter_totals() is None
+
+    def test_fleet_totals_sum_available_shards(self):
+        a = _columnar_report("s0", 2, seed=16)
+        b = _columnar_report("s1", 2, seed=17)
+        report = ColumnarFleetReport(epoch=0, shard_reports={"s0": a, "s1": b})
+        assert np.allclose(
+            report.counter_totals(), a.counter_totals + b.counter_totals
+        )
+
+
+class TestWorkerFailureRecovery:
+    def test_killed_worker_breaks_run_but_not_cleanup(self):
+        """Kill a worker mid-run: the epoch fails, the executor stays
+        broken, shutdown still succeeds and no shared-memory segments
+        leak."""
+        fleet = _tiny_process_fleet(max_workers=2, num_vms=16)
+        try:
+            fleet.run_epoch(analyze=False, report="columnar")
+            strategy = fleet._strategy
+            assert leaked_segments(), "columnar epochs must use shm transport"
+            victim = strategy.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # Give the pool's management thread a moment to notice.
+            deadline = time.monotonic() + 5.0
+            with pytest.raises(RuntimeError):
+                while True:
+                    fleet.run_epoch(analyze=False, report="columnar")
+                    assert time.monotonic() < deadline, (
+                        "epochs kept succeeding after the worker was killed"
+                    )
+            # The run is now refused deterministically.
+            with pytest.raises(RuntimeError, match="lock step"):
+                fleet.run_epoch(analyze=False, report="columnar")
+        finally:
+            fleet.shutdown()
+        # Cleanup must be complete despite the kill: pools released,
+        # every transport segment unlinked, statistics still served
+        # (from the template fallback, without raising).
+        assert leaked_segments() == []
+        assert fleet.stats()["shards"] == 2.0

@@ -11,11 +11,25 @@ engine, and a :class:`DatacenterScenario` synthesises thousands of VMs
 with mixed CloudSuite-like workloads and scheduled interference
 episodes.
 
+Past the single-fleet tier, :class:`RegionalFleet` groups shards into
+regions (a fleet of fleets, bit-identical to the flat fleet at any
+region/worker split) and :mod:`repro.fleet.campaign` sweeps parameter
+grids of such fleets, one schema-validated columnar result file per
+cell.
+
 ``benchmarks/test_fleet_scale.py`` measures the batched epoch engine
 against the scalar per-VM reference loop on these fleets and records
 the speedup in ``BENCH_fleet.json``.
 """
 
+from repro.fleet.campaign import (
+    CampaignCell,
+    CampaignRunner,
+    CampaignSchemaError,
+    CampaignSpec,
+    run_cell,
+    validate_cell_npz,
+)
 from repro.fleet.executor import (
     ColumnarFleetReport,
     ColumnarShardReport,
@@ -25,10 +39,13 @@ from repro.fleet.executor import (
 )
 from repro.fleet.fleet import Fleet, FleetEpochReport, FleetRunSummary, FleetShard
 from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine, LifecycleStats
+from repro.fleet.region import Region, RegionalFleet
 from repro.fleet.scenario import (
     DatacenterScenario,
     InterferenceEpisode,
     build_fleet,
+    build_regional_fleet,
+    partition_regions,
     synthesize_datacenter,
 )
 from repro.fleet.timeline import (
@@ -44,6 +61,10 @@ from repro.fleet.timeline import (
 
 __all__ = [
     "AdmissionPolicy",
+    "CampaignCell",
+    "CampaignRunner",
+    "CampaignSchemaError",
+    "CampaignSpec",
     "ColumnarFleetReport",
     "ColumnarShardReport",
     "Fleet",
@@ -58,6 +79,8 @@ __all__ = [
     "LifecycleStats",
     "LoadPhase",
     "ProcessShardExecutor",
+    "Region",
+    "RegionalFleet",
     "SerialShardExecutor",
     "ThreadShardExecutor",
     "VMArrival",
@@ -65,6 +88,10 @@ __all__ = [
     "DatacenterScenario",
     "InterferenceEpisode",
     "build_fleet",
+    "build_regional_fleet",
+    "partition_regions",
+    "run_cell",
     "synthesize_datacenter",
+    "validate_cell_npz",
     "churn_timeline",
 ]

@@ -82,10 +82,12 @@ def apply_stress_schedule(
         shard = shards.get(stress.shard_id)
         if shard is None:
             continue
-        placement = shard.cluster.all_vms()
-        if stress.vm_name not in placement:
+        # host_of() reads the shared placement cache directly; all_vms()
+        # would copy the whole per-VM dict once per schedule entry per
+        # epoch — a real cost once the region layer multiplies shards.
+        host_name = shard.cluster.host_of(stress.vm_name)
+        if host_name is None:
             continue
-        host_name, _ = placement[stress.vm_name]
         active = stress.start_epoch <= epoch < stress.end_epoch
         shard.cluster.hosts[host_name].set_load(
             stress.vm_name, stress.intensity if active else 0.0
@@ -149,8 +151,16 @@ class ColumnarShardReport:
         names = self.vm_names or ()
         return [names[i] for i in np.nonzero(self.confirmed)[0]]
 
+    def confirmed_count(self) -> int:
+        """Confirmed observations, counted without touching vm_names."""
+        return int(np.count_nonzero(self.confirmed))
+
+    def action_counts(self) -> np.ndarray:
+        """Per-action decision counts (:data:`WARNING_ACTIONS` order)."""
+        return np.bincount(self.action_codes, minlength=len(WARNING_ACTIONS))
+
     def action_histogram(self) -> Dict[str, int]:
-        counts = np.bincount(self.action_codes, minlength=len(WARNING_ACTIONS))
+        counts = self.action_counts()
         return {
             WARNING_ACTIONS[i]: int(count)
             for i, count in enumerate(counts.tolist())
@@ -184,12 +194,25 @@ class ColumnarFleetReport:
             for vm_name in report.confirmed_interference()
         ]
 
-    def action_histogram(self) -> Dict[str, int]:
-        histogram: Dict[str, int] = {}
+    def confirmed_count(self) -> int:
+        """Fleet-wide confirmed observations without per-VM name lists."""
+        return sum(r.confirmed_count() for r in self.shard_reports.values())
+
+    def action_counts(self) -> np.ndarray:
+        """Per-action counts summed over shards (one pre-sized vector —
+        no intermediate per-shard dicts on the summary hot loop)."""
+        counts = np.zeros(len(WARNING_ACTIONS), dtype=np.int64)
         for report in self.shard_reports.values():
-            for action, count in report.action_histogram().items():
-                histogram[action] = histogram.get(action, 0) + count
-        return histogram
+            counts += report.action_counts()
+        return counts
+
+    def action_histogram(self) -> Dict[str, int]:
+        counts = self.action_counts()
+        return {
+            WARNING_ACTIONS[i]: int(count)
+            for i, count in enumerate(counts.tolist())
+            if count
+        }
 
     def counter_totals(self) -> Optional[np.ndarray]:
         """Fleet-wide raw counter sums over shards with telemetry.
@@ -437,7 +460,7 @@ def _collect_from_shards(
             "analyzer_invocations": deepdive.analyzer_invocations(),
             "profiling_seconds": deepdive.total_profiling_seconds(),
             "repository_bytes": deepdive.repository_size_bytes(),
-            "vms": len(shard.cluster.all_vms()),
+            "vms": shard.cluster.vm_count(),
             "hosts": len(shard.cluster.hosts),
             "lifecycle": lifecycle_stats.get(shard_id, {}),
         }

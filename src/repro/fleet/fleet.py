@@ -169,6 +169,21 @@ class FleetEpochReport:
             for vm_name in report.confirmed_interference()
         ]
 
+    def confirmed_count(self) -> int:
+        """Number of confirmed-interference observations this epoch.
+
+        Counted in one pass over the per-shard observations — unlike
+        ``len(confirmed_interference())`` no (shard, VM) tuple list is
+        materialised, which matters on the summary hot loop where the
+        region layer multiplies shard counts.
+        """
+        return sum(
+            1
+            for report in self.shard_reports.values()
+            for obs in report.observations.values()
+            if obs.interference_confirmed
+        )
+
     def action_histogram(self) -> Dict[str, int]:
         """Warning-action counts across the whole fleet."""
         histogram: Dict[str, int] = {}
@@ -204,12 +219,66 @@ class FleetRunSummary:
         self.epochs += 1
         self.observations += report.observations()
         self.analyzer_invocations += report.analyzer_invocations()
-        self.confirmed_interference += len(report.confirmed_interference())
+        self.confirmed_interference += report.confirmed_count()
         for action, count in report.action_histogram().items():
             self.action_histogram[action] = (
                 self.action_histogram.get(action, 0) + count
             )
         self.final_report = report
+
+    @classmethod
+    def merge(cls, summaries: Sequence["FleetRunSummary"]) -> "FleetRunSummary":
+        """Roll up per-region (or per-partition) summaries into one.
+
+        The summaries must cover the *same* epochs of disjoint shard
+        sets — exactly what each region of a
+        :class:`~repro.fleet.region.RegionalFleet` produces when its
+        shards are run region by region.  Counters add, histograms
+        merge, and the final reports (all from the same last epoch)
+        concatenate their shard reports in the order the summaries are
+        given — so merging regions in region insertion order reproduces
+        the flat fleet's summary bit for bit.  Constant memory: nothing
+        beyond the merged totals and one final report is retained.
+        """
+        summaries = list(summaries)
+        if not summaries:
+            raise ValueError("merge needs at least one summary")
+        epochs = {s.epochs for s in summaries}
+        if len(epochs) != 1:
+            raise ValueError(
+                f"summaries cover different epoch counts: {sorted(epochs)}"
+            )
+        out = cls(epochs=summaries[0].epochs)
+        for summary in summaries:
+            out.observations += summary.observations
+            out.analyzer_invocations += summary.analyzer_invocations
+            out.confirmed_interference += summary.confirmed_interference
+            for action, count in summary.action_histogram.items():
+                out.action_histogram[action] = (
+                    out.action_histogram.get(action, 0) + count
+                )
+        finals = [s.final_report for s in summaries]
+        if all(final is not None for final in finals):
+            kinds = {type(final) for final in finals}
+            final_epochs = {final.epoch for final in finals}
+            if len(kinds) != 1 or len(final_epochs) != 1:
+                raise ValueError(
+                    "final reports disagree on epoch or report kind; "
+                    "summaries are not partitions of one run"
+                )
+            merged_shards: Dict[str, object] = {}
+            for final in finals:
+                for shard_id, report in final.shard_reports.items():
+                    if shard_id in merged_shards:
+                        raise ValueError(
+                            f"shard {shard_id!r} appears in more than one "
+                            "summary; partitions must be disjoint"
+                        )
+                    merged_shards[shard_id] = report
+            out.final_report = kinds.pop()(
+                epoch=final_epochs.pop(), shard_reports=merged_shards
+            )
+        return out
 
 
 class Fleet:
@@ -288,7 +357,7 @@ class Fleet:
     # Topology
     # ------------------------------------------------------------------
     def total_vms(self) -> int:
-        return sum(len(s.cluster.all_vms()) for s in self.shards.values())
+        return sum(s.cluster.vm_count() for s in self.shards.values())
 
     def total_hosts(self) -> int:
         return sum(len(s.cluster.hosts) for s in self.shards.values())
@@ -504,8 +573,16 @@ class Fleet:
             repository_bytes = sum(
                 s.deepdive.repository_size_bytes() for s in self.shards.values()
             )
-            detections = len(self.detections())
-            migrations = len(self.migrations())
+            # Count per shard instead of via self.detections()/
+            # self.migrations(): those build one fleet-wide list of
+            # (shard, event) tuples just to be len()'d, which a regional
+            # fleet would pay per region per snapshot.
+            detections = sum(
+                len(s.detections()) for s in self.shards.values()
+            )
+            migrations = sum(
+                len(s.migrations()) for s in self.shards.values()
+            )
             vms = self.total_vms()
             hosts = self.total_hosts()
         return {

@@ -1,0 +1,372 @@
+"""Hierarchical fleets: regions of shards, one epoch clock.
+
+A flat :class:`~repro.fleet.fleet.Fleet` tops out where one process (or
+one pool of per-shard workers) comfortably owns every shard.  The
+region layer scales past that by making the fleet *hierarchical*: shards
+are grouped into :class:`Region`\\ s, each region runs as its own inner
+``Fleet`` — with its own executor strategy and its own worker budget —
+and a :class:`RegionalFleet` drives all regions on one epoch clock,
+merging their per-epoch results in region insertion order.
+
+Because shards share nothing, the grouping is pure bookkeeping: a
+hierarchical run is **bit-identical** to the equivalent flat fleet at
+any region/worker split (pinned by
+``tests/property/test_region_equivalence.py``).  The merge invariant
+that makes this hold is *contiguity*: concatenating the regions' shard
+groups in region insertion order must reproduce the flat fleet's shard
+insertion order, which is exactly how
+:func:`~repro.fleet.scenario.build_regional_fleet` partitions a
+scenario.
+
+What the hierarchy buys at 100k+ VMs:
+
+* **per-region worker budgeting** — each region brings its own
+  process-executor pools (the PR 6 shared-memory path) instead of one
+  global pool, so a 100k-VM fleet is N regions × the already-fast
+  10k-VM path;
+* **constant-memory roll-ups** — ``run(keep_reports=False)`` folds the
+  merged per-epoch reports into one
+  :class:`~repro.fleet.fleet.FleetRunSummary`, and independently
+  produced per-region summaries roll up losslessly via
+  :meth:`FleetRunSummary.merge`;
+* **lifecycle partitioning** — one fleet-wide
+  :class:`~repro.fleet.lifecycle.LifecycleEngine` is validated against
+  the full topology, then split with
+  :meth:`~repro.fleet.lifecycle.LifecycleEngine.subset` so every region
+  applies exactly its own shards' events (the same mechanism the
+  process workers already use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.events import InterferenceDetectedEvent, MigrationEvent
+from repro.fleet.executor import EXECUTOR_KINDS, ColumnarFleetReport
+from repro.fleet.fleet import (
+    Fleet,
+    FleetEpochReport,
+    FleetRunSummary,
+    FleetShard,
+    ScheduledStress,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.lifecycle import LifecycleEngine
+
+
+@dataclass
+class Region:
+    """One named shard group of a :class:`RegionalFleet`.
+
+    ``max_workers`` is this region's private worker budget (``None``
+    defers to the regional fleet's per-region default) — regions never
+    share a pool, so budgets add across regions.
+    """
+
+    region_id: str
+    shards: Sequence[FleetShard] = field(default_factory=list)
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.region_id:
+            raise ValueError("region_id must be non-empty")
+        if not self.shards:
+            raise ValueError(f"region {self.region_id!r} needs at least one shard")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+    @classmethod
+    def from_fleet(
+        cls,
+        region_id: str,
+        fleet: Fleet,
+        max_workers: Optional[int] = None,
+    ) -> "Region":
+        """Adopt an existing flat fleet's shards as one region.
+
+        Only the shard objects are taken; the donor fleet's schedule,
+        lifecycle engine and executor configuration are *not* carried
+        over — the :class:`RegionalFleet` owns those fleet-wide.
+        """
+        return cls(
+            region_id=region_id,
+            shards=list(fleet.shards.values()),
+            max_workers=max_workers,
+        )
+
+
+class RegionalFleet:
+    """A fleet of fleets: regions driven in lockstep on one epoch clock.
+
+    Parameters
+    ----------
+    regions:
+        The shard groups (unique region ids, globally unique shard ids).
+        Region insertion order is the merge order: concatenating the
+        regions' shards reproduces the equivalent flat fleet's shard
+        insertion order, which is what makes hierarchical runs
+        bit-identical to flat ones.
+    schedule:
+        Fleet-wide scheduled stress windows; each region receives the
+        entries addressing its own shards.
+    max_workers:
+        Default *per-region* worker budget (``Region.max_workers``
+        overrides it per region).  With R regions of budget W the fleet
+        runs up to R×W workers — there is no global pool.
+    executor:
+        Shard execution strategy applied inside every region
+        (``"serial"``/``"thread"``/``"process"``), defaulting like
+        :class:`~repro.fleet.fleet.Fleet`: ``"thread"`` when the
+        per-region budget exceeds 1, else ``"serial"``.
+    lifecycle:
+        Fleet-wide lifecycle engine.  Validated against the full
+        topology here, then partitioned with
+        :meth:`~repro.fleet.lifecycle.LifecycleEngine.subset` so each
+        region's inner fleet owns exactly its shards' events.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[Region],
+        schedule: Optional[Sequence[ScheduledStress]] = None,
+        max_workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        lifecycle: Optional["LifecycleEngine"] = None,
+    ) -> None:
+        if not regions:
+            raise ValueError("a regional fleet needs at least one region")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if executor is None:
+            executor = (
+                "thread" if max_workers is not None and max_workers > 1 else "serial"
+            )
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+            )
+        seen_shards: Dict[str, str] = {}
+        region_ids: List[str] = []
+        for region in regions:
+            if region.region_id in region_ids:
+                raise ValueError(f"duplicate region id {region.region_id!r}")
+            region_ids.append(region.region_id)
+            for shard in region.shards:
+                owner = seen_shards.get(shard.shard_id)
+                if owner is not None:
+                    raise ValueError(
+                        f"shard {shard.shard_id!r} appears in regions "
+                        f"{owner!r} and {region.region_id!r}"
+                    )
+                seen_shards[shard.shard_id] = region.region_id
+
+        self.schedule: List[ScheduledStress] = list(schedule or [])
+        self.lifecycle = lifecycle
+        if lifecycle is not None:
+            # Validate once against the full topology, so an event
+            # naming an unknown shard/host fails here (like the flat
+            # fleet) instead of silently vanishing from every subset.
+            all_shards = {
+                shard.shard_id: shard
+                for region in regions
+                for shard in region.shards
+            }
+            lifecycle.validate(all_shards)
+        self.max_workers = max_workers
+        self.executor = executor
+        self.current_epoch = 0
+        #: region id -> the region's inner fleet, in region insertion
+        #: order (the merge order).
+        self.fleets: Dict[str, Fleet] = {}
+        for region in regions:
+            shard_ids = {shard.shard_id for shard in region.shards}
+            region_schedule = [
+                stress for stress in self.schedule if stress.shard_id in shard_ids
+            ]
+            region_lifecycle = (
+                lifecycle.subset(sorted(shard_ids))
+                if lifecycle is not None
+                else None
+            )
+            self.fleets[region.region_id] = Fleet(
+                list(region.shards),
+                schedule=region_schedule,
+                max_workers=region.max_workers or max_workers,
+                executor=executor,
+                lifecycle=region_lifecycle,
+            )
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Dict[str, FleetShard]:
+        """All shards in merge order (region order × shard order)."""
+        out: Dict[str, FleetShard] = {}
+        for fleet in self.fleets.values():
+            out.update(fleet.shards)
+        return out
+
+    def region(self, region_id: str) -> Fleet:
+        """The inner fleet driving one region's shards."""
+        return self.fleets[region_id]
+
+    def total_vms(self) -> int:
+        return sum(fleet.total_vms() for fleet in self.fleets.values())
+
+    def total_hosts(self) -> int:
+        return sum(fleet.total_hosts() for fleet in self.fleets.values())
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> None:
+        """Bootstrap every region (inside its workers when processes)."""
+        for fleet in self.fleets.values():
+            fleet.bootstrap()
+
+    def run_epoch(
+        self, analyze: bool = True, report: str = "full"
+    ) -> Union[FleetEpochReport, ColumnarFleetReport]:
+        """Advance every region by one epoch and merge the reports.
+
+        Regions run sequentially in the calling thread; inside each
+        region the configured executor fans its shards out (the process
+        strategy's workers run concurrently even while the parent is
+        dispatching the next region's epoch results).  The merged report
+        lists shard reports in region insertion order, i.e. exactly the
+        flat fleet's shard insertion order for a contiguous partition.
+        """
+        if report not in ("full", "columnar"):
+            raise ValueError(f"unknown report mode {report!r}")
+        merged: Dict[str, object] = {}
+        for fleet in self.fleets.values():
+            region_report = fleet.run_epoch(analyze=analyze, report=report)
+            merged.update(region_report.shard_reports)
+        if report == "full":
+            out: Union[FleetEpochReport, ColumnarFleetReport] = FleetEpochReport(
+                epoch=self.current_epoch, shard_reports=merged
+            )
+        else:
+            out = ColumnarFleetReport(
+                epoch=self.current_epoch, shard_reports=merged
+            )
+        self.current_epoch += 1
+        return out
+
+    def run(
+        self, epochs: int, analyze: bool = True, keep_reports: bool = True
+    ) -> Union[List[FleetEpochReport], FleetRunSummary]:
+        """Run several epochs across all regions.
+
+        Mirrors :meth:`Fleet.run` exactly — including the columnar hot
+        loop under the process strategy, where every epoch but the last
+        travels as shared-memory decision arrays and only the final
+        epoch materialises a full report — so a hierarchical
+        ``keep_reports=False`` run produces a
+        :class:`~repro.fleet.fleet.FleetRunSummary` bit-identical to the
+        flat fleet's.
+        """
+        if keep_reports:
+            return [self.run_epoch(analyze=analyze) for _ in range(epochs)]
+        summary = FleetRunSummary()
+        columnar_hot_loop = self.executor == "process"
+        for i in range(epochs):
+            mode = (
+                "columnar"
+                if columnar_hot_loop and i < epochs - 1
+                else "full"
+            )
+            summary.accumulate(self.run_epoch(analyze=analyze, report=mode))
+        return summary
+
+    def run_summaries(
+        self, epochs: int, analyze: bool = True, shutdown_regions: bool = False
+    ) -> Dict[str, FleetRunSummary]:
+        """One constant-memory summary per region, regions run to
+        completion one after another.
+
+        Shards share nothing, so running region A for all epochs and
+        then region B is bit-identical to the lockstep clock;
+        ``FleetRunSummary.merge(result.values())`` reproduces the flat
+        fleet's summary.  With ``shutdown_regions=True`` each region's
+        workers are released the moment it finishes — only one region's
+        executor state is ever hot, the low-water-memory way to push a
+        1M-VM fleet through one machine (a shut-down process region
+        refuses further epochs, so this is a terminal run).
+        """
+        out: Dict[str, FleetRunSummary] = {}
+        for region_id, fleet in self.fleets.items():
+            out[region_id] = fleet.run(epochs, analyze=analyze, keep_reports=False)
+            if shutdown_regions:
+                fleet.shutdown()
+        self.current_epoch += epochs
+        return out
+
+    def shutdown(self) -> None:
+        """Release every region's workers (their final statistics are
+        fetched first, so the fleet stays inspectable afterwards)."""
+        for fleet in self.fleets.values():
+            fleet.shutdown()
+
+    def __enter__(self) -> "RegionalFleet":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Fleet-wide statistics
+    # ------------------------------------------------------------------
+    def detections(self) -> List[Tuple[str, InterferenceDetectedEvent]]:
+        return [
+            item for fleet in self.fleets.values() for item in fleet.detections()
+        ]
+
+    def migrations(self) -> List[Tuple[str, MigrationEvent]]:
+        return [
+            item for fleet in self.fleets.values() for item in fleet.migrations()
+        ]
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate statistics over all regions (one pre-sized pass).
+
+        Identical keys to :meth:`Fleet.stats`, plus ``"regions"``; the
+        per-region numbers come from wherever each region's shard state
+        lives (the workers under the process strategy).
+        """
+        totals: Optional[Dict[str, float]] = None
+        for fleet in self.fleets.values():
+            stats = fleet.stats()
+            if totals is None:
+                totals = dict(stats)
+            else:
+                for key, value in stats.items():
+                    totals[key] += value
+        assert totals is not None  # constructor guarantees >= 1 region
+        totals["regions"] = float(len(self.fleets))
+        totals["epochs"] = float(self.current_epoch)
+        return totals
+
+    def lifecycle_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard lifecycle counters merged across regions.
+
+        Empty without a lifecycle engine; otherwise one entry per shard
+        in merge order, exactly like the flat fleet's.
+        """
+        if self.lifecycle is None:
+            return {}
+        out: Dict[str, Dict[str, int]] = {}
+        for fleet in self.fleets.values():
+            out.update(fleet.lifecycle_stats())
+        return out

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.config import DeepDiveConfig
 from repro.fleet.fleet import Fleet, FleetShard, ScheduledStress
 from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine
+from repro.fleet.region import Region, RegionalFleet
 from repro.fleet.timeline import ARRIVAL_WORKLOADS, FleetTimeline
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.virt.cluster import Cluster
@@ -246,6 +247,43 @@ def build_fleet(
     for every substrate/history-mode/executor combination
     (``tests/property/test_lifecycle_equivalence.py``).
     """
+    shards, schedule, lifecycle = _materialise(
+        scenario,
+        config=config,
+        engine=engine,
+        mitigate=mitigate,
+        substrate=substrate,
+        track_performance=track_performance,
+        history_limit=history_limit,
+        history_mode=history_mode,
+    )
+    return Fleet(
+        shards,
+        schedule=schedule,
+        max_workers=max_workers,
+        executor=executor,
+        lifecycle=lifecycle,
+    )
+
+
+def _materialise(
+    scenario: DatacenterScenario,
+    config: Optional[DeepDiveConfig],
+    engine: str,
+    mitigate: bool,
+    substrate: str,
+    track_performance: bool,
+    history_limit: Optional[int],
+    history_mode: str,
+) -> Tuple[List[FleetShard], List[ScheduledStress], Optional[LifecycleEngine]]:
+    """Deterministically materialise a scenario's shards + schedule.
+
+    Shared by :func:`build_fleet` and :func:`build_regional_fleet`:
+    both draw from the same single seeded generator in the same order,
+    so the flat and hierarchical constructions produce byte-identical
+    shard states — the precondition for the region layer's
+    bit-identity guarantee.
+    """
     config = config or DeepDiveConfig()
     rng = np.random.default_rng(scenario.seed)
     mix_names = sorted(scenario.workload_mix)
@@ -345,10 +383,81 @@ def build_fleet(
             anti_affinity=tuple(scenario.anti_affinity)
         )
         lifecycle = LifecycleEngine(scenario.timeline, admission=admission)
-    return Fleet(
-        shards,
+    return shards, schedule, lifecycle
+
+
+def partition_regions(
+    shards: Sequence[FleetShard],
+    num_regions: int,
+    region_workers: Optional[int] = None,
+) -> List[Region]:
+    """Contiguously partition shards into balanced regions.
+
+    Contiguity is the load-bearing property: concatenating the regions
+    in order reproduces the flat shard order, so the regional fleet's
+    region-insertion-order merge is bit-identical to the flat fleet's
+    shard-insertion-order merge.  The first ``len(shards) %
+    num_regions`` regions hold one extra shard.
+    """
+    if num_regions < 1:
+        raise ValueError("num_regions must be positive")
+    shards = list(shards)
+    num_regions = min(num_regions, len(shards))
+    base, extra = divmod(len(shards), num_regions)
+    regions: List[Region] = []
+    start = 0
+    for r in range(num_regions):
+        size = base + (1 if r < extra else 0)
+        regions.append(
+            Region(
+                region_id=f"region{r}",
+                shards=shards[start : start + size],
+                max_workers=region_workers,
+            )
+        )
+        start += size
+    return regions
+
+
+def build_regional_fleet(
+    scenario: DatacenterScenario,
+    num_regions: int,
+    config: Optional[DeepDiveConfig] = None,
+    engine: str = "batch",
+    mitigate: bool = False,
+    substrate: str = "batch",
+    region_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    track_performance: bool = False,
+    history_limit: Optional[int] = 64,
+    history_mode: str = "lazy",
+) -> RegionalFleet:
+    """Materialise a scenario into a hierarchical :class:`RegionalFleet`.
+
+    The shards are built by exactly the same seeded construction as
+    :func:`build_fleet` and partitioned contiguously into
+    ``num_regions`` balanced regions (``region0``, ``region1``, ...), so
+    the hierarchical fleet evolves bit-identically to the flat one —
+    whatever ``executor`` and ``region_workers`` (the *per-region*
+    worker budget; there is no global pool) are chosen.  The scenario's
+    stress schedule and lifecycle timeline are partitioned onto the
+    owning regions by the :class:`RegionalFleet` constructor.
+    """
+    shards, schedule, lifecycle = _materialise(
+        scenario,
+        config=config,
+        engine=engine,
+        mitigate=mitigate,
+        substrate=substrate,
+        track_performance=track_performance,
+        history_limit=history_limit,
+        history_mode=history_mode,
+    )
+    regions = partition_regions(shards, num_regions, region_workers=region_workers)
+    return RegionalFleet(
+        regions,
         schedule=schedule,
-        max_workers=max_workers,
+        max_workers=region_workers,
         executor=executor,
         lifecycle=lifecycle,
     )

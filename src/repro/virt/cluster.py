@@ -216,6 +216,16 @@ class Cluster:
         """
         return dict(self._placement())
 
+    def vm_count(self) -> int:
+        """Number of placed VMs, straight off the placement cache.
+
+        Unlike :meth:`all_vms` this copies nothing — fleet-level
+        aggregation paths (``Fleet.stats()``, worker statistics
+        collection) call it once per shard per snapshot, and a regional
+        fleet multiplies shard counts tenfold.
+        """
+        return len(self._placement())
+
     def vms_running_app(self, app_id: str) -> List[Tuple[str, VirtualMachine]]:
         """All (host, VM) pairs running the given application code."""
         return [

@@ -1,0 +1,319 @@
+"""Campaign-runner unit tests: grid expansion, resume, npz schema.
+
+A campaign cell is a deterministic function of (spec, cell parameters)
+and completion tracking lives entirely in the result files, so these
+tests exercise the three contracts the runner is built on: stable grid
+expansion (cell ids and order never change), file-based resume (only
+missing or corrupt cells rerun), and strict schema validation of the
+columnar npz outputs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import (
+    CampaignRunner,
+    CampaignSchemaError,
+    CampaignSpec,
+    validate_cell_npz,
+)
+from repro.fleet.campaign import CELL_SCHEMA, CELL_SCHEMA_VERSION
+from repro.fleet.executor import WARNING_ACTIONS
+
+
+def _config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _tiny_spec(**overrides) -> CampaignSpec:
+    params = dict(
+        name="tiny",
+        num_vms=8,
+        num_shards=2,
+        num_regions=2,
+        epochs=4,
+        seed=3,
+        churn_rates=(0.0, 0.1),
+        interference_mixes=("none", "memory"),
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+class TestGridExpansion:
+    def test_axis_product_in_declaration_order(self):
+        spec = CampaignSpec(
+            name="grid",
+            churn_rates=(0.0, 0.1),
+            interference_mixes=("none", "memory", "disk"),
+            admission_degradations=(0.3, 0.6),
+            load_phases=(1.0,),
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 3 * 2 * 1
+        assert [c.index for c in cells] == list(range(12))
+        # churn is the outermost axis, load the innermost.
+        assert cells[0].params() == {
+            "churn_rate": 0.0,
+            "interference_mix": "none",
+            "admission_degradation": 0.3,
+            "load_phase": 1.0,
+        }
+        assert cells[1].admission_degradation == 0.6
+        assert cells[6].churn_rate == 0.1
+
+    def test_cell_ids_stable_and_filesystem_safe(self):
+        spec = _tiny_spec()
+        ids = [c.cell_id for c in spec.cells()]
+        assert ids == [
+            "cell0000-churn0-mixnone-adm0p5-load1",
+            "cell0001-churn0-mixmemory-adm0p5-load1",
+            "cell0002-churn0p1-mixnone-adm0p5-load1",
+            "cell0003-churn0p1-mixmemory-adm0p5-load1",
+        ]
+        assert all("/" not in i and "." not in i for i in ids)
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError, match="unknown interference mix"):
+            _tiny_spec(interference_mixes=("cpu",))
+        with pytest.raises(ValueError, match="must not be empty"):
+            _tiny_spec(churn_rates=())
+        with pytest.raises(ValueError, match="non-negative"):
+            _tiny_spec(churn_rates=(-0.1,))
+
+    def test_scenarios_reflect_cell_parameters(self):
+        spec = _tiny_spec(load_phases=(1.0, 0.7))
+        cells = spec.cells()
+        quiet = spec.scenario_for(cells[0])
+        assert quiet.episodes == () and quiet.timeline is None
+        noisy = spec.scenario_for(
+            next(c for c in cells if c.interference_mix == "memory")
+        )
+        assert len(noisy.episodes) == spec.num_shards
+        churned = spec.scenario_for(
+            next(c for c in cells if c.churn_rate > 0)
+        )
+        assert churned.timeline is not None
+        phased = spec.scenario_for(
+            next(c for c in cells if c.load_phase != 1.0)
+        )
+        phase_events = [
+            e for e in phased.timeline.events if type(e).__name__ == "LoadPhase"
+        ]
+        assert len(phase_events) == spec.num_shards
+
+
+class TestCampaignRun:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        spec = _tiny_spec()
+        campaign_dir = tmp_path_factory.mktemp("campaign")
+        runner = CampaignRunner(spec, campaign_dir, config=_config())
+        summaries = runner.run()
+        return spec, campaign_dir, runner, summaries
+
+    def test_all_cells_written_and_valid(self, campaign):
+        spec, campaign_dir, _runner, summaries = campaign
+        assert [s["cell_id"] for s in summaries] == [
+            c.cell_id for c in spec.cells()
+        ]
+        for cell in spec.cells():
+            arrays = validate_cell_npz(campaign_dir / f"{cell.cell_id}.npz")
+            assert int(arrays["epochs"]) == spec.epochs
+            assert arrays["observations"].sum() > 0
+
+    def test_manifest_describes_grid(self, campaign):
+        spec, campaign_dir, _runner, _summaries = campaign
+        manifest = json.loads((campaign_dir / "manifest.json").read_text())
+        assert manifest["name"] == spec.name
+        assert manifest["schema_version"] == CELL_SCHEMA_VERSION
+        assert manifest["axes"]["churn_rate"] == list(spec.churn_rates)
+        assert [c["cell_id"] for c in manifest["cells"]] == [
+            c.cell_id for c in spec.cells()
+        ]
+
+    def test_summaries_have_percentiles_and_slo(self, campaign):
+        _spec, _dir, _runner, summaries = campaign
+        for summary in summaries:
+            assert {"p50", "p90", "p99", "mean", "max"} <= set(
+                summary["epoch_seconds"]
+            )
+            assert 0.0 <= summary["slo_violation_fraction"] <= 1.0
+            assert summary["status"] == "complete"
+
+    def test_interference_cells_confirm(self, campaign):
+        """The memory-mix cells must actually detect something, or the
+        whole sweep measures nothing."""
+        _spec, _dir, _runner, summaries = campaign
+        confirmed = {
+            s["params"]["interference_mix"]: s["confirmed"] for s in summaries
+        }
+        assert confirmed["memory"] > 0
+
+    def test_resume_skips_completed_cells(self, campaign):
+        spec, campaign_dir, runner, _summaries = campaign
+        mtimes = {
+            p.name: p.stat().st_mtime_ns
+            for p in campaign_dir.glob("*.npz")
+        }
+        runner.run(resume=True)
+        after = {
+            p.name: p.stat().st_mtime_ns
+            for p in campaign_dir.glob("*.npz")
+        }
+        assert after == mtimes, "resume must not rewrite completed cells"
+
+    def test_resume_reruns_corrupt_cell(self, campaign):
+        spec, campaign_dir, runner, _summaries = campaign
+        victim = spec.cells()[0]
+        npz = campaign_dir / f"{victim.cell_id}.npz"
+        npz.write_bytes(b"not an npz")
+        assert not runner.cell_complete(victim)
+        untouched = spec.cells()[1]
+        before = (campaign_dir / f"{untouched.cell_id}.npz").stat().st_mtime_ns
+        runner.run(resume=True)
+        validate_cell_npz(npz)
+        after = (campaign_dir / f"{untouched.cell_id}.npz").stat().st_mtime_ns
+        assert after == before, "only the corrupt cell may rerun"
+
+    def test_mismatched_campaign_dir_refused(self, campaign):
+        _spec, campaign_dir, _runner, _summaries = campaign
+        other = CampaignRunner(
+            _tiny_spec(seed=99), campaign_dir, config=_config()
+        )
+        with pytest.raises(ValueError, match="different campaign"):
+            other.run()
+
+    def test_cell_decisions_deterministic(self, campaign, tmp_path):
+        """Rerunning one cell in a fresh directory reproduces the
+        decision columns byte for byte (wall-times aside)."""
+        spec, campaign_dir, _runner, _summaries = campaign
+        from repro.fleet import run_cell
+
+        cell = spec.cells()[1]
+        run_cell(spec, cell, tmp_path, config=_config())
+        a = validate_cell_npz(campaign_dir / f"{cell.cell_id}.npz")
+        b = validate_cell_npz(tmp_path / f"{cell.cell_id}.npz")
+        for name in ("action_counts", "observations", "confirmed", "counter_totals"):
+            assert np.array_equal(a[name], b[name], equal_nan=True), name
+
+
+class TestSchemaValidation:
+    @pytest.fixture(scope="class")
+    def valid_npz(self, tmp_path_factory):
+        from repro.fleet import run_cell
+
+        spec = _tiny_spec(churn_rates=(0.0,), interference_mixes=("none",))
+        cell = spec.cells()[0]
+        d = tmp_path_factory.mktemp("schema")
+        run_cell(spec, cell, d, config=_config())
+        return d / f"{cell.cell_id}.npz"
+
+    def _tampered(self, valid_npz, tmp_path, mutate):
+        with np.load(valid_npz) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        mutate(arrays)
+        out = tmp_path / "tampered.npz"
+        np.savez(out, **arrays)
+        return out
+
+    def test_valid_file_passes(self, valid_npz):
+        arrays = validate_cell_npz(valid_npz)
+        assert set(arrays) == set(CELL_SCHEMA)
+
+    def test_missing_array_rejected(self, valid_npz, tmp_path):
+        out = self._tampered(
+            valid_npz, tmp_path, lambda a: a.pop("action_counts")
+        )
+        with pytest.raises(CampaignSchemaError, match="missing arrays"):
+            validate_cell_npz(out)
+
+    def test_unexpected_array_rejected(self, valid_npz, tmp_path):
+        out = self._tampered(
+            valid_npz,
+            tmp_path,
+            lambda a: a.update(extra=np.zeros(3)),
+        )
+        with pytest.raises(CampaignSchemaError, match="unexpected arrays"):
+            validate_cell_npz(out)
+
+    def test_wrong_dtype_rejected(self, valid_npz, tmp_path):
+        out = self._tampered(
+            valid_npz,
+            tmp_path,
+            lambda a: a.update(observations=a["observations"].astype(float)),
+        )
+        with pytest.raises(CampaignSchemaError, match="dtype kind"):
+            validate_cell_npz(out)
+
+    def test_wrong_shape_rejected(self, valid_npz, tmp_path):
+        out = self._tampered(
+            valid_npz,
+            tmp_path,
+            lambda a: a.update(confirmed=a["confirmed"][:-1]),
+        )
+        with pytest.raises(CampaignSchemaError, match="shape"):
+            validate_cell_npz(out)
+
+    def test_wrong_schema_version_rejected(self, valid_npz, tmp_path):
+        out = self._tampered(
+            valid_npz,
+            tmp_path,
+            lambda a: a.update(schema_version=np.int64(99)),
+        )
+        with pytest.raises(CampaignSchemaError, match="schema_version"):
+            validate_cell_npz(out)
+
+    def test_inconsistent_counts_rejected(self, valid_npz, tmp_path):
+        def bump(arrays):
+            counts = arrays["action_counts"].copy()
+            counts[0, 0] += 1
+            arrays["action_counts"] = counts
+
+        out = self._tampered(valid_npz, tmp_path, bump)
+        with pytest.raises(CampaignSchemaError, match="do not sum"):
+            validate_cell_npz(out)
+
+    def test_wrong_action_table_rejected(self, valid_npz, tmp_path):
+        out = self._tampered(
+            valid_npz,
+            tmp_path,
+            lambda a: a.update(
+                action_names=np.array(list(reversed(WARNING_ACTIONS)))
+            ),
+        )
+        with pytest.raises(CampaignSchemaError, match="action_names"):
+            validate_cell_npz(out)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"definitely not a zip")
+        with pytest.raises(CampaignSchemaError, match="unreadable"):
+            validate_cell_npz(path)
+
+
+class TestCellProcesses:
+    def test_parallel_cells_match_serial(self, tmp_path):
+        """Cells dispatched to spawned workers leave identical decision
+        columns (cells are deterministic; scheduling is irrelevant)."""
+        spec = _tiny_spec(churn_rates=(0.0,))
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        CampaignRunner(spec, serial_dir, config=_config()).run()
+        CampaignRunner(
+            spec, parallel_dir, config=_config(), cell_processes=2
+        ).run()
+        for cell in spec.cells():
+            a = validate_cell_npz(serial_dir / f"{cell.cell_id}.npz")
+            b = validate_cell_npz(parallel_dir / f"{cell.cell_id}.npz")
+            for name in ("action_counts", "observations", "confirmed"):
+                assert np.array_equal(a[name], b[name]), (cell.cell_id, name)

@@ -1,0 +1,205 @@
+"""Region-layer unit tests: construction, budgets, roll-ups.
+
+The bit-identity of hierarchical runs is pinned by
+``tests/property/test_region_equivalence.py``; these tests cover the
+construction contracts (unique ids, contiguous partitioning, per-region
+worker budgets, lifecycle validation) and the
+:meth:`~repro.fleet.fleet.FleetRunSummary.merge` roll-up semantics.
+"""
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import (
+    FleetEpochReport,
+    FleetRunSummary,
+    HostDrain,
+    Region,
+    RegionalFleet,
+    build_fleet,
+    build_regional_fleet,
+    churn_timeline,
+    partition_regions,
+    synthesize_datacenter,
+)
+
+
+def _config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _flat(num_shards=4, num_vms=16, timeline=None):
+    scenario = synthesize_datacenter(
+        num_vms, num_shards=num_shards, seed=11, timeline=timeline
+    )
+    return build_fleet(scenario, config=_config())
+
+
+class TestRegionConstruction:
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            Region(region_id="r0", shards=[])
+
+    def test_empty_regional_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one region"):
+            RegionalFleet([])
+
+    def test_duplicate_region_id_rejected(self):
+        shards = list(_flat().shards.values())
+        with pytest.raises(ValueError, match="duplicate region id"):
+            RegionalFleet(
+                [
+                    Region("r0", shards[:2]),
+                    Region("r0", shards[2:]),
+                ]
+            )
+
+    def test_shard_in_two_regions_rejected(self):
+        shards = list(_flat().shards.values())
+        with pytest.raises(ValueError, match="appears in regions"):
+            RegionalFleet(
+                [
+                    Region("r0", shards[:3]),
+                    Region("r1", shards[2:]),
+                ]
+            )
+
+    def test_from_fleet_adopts_shards(self):
+        flat = _flat(num_shards=2)
+        region = Region.from_fleet("adopted", flat, max_workers=3)
+        assert [s.shard_id for s in region.shards] == list(flat.shards)
+        assert region.max_workers == 3
+
+    def test_contiguous_balanced_partition(self):
+        shards = list(_flat(num_shards=4).shards.values())
+        regions = partition_regions(shards, 3)
+        sizes = [len(r.shards) for r in regions]
+        assert sizes == [2, 1, 1]
+        flattened = [s.shard_id for r in regions for s in r.shards]
+        assert flattened == [s.shard_id for s in shards]
+
+    def test_partition_caps_at_shard_count(self):
+        shards = list(_flat(num_shards=2).shards.values())
+        regions = partition_regions(shards, 5)
+        assert len(regions) == 2
+
+    def test_lifecycle_validated_against_full_topology(self):
+        timeline = churn_timeline(["shard0"], epochs=4, seed=1)
+        timeline.add(HostDrain(epoch=1, shard="shard0", host="nonexistent"))
+        scenario = synthesize_datacenter(
+            8, num_shards=2, seed=11, timeline=timeline
+        )
+        with pytest.raises(ValueError, match="unknown host"):
+            build_regional_fleet(scenario, num_regions=2, config=_config())
+
+
+class TestWorkerBudgets:
+    def test_per_region_budget_overrides_default(self):
+        shards = list(_flat(num_shards=4).shards.values())
+        fleet = RegionalFleet(
+            [
+                Region("r0", shards[:2], max_workers=4),
+                Region("r1", shards[2:]),
+            ],
+            max_workers=2,
+            executor="thread",
+        )
+        assert fleet.fleets["r0"].max_workers == 4
+        assert fleet.fleets["r1"].max_workers == 2
+
+    def test_executor_propagates_to_every_region(self):
+        fleet = build_regional_fleet(
+            synthesize_datacenter(8, num_shards=2, seed=11),
+            num_regions=2,
+            config=_config(),
+            executor="thread",
+            region_workers=2,
+        )
+        assert fleet.executor == "thread"
+        assert all(f.executor == "thread" for f in fleet.fleets.values())
+
+    def test_default_executor_inferred_from_budget(self):
+        shards = list(_flat(num_shards=2).shards.values())
+        serial = RegionalFleet([Region("r0", shards)])
+        assert serial.executor == "serial"
+        threaded = RegionalFleet(
+            [Region("r0", list(_flat(num_shards=2).shards.values()))],
+            max_workers=2,
+        )
+        assert threaded.executor == "thread"
+
+
+class TestAggregation:
+    def test_stats_includes_region_count(self):
+        fleet = build_regional_fleet(
+            synthesize_datacenter(8, num_shards=2, seed=11),
+            num_regions=2,
+            config=_config(),
+        )
+        stats = fleet.stats()
+        assert stats["regions"] == 2.0
+        assert stats["shards"] == 2.0
+        assert stats["vms"] == 8.0
+
+    def test_schedule_partitioned_by_shard_ownership(self):
+        from repro.fleet import InterferenceEpisode
+
+        scenario = synthesize_datacenter(
+            8,
+            num_shards=2,
+            seed=11,
+            episodes=[
+                InterferenceEpisode(
+                    shard=1, host_index=0, start_epoch=0, end_epoch=2
+                )
+            ],
+        )
+        fleet = build_regional_fleet(scenario, num_regions=2, config=_config())
+        assert fleet.fleets["region0"].schedule == []
+        assert [s.shard_id for s in fleet.fleets["region1"].schedule] == ["shard1"]
+
+
+class TestSummaryMerge:
+    def _summary(self, epochs=2, observations=5, shard_id="shard0"):
+        summary = FleetRunSummary(
+            epochs=epochs,
+            observations=observations,
+            analyzer_invocations=1,
+            confirmed_interference=1,
+            action_histogram={"normal": observations - 1, "analyze": 1},
+            final_report=FleetEpochReport(
+                epoch=epochs - 1, shard_reports={shard_id: object()}
+            ),
+        )
+        return summary
+
+    def test_merge_requires_summaries(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FleetRunSummary.merge([])
+
+    def test_merge_rejects_mismatched_epochs(self):
+        with pytest.raises(ValueError, match="different epoch counts"):
+            FleetRunSummary.merge([self._summary(epochs=2), self._summary(epochs=3)])
+
+    def test_merge_rejects_overlapping_shards(self):
+        with pytest.raises(ValueError, match="more than one summary"):
+            FleetRunSummary.merge([self._summary(), self._summary()])
+
+    def test_merge_adds_counters_and_concatenates_reports(self):
+        merged = FleetRunSummary.merge(
+            [
+                self._summary(observations=5, shard_id="shard0"),
+                self._summary(observations=7, shard_id="shard1"),
+            ]
+        )
+        assert merged.epochs == 2
+        assert merged.observations == 12
+        assert merged.confirmed_interference == 2
+        assert merged.action_histogram == {"normal": 10, "analyze": 2}
+        assert list(merged.final_report.shard_reports) == ["shard0", "shard1"]

@@ -44,6 +44,10 @@ smoke variants with ``pytest -m bench_smoke``; ``FLEET_SMOKE_EXECUTOR``
 selects the executor and ``FLEET_SMOKE_HISTORY_MODE`` the counter-store
 mode the smoke fleet runs under (the CI matrix covers ``thread`` /
 ``process`` executors and an eager-history leg).
+``FLEET_SMOKE_SNAPSHOT=1`` turns the snapshot smoke into a
+process-executor kill/resume roundtrip whose checkpoint file (written
+to ``FLEET_SMOKE_CKPT`` when set) the CI workflow schema-validates
+afterwards.
 """
 
 from __future__ import annotations
@@ -63,6 +67,7 @@ import pytest
 from repro.core.config import DeepDiveConfig
 from repro.fleet import (
     InterferenceEpisode,
+    RunOptions,
     build_fleet,
     churn_timeline,
     synthesize_datacenter,
@@ -73,6 +78,9 @@ from repro.metrics.store import HostCounterStore
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+#: The columnar hot-loop options every executor comparison times.
+_COLUMNAR = RunOptions(analyze=False, report="columnar")
 
 #: Two shards of ~500 VMs keep per-application sibling pools large — the
 #: regime where the scalar loop's per-VM sibling handling dominates.
@@ -360,7 +368,7 @@ def _time_fleet_epochs_columnar(fleets, reps: int) -> list:
     for _ in range(reps):
         for j, fleet in enumerate(fleets):
             start = time.perf_counter()
-            fleet.run_epoch(analyze=False, report="columnar")
+            fleet.run_epoch(_COLUMNAR)
             best[j] = min(best[j], time.perf_counter() - start)
     return best
 
@@ -397,13 +405,13 @@ def _run_process_comparison(
     try:
         # All fleets are at the same epoch; executors must agree exactly.
         reference = _columnar_fingerprint(
-            serial.run_epoch(analyze=False, report="columnar")
+            serial.run_epoch(_COLUMNAR)
         )
         assert reference == _columnar_fingerprint(
-            single.run_epoch(analyze=False, report="columnar")
+            single.run_epoch(_COLUMNAR)
         ), "single-worker process execution diverges from serial"
         assert reference == _columnar_fingerprint(
-            multi.run_epoch(analyze=False, report="columnar")
+            multi.run_epoch(_COLUMNAR)
         ), f"{multi_workers}-worker process execution diverges from serial"
         serial_s, single_s, multi_s = _time_fleet_epochs_columnar(
             [serial, single, multi], reps
@@ -691,10 +699,10 @@ def test_fleet_executor_smoke():
     )
     try:
         reference = _columnar_fingerprint(
-            serial.run_epoch(analyze=False, report="columnar")
+            serial.run_epoch(_COLUMNAR)
         )
         assert reference == _columnar_fingerprint(
-            fleet.run_epoch(analyze=False, report="columnar")
+            fleet.run_epoch(_COLUMNAR)
         ), f"executor {executor!r} diverges from serial"
         elapsed = _time_fleet_epoch_columnar(fleet, reps=2)
         assert elapsed > 0
@@ -1028,6 +1036,150 @@ def test_fleet_campaign_scale():
     }
     _merge_bench_record("fleet_campaign", record)
     print("\nfleet campaign:", json.dumps(record, indent=2))
+
+
+# ----------------------------------------------------------------------
+# Snapshot/resume (the long-lived service path, PR 8)
+# ----------------------------------------------------------------------
+@pytest.mark.bench_smoke
+def test_fleet_snapshot_smoke(tmp_path):
+    """Kill a run mid-way, resume from the checkpoint file, and land on
+    bit-identical decisions.  The CI ``FLEET_SMOKE_SNAPSHOT=1`` leg runs
+    this under the process executor (the checkpoint snapshots the
+    *workers'* live state, and the interrupted fleet must leave
+    ``/dev/shm`` clean); otherwise a cheap serial roundtrip.
+    ``FLEET_SMOKE_CKPT`` redirects the checkpoint file so the workflow
+    can schema-validate it after the run."""
+    from repro.fleet import resume_fleet, validate_checkpoint_file
+
+    snapshot_leg = os.environ.get("FLEET_SMOKE_SNAPSHOT") == "1"
+    executor = "process" if snapshot_leg else "serial"
+    workers = 2 if snapshot_leg else None
+    epochs, split = 6, 3
+
+    reference = _prepare_fleet(60, num_shards=2, executor="serial")
+    try:
+        expected = [
+            _columnar_fingerprint(
+                reference.run_epoch(_COLUMNAR)
+            )
+            for _ in range(epochs)
+        ]
+    finally:
+        reference.shutdown()
+
+    fleet = _prepare_fleet(60, num_shards=2, executor=executor, max_workers=workers)
+    ckpt_path = Path(os.environ.get("FLEET_SMOKE_CKPT") or tmp_path / "smoke.ckpt")
+    try:
+        got = [
+            _columnar_fingerprint(
+                fleet.run_epoch(_COLUMNAR)
+            )
+            for _ in range(split)
+        ]
+        t0 = time.perf_counter()
+        fleet.snapshot(ckpt_path)
+        snapshot_s = time.perf_counter() - t0
+    finally:
+        fleet.shutdown()  # the "kill": the original fleet is gone.
+    if executor == "process":
+        assert leaked_segments() == [], (
+            "interrupted process fleet left shared-memory segments in /dev/shm"
+        )
+
+    meta = validate_checkpoint_file(ckpt_path, deep=True)
+    t0 = time.perf_counter()
+    resumed = resume_fleet(ckpt_path, executor=executor, max_workers=workers)
+    resume_s = time.perf_counter() - t0
+    try:
+        got += [
+            _columnar_fingerprint(
+                resumed.run_epoch(_COLUMNAR)
+            )
+            for _ in range(epochs - split)
+        ]
+    finally:
+        resumed.shutdown()
+    assert got == expected, (
+        f"resumed {executor} run diverged from the uninterrupted serial run"
+    )
+    if executor == "process":
+        assert leaked_segments() == [], (
+            "resumed process fleet left shared-memory segments in /dev/shm"
+        )
+    record = {
+        "benchmark": "fleet_snapshot_smoke",
+        "executor": executor,
+        "vms": 60,
+        "epochs": epochs,
+        "split_epoch": int(meta["epoch"]),
+        "checkpoint_bytes": ckpt_path.stat().st_size,
+        "snapshot_seconds": snapshot_s,
+        "resume_seconds": resume_s,
+        "cpu_count": os.cpu_count(),
+        "unix_time": time.time(),
+    }
+    _merge_bench_record("fleet_snapshot_smoke", record)
+    print("\nfleet snapshot smoke:", json.dumps(record, indent=2))
+
+
+def test_fleet_snapshot_2000_vms(tmp_path):
+    """Snapshot/resume cost at 2k VMs under the process executor: the
+    checkpoint gathers live worker state, so the recorded overhead is
+    the real price of periodically checkpointing a long-lived service
+    (``snapshot_overhead_pct`` = one snapshot as a fraction of one epoch;
+    a service checkpointing every N epochs pays 1/N of that)."""
+    from repro.fleet import resume_fleet, validate_checkpoint_file
+
+    fleet = _prepare_fleet(2000, num_shards=4, executor="process", max_workers=4)
+    ckpt_path = tmp_path / "fleet2k.ckpt"
+    try:
+        epoch_s = _time_fleet_epoch_columnar(fleet, reps=3)
+        snapshot_s = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fleet.snapshot(ckpt_path)
+            snapshot_s = min(snapshot_s, time.perf_counter() - start)
+        # The epoch the original fleet runs next is the epoch the
+        # resumed fleet must reproduce exactly.
+        expected = _columnar_fingerprint(
+            fleet.run_epoch(_COLUMNAR)
+        )
+    finally:
+        fleet.shutdown()
+    meta = validate_checkpoint_file(ckpt_path, deep=True)
+    start = time.perf_counter()
+    resumed = resume_fleet(ckpt_path)
+    resume_s = time.perf_counter() - start
+    try:
+        assert resumed.executor == "process"
+        assert _columnar_fingerprint(
+            resumed.run_epoch(_COLUMNAR)
+        ) == expected, "resumed 2k fleet diverged from the snapshotted one"
+    finally:
+        resumed.shutdown()
+    assert leaked_segments() == [], (
+        "2k snapshot benchmark left shared-memory segments in /dev/shm"
+    )
+    record = {
+        "benchmark": "fleet_snapshot_2k",
+        "vms": int(meta["total_vms"]),
+        "shards": len(meta["shard_ids"]),
+        "executor": "process",
+        "workers": 4,
+        "epoch_seconds": epoch_s,
+        "snapshot_seconds": snapshot_s,
+        "resume_seconds": resume_s,
+        "checkpoint_bytes": ckpt_path.stat().st_size,
+        "checkpoint_mib": round(ckpt_path.stat().st_size / 2**20, 3),
+        "snapshot_overhead_pct": 100.0 * snapshot_s / epoch_s,
+        "cpu_count": os.cpu_count(),
+        "unix_time": time.time(),
+    }
+    _merge_bench_record("fleet_snapshot_2k", record)
+    print("\nfleet snapshot 2k:", json.dumps(record, indent=2))
+    assert record["checkpoint_bytes"] > 0
+    assert record["snapshot_seconds"] > 0
 
 
 @pytest.mark.skipif(

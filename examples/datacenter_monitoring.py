@@ -17,7 +17,12 @@ Run with::
 import time
 
 from repro.experiments import fig08_detection, fig12_overhead
-from repro.fleet import InterferenceEpisode, build_fleet, synthesize_datacenter
+from repro.fleet import (
+    InterferenceEpisode,
+    RunOptions,
+    build_fleet,
+    synthesize_datacenter,
+)
 
 
 def run_fleet_demo(num_vms: int = 2000, epochs: int = 12) -> None:
@@ -27,7 +32,8 @@ def run_fleet_demo(num_vms: int = 2000, epochs: int = 12) -> None:
     all VMs on all hosts of a shard as array operations,
     ``max_workers=4`` dispatches the independent shards to a thread pool
     (results are identical for any worker count), and
-    ``keep_reports=False`` keeps memory constant however long the run.
+    ``RunOptions(keep_reports=False)`` keeps memory constant however
+    long the run.
     """
     scenario = synthesize_datacenter(
         num_vms,
@@ -44,7 +50,7 @@ def run_fleet_demo(num_vms: int = 2000, epochs: int = 12) -> None:
     )
     fleet.bootstrap()
     start = time.perf_counter()
-    summary = fleet.run(epochs, keep_reports=False)
+    summary = fleet.run(epochs, RunOptions(keep_reports=False))
     elapsed = time.perf_counter() - start
     stats = fleet.stats()
     rate = fleet.total_vms() * epochs / elapsed

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Run a fleet as a long-lived service: stream, dashboard, checkpoints.
+
+The service loop is the whole PR-8 surface in one place:
+
+* the fleet advances through the **epoch-streaming iterator**
+  (``FleetDashboard.watch`` wraps ``fleet.stream`` and times every
+  epoch), so memory stays constant however long the service runs;
+* the **live ops dashboard** refreshes in the terminal between epochs —
+  per-shard/per-region throughput, churn and admission counters,
+  detections, drain status, health alerts — or emits JSON for scraping
+  (``--json``);
+* with ``--checkpoint-path`` the service **snapshots** the fleet every
+  ``--checkpoint-every`` epochs (run summary included), and
+  ``--resume`` restarts from such a checkpoint — the continuation is
+  bit-identical to a run that was never interrupted, whatever executor
+  either side used.
+
+Try it::
+
+    python examples/run_service.py --epochs 20
+    python examples/run_service.py --executor process --workers 2 \\
+        --checkpoint-path /tmp/fleet.ckpt --checkpoint-every 5
+    # ctrl-C it mid-run, then:
+    python examples/run_service.py --resume --checkpoint-path /tmp/fleet.ckpt
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import (
+    Checkpoint,
+    FleetDashboard,
+    FleetRunSummary,
+    InterferenceEpisode,
+    RunOptions,
+    build_fleet,
+    churn_timeline,
+    resume_fleet,
+    synthesize_datacenter,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vms", type=int, default=96)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial"
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--churn", action="store_true", help="attach a tenant-churn timeline"
+    )
+    parser.add_argument(
+        "--refresh",
+        type=int,
+        default=1,
+        help="render the dashboard every N epochs (0 disables)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON dashboard document per refresh instead of text",
+    )
+    parser.add_argument("--checkpoint-path", default=None)
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5,
+        help="snapshot every N epochs when --checkpoint-path is set",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint-path instead of building a fleet",
+    )
+    return parser.parse_args()
+
+
+def build(args: argparse.Namespace):
+    timeline = (
+        churn_timeline(
+            [f"shard{s}" for s in range(args.shards)],
+            epochs=args.epochs,
+            seed=17,
+            arrivals="poisson",
+            arrivals_per_epoch=1.0,
+            mean_lifetime_epochs=10.0,
+        )
+        if args.churn
+        else None
+    )
+    scenario = synthesize_datacenter(
+        args.vms,
+        num_shards=args.shards,
+        seed=29,
+        episodes=[
+            InterferenceEpisode(
+                shard=0, host_index=0, start_epoch=4, end_epoch=9, kind="memory"
+            )
+        ],
+        timeline=timeline,
+    )
+    config = DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+    fleet = build_fleet(
+        scenario,
+        config=config,
+        max_workers=args.workers,
+        executor=args.executor,
+    )
+    fleet.bootstrap()
+    return fleet
+
+
+def main() -> None:
+    args = parse_args()
+    if args.resume:
+        if not args.checkpoint_path:
+            sys.exit("--resume needs --checkpoint-path")
+        checkpoint = Checkpoint.load(args.checkpoint_path)
+        fleet = resume_fleet(checkpoint)
+        carried = checkpoint.state().get("summary")
+        summary = carried if carried is not None else FleetRunSummary()
+        print(
+            f"resumed at epoch {fleet.current_epoch} "
+            f"({fleet.executor} executor, {summary.epochs} epochs carried)"
+        )
+    else:
+        fleet = build(args)
+        summary = FleetRunSummary()
+
+    dashboard = FleetDashboard(fleet, slo_epoch_seconds=None)
+    remaining = args.epochs - fleet.current_epoch
+    if remaining <= 0:
+        sys.exit(f"nothing to do: checkpoint already at epoch {fleet.current_epoch}")
+
+    started = time.perf_counter()
+    try:
+        for report in dashboard.watch(remaining, RunOptions()):
+            summary.accumulate(report)
+            done = fleet.current_epoch
+            if (
+                args.checkpoint_path
+                and args.checkpoint_every
+                and done % args.checkpoint_every == 0
+                and done < args.epochs
+            ):
+                fleet.snapshot(args.checkpoint_path, summary=summary)
+            if args.refresh and done % args.refresh == 0:
+                if args.json:
+                    print(dashboard.to_json())
+                else:
+                    # Home the cursor and redraw (auto-refresh view).
+                    print("\x1b[H\x1b[2J" + dashboard.render(), flush=True)
+    finally:
+        fleet.shutdown()
+
+    elapsed = time.perf_counter() - started
+    print(
+        f"\nservice ran {remaining} epoch(s) in {elapsed:.2f}s — "
+        f"{summary.observations:,} observations, "
+        f"{summary.confirmed_interference} confirmed, "
+        f"{summary.analyzer_invocations} analyzer runs over "
+        f"{summary.epochs} total epochs"
+    )
+
+
+if __name__ == "__main__":
+    main()

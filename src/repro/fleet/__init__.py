@@ -17,6 +17,15 @@ region/worker split) and :mod:`repro.fleet.campaign` sweeps parameter
 grids of such fleets, one schema-validated columnar result file per
 cell.
 
+Long-lived service operation goes through one unified surface: both
+fleet kinds implement the :class:`FleetRuntime` protocol — epoch
+streaming (``stream``), buffered/summarised runs (``run``) configured by
+typed :class:`RunOptions`, and versioned :class:`Checkpoint`
+snapshot/resume (``snapshot()`` / ``Fleet.resume()`` /
+:func:`resume_fleet`) with a bit-identical continuation guarantee.  A
+:class:`FleetDashboard` renders live per-shard/per-region telemetry off
+the stream (see ``examples/run_service.py``).
+
 ``benchmarks/test_fleet_scale.py`` measures the batched epoch engine
 against the scalar per-VM reference loop on these fleets and records
 the speedup in ``BENCH_fleet.json``.
@@ -30,6 +39,13 @@ from repro.fleet.campaign import (
     run_cell,
     validate_cell_npz,
 )
+from repro.fleet.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    validate_checkpoint_file,
+)
+from repro.fleet.dashboard import FleetDashboard
 from repro.fleet.executor import (
     ColumnarFleetReport,
     ColumnarShardReport,
@@ -39,7 +55,8 @@ from repro.fleet.executor import (
 )
 from repro.fleet.fleet import Fleet, FleetEpochReport, FleetRunSummary, FleetShard
 from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine, LifecycleStats
-from repro.fleet.region import Region, RegionalFleet
+from repro.fleet.region import Region, RegionalFleet, resume_fleet
+from repro.fleet.runtime import FleetRuntime, RunOptions
 from repro.fleet.scenario import (
     DatacenterScenario,
     InterferenceEpisode,
@@ -61,13 +78,19 @@ from repro.fleet.timeline import (
 
 __all__ = [
     "AdmissionPolicy",
+    "CHECKPOINT_VERSION",
     "CampaignCell",
     "CampaignRunner",
     "CampaignSchemaError",
     "CampaignSpec",
+    "Checkpoint",
+    "CheckpointError",
     "ColumnarFleetReport",
     "ColumnarShardReport",
     "Fleet",
+    "FleetDashboard",
+    "FleetRuntime",
+    "RunOptions",
     "FleetEpochReport",
     "FleetRunSummary",
     "FleetShard",
@@ -90,8 +113,10 @@ __all__ = [
     "build_fleet",
     "build_regional_fleet",
     "partition_regions",
+    "resume_fleet",
     "run_cell",
     "synthesize_datacenter",
     "validate_cell_npz",
+    "validate_checkpoint_file",
     "churn_timeline",
 ]

@@ -36,6 +36,7 @@ import io
 import json
 import multiprocessing
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -45,8 +46,11 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.config import DeepDiveConfig
+from repro.fleet.checkpoint import Checkpoint, CheckpointError
 from repro.fleet.executor import WARNING_ACTIONS
 from repro.fleet.lifecycle import AdmissionPolicy
+from repro.fleet.region import resume_fleet
+from repro.fleet.runtime import RunOptions
 from repro.fleet.scenario import (
     DatacenterScenario,
     InterferenceEpisode,
@@ -331,11 +335,60 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
     os.replace(tmp, path)
 
 
+def _load_cell_checkpoint(
+    ckpt_path: Path, cell: CampaignCell, epochs: int
+):
+    """The cell's mid-run checkpoint, if it exists and matches.
+
+    Returns ``(resumed_fleet, extra)`` or ``None``.  Any problem —
+    unreadable file, foreign cell, different epoch budget, truncated
+    arrays — discards the checkpoint (it is deleted so the cell restarts
+    cleanly) rather than poisoning the cell result.
+    """
+    if not ckpt_path.exists():
+        return None
+    try:
+        checkpoint = Checkpoint.load(ckpt_path)
+        extra = checkpoint.state().get("extra")
+        if not isinstance(extra, dict):
+            raise CheckpointError("cell checkpoint carries no progress arrays")
+        if extra.get("cell_id") != cell.cell_id:
+            raise CheckpointError(
+                f"checkpoint belongs to cell {extra.get('cell_id')!r}"
+            )
+        if extra.get("epochs") != epochs:
+            raise CheckpointError(
+                f"checkpoint ran toward {extra.get('epochs')!r} epochs, "
+                f"cell wants {epochs}"
+            )
+        k = checkpoint.epoch
+        if not (0 < k < epochs):
+            raise CheckpointError(f"checkpoint epoch {k} outside (0, {epochs})")
+        for name in (
+            "action_counts",
+            "observations",
+            "analyzer_invocations",
+            "confirmed",
+            "counter_totals",
+            "epoch_seconds",
+        ):
+            array = extra.get(name)
+            if not isinstance(array, np.ndarray) or array.shape[0] != k:
+                raise CheckpointError(f"checkpoint array {name} is inconsistent")
+        fleet = resume_fleet(checkpoint)
+        return fleet, extra
+    except (CheckpointError, KeyError, pickle.UnpicklingError):
+        ckpt_path.unlink(missing_ok=True)
+        return None
+
+
 def run_cell(
     spec: CampaignSpec,
     cell: CampaignCell,
     campaign_dir: Union[str, Path],
     config: Optional[DeepDiveConfig] = None,
+    checkpoint_every: Optional[int] = None,
+    _fail_after_epochs: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run one cell end to end and persist its npz + summary.
 
@@ -344,21 +397,20 @@ def run_cell(
     per-epoch aggregates come straight off the decision arrays without
     materialising per-VM observation objects.  Returns the summary
     dict (also written to ``<cell_id>.summary.json``).
+
+    ``checkpoint_every=k`` snapshots the fleet (plus the per-epoch
+    arrays collected so far) to ``<cell_id>.ckpt`` every ``k`` epochs —
+    a runtime knob, deliberately *not* part of the spec or manifest, so
+    operators can turn it on when resuming an existing campaign
+    directory.  A rerun of an interrupted cell resumes mid-cell from the
+    checkpoint (bit-identical decision columns, only wall-times differ)
+    instead of restarting from epoch 0; the checkpoint is deleted once
+    the cell completes.  ``_fail_after_epochs`` is a test hook that
+    aborts the run after that many epochs have executed *in this call*.
     """
     campaign_dir = Path(campaign_dir)
     campaign_dir.mkdir(parents=True, exist_ok=True)
-    scenario = spec.scenario_for(cell)
-
-    t0 = time.perf_counter()
-    fleet = build_regional_fleet(
-        scenario,
-        num_regions=spec.num_regions,
-        config=config,
-        executor=spec.executor,
-        region_workers=spec.region_workers,
-        history_limit=spec.history_limit,
-    )
-    build_seconds = time.perf_counter() - t0
+    ckpt_path = campaign_dir / f"{cell.cell_id}.ckpt"
 
     epochs = spec.epochs
     n_actions = len(WARNING_ACTIONS)
@@ -369,15 +421,50 @@ def run_cell(
     counter_totals = np.full((epochs, N_COUNTERS), np.nan, dtype=float)
     epoch_seconds = np.zeros(epochs, dtype=float)
 
+    start_epoch = 0
+    run_seconds_so_far = 0.0
+    fleet = None
+    build_seconds = 0.0
+    bootstrap_seconds = 0.0
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1")
+    resumed = _load_cell_checkpoint(ckpt_path, cell, epochs)
+    if resumed is not None:
+        fleet, extra = resumed
+        start_epoch = fleet.current_epoch
+        action_counts[:start_epoch] = extra["action_counts"]
+        observations[:start_epoch] = extra["observations"]
+        analyzer_invocations[:start_epoch] = extra["analyzer_invocations"]
+        confirmed[:start_epoch] = extra["confirmed"]
+        counter_totals[:start_epoch] = extra["counter_totals"]
+        epoch_seconds[:start_epoch] = extra["epoch_seconds"]
+        build_seconds = float(extra.get("build_seconds", 0.0))
+        bootstrap_seconds = float(extra.get("bootstrap_seconds", 0.0))
+        run_seconds_so_far = float(extra.get("run_seconds_so_far", 0.0))
+
+    executed_here = 0
+    options = RunOptions(analyze=True, report="columnar")
     try:
-        t0 = time.perf_counter()
-        fleet.bootstrap()
-        bootstrap_seconds = time.perf_counter() - t0
+        if fleet is None:
+            scenario = spec.scenario_for(cell)
+            t0 = time.perf_counter()
+            fleet = build_regional_fleet(
+                scenario,
+                num_regions=spec.num_regions,
+                config=config,
+                executor=spec.executor,
+                region_workers=spec.region_workers,
+                history_limit=spec.history_limit,
+            )
+            build_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            fleet.bootstrap()
+            bootstrap_seconds = time.perf_counter() - t0
 
         t_run = time.perf_counter()
-        for i in range(epochs):
+        for i in range(start_epoch, epochs):
             t0 = time.perf_counter()
-            report = fleet.run_epoch(analyze=True, report="columnar")
+            report = fleet.run_epoch(options)
             epoch_seconds[i] = time.perf_counter() - t0
             action_counts[i] = report.action_counts()
             observations[i] = report.observations()
@@ -386,12 +473,42 @@ def run_cell(
             totals = report.counter_totals()
             if totals is not None:
                 counter_totals[i] = totals
-        run_seconds = time.perf_counter() - t_run
+            executed_here += 1
+            done = i + 1
+            if (
+                checkpoint_every is not None
+                and done % checkpoint_every == 0
+                and done < epochs
+            ):
+                fleet.snapshot(
+                    ckpt_path,
+                    extra={
+                        "cell_id": cell.cell_id,
+                        "epochs": epochs,
+                        "action_counts": action_counts[:done].copy(),
+                        "observations": observations[:done].copy(),
+                        "analyzer_invocations": analyzer_invocations[:done].copy(),
+                        "confirmed": confirmed[:done].copy(),
+                        "counter_totals": counter_totals[:done].copy(),
+                        "epoch_seconds": epoch_seconds[:done].copy(),
+                        "build_seconds": build_seconds,
+                        "bootstrap_seconds": bootstrap_seconds,
+                        "run_seconds_so_far": run_seconds_so_far
+                        + (time.perf_counter() - t_run),
+                    },
+                )
+            if _fail_after_epochs is not None and executed_here >= _fail_after_epochs:
+                raise RuntimeError(
+                    f"cell {cell.cell_id} aborted after {executed_here} epochs "
+                    "(test hook)"
+                )
+        run_seconds = run_seconds_so_far + (time.perf_counter() - t_run)
 
         stats = fleet.stats()
         lifecycle_stats = fleet.lifecycle_stats()
     finally:
-        fleet.shutdown()
+        if fleet is not None:
+            fleet.shutdown()
 
     lifecycle_totals: Dict[str, int] = {}
     for shard_stats in lifecycle_stats.values():
@@ -442,10 +559,13 @@ def run_cell(
         "slo_violation_fraction": round(violations / epochs, 6),
         "status": "complete",
     }
+    if start_epoch:
+        summary["resumed_from_epoch"] = start_epoch
     _atomic_write_bytes(
         campaign_dir / f"{cell.cell_id}.summary.json",
         json.dumps(summary, indent=2, sort_keys=True).encode(),
     )
+    ckpt_path.unlink(missing_ok=True)
     return summary
 
 
@@ -531,9 +651,12 @@ def _run_cell_task(
     cell: CampaignCell,
     campaign_dir: str,
     config: Optional[DeepDiveConfig],
+    checkpoint_every: Optional[int] = None,
 ) -> Dict[str, object]:
     """Module-level cell entry point (picklable for spawned workers)."""
-    return run_cell(spec, cell, campaign_dir, config=config)
+    return run_cell(
+        spec, cell, campaign_dir, config=config, checkpoint_every=checkpoint_every
+    )
 
 
 class CampaignRunner:
@@ -556,6 +679,12 @@ class CampaignRunner:
         combining it with ``spec.executor="process"`` multiplies worker
         pools (each cell process spawns its own region pools) and is
         rarely what one machine wants.
+    checkpoint_every:
+        Snapshot each running cell every this many epochs (see
+        :func:`run_cell`), so an interrupted campaign resumes *mid-cell*
+        rather than rerunning interrupted cells from scratch.  A runtime
+        knob, not recorded in the manifest — existing campaign
+        directories accept it freely.
     """
 
     def __init__(
@@ -564,13 +693,17 @@ class CampaignRunner:
         campaign_dir: Union[str, Path],
         config: Optional[DeepDiveConfig] = None,
         cell_processes: int = 1,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if cell_processes < 1:
             raise ValueError("cell_processes must be at least 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
         self.spec = spec
         self.campaign_dir = Path(campaign_dir)
         self.config = config
         self.cell_processes = cell_processes
+        self.checkpoint_every = checkpoint_every
 
     # ------------------------------------------------------------------
     def cell_complete(self, cell: CampaignCell) -> bool:
@@ -638,6 +771,7 @@ class CampaignRunner:
                         cell,
                         str(self.campaign_dir),
                         self.config,
+                        self.checkpoint_every,
                     )
                     for cell in pending
                 ]
@@ -645,7 +779,13 @@ class CampaignRunner:
                     future.result()
         else:
             for cell in pending:
-                run_cell(self.spec, cell, self.campaign_dir, config=self.config)
+                run_cell(
+                    self.spec,
+                    cell,
+                    self.campaign_dir,
+                    config=self.config,
+                    checkpoint_every=self.checkpoint_every,
+                )
         summaries: List[Dict[str, object]] = []
         for cell in cells:
             path = self.campaign_dir / f"{cell.cell_id}.summary.json"

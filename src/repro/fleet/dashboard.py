@@ -1,0 +1,299 @@
+"""Live ops dashboard for a streaming fleet service.
+
+The dashboard is a pure *consumer* of the
+:class:`~repro.fleet.runtime.FleetRuntime` stream: it folds each epoch
+report into rolling operator telemetry — per-shard and per-region
+throughput, churn and admission counters, detections, drain status and
+health alerts — and renders either an auto-refreshing terminal view
+(:meth:`FleetDashboard.render`) or a JSON document
+(:meth:`FleetDashboard.snapshot`) for scraping.  It never buffers
+reports and never drives the simulation itself, so watching a fleet
+costs O(shards) memory whatever the run length, and both report kinds
+(full and columnar) feed it equally — exactly what
+``examples/run_service.py`` wires together.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.fleet.runtime import FleetReport, FleetRuntime, RunOptions
+
+
+def _shard_numbers(shard_report: object) -> Dict[str, int]:
+    """One shard report (full or columnar) as plain counters.
+
+    Both kinds expose ``analyzer_invocations()``; observation and
+    confirmation counts differ in shape (a dict of per-VM observations
+    vs. flat arrays), which this adapter hides from the dashboard.
+    """
+    observations = getattr(shard_report, "observations")
+    if callable(observations):  # ColumnarShardReport
+        return {
+            "observations": int(shard_report.observations()),
+            "analyzer_invocations": int(shard_report.analyzer_invocations()),
+            "confirmed": int(shard_report.confirmed_count()),
+        }
+    return {  # core EpochReport: observations is a per-VM dict
+        "observations": len(observations),
+        "analyzer_invocations": int(shard_report.analyzer_invocations()),
+        "confirmed": len(shard_report.confirmed_interference()),
+    }
+
+
+class FleetDashboard:
+    """Rolling operator view over one fleet's epoch stream.
+
+    Parameters
+    ----------
+    fleet:
+        Any :class:`~repro.fleet.runtime.FleetRuntime` — flat or
+        regional; a regional fleet additionally gets per-region rows.
+    slo_epoch_seconds:
+        Epoch wall-time SLO; epochs above it raise a health alert and
+        are counted in ``slo_violations``.
+    rejection_alert_fraction:
+        Alert when the admission-rejection fraction (rejected /
+        attempted arrivals) exceeds this.
+    window:
+        How many recent epoch wall-times the throughput figures average
+        over (the dashboard's only per-epoch storage).
+    """
+
+    def __init__(
+        self,
+        fleet: FleetRuntime,
+        *,
+        slo_epoch_seconds: Optional[float] = None,
+        rejection_alert_fraction: float = 0.25,
+        window: int = 64,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.fleet = fleet
+        self.slo_epoch_seconds = slo_epoch_seconds
+        self.rejection_alert_fraction = rejection_alert_fraction
+        self.epochs_observed = 0
+        self.slo_violations = 0
+        self.total_observations = 0
+        self.total_analyzer_invocations = 0
+        self.total_confirmed = 0
+        self._epoch_seconds: Deque[float] = deque(maxlen=window)
+        self._last_shards: Dict[str, Dict[str, int]] = {}
+        #: region id -> shard ids, when the fleet is hierarchical.
+        fleets = getattr(fleet, "fleets", None)
+        self._regions: Optional[Dict[str, List[str]]] = (
+            {rid: list(inner.shards) for rid, inner in fleets.items()}
+            if fleets
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, report: FleetReport, epoch_seconds: Optional[float] = None
+    ) -> None:
+        """Fold one epoch report into the rolling telemetry."""
+        self.epochs_observed += 1
+        self._last_shards = {
+            shard_id: _shard_numbers(shard_report)
+            for shard_id, shard_report in report.shard_reports.items()
+        }
+        for numbers in self._last_shards.values():
+            self.total_observations += numbers["observations"]
+            self.total_analyzer_invocations += numbers["analyzer_invocations"]
+            self.total_confirmed += numbers["confirmed"]
+        if epoch_seconds is not None:
+            self._epoch_seconds.append(float(epoch_seconds))
+            if (
+                self.slo_epoch_seconds is not None
+                and epoch_seconds > self.slo_epoch_seconds
+            ):
+                self.slo_violations += 1
+
+    def watch(
+        self, epochs: int, options: Optional[RunOptions] = None
+    ) -> Iterator[FleetReport]:
+        """Stream the fleet through the dashboard, timing every epoch.
+
+        A thin wrapper over ``fleet.stream``: each epoch is timed,
+        observed, and then yielded onward — so a service loop renders
+        between epochs while the dashboard stays current, and abandoning
+        the iterator stops the clock exactly like abandoning the stream.
+        """
+        stream = self.fleet.stream(epochs, options)
+        while True:
+            t0 = time.perf_counter()
+            try:
+                report = next(stream)
+            except StopIteration:
+                return
+            self.observe(report, epoch_seconds=time.perf_counter() - t0)
+            yield report
+
+    # ------------------------------------------------------------------
+    def _lifecycle_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for shard_stats in self.fleet.lifecycle_stats().values():
+            for key, value in shard_stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+    def alerts(self) -> List[str]:
+        """Current health alerts (empty when the fleet looks healthy)."""
+        alerts: List[str] = []
+        if (
+            self.slo_epoch_seconds is not None
+            and self._epoch_seconds
+            and self._epoch_seconds[-1] > self.slo_epoch_seconds
+        ):
+            alerts.append(
+                f"SLO: last epoch took {self._epoch_seconds[-1]:.3f}s "
+                f"(> {self.slo_epoch_seconds:.3f}s)"
+            )
+        lifecycle = self._lifecycle_totals()
+        stranded = lifecycle.get("drain_stranded", 0)
+        if stranded:
+            alerts.append(f"drain: {stranded} VM(s) stranded on draining hosts")
+        active_drains = lifecycle.get("drains", 0) - lifecycle.get("returns", 0)
+        if active_drains > 0:
+            alerts.append(f"drain: {active_drains} host(s) currently draining")
+        admitted = lifecycle.get("arrivals_admitted", 0)
+        rejected = lifecycle.get("arrivals_rejected", 0)
+        attempted = admitted + rejected
+        if attempted:
+            fraction = rejected / attempted
+            if fraction > self.rejection_alert_fraction:
+                alerts.append(
+                    f"admission: {fraction:.0%} of arrivals rejected "
+                    f"({rejected}/{attempted})"
+                )
+        return alerts
+
+    def snapshot(self) -> Dict[str, object]:
+        """The whole dashboard as one JSON-able document.
+
+        Fleet-wide statistics come from wherever the shard state lives;
+        if the fleet can no longer answer (workers died), the document
+        degrades to the dashboard's own rolling totals and carries a
+        health alert instead of raising.
+        """
+        alerts = self.alerts()
+        try:
+            stats = {k: float(v) for k, v in self.fleet.stats().items()}
+        except RuntimeError as exc:
+            stats = None
+            alerts = alerts + [f"stats unavailable: {exc}"]
+        window = list(self._epoch_seconds)
+        mean_seconds = sum(window) / len(window) if window else None
+        last_observations = sum(
+            numbers["observations"] for numbers in self._last_shards.values()
+        )
+        per_region: Optional[Dict[str, Dict[str, int]]] = None
+        if self._regions is not None:
+            per_region = {}
+            for region_id, shard_ids in self._regions.items():
+                rolled: Dict[str, int] = {
+                    "observations": 0,
+                    "analyzer_invocations": 0,
+                    "confirmed": 0,
+                }
+                for shard_id in shard_ids:
+                    for key, value in self._last_shards.get(shard_id, {}).items():
+                        rolled[key] += value
+                per_region[region_id] = rolled
+        return {
+            "epoch": int(self.fleet.current_epoch),
+            "executor": self.fleet.executor,
+            "epochs_observed": self.epochs_observed,
+            "throughput": {
+                "last_epoch_seconds": window[-1] if window else None,
+                "mean_epoch_seconds": mean_seconds,
+                "vm_epochs_per_second": (
+                    last_observations / mean_seconds
+                    if mean_seconds
+                    else None
+                ),
+            },
+            "totals": {
+                "observations": self.total_observations,
+                "analyzer_invocations": self.total_analyzer_invocations,
+                "confirmed": self.total_confirmed,
+            },
+            "stats": stats,
+            "lifecycle": self._lifecycle_totals(),
+            "per_shard": {k: dict(v) for k, v in self._last_shards.items()},
+            "per_region": per_region,
+            "slo": {
+                "epoch_seconds": self.slo_epoch_seconds,
+                "violations": self.slo_violations,
+            },
+            "alerts": alerts,
+        }
+
+    def render(self) -> str:
+        """The snapshot as a fixed-width terminal view."""
+        doc = self.snapshot()
+        throughput = doc["throughput"]
+        lines: List[str] = []
+        lines.append(
+            f"fleet @ epoch {doc['epoch']}  "
+            f"executor={doc['executor']}  observed={doc['epochs_observed']}"
+        )
+        if throughput["last_epoch_seconds"] is not None:
+            rate = throughput["vm_epochs_per_second"]
+            lines.append(
+                f"epoch time {throughput['last_epoch_seconds']:.3f}s "
+                f"(mean {throughput['mean_epoch_seconds']:.3f}s)"
+                + (f"  {rate:,.0f} vm-epochs/s" if rate else "")
+            )
+        totals = doc["totals"]
+        lines.append(
+            f"totals: obs={totals['observations']:,}  "
+            f"analyzer={totals['analyzer_invocations']:,}  "
+            f"confirmed={totals['confirmed']:,}"
+        )
+        if doc["stats"] is not None:
+            stats = doc["stats"]
+            lines.append(
+                f"fleet:  vms={stats.get('vms', 0):,.0f}  "
+                f"detections={stats.get('detections', 0):,.0f}  "
+                f"migrations={stats.get('migrations', 0):,.0f}"
+            )
+        lifecycle = doc["lifecycle"]
+        if lifecycle:
+            lines.append(
+                "churn:  admitted={arrivals_admitted}  "
+                "rejected={arrivals_rejected}  departures={departures}  "
+                "drains={drains}/{returns} back".format(
+                    **{
+                        k: lifecycle.get(k, 0)
+                        for k in (
+                            "arrivals_admitted",
+                            "arrivals_rejected",
+                            "departures",
+                            "drains",
+                            "returns",
+                        )
+                    }
+                )
+            )
+        rows = doc["per_region"] if doc["per_region"] else doc["per_shard"]
+        label = "region" if doc["per_region"] else "shard"
+        if rows:
+            lines.append(f"{label:>10}  {'obs':>8}  {'analyzer':>8}  {'confirmed':>9}")
+            for row_id, numbers in rows.items():
+                lines.append(
+                    f"{row_id:>10}  {numbers['observations']:>8,}  "
+                    f"{numbers['analyzer_invocations']:>8,}  "
+                    f"{numbers['confirmed']:>9,}"
+                )
+        for alert in doc["alerts"]:
+            lines.append(f"ALERT: {alert}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """:meth:`snapshot` serialised (the scrape endpoint's body)."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)

@@ -473,6 +473,26 @@ def _worker_collect() -> Dict[str, Dict[str, object]]:
     )
 
 
+def _worker_snapshot() -> bytes:
+    """Pickle this worker's live group state for a fleet checkpoint.
+
+    Ships the shard objects themselves (clusters, DeepDive deployments,
+    counter rings, RNG states) plus the lifecycle engine's mutable
+    state — the exact state a resumed fleet needs to continue
+    bit-identically.  Pickled inside the worker, so only one opaque
+    blob crosses the pool pipe.
+    """
+    shards: Dict[str, "FleetShard"] = _WORKER_STATE["shards"]
+    lifecycle = _WORKER_STATE.get("lifecycle")
+    return pickle.dumps(
+        (
+            list(shards.values()),
+            lifecycle.state_dict() if lifecycle is not None else None,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
 class ProcessShardExecutor:
     """Shard groups dispatched to dedicated state-owning worker processes.
 
@@ -738,17 +758,87 @@ class ProcessShardExecutor:
             raise
         return merged
 
+    def snapshot_state(
+        self,
+    ) -> Optional[
+        Tuple[Dict[str, "FleetShard"], Optional[Dict[str, Dict[str, object]]]]
+    ]:
+        """The live worker-side shard objects and lifecycle state.
+
+        Returns ``(shards in shard order, merged lifecycle state dict or
+        None)`` fetched from the workers, or ``None`` before any worker
+        has started — the parent's template objects *are* the current
+        state then, and the caller snapshots those locally instead of
+        cold-spawning every pool.  Worker groups own disjoint shard
+        sets, so their lifecycle states reassemble by plain per-shard
+        union.  Broken workers cannot be checkpointed (their shard
+        states are no longer in lock step), and neither can a shut-down
+        executor (the worker state is gone): both raise
+        :class:`RuntimeError`.
+        """
+        from repro.fleet.lifecycle import LifecycleEngine
+
+        if self._broken:
+            raise RuntimeError(
+                "fleet workers are broken (a previous epoch failed "
+                "mid-flight); the run cannot be checkpointed — resume "
+                "from an earlier snapshot instead"
+            )
+        if self._pools is None:
+            if self._ever_started:
+                raise RuntimeError(
+                    "process shard executor was shut down; the worker "
+                    "state was discarded — snapshot before shutdown"
+                )
+            return None
+        shards: Dict[str, "FleetShard"] = {}
+        lifecycle_states: List[Dict[str, Dict[str, object]]] = []
+        try:
+            for future in [
+                pool.submit(_worker_snapshot) for pool in self._pools
+            ]:
+                group_shards, lifecycle_state = pickle.loads(future.result())
+                for shard in group_shards:
+                    shards[shard.shard_id] = shard
+                if lifecycle_state is not None:
+                    lifecycle_states.append(lifecycle_state)
+        except BaseException:
+            # A worker that cannot answer a read-only snapshot is dead;
+            # further epochs would desync from the surviving groups.
+            self._broken = True
+            raise
+        missing = [sid for sid in self._shard_order if sid not in shards]
+        unexpected = [sid for sid in shards if sid not in self._shards]
+        if missing or unexpected:
+            self._broken = True
+            raise RuntimeError(
+                "worker snapshot returned an inconsistent shard set "
+                f"(missing: {missing or 'none'}, unexpected: "
+                f"{unexpected or 'none'}); the worker states are no "
+                "longer in lock step — build a new Fleet"
+            )
+        ordered = {sid: shards[sid] for sid in self._shard_order}
+        merged = (
+            LifecycleEngine.merge_states(lifecycle_states)
+            if lifecycle_states
+            else None
+        )
+        return ordered, merged
+
     def shutdown(self) -> None:
         self._stopped = True
-        if self._pools is not None:
-            for pool in self._pools:
-                pool.shutdown(wait=True)
-            self._pools = None
-        if self._readers is not None:
-            # Workers are gone; close and unlink every transport
-            # segment so /dev/shm ends the run empty.
-            close_readers(self._readers)
-            self._readers = None
+        try:
+            if self._pools is not None:
+                for pool in self._pools:
+                    pool.shutdown(wait=True)
+                self._pools = None
+        finally:
+            if self._readers is not None:
+                # Workers are gone; close and unlink every transport
+                # segment so /dev/shm ends the run empty — even when a
+                # broken pool's shutdown raised above.
+                close_readers(self._readers)
+                self._readers = None
 
 
 def make_shard_executor(

@@ -22,9 +22,11 @@ bit-identical for any strategy and worker count — pinned by
 from __future__ import annotations
 
 import os
+import pickle
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
-    TYPE_CHECKING,
     Dict,
     List,
     Mapping,
@@ -37,18 +39,21 @@ from typing import (
 from repro.core.config import DeepDiveConfig
 from repro.core.deepdive import DeepDive, EpochReport
 from repro.core.events import InterferenceDetectedEvent, MigrationEvent
+from repro.fleet.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+)
 from repro.fleet.executor import (
     EXECUTOR_KINDS,
     ColumnarFleetReport,
     ProcessShardExecutor,
     make_shard_executor,
 )
-from repro.fleet.lifecycle import LifecycleStats
+from repro.fleet.lifecycle import LifecycleEngine, LifecycleStats
+from repro.fleet.runtime import FleetRuntimeBase
 from repro.virt.cluster import Cluster
 from repro.virt.sandbox import SandboxEnvironment
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.fleet.lifecycle import LifecycleEngine
 
 
 class FleetShard:
@@ -226,6 +231,28 @@ class FleetRunSummary:
             )
         self.final_report = report
 
+    def extend(self, later: "FleetRunSummary") -> "FleetRunSummary":
+        """Append a continuation run's totals to this summary, in place.
+
+        The sequential counterpart to :meth:`merge`: ``later`` covers the
+        epochs run *after* these (the shape a snapshot/resume cycle
+        produces — the checkpoint carries the summary so far, the
+        resumed fleet returns the rest).  Counters add, the histogram
+        merges, and ``later``'s final report (the newer steady-state
+        snapshot) wins.  Returns ``self`` for chaining.
+        """
+        self.epochs += later.epochs
+        self.observations += later.observations
+        self.analyzer_invocations += later.analyzer_invocations
+        self.confirmed_interference += later.confirmed_interference
+        for action, count in later.action_histogram.items():
+            self.action_histogram[action] = (
+                self.action_histogram.get(action, 0) + count
+            )
+        if later.final_report is not None:
+            self.final_report = later.final_report
+        return self
+
     @classmethod
     def merge(cls, summaries: Sequence["FleetRunSummary"]) -> "FleetRunSummary":
         """Roll up per-region (or per-partition) summaries into one.
@@ -281,8 +308,15 @@ class FleetRunSummary:
         return out
 
 
-class Fleet:
+class Fleet(FleetRuntimeBase):
     """Many shards, one epoch clock, one interference schedule.
+
+    Implements the :class:`~repro.fleet.runtime.FleetRuntime` surface:
+    :meth:`~repro.fleet.runtime.FleetRuntimeBase.stream` /
+    :meth:`~repro.fleet.runtime.FleetRuntimeBase.run` /
+    :meth:`~repro.fleet.runtime.FleetRuntimeBase.run_epoch` configured
+    by a typed :class:`~repro.fleet.runtime.RunOptions`, plus
+    :meth:`snapshot` / :meth:`resume` for checkpointed long-lived runs.
 
     Parameters
     ----------
@@ -403,37 +437,24 @@ class Fleet:
                 self._last_collected = strategy.collect()
         return self._last_collected
 
-    def __enter__(self) -> "Fleet":
-        return self
-
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.shutdown()
-
-    def run_epoch(
-        self, analyze: bool = True, report: str = "full"
+    def _step_epoch(
+        self, analyze: bool, report: str
     ) -> Union[FleetEpochReport, ColumnarFleetReport]:
-        """Advance the whole fleet by one epoch.
+        """Advance the whole fleet by one epoch (the stream primitive).
 
         Shards run under the configured execution strategy; reports
         always merge in shard insertion order, so the outcome is
-        identical to the serial loop for any worker count.
-
-        Parameters
-        ----------
-        analyze:
-            Whether warning suspicions may invoke the analyzer.
-        report:
-            ``"full"`` (default) returns a :class:`FleetEpochReport` with
-            per-VM observations; ``"columnar"`` returns a
-            :class:`~repro.fleet.executor.ColumnarFleetReport` of flat
-            decision arrays — the process strategy's native exchange
-            format, which avoids shipping per-VM objects between
-            processes and is what long ``keep_reports=False`` runs use.
-            Under the process strategy the columnar arrays are NumPy
-            views into the workers' double-buffered shared-memory
-            segments (:mod:`repro.fleet.shm`), valid until the same
-            buffer's next turn — two further columnar epochs; copy them
-            to hold a report longer.
+        identical to the serial loop for any worker count.  ``report``
+        is the resolved mode: ``"full"`` returns a
+        :class:`FleetEpochReport` with per-VM observations,
+        ``"columnar"`` a
+        :class:`~repro.fleet.executor.ColumnarFleetReport` of flat
+        decision arrays — the process strategy's native exchange format.
+        Under the process strategy the columnar arrays are NumPy views
+        into the workers' double-buffered shared-memory segments
+        (:mod:`repro.fleet.shm`), valid until the same buffer's next
+        turn — two further columnar epochs; copy them to hold a report
+        longer.
         """
         if report not in ("full", "columnar"):
             raise ValueError(f"unknown report mode {report!r}")
@@ -454,33 +475,133 @@ class Fleet:
         self.current_epoch += 1
         return out
 
-    def run(
-        self, epochs: int, analyze: bool = True, keep_reports: bool = True
-    ) -> Union[List[FleetEpochReport], FleetRunSummary]:
-        """Run several epochs.
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _gather_state(
+        self,
+    ) -> Tuple[Dict[str, FleetShard], Optional[Dict[str, Dict[str, object]]]]:
+        """The live shards (in shard order) and lifecycle state.
 
-        With ``keep_reports=True`` (default) one :class:`FleetEpochReport`
-        per epoch is returned.  Long large-fleet runs set
-        ``keep_reports=False`` to get a constant-memory
-        :class:`FleetRunSummary` instead — per-epoch reports are folded
-        into running totals and discarded.  Under the process strategy
-        the intermediate epochs then travel as columnar decision arrays
-        and only the final epoch materialises a full report (the
-        summary's steady-state snapshot), so the hot loop never ships
-        per-VM objects across processes.
+        Serial/thread fleets own their state locally; a started process
+        fleet fetches the live shard objects and lifecycle state back
+        from its workers (the parent's objects are only the start-of-run
+        template then).
         """
-        if keep_reports:
-            return [self.run_epoch(analyze=analyze) for _ in range(epochs)]
-        summary = FleetRunSummary()
-        columnar_hot_loop = self.executor == "process"
-        for i in range(epochs):
-            mode = (
-                "columnar"
-                if columnar_hot_loop and i < epochs - 1
-                else "full"
+        strategy = self._strategy
+        if isinstance(strategy, ProcessShardExecutor):
+            state = strategy.snapshot_state()
+            if state is not None:
+                return state
+        lifecycle_state = (
+            self.lifecycle.state_dict() if self.lifecycle is not None else None
+        )
+        return dict(self.shards), lifecycle_state
+
+    def snapshot(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        summary: Optional[FleetRunSummary] = None,
+        extra: Optional[object] = None,
+    ) -> Checkpoint:
+        """Checkpoint the live fleet into a versioned, resumable state.
+
+        Captures everything a bit-identical continuation needs — the
+        shard objects (clusters, DeepDive deployments, counter rings,
+        RNG states), the stress schedule, the lifecycle timeline with
+        its accumulated per-shard state, and the epoch clock — wherever
+        the state lives: a started process fleet snapshots its workers'
+        live state, anything else pickles locally.  Snapshotting is
+        read-only and does not perturb the run.
+
+        ``summary`` stashes the run summary accumulated so far (a
+        service resumes its totals along with the state); ``extra`` is
+        an arbitrary picklable sidecar for callers like the campaign
+        runner's mid-cell checkpoints.  With ``path`` the checkpoint is
+        also written atomically to disk.  Resume with :meth:`resume`.
+        """
+        shards, lifecycle_state = self._gather_state()
+        payload: Dict[str, object] = {
+            "shards": list(shards.values()),
+            "schedule": list(self.schedule),
+            "timeline": (
+                self.lifecycle.timeline if self.lifecycle is not None else None
+            ),
+            "admission": (
+                self.lifecycle.admission if self.lifecycle is not None else None
+            ),
+            "record_decisions": (
+                bool(self.lifecycle.record_decisions)
+                if self.lifecycle is not None
+                else False
+            ),
+            "lifecycle_state": lifecycle_state,
+            "summary": summary,
+            "extra": extra,
+        }
+        meta: Dict[str, object] = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "fleet",
+            "epoch": int(self.current_epoch),
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "shard_ids": list(shards),
+            "total_vms": sum(s.cluster.vm_count() for s in shards.values()),
+            "total_hosts": sum(len(s.cluster.hosts) for s in shards.values()),
+            "has_lifecycle": self.lifecycle is not None,
+            "has_summary": summary is not None,
+            "has_extra": extra is not None,
+            "regions": None,
+            "created_unix": time.time(),
+        }
+        checkpoint = Checkpoint(
+            meta=meta,
+            payload=pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        if path is not None:
+            checkpoint.save(path)
+        return checkpoint
+
+    @classmethod
+    def resume(
+        cls,
+        source: Union[Checkpoint, str, Path],
+        *,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> "Fleet":
+        """Rebuild a fleet from a checkpoint; it continues bit-identically.
+
+        ``source`` is a :class:`~repro.fleet.checkpoint.Checkpoint` or a
+        path to one.  ``executor`` / ``max_workers`` override the
+        checkpointed configuration — a run snapshotted under one
+        executor may resume under another at any worker count, and the
+        equivalence contract still holds (pinned by
+        ``tests/property/test_checkpoint_equivalence.py``).
+        """
+        checkpoint = (
+            source if isinstance(source, Checkpoint) else Checkpoint.load(source)
+        )
+        if checkpoint.kind != "fleet":
+            raise CheckpointError(
+                f"checkpoint holds a {checkpoint.kind!r} fleet; resume it "
+                "with RegionalFleet.resume (or repro.fleet.resume_fleet)"
             )
-            summary.accumulate(self.run_epoch(analyze=analyze, report=mode))
-        return summary
+        state = checkpoint.state()
+        fleet = cls(
+            state["shards"],
+            schedule=state["schedule"],
+            max_workers=(
+                checkpoint.meta["max_workers"] if max_workers is None else max_workers
+            ),
+            executor=(
+                checkpoint.meta["executor"] if executor is None else executor
+            ),
+            lifecycle=_rebuild_lifecycle(state),
+        )
+        fleet.current_epoch = checkpoint.epoch
+        return fleet
 
     def shutdown(self) -> None:
         """Release the shard workers (no-op for serial fleets).
@@ -491,22 +612,31 @@ class Fleet:
         Restarting a shut-down process fleet would silently reset the
         worker state to the start-of-run template, so further epochs are
         refused; thread and serial fleets can keep running.
+
+        Idempotent and failure-safe: calling it again, or after a
+        worker death broke the run mid-flight, is a clean no-op — the
+        pools are always released and the shared-memory transport
+        segments unlinked, whatever the final collect did.
         """
         strategy = self._strategy
         if strategy is None:
             return
         if isinstance(strategy, ProcessShardExecutor):
-            if strategy.started:
-                try:
-                    self._last_collected = strategy.collect()
-                except RuntimeError:
-                    # Broken workers (e.g. one was killed mid-run) can't
-                    # answer a final collect; shutdown must still
-                    # release the pools and unlink the shared-memory
-                    # transport segments.  Keep whatever snapshot was
-                    # already cached.
-                    pass
-            strategy.shutdown()
+            try:
+                if strategy.started:
+                    try:
+                        self._last_collected = strategy.collect()
+                    except Exception:
+                        # Broken workers (e.g. one was killed mid-run)
+                        # can't answer a final collect; keep whatever
+                        # snapshot was already cached.
+                        pass
+            finally:
+                # Always release the pools and unlink the shm transport
+                # segments — even when collect failed with something
+                # harsher than a broken pool (KeyboardInterrupt in a
+                # long-lived service, an unpicklable result).
+                strategy.shutdown()
         else:
             strategy.shutdown()
             self._strategy = None
@@ -624,6 +754,28 @@ class Fleet:
             shard_id: (stats if stats else dict(zeros))
             for shard_id, stats in per_shard.items()
         }
+
+
+def _rebuild_lifecycle(state: Mapping[str, object]) -> Optional[LifecycleEngine]:
+    """Reconstruct a checkpoint payload's lifecycle engine (or ``None``).
+
+    The engine is rebuilt from its timeline and admission policy, then
+    reloaded with the accumulated per-shard state (load phases, flash
+    crowds, rejected arrivals, counters) so resumed lifecycle behaviour
+    continues exactly where the snapshot left it.
+    """
+    timeline = state.get("timeline")
+    if timeline is None:
+        return None
+    engine = LifecycleEngine(
+        timeline,
+        admission=state.get("admission"),
+        record_decisions=bool(state.get("record_decisions", False)),
+    )
+    lifecycle_state = state.get("lifecycle_state")
+    if lifecycle_state:
+        engine.load_state(lifecycle_state)
+    return engine
 
 
 @dataclass(frozen=True)

@@ -392,13 +392,104 @@ class LifecycleEngine:
     # Plumbing
     # ------------------------------------------------------------------
     def subset(self, shard_ids: Sequence[str]) -> "LifecycleEngine":
-        """A fresh engine owning only ``shard_ids``'s events (for
-        process workers; must be taken before the first epoch)."""
-        return LifecycleEngine(
+        """An engine owning only ``shard_ids``'s events *and* their
+        accumulated per-shard state.
+
+        Process workers and regions take their engines through here.
+        The subset carries the parent's mutable state for its shards —
+        captured baseline loads, phase/flash factors, rejected tenants,
+        counters — so an engine rebuilt mid-run (resuming from a
+        checkpoint, re-partitioning into regions) continues exactly
+        where the parent stood; subsetting a fresh engine copies empty
+        state, preserving the original start-of-run behaviour.  The
+        opt-in :attr:`decisions` log stays behind (see the class
+        docstring)."""
+        engine = LifecycleEngine(
             self.timeline.subset(shard_ids),
             admission=self.admission,
             record_decisions=self.record_decisions,
         )
+        engine.load_state(self.state_dict(shard_ids))
+        return engine
+
+    def state_dict(
+        self, shard_ids: Optional[Sequence[str]] = None
+    ) -> Dict[str, Dict[str, object]]:
+        """Picklable snapshot of the per-shard mutable state.
+
+        Covers exactly what checkpoint/resume and :meth:`subset` need:
+        captured baseline (phase-1.0) loads, phase and flash factors,
+        rejected-tenant sets and the statistics counters — all keyed by
+        shard id.  The pure caches (pressure rows, capacity matrices,
+        VM-name sets) are deliberately absent: they rebuild
+        deterministically from the live clusters.  ``shard_ids``
+        restricts the snapshot to a shard subset.
+        """
+        wanted = None if shard_ids is None else set(shard_ids)
+
+        def keep(shard_id: str) -> bool:
+            return wanted is None or shard_id in wanted
+
+        return {
+            "base_loads": {
+                sid: dict(loads)
+                for sid, loads in self._base_loads.items()
+                if keep(sid)
+            },
+            "phase": {
+                sid: scale for sid, scale in self._phase.items() if keep(sid)
+            },
+            "flash": {
+                sid: list(scales)
+                for sid, scales in self._flash.items()
+                if keep(sid)
+            },
+            "rejected": {
+                sid: set(names)
+                for sid, names in self._rejected.items()
+                if keep(sid)
+            },
+            "stats": {
+                sid: stats.as_dict()
+                for sid, stats in self.stats.items()
+                if keep(sid)
+            },
+        }
+
+    def load_state(self, state: Mapping[str, Mapping[str, object]]) -> None:
+        """Merge a :meth:`state_dict` snapshot into this engine.
+
+        Per-shard overwrite semantics: shards present in ``state``
+        replace this engine's entries, shards absent keep theirs — so
+        disjoint worker/region snapshots can be loaded one after
+        another to reassemble a fleet-wide engine.
+        """
+        for sid, loads in state.get("base_loads", {}).items():
+            self._base_loads[sid] = dict(loads)
+        for sid, scale in state.get("phase", {}).items():
+            self._phase[sid] = float(scale)
+        for sid, scales in state.get("flash", {}).items():
+            self._flash[sid] = list(scales)
+        for sid, names in state.get("rejected", {}).items():
+            self._rejected[sid] = set(names)
+        for sid, counters in state.get("stats", {}).items():
+            self.stats[sid] = LifecycleStats(**counters)
+
+    @staticmethod
+    def merge_states(
+        states: Sequence[Mapping[str, Mapping[str, object]]],
+    ) -> Dict[str, Dict[str, object]]:
+        """Union disjoint per-shard :meth:`state_dict` snapshots.
+
+        Worker groups and regions each own a disjoint shard set, so
+        their snapshots merge by plain per-shard key union — the
+        reassembly step of a process/regional fleet checkpoint.
+        """
+        merged: Dict[str, Dict[str, object]] = {}
+        for state in states:
+            for key, per_shard in state.items():
+                merged.setdefault(key, {}).update(per_shard)
+        return merged
 
     def validate(self, shards: Mapping[str, "FleetShard"]) -> None:
         """Static validation against the fleet topology (at build time).

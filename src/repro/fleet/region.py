@@ -39,9 +39,11 @@ What the hierarchy buys at 100k+ VMs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import pickle
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import (
-    TYPE_CHECKING,
     Dict,
     List,
     Optional,
@@ -51,6 +53,11 @@ from typing import (
 )
 
 from repro.core.events import InterferenceDetectedEvent, MigrationEvent
+from repro.fleet.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+)
 from repro.fleet.executor import EXECUTOR_KINDS, ColumnarFleetReport
 from repro.fleet.fleet import (
     Fleet,
@@ -58,10 +65,10 @@ from repro.fleet.fleet import (
     FleetRunSummary,
     FleetShard,
     ScheduledStress,
+    _rebuild_lifecycle,
 )
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.fleet.lifecycle import LifecycleEngine
+from repro.fleet.lifecycle import LifecycleEngine
+from repro.fleet.runtime import FleetRuntimeBase, RunOptions, _coerce_options
 
 
 @dataclass
@@ -105,8 +112,14 @@ class Region:
         )
 
 
-class RegionalFleet:
+class RegionalFleet(FleetRuntimeBase):
     """A fleet of fleets: regions driven in lockstep on one epoch clock.
+
+    Implements the same :class:`~repro.fleet.runtime.FleetRuntime`
+    surface as the flat :class:`~repro.fleet.fleet.Fleet` —
+    ``stream``/``run``/``run_epoch`` configured by
+    :class:`~repro.fleet.runtime.RunOptions`, plus :meth:`snapshot` /
+    :meth:`resume` — so service code drives either topology unchanged.
 
     Parameters
     ----------
@@ -235,23 +248,24 @@ class RegionalFleet:
         for fleet in self.fleets.values():
             fleet.bootstrap()
 
-    def run_epoch(
-        self, analyze: bool = True, report: str = "full"
+    def _step_epoch(
+        self, analyze: bool, report: str
     ) -> Union[FleetEpochReport, ColumnarFleetReport]:
         """Advance every region by one epoch and merge the reports.
 
-        Regions run sequentially in the calling thread; inside each
-        region the configured executor fans its shards out (the process
-        strategy's workers run concurrently even while the parent is
-        dispatching the next region's epoch results).  The merged report
-        lists shard reports in region insertion order, i.e. exactly the
-        flat fleet's shard insertion order for a contiguous partition.
+        The stream primitive of the hierarchical fleet.  Regions run
+        sequentially in the calling thread; inside each region the
+        configured executor fans its shards out (the process strategy's
+        workers run concurrently even while the parent is dispatching
+        the next region's epoch results).  The merged report lists shard
+        reports in region insertion order, i.e. exactly the flat fleet's
+        shard insertion order for a contiguous partition.
         """
         if report not in ("full", "columnar"):
             raise ValueError(f"unknown report mode {report!r}")
         merged: Dict[str, object] = {}
         for fleet in self.fleets.values():
-            region_report = fleet.run_epoch(analyze=analyze, report=report)
+            region_report = fleet._step_epoch(analyze=analyze, report=report)
             merged.update(region_report.shard_reports)
         if report == "full":
             out: Union[FleetEpochReport, ColumnarFleetReport] = FleetEpochReport(
@@ -264,34 +278,13 @@ class RegionalFleet:
         self.current_epoch += 1
         return out
 
-    def run(
-        self, epochs: int, analyze: bool = True, keep_reports: bool = True
-    ) -> Union[List[FleetEpochReport], FleetRunSummary]:
-        """Run several epochs across all regions.
-
-        Mirrors :meth:`Fleet.run` exactly — including the columnar hot
-        loop under the process strategy, where every epoch but the last
-        travels as shared-memory decision arrays and only the final
-        epoch materialises a full report — so a hierarchical
-        ``keep_reports=False`` run produces a
-        :class:`~repro.fleet.fleet.FleetRunSummary` bit-identical to the
-        flat fleet's.
-        """
-        if keep_reports:
-            return [self.run_epoch(analyze=analyze) for _ in range(epochs)]
-        summary = FleetRunSummary()
-        columnar_hot_loop = self.executor == "process"
-        for i in range(epochs):
-            mode = (
-                "columnar"
-                if columnar_hot_loop and i < epochs - 1
-                else "full"
-            )
-            summary.accumulate(self.run_epoch(analyze=analyze, report=mode))
-        return summary
-
     def run_summaries(
-        self, epochs: int, analyze: bool = True, shutdown_regions: bool = False
+        self,
+        epochs: int,
+        options: Optional[RunOptions] = None,
+        *,
+        analyze: Optional[bool] = None,
+        shutdown_regions: bool = False,
     ) -> Dict[str, FleetRunSummary]:
         """One constant-memory summary per region, regions run to
         completion one after another.
@@ -305,25 +298,156 @@ class RegionalFleet:
         1M-VM fleet through one machine (a shut-down process region
         refuses further epochs, so this is a terminal run).
         """
+        options = replace(
+            _coerce_options(options, analyze), keep_reports=False
+        )
         out: Dict[str, FleetRunSummary] = {}
         for region_id, fleet in self.fleets.items():
-            out[region_id] = fleet.run(epochs, analyze=analyze, keep_reports=False)
+            summary = fleet.run(epochs, options)
+            assert isinstance(summary, FleetRunSummary)
+            out[region_id] = summary
             if shutdown_regions:
                 fleet.shutdown()
         self.current_epoch += epochs
         return out
 
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        summary: Optional[FleetRunSummary] = None,
+        extra: Optional[object] = None,
+    ) -> Checkpoint:
+        """Checkpoint the whole hierarchy into one resumable state.
+
+        Every region contributes its live shard and lifecycle state
+        (fetched from its workers under the process strategy); the
+        metadata records the region partition — region ids, shard
+        grouping and per-region worker budgets — so :meth:`resume`
+        rebuilds the identical topology.  Shard order in the payload is
+        merge order, which is also what a flat :meth:`Fleet.resume`
+        would need, but the ``kind`` guard keeps the two resume paths
+        explicit (use :func:`resume_fleet` to dispatch automatically).
+        """
+        shards: Dict[str, FleetShard] = {}
+        lifecycle_states: List[Dict[str, Dict[str, object]]] = []
+        regions_meta: List[Dict[str, object]] = []
+        for region_id, fleet in self.fleets.items():
+            region_shards, region_lifecycle = fleet._gather_state()
+            shards.update(region_shards)
+            if region_lifecycle is not None:
+                lifecycle_states.append(region_lifecycle)
+            regions_meta.append(
+                {
+                    "region_id": region_id,
+                    "shard_ids": list(region_shards),
+                    "max_workers": fleet.max_workers,
+                }
+            )
+        lifecycle_state = (
+            LifecycleEngine.merge_states(lifecycle_states)
+            if lifecycle_states
+            else None
+        )
+        payload: Dict[str, object] = {
+            "shards": list(shards.values()),
+            "schedule": list(self.schedule),
+            "timeline": (
+                self.lifecycle.timeline if self.lifecycle is not None else None
+            ),
+            "admission": (
+                self.lifecycle.admission if self.lifecycle is not None else None
+            ),
+            "record_decisions": (
+                bool(self.lifecycle.record_decisions)
+                if self.lifecycle is not None
+                else False
+            ),
+            "lifecycle_state": lifecycle_state,
+            "summary": summary,
+            "extra": extra,
+        }
+        meta: Dict[str, object] = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "regional",
+            "epoch": int(self.current_epoch),
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "shard_ids": list(shards),
+            "total_vms": sum(s.cluster.vm_count() for s in shards.values()),
+            "total_hosts": sum(len(s.cluster.hosts) for s in shards.values()),
+            "has_lifecycle": self.lifecycle is not None,
+            "has_summary": summary is not None,
+            "has_extra": extra is not None,
+            "regions": regions_meta,
+            "created_unix": time.time(),
+        }
+        checkpoint = Checkpoint(
+            meta=meta,
+            payload=pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        if path is not None:
+            checkpoint.save(path)
+        return checkpoint
+
+    @classmethod
+    def resume(
+        cls,
+        source: Union[Checkpoint, str, Path],
+        *,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> "RegionalFleet":
+        """Rebuild the regional fleet from a checkpoint, bit-identically.
+
+        The region partition (ids, shard grouping, per-region worker
+        budgets) comes from the checkpoint metadata; ``executor`` /
+        ``max_workers`` override the checkpointed configuration, exactly
+        like :meth:`Fleet.resume`.
+        """
+        checkpoint = (
+            source if isinstance(source, Checkpoint) else Checkpoint.load(source)
+        )
+        if checkpoint.kind != "regional":
+            raise CheckpointError(
+                f"checkpoint holds a {checkpoint.kind!r} fleet; resume it "
+                "with Fleet.resume (or repro.fleet.resume_fleet)"
+            )
+        state = checkpoint.state()
+        shards_by_id = {shard.shard_id: shard for shard in state["shards"]}
+        regions = [
+            Region(
+                region_id=entry["region_id"],
+                shards=[shards_by_id[sid] for sid in entry["shard_ids"]],
+                max_workers=entry["max_workers"],
+            )
+            for entry in checkpoint.meta["regions"]
+        ]
+        fleet = cls(
+            regions,
+            schedule=state["schedule"],
+            max_workers=(
+                checkpoint.meta["max_workers"] if max_workers is None else max_workers
+            ),
+            executor=(
+                checkpoint.meta["executor"] if executor is None else executor
+            ),
+            lifecycle=_rebuild_lifecycle(state),
+        )
+        fleet.current_epoch = checkpoint.epoch
+        for inner in fleet.fleets.values():
+            inner.current_epoch = checkpoint.epoch
+        return fleet
+
     def shutdown(self) -> None:
         """Release every region's workers (their final statistics are
-        fetched first, so the fleet stays inspectable afterwards)."""
+        fetched first, so the fleet stays inspectable afterwards).
+        Idempotent — every region's shutdown is."""
         for fleet in self.fleets.values():
             fleet.shutdown()
-
-    def __enter__(self) -> "RegionalFleet":
-        return self
-
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.shutdown()
 
     # ------------------------------------------------------------------
     # Fleet-wide statistics
@@ -370,3 +494,27 @@ class RegionalFleet:
         for fleet in self.fleets.values():
             out.update(fleet.lifecycle_stats())
         return out
+
+
+def resume_fleet(
+    source: Union[Checkpoint, str, Path],
+    *,
+    executor: Optional[str] = None,
+    max_workers: Optional[int] = None,
+) -> Union[Fleet, RegionalFleet]:
+    """Resume whichever fleet kind a checkpoint holds.
+
+    Dispatches on the checkpoint's ``kind`` to :meth:`Fleet.resume` or
+    :meth:`RegionalFleet.resume` — the entry point for service code
+    (``examples/run_service.py``, the campaign runner) that restarts
+    from an operator-supplied checkpoint path without knowing its
+    topology.
+    """
+    checkpoint = (
+        source if isinstance(source, Checkpoint) else Checkpoint.load(source)
+    )
+    if checkpoint.kind == "regional":
+        return RegionalFleet.resume(
+            checkpoint, executor=executor, max_workers=max_workers
+        )
+    return Fleet.resume(checkpoint, executor=executor, max_workers=max_workers)

@@ -1,0 +1,316 @@
+"""The unified fleet run surface: options, streaming, one protocol.
+
+PRs 2-7 grew the run API by accretion: ``run_epoch(report=...)``,
+``run(keep_reports=False)``, ``run_summaries(shutdown_regions=True)`` —
+split between :class:`~repro.fleet.fleet.Fleet` and
+:class:`~repro.fleet.region.RegionalFleet` with subtly duplicated hot
+loops.  This module is the redesign: both fleet kinds implement one
+documented :class:`FleetRuntime` surface, configured by a typed
+:class:`RunOptions`, and built on a single primitive —
+:meth:`FleetRuntimeBase.stream`, an epoch-streaming iterator that yields
+one report per epoch without buffering the run.  ``run`` and
+``run_epoch`` are thin reimplementations on the stream; the legacy
+``report=`` / ``keep_reports=`` keywords survive as deprecation shims
+that translate into :class:`RunOptions` (one :class:`DeprecationWarning`
+each, with the migration spelled out).
+
+The ``"auto"`` report mode encodes the PR 6/7 hot-loop heuristic as
+data: streamed (unbuffered) epochs travel columnar under the process
+executor except for the final epoch, which materialises a full report
+(the steady-state snapshot a summary keeps); buffered runs and
+non-process executors resolve to full reports.  Columnar reports from a
+process fleet are shared-memory views valid for two further columnar
+epochs — exactly why ``"auto"`` never hands them to a buffering caller.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.checkpoint import Checkpoint
+    from repro.fleet.executor import ColumnarFleetReport
+    from repro.fleet.fleet import FleetEpochReport, FleetRunSummary
+
+#: Report modes accepted by :class:`RunOptions`.
+REPORT_MODES = ("full", "columnar", "auto")
+
+#: A fleet-wide epoch report of either kind (both expose the same
+#: aggregate API, so summaries and dashboards consume them alike).
+FleetReport = Union["FleetEpochReport", "ColumnarFleetReport"]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Typed per-run configuration shared by every :class:`FleetRuntime`.
+
+    Replaces the ``report=`` / ``keep_reports=`` keyword zoo; instances
+    are immutable and reusable across calls.
+
+    Parameters
+    ----------
+    analyze:
+        Whether warning suspicions may invoke the analyzer.
+    report:
+        ``"full"`` — per-VM :class:`~repro.fleet.fleet.FleetEpochReport`
+        every epoch; ``"columnar"`` — flat decision arrays
+        (:class:`~repro.fleet.executor.ColumnarFleetReport`, the process
+        executor's native exchange format); ``"auto"`` (default) — the
+        right one per epoch: streamed epochs under the process executor
+        travel columnar except the last (which is full), everything else
+        resolves to full.
+    keep_reports:
+        Only read by :meth:`FleetRuntimeBase.run`: ``True`` buffers one
+        report per epoch, ``False`` folds the stream into a
+        constant-memory :class:`~repro.fleet.fleet.FleetRunSummary`.
+    """
+
+    analyze: bool = True
+    report: str = "auto"
+    keep_reports: bool = True
+
+    def __post_init__(self) -> None:
+        if self.report not in REPORT_MODES:
+            raise ValueError(
+                f"unknown report mode {self.report!r}; choose from {REPORT_MODES}"
+            )
+
+
+def _coerce_options(
+    options: Optional[RunOptions],
+    analyze: Optional[bool] = None,
+    report: Optional[str] = None,
+    keep_reports: Optional[bool] = None,
+    stacklevel: int = 3,
+) -> RunOptions:
+    """Translate a call site into one :class:`RunOptions`.
+
+    New-style calls pass ``options`` (legacy keywords then refused, so a
+    call can't silently mean two things); legacy calls pass the old
+    keywords, of which ``report=`` and ``keep_reports=`` warn with their
+    migration, while ``analyze=`` stays a supported convenience alias.
+    """
+    legacy: Dict[str, object] = {}
+    if analyze is not None:
+        legacy["analyze"] = analyze
+    if report is not None:
+        legacy["report"] = report
+    if keep_reports is not None:
+        legacy["keep_reports"] = keep_reports
+    if options is not None:
+        if legacy:
+            raise TypeError(
+                "pass either options=RunOptions(...) or the legacy "
+                f"keyword(s) {sorted(legacy)}, not both"
+            )
+        if not isinstance(options, RunOptions):
+            raise TypeError(
+                f"options must be a RunOptions, got {type(options).__name__}"
+            )
+        return options
+    if "report" in legacy:
+        warnings.warn(
+            "the report= keyword is deprecated; pass "
+            f'options=RunOptions(report="{legacy["report"]}") instead',
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    if "keep_reports" in legacy:
+        warnings.warn(
+            "the keep_reports= keyword is deprecated; pass "
+            f"options=RunOptions(keep_reports={legacy['keep_reports']}) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    return RunOptions(**legacy)  # type: ignore[arg-type]
+
+
+def _resolve_report(
+    options: RunOptions, executor: str, index: int, epochs: int
+) -> str:
+    """The concrete report mode of one streamed (unbuffered) epoch."""
+    if options.report != "auto":
+        return options.report
+    if executor == "process" and index < epochs - 1:
+        return "columnar"
+    return "full"
+
+
+@runtime_checkable
+class FleetRuntime(Protocol):
+    """The one operable control surface of a long-lived fleet.
+
+    Implemented identically by :class:`~repro.fleet.fleet.Fleet` and
+    :class:`~repro.fleet.region.RegionalFleet` (both satisfy
+    ``isinstance(obj, FleetRuntime)``), so service code — the campaign
+    runner, the ops dashboard, ``examples/run_service.py`` — drives
+    either without caring about the shard topology underneath:
+
+    * ``bootstrap()`` — learn the loaded applications' normal behaviour;
+    * ``stream(epochs, options)`` — the primitive: an iterator yielding
+      one epoch report at a time, nothing buffered;
+    * ``run(epochs, options)`` / ``run_epoch(options)`` — conveniences
+      reimplemented on the stream;
+    * ``snapshot(path)`` / ``Fleet.resume(path)`` — checkpoint the live
+      state into a versioned :class:`~repro.fleet.checkpoint.Checkpoint`
+      and rebuild a fleet that continues bit-identically;
+    * ``stats()`` / ``lifecycle_stats()`` / ``detections()`` /
+      ``migrations()`` — operator telemetry, wherever the state lives;
+    * ``shutdown()`` — idempotent worker release (safe after failures).
+    """
+
+    executor: str
+    current_epoch: int
+
+    def bootstrap(self) -> None: ...
+
+    def stream(
+        self, epochs: int, options: Optional[RunOptions] = None
+    ) -> Iterator[FleetReport]: ...
+
+    def run(
+        self, epochs: int, options: Optional[RunOptions] = None
+    ) -> Union[List[FleetReport], "FleetRunSummary"]: ...
+
+    def run_epoch(self, options: Optional[RunOptions] = None) -> FleetReport: ...
+
+    def snapshot(
+        self,
+        path: Optional[object] = None,
+        *,
+        summary: Optional["FleetRunSummary"] = None,
+        extra: Optional[object] = None,
+    ) -> "Checkpoint": ...
+
+    def shutdown(self) -> None: ...
+
+    def stats(self) -> Dict[str, float]: ...
+
+    def lifecycle_stats(self) -> Dict[str, Dict[str, int]]: ...
+
+
+class FleetRuntimeBase:
+    """Shared implementation of the :class:`FleetRuntime` run surface.
+
+    Subclasses provide the topology (``executor``, ``current_epoch``,
+    ``shutdown``, statistics) plus one primitive —
+    ``_step_epoch(analyze, report)``, advancing every shard by a single
+    epoch — and inherit the whole streaming surface: ``stream`` drives
+    ``_step_epoch`` per epoch, and ``run`` / ``run_epoch`` are
+    reimplemented on ``stream`` (one code path, flat or regional).
+    """
+
+    executor: str
+    current_epoch: int
+
+    def _step_epoch(
+        self, analyze: bool, report: str
+    ) -> FleetReport:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def shutdown(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def stream(
+        self, epochs: int, options: Optional[RunOptions] = None
+    ) -> Iterator[FleetReport]:
+        """Advance the fleet epoch by epoch, yielding each report.
+
+        The single primitive every other run entry point builds on:
+        nothing is buffered, so a stream consumes constant memory for
+        any run length — fold reports into running aggregates (a
+        :class:`~repro.fleet.fleet.FleetRunSummary`, a dashboard) as
+        they arrive.  With ``report="auto"`` (default) epochs under the
+        process executor travel as columnar shared-memory views (valid
+        for two further columnar epochs — consume promptly or copy) and
+        the final epoch materialises a full report; other executors
+        stream full reports throughout.
+
+        The stream is lazy: epochs run as the iterator is advanced, and
+        abandoning it mid-run simply stops the clock — the fleet can
+        stream again, snapshot, or shut down afterwards.
+        """
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        options = _coerce_options(options)
+
+        def _generate() -> Iterator[FleetReport]:
+            for i in range(epochs):
+                yield self._step_epoch(
+                    analyze=options.analyze,
+                    report=_resolve_report(options, self.executor, i, epochs),
+                )
+
+        return _generate()
+
+    def run_epoch(
+        self,
+        options: Optional[RunOptions] = None,
+        *,
+        analyze: Optional[bool] = None,
+        report: Optional[str] = None,
+    ) -> FleetReport:
+        """Advance the whole fleet by one epoch (``stream(1)``).
+
+        Accepts the legacy ``report=`` keyword as a deprecation shim;
+        new code passes ``options=RunOptions(report=...)``.  A single
+        ``"auto"`` epoch is its own final epoch, so it resolves to a
+        full report.
+        """
+        options = _coerce_options(options, analyze, report, None)
+        stream = self.stream(1, options)
+        try:
+            return next(stream)
+        finally:
+            stream.close()
+
+    def run(
+        self,
+        epochs: int,
+        options: Optional[RunOptions] = None,
+        *,
+        analyze: Optional[bool] = None,
+        keep_reports: Optional[bool] = None,
+    ) -> Union[List[FleetReport], "FleetRunSummary"]:
+        """Run several epochs off one stream.
+
+        With ``options.keep_reports=True`` (default) the stream is
+        buffered into one report per epoch (``"auto"`` then resolves to
+        full reports — columnar shared-memory views must not outlive
+        their validity window in a buffer).  With ``keep_reports=False``
+        the stream folds into a constant-memory
+        :class:`~repro.fleet.fleet.FleetRunSummary`; under the process
+        executor ``"auto"`` then keeps the PR 6 hot loop — columnar
+        intermediates, one full final epoch.  The legacy
+        ``keep_reports=`` keyword survives as a deprecation shim.
+        """
+        from repro.fleet.fleet import FleetRunSummary
+
+        options = _coerce_options(options, analyze, None, keep_reports)
+        if options.keep_reports:
+            if options.report == "auto":
+                options = replace(options, report="full")
+            return list(self.stream(epochs, options))
+        summary = FleetRunSummary()
+        for report in self.stream(epochs, options):
+            summary.accumulate(report)
+        return summary
+
+    # ------------------------------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()

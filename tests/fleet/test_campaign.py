@@ -301,6 +301,147 @@ class TestSchemaValidation:
             validate_cell_npz(path)
 
 
+class TestMidCellResume:
+    """PR-8: ``checkpoint_every`` checkpoints a *running* cell, so an
+    interrupted campaign resumes mid-cell instead of rerunning the cell
+    from epoch 0 — with byte-identical decision columns."""
+
+    SEMANTIC = (
+        "action_counts",
+        "observations",
+        "analyzer_invocations",
+        "confirmed",
+        "counter_totals",
+    )
+
+    def _one_cell_spec(self):
+        return _tiny_spec(
+            epochs=6, churn_rates=(0.1,), interference_mixes=("memory",)
+        )
+
+    def _assert_same_columns(self, a_npz, b_npz):
+        a = validate_cell_npz(a_npz)
+        b = validate_cell_npz(b_npz)
+        for name in self.SEMANTIC:
+            assert np.array_equal(a[name], b[name], equal_nan=True), name
+
+    def test_interrupted_cell_resumes_bit_identical(self, tmp_path):
+        from repro.fleet import run_cell
+
+        spec = self._one_cell_spec()
+        cell = spec.cells()[0]
+        reference_dir = tmp_path / "reference"
+        run_cell(spec, cell, reference_dir, config=_config())
+
+        interrupted_dir = tmp_path / "interrupted"
+        with pytest.raises(RuntimeError, match="test hook"):
+            run_cell(
+                spec,
+                cell,
+                interrupted_dir,
+                config=_config(),
+                checkpoint_every=2,
+                _fail_after_epochs=3,
+            )
+        ckpt = interrupted_dir / f"{cell.cell_id}.ckpt"
+        assert ckpt.exists(), "the interruption must leave a checkpoint"
+        assert not (interrupted_dir / f"{cell.cell_id}.npz").exists()
+
+        summary = run_cell(
+            spec, cell, interrupted_dir, config=_config(), checkpoint_every=2
+        )
+        assert summary["resumed_from_epoch"] == 2
+        assert summary["status"] == "complete"
+        assert not ckpt.exists(), "completion must delete the checkpoint"
+        self._assert_same_columns(
+            reference_dir / f"{cell.cell_id}.npz",
+            interrupted_dir / f"{cell.cell_id}.npz",
+        )
+
+    def test_runner_threads_checkpoint_every(self, tmp_path):
+        """A runner with ``checkpoint_every`` picks up a mid-cell
+        checkpoint left by an interrupted run of the same directory."""
+        from repro.fleet import run_cell
+
+        spec = self._one_cell_spec()
+        cell = spec.cells()[0]
+        campaign_dir = tmp_path / "campaign"
+        with pytest.raises(RuntimeError, match="test hook"):
+            run_cell(
+                spec,
+                cell,
+                campaign_dir,
+                config=_config(),
+                checkpoint_every=2,
+                _fail_after_epochs=3,
+            )
+        runner = CampaignRunner(
+            spec, campaign_dir, config=_config(), checkpoint_every=2
+        )
+        summaries = runner.run()
+        assert summaries[0]["resumed_from_epoch"] == 2
+        assert not (campaign_dir / f"{cell.cell_id}.ckpt").exists()
+
+    def test_corrupt_checkpoint_restarts_fresh(self, tmp_path):
+        from repro.fleet import run_cell
+
+        spec = self._one_cell_spec()
+        cell = spec.cells()[0]
+        tmp_path.mkdir(exist_ok=True)
+        ckpt = tmp_path / f"{cell.cell_id}.ckpt"
+        ckpt.write_bytes(b"not a checkpoint")
+        summary = run_cell(
+            spec, cell, tmp_path, config=_config(), checkpoint_every=2
+        )
+        assert "resumed_from_epoch" not in summary
+        assert not ckpt.exists()
+        validate_cell_npz(tmp_path / f"{cell.cell_id}.npz")
+
+    def test_foreign_checkpoint_discarded(self, tmp_path):
+        """A checkpoint belonging to a different cell (or epoch budget)
+        must not poison the cell: it is deleted and the cell restarts."""
+        from repro.fleet import run_cell
+
+        spec = self._one_cell_spec()
+        cell = spec.cells()[0]
+        donor_dir = tmp_path / "donor"
+        with pytest.raises(RuntimeError, match="test hook"):
+            run_cell(
+                spec,
+                cell,
+                donor_dir,
+                config=_config(),
+                checkpoint_every=2,
+                _fail_after_epochs=3,
+            )
+        # Same fleet bytes, wrong cell: a longer-budget spec's cell.
+        longer = _tiny_spec(
+            epochs=8, churn_rates=(0.1,), interference_mixes=("memory",)
+        )
+        target = longer.cells()[0]
+        target_dir = tmp_path / "target"
+        target_dir.mkdir()
+        ckpt = target_dir / f"{target.cell_id}.ckpt"
+        ckpt.write_bytes((donor_dir / f"{cell.cell_id}.ckpt").read_bytes())
+        summary = run_cell(
+            longer, target, target_dir, config=_config(), checkpoint_every=2
+        )
+        assert "resumed_from_epoch" not in summary
+        assert not ckpt.exists()
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        from repro.fleet import run_cell
+
+        spec = self._one_cell_spec()
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            run_cell(
+                spec, spec.cells()[0], tmp_path, config=_config(),
+                checkpoint_every=0,
+            )
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            CampaignRunner(spec, tmp_path, checkpoint_every=0)
+
+
 class TestCellProcesses:
     def test_parallel_cells_match_serial(self, tmp_path):
         """Cells dispatched to spawned workers leave identical decision

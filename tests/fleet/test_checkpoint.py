@@ -1,0 +1,266 @@
+"""Checkpoint file format, schema validation and resume dispatch.
+
+The property contract (resumed == uninterrupted) lives in
+``tests/property/test_checkpoint_equivalence.py``; this file pins the
+container itself: magic/header/version handling, loud metadata
+validation, deep payload cross-checks, atomicity of ``save``, and the
+``kind`` guards that keep flat and regional resume paths explicit.
+"""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    Fleet,
+    RegionalFleet,
+    build_fleet,
+    build_regional_fleet,
+    resume_fleet,
+    synthesize_datacenter,
+    validate_checkpoint_file,
+)
+from repro.fleet.checkpoint import (
+    CHECKPOINT_MAGIC,
+    validate_checkpoint_meta,
+)
+
+
+def _config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _fleet(regional=False):
+    scenario = synthesize_datacenter(16, num_shards=2, seed=23)
+    if regional:
+        fleet = build_regional_fleet(scenario, num_regions=2, config=_config())
+    else:
+        fleet = build_fleet(scenario, config=_config())
+    fleet.bootstrap()
+    return fleet
+
+
+@pytest.fixture(scope="module")
+def fleet_checkpoint():
+    fleet = _fleet()
+    try:
+        fleet.run(2, analyze=False)
+        return fleet.snapshot()
+    finally:
+        fleet.shutdown()
+
+
+@pytest.fixture(scope="module")
+def regional_checkpoint():
+    fleet = _fleet(regional=True)
+    try:
+        fleet.run(2, analyze=False)
+        return fleet.snapshot()
+    finally:
+        fleet.shutdown()
+
+
+class TestFileFormat:
+    def test_bytes_roundtrip(self, fleet_checkpoint):
+        reloaded = Checkpoint.from_bytes(fleet_checkpoint.to_bytes())
+        assert reloaded.meta == fleet_checkpoint.meta
+        assert reloaded.payload == fleet_checkpoint.payload
+
+    def test_save_load_roundtrip(self, fleet_checkpoint, tmp_path):
+        path = fleet_checkpoint.save(tmp_path / "f.ckpt")
+        assert path.read_bytes()[: len(CHECKPOINT_MAGIC)] == CHECKPOINT_MAGIC
+        assert not (tmp_path / "f.ckpt.tmp").exists(), "atomic write leftovers"
+        reloaded = Checkpoint.load(path)
+        assert reloaded.meta == fleet_checkpoint.meta
+        assert reloaded.payload == fleet_checkpoint.payload
+
+    def test_bad_magic_refused(self, fleet_checkpoint):
+        blob = b"NOT-A-CHECKPOINT" + fleet_checkpoint.to_bytes()[16:]
+        with pytest.raises(CheckpointError, match="magic"):
+            Checkpoint.from_bytes(blob)
+
+    def test_truncated_header_refused(self):
+        with pytest.raises(CheckpointError, match="truncated"):
+            Checkpoint.from_bytes(CHECKPOINT_MAGIC[:8])
+
+    def test_truncated_metadata_refused(self, fleet_checkpoint):
+        blob = fleet_checkpoint.to_bytes()
+        with pytest.raises(CheckpointError, match="truncated"):
+            Checkpoint.from_bytes(blob[: len(CHECKPOINT_MAGIC) + 8 + 4])
+
+    def test_future_version_refused(self, fleet_checkpoint):
+        blob = bytearray(fleet_checkpoint.to_bytes())
+        blob[16:20] = struct.pack(">I", CHECKPOINT_VERSION + 1)
+        with pytest.raises(CheckpointError, match="newer"):
+            Checkpoint.from_bytes(bytes(blob))
+
+    def test_header_metadata_version_disagreement_refused(self, fleet_checkpoint):
+        blob = bytearray(fleet_checkpoint.to_bytes())
+        # Doctor only the binary header version; the JSON metadata keeps
+        # the real one, so the two disagree.
+        blob[16:20] = struct.pack(">I", 0)
+        with pytest.raises(CheckpointError, match="disagrees"):
+            Checkpoint.from_bytes(bytes(blob))
+
+    def test_state_unpickles_fresh_each_call(self, fleet_checkpoint):
+        a = fleet_checkpoint.state()
+        b = fleet_checkpoint.state()
+        assert a is not b
+        assert a["shards"][0] is not b["shards"][0]
+
+    def test_load_names_the_file(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError, match="junk.ckpt"):
+            Checkpoint.load(path)
+
+
+class TestMetaValidation:
+    def test_valid_meta_accepted(self, fleet_checkpoint):
+        validate_checkpoint_meta(fleet_checkpoint.meta)
+
+    @pytest.mark.parametrize(
+        "patch,fragment",
+        [
+            ({"kind": "galactic"}, "kind"),
+            ({"epoch": -1}, "epoch"),
+            ({"executor": "fibers"}, "executor"),
+            ({"max_workers": 0}, "max_workers"),
+            ({"shard_ids": []}, "shard_ids"),
+            ({"shard_ids": ["a", "a"]}, "duplicate"),
+            ({"total_vms": "many"}, "total_vms"),
+            ({"has_lifecycle": "yes"}, "has_lifecycle"),
+            ({"created_unix": None}, "created_unix"),
+            ({"regions": [{}]}, "regions"),
+        ],
+    )
+    def test_violations_named(self, fleet_checkpoint, patch, fragment):
+        meta = {**fleet_checkpoint.meta, **patch}
+        with pytest.raises(CheckpointError, match=fragment):
+            validate_checkpoint_meta(meta)
+
+    def test_all_violations_reported_at_once(self, fleet_checkpoint):
+        meta = {**fleet_checkpoint.meta, "epoch": -1, "executor": "fibers"}
+        with pytest.raises(CheckpointError) as excinfo:
+            validate_checkpoint_meta(meta)
+        assert "epoch" in str(excinfo.value)
+        assert "fibers" in str(excinfo.value)
+
+    def test_regional_meta_needs_matching_shard_order(self, regional_checkpoint):
+        meta = dict(regional_checkpoint.meta)
+        regions = [dict(entry) for entry in meta["regions"]]
+        # Swap the two regions' shard groups: concatenation no longer
+        # reproduces the checkpoint's flat shard order.
+        regions[0]["shard_ids"], regions[1]["shard_ids"] = (
+            regions[1]["shard_ids"],
+            regions[0]["shard_ids"],
+        )
+        meta["regions"] = regions
+        with pytest.raises(CheckpointError, match="shard order"):
+            validate_checkpoint_meta(meta)
+
+    def test_flat_meta_refuses_regions(self, fleet_checkpoint):
+        meta = {**fleet_checkpoint.meta, "regions": [{"region_id": "r"}]}
+        with pytest.raises(CheckpointError, match="null"):
+            validate_checkpoint_meta(meta)
+
+
+class TestDeepValidation:
+    def test_deep_validation_passes(self, fleet_checkpoint, tmp_path):
+        path = fleet_checkpoint.save(tmp_path / "f.ckpt")
+        meta = validate_checkpoint_file(path, deep=True)
+        assert meta["epoch"] == 2
+
+    def test_shard_inventory_mismatch_caught(self, fleet_checkpoint, tmp_path):
+        state = fleet_checkpoint.state()
+        state["shards"] = state["shards"][:1]
+        doctored = Checkpoint(
+            meta=dict(fleet_checkpoint.meta),
+            payload=pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        path = doctored.save(tmp_path / "doctored.ckpt")
+        validate_checkpoint_file(path)  # shallow pass can't see it
+        with pytest.raises(CheckpointError, match="inventory"):
+            validate_checkpoint_file(path, deep=True)
+
+    def test_missing_payload_keys_caught(self, fleet_checkpoint, tmp_path):
+        state = fleet_checkpoint.state()
+        del state["schedule"]
+        doctored = Checkpoint(
+            meta=dict(fleet_checkpoint.meta),
+            payload=pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        path = doctored.save(tmp_path / "doctored.ckpt")
+        with pytest.raises(CheckpointError, match="schedule"):
+            validate_checkpoint_file(path, deep=True)
+
+    def test_untruthful_summary_flag_caught(self, fleet_checkpoint, tmp_path):
+        doctored = Checkpoint(
+            meta={**fleet_checkpoint.meta, "has_summary": True},
+            payload=fleet_checkpoint.payload,
+        )
+        path = doctored.save(tmp_path / "doctored.ckpt")
+        with pytest.raises(CheckpointError, match="has_summary"):
+            validate_checkpoint_file(path, deep=True)
+
+
+class TestResumeDispatch:
+    def test_kind_guards(self, fleet_checkpoint, regional_checkpoint):
+        with pytest.raises(CheckpointError, match="RegionalFleet.resume"):
+            Fleet.resume(regional_checkpoint)
+        with pytest.raises(CheckpointError, match="Fleet.resume"):
+            RegionalFleet.resume(fleet_checkpoint)
+
+    def test_resume_fleet_dispatches_on_kind(
+        self, fleet_checkpoint, regional_checkpoint
+    ):
+        flat = resume_fleet(fleet_checkpoint)
+        regional = resume_fleet(regional_checkpoint)
+        try:
+            assert isinstance(flat, Fleet)
+            assert not isinstance(flat, RegionalFleet)
+            assert isinstance(regional, RegionalFleet)
+            assert flat.current_epoch == 2
+            assert regional.current_epoch == 2
+            assert all(
+                inner.current_epoch == 2 for inner in regional.fleets.values()
+            )
+        finally:
+            flat.shutdown()
+            regional.shutdown()
+
+    def test_resume_overrides_executor(self, fleet_checkpoint):
+        fleet = Fleet.resume(fleet_checkpoint, executor="thread", max_workers=2)
+        try:
+            assert fleet.executor == "thread"
+            assert fleet.max_workers == 2
+        finally:
+            fleet.shutdown()
+
+    def test_regional_resume_rebuilds_partition(self, regional_checkpoint):
+        fleet = RegionalFleet.resume(regional_checkpoint)
+        try:
+            assert list(fleet.fleets) == [
+                entry["region_id"]
+                for entry in regional_checkpoint.meta["regions"]
+            ]
+            assert list(fleet.shards) == list(
+                regional_checkpoint.meta["shard_ids"]
+            )
+        finally:
+            fleet.shutdown()
+
+    def test_build_classmethod_validates(self):
+        with pytest.raises(CheckpointError):
+            Checkpoint.build({"kind": "fleet"}, {"shards": []})

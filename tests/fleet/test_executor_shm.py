@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import DeepDiveConfig
-from repro.fleet import build_fleet, synthesize_datacenter
+from repro.fleet import RunOptions, build_fleet, synthesize_datacenter
 from repro.fleet.executor import (
     ColumnarFleetReport,
     ColumnarShardReport,
@@ -360,3 +360,91 @@ class TestWorkerFailureRecovery:
         # (from the template fallback, without raising).
         assert leaked_segments() == []
         assert fleet.stats()["shards"] == 2.0
+
+
+class TestShutdownHardening:
+    """``shutdown()`` must be idempotent and failure-proof (PR 8).
+
+    A long-lived service calls shutdown from ``finally`` blocks, signal
+    handlers and context-manager exits — possibly several times,
+    possibly after the run already broke.  Every path must release the
+    pools and unlink the shm transport segments exactly once, quietly.
+    """
+
+    def test_double_shutdown_after_worker_death_is_noop(self):
+        fleet = _tiny_process_fleet(max_workers=2, num_vms=16)
+        try:
+            fleet.run_epoch(options=RunOptions(analyze=False, report="columnar"))
+            victim = fleet._strategy.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            with pytest.raises(RuntimeError):
+                while True:
+                    fleet.run_epoch(
+                        options=RunOptions(analyze=False, report="columnar")
+                    )
+                    assert time.monotonic() < deadline
+        finally:
+            fleet.shutdown()
+        # Shutdown again (and again): both must be clean no-ops.
+        fleet.shutdown()
+        fleet.shutdown()
+        assert leaked_segments() == []
+        assert fleet.stats()["shards"] == 2.0
+
+    def test_shutdown_survives_non_runtime_collect_failure(self, monkeypatch):
+        """A final collect failing with something harsher than a broken
+        pool (unpicklable result, OSError...) must not leak the pools or
+        the shm segments — the old code only caught RuntimeError."""
+        fleet = _tiny_process_fleet(max_workers=2, num_vms=16)
+        fleet.run_epoch(options=RunOptions(analyze=False, report="columnar"))
+        strategy = fleet._strategy
+        assert leaked_segments(), "columnar epochs must use shm transport"
+
+        def explode():
+            raise ValueError("worker result did not unpickle")
+
+        monkeypatch.setattr(strategy, "collect", explode)
+        fleet.shutdown()  # must not raise
+        assert strategy._pools is None, "pools must be released"
+        assert leaked_segments() == []
+        fleet.shutdown()  # and stay a no-op afterwards
+
+    def test_snapshot_refused_after_worker_death(self):
+        """A broken executor cannot vouch for its state: snapshotting it
+        must fail loudly instead of checkpointing garbage."""
+        fleet = _tiny_process_fleet(max_workers=2, num_vms=16)
+        try:
+            fleet.run_epoch(options=RunOptions(analyze=False, report="columnar"))
+            os.kill(fleet._strategy.worker_pids()[0], signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            with pytest.raises(RuntimeError):
+                while True:
+                    fleet.run_epoch(
+                        options=RunOptions(analyze=False, report="columnar")
+                    )
+                    assert time.monotonic() < deadline
+            with pytest.raises(RuntimeError, match="snapshot|checkpoint"):
+                fleet.snapshot()
+        finally:
+            fleet.shutdown()
+        assert leaked_segments() == []
+
+    def test_snapshot_before_start_uses_parent_template(self):
+        """A never-started process fleet snapshots its local template
+        (nothing to fetch from workers — none exist yet)."""
+        fleet = _tiny_process_fleet(max_workers=2, num_vms=16)
+        checkpoint = fleet.snapshot()
+        assert checkpoint.epoch == 0
+        assert checkpoint.meta["executor"] == "process"
+        assert list(checkpoint.meta["shard_ids"]) == list(fleet.shards)
+        fleet.shutdown()
+        assert leaked_segments() == []
+
+    def test_snapshot_after_shutdown_is_refused(self):
+        fleet = _tiny_process_fleet(max_workers=2, num_vms=16)
+        fleet.run_epoch(options=RunOptions(analyze=False, report="columnar"))
+        fleet.shutdown()
+        with pytest.raises(RuntimeError, match="shut.?down"):
+            fleet.snapshot()
+        assert leaked_segments() == []

@@ -1,0 +1,262 @@
+"""The unified FleetRuntime surface: RunOptions, streaming, shims.
+
+Pins the PR-8 API redesign: both fleet kinds satisfy the
+:class:`~repro.fleet.FleetRuntime` protocol with identical signatures,
+``stream`` is the lazy primitive ``run``/``run_epoch`` are built on,
+typed :class:`~repro.fleet.RunOptions` replaces the keyword zoo, and
+the legacy ``report=`` / ``keep_reports=`` keywords survive as
+deprecation shims that produce byte-identical behaviour.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import (
+    ColumnarFleetReport,
+    Fleet,
+    FleetEpochReport,
+    FleetRuntime,
+    FleetRunSummary,
+    RegionalFleet,
+    RunOptions,
+    build_fleet,
+    build_regional_fleet,
+    synthesize_datacenter,
+)
+
+
+def _config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _fleet(executor=None, max_workers=None, regional=False):
+    scenario = synthesize_datacenter(16, num_shards=2, seed=23)
+    if regional:
+        fleet = build_regional_fleet(
+            scenario,
+            num_regions=2,
+            config=_config(),
+            executor=executor,
+            region_workers=max_workers,
+        )
+    else:
+        fleet = build_fleet(
+            scenario, config=_config(), executor=executor, max_workers=max_workers
+        )
+    fleet.bootstrap()
+    return fleet
+
+
+class TestRunOptions:
+    def test_defaults(self):
+        options = RunOptions()
+        assert options.analyze is True
+        assert options.report == "auto"
+        assert options.keep_reports is True
+
+    def test_unknown_report_mode_rejected(self):
+        with pytest.raises(ValueError, match="cinematic"):
+            RunOptions(report="cinematic")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RunOptions().analyze = False
+
+    def test_options_and_legacy_keywords_conflict(self):
+        fleet = _fleet()
+        try:
+            with pytest.raises(TypeError, match="not both"):
+                fleet.run_epoch(RunOptions(), report="full")
+            with pytest.raises(TypeError, match="not both"):
+                fleet.run(1, RunOptions(), keep_reports=False)
+        finally:
+            fleet.shutdown()
+
+    def test_non_runoptions_rejected(self):
+        fleet = _fleet()
+        try:
+            with pytest.raises(TypeError, match="RunOptions"):
+                fleet.run_epoch({"report": "full"})
+        finally:
+            fleet.shutdown()
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("regional", [False, True], ids=["flat", "regional"])
+    def test_both_fleet_kinds_satisfy_the_protocol(self, regional):
+        fleet = _fleet(regional=regional)
+        try:
+            assert isinstance(fleet, FleetRuntime)
+        finally:
+            fleet.shutdown()
+
+    def test_kind_specific_classes(self):
+        flat = _fleet()
+        regional = _fleet(regional=True)
+        try:
+            assert isinstance(flat, Fleet) and not isinstance(flat, RegionalFleet)
+            assert isinstance(regional, RegionalFleet)
+        finally:
+            flat.shutdown()
+            regional.shutdown()
+
+    def test_context_manager_shuts_down(self):
+        with _fleet(executor="process", max_workers=2) as fleet:
+            fleet.run_epoch()
+        from repro.fleet.shm import leaked_segments
+
+        assert leaked_segments() == []
+
+
+class TestStream:
+    def test_stream_is_lazy(self):
+        """Epochs run only as the iterator advances; abandoning it
+        mid-run stops the clock where it is."""
+        fleet = _fleet()
+        try:
+            stream = fleet.stream(5)
+            assert fleet.current_epoch == 0, "creating a stream runs nothing"
+            next(stream)
+            next(stream)
+            assert fleet.current_epoch == 2
+            stream.close()
+            assert fleet.current_epoch == 2
+            # The fleet is still operable after an abandoned stream.
+            fleet.run_epoch()
+            assert fleet.current_epoch == 3
+        finally:
+            fleet.shutdown()
+
+    def test_negative_epochs_rejected_eagerly(self):
+        fleet = _fleet()
+        try:
+            with pytest.raises(ValueError, match="non-negative"):
+                fleet.stream(-1)
+        finally:
+            fleet.shutdown()
+
+    def test_auto_resolves_columnar_then_full_under_process(self):
+        fleet = _fleet(executor="process", max_workers=2)
+        try:
+            kinds = [
+                type(report) for report in fleet.stream(3, RunOptions(analyze=False))
+            ]
+            assert kinds == [
+                ColumnarFleetReport,
+                ColumnarFleetReport,
+                FleetEpochReport,
+            ]
+        finally:
+            fleet.shutdown()
+
+    def test_auto_resolves_full_off_process(self):
+        fleet = _fleet()
+        try:
+            kinds = [
+                type(report) for report in fleet.stream(2, RunOptions(analyze=False))
+            ]
+            assert kinds == [FleetEpochReport, FleetEpochReport]
+        finally:
+            fleet.shutdown()
+
+    def test_run_buffered_never_returns_columnar(self):
+        """keep_reports=True forces full reports even under auto+process
+        — buffered columnar shm views would outlive their validity."""
+        fleet = _fleet(executor="process", max_workers=2)
+        try:
+            reports = fleet.run(3, RunOptions(analyze=False))
+            assert all(isinstance(r, FleetEpochReport) for r in reports)
+        finally:
+            fleet.shutdown()
+
+    def test_run_summary_off_stream_equals_buffered_totals(self):
+        summary = None
+        reports = None
+        fleet = _fleet()
+        try:
+            reports = fleet.run(4, RunOptions(analyze=False))
+        finally:
+            fleet.shutdown()
+        fleet = _fleet()
+        try:
+            summary = fleet.run(
+                4, RunOptions(analyze=False, keep_reports=False)
+            )
+        finally:
+            fleet.shutdown()
+        assert isinstance(summary, FleetRunSummary)
+        assert summary.epochs == len(reports) == 4
+        assert summary.observations == sum(r.observations() for r in reports)
+
+
+class TestDeprecationShims:
+    def test_report_keyword_warns_with_migration_hint(self):
+        fleet = _fleet()
+        try:
+            with pytest.warns(DeprecationWarning, match="RunOptions"):
+                report = fleet.run_epoch(report="full")
+            assert isinstance(report, FleetEpochReport)
+        finally:
+            fleet.shutdown()
+
+    def test_keep_reports_keyword_warns_with_migration_hint(self):
+        fleet = _fleet()
+        try:
+            with pytest.warns(DeprecationWarning, match="RunOptions"):
+                summary = fleet.run(2, keep_reports=False)
+            assert isinstance(summary, FleetRunSummary)
+        finally:
+            fleet.shutdown()
+
+    def test_analyze_keyword_stays_silent(self):
+        """analyze= is a supported convenience alias, not a deprecation."""
+        fleet = _fleet()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                fleet.run_epoch(analyze=False)
+                fleet.run(1, analyze=False)
+        finally:
+            fleet.shutdown()
+
+    def test_legacy_and_new_style_runs_identical(self):
+        """The shim translation is exact: legacy keywords produce the
+        same decisions as their RunOptions spelling."""
+
+        def fingerprint(report):
+            return {
+                (sid, vm): obs.warning.action.value
+                for sid, sr in report.shard_reports.items()
+                for vm, obs in sr.observations.items()
+            }
+
+        fleet = _fleet()
+        try:
+            with pytest.warns(DeprecationWarning):
+                legacy = fleet.run_epoch(report="full")
+        finally:
+            fleet.shutdown()
+        fleet = _fleet()
+        try:
+            modern = fleet.run_epoch(RunOptions(report="full"))
+        finally:
+            fleet.shutdown()
+        assert fingerprint(legacy) == fingerprint(modern)
+
+    def test_regional_run_summaries_accepts_options(self):
+        fleet = _fleet(regional=True)
+        try:
+            summaries = fleet.run_summaries(2, RunOptions(analyze=False))
+            assert set(summaries) == set(fleet.fleets)
+            merged = FleetRunSummary.merge(list(summaries.values()))
+            assert merged.epochs == 2
+        finally:
+            fleet.shutdown()

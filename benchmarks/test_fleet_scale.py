@@ -47,7 +47,9 @@ mode the smoke fleet runs under (the CI matrix covers ``thread`` /
 ``FLEET_SMOKE_SNAPSHOT=1`` turns the snapshot smoke into a
 process-executor kill/resume roundtrip whose checkpoint file (written
 to ``FLEET_SMOKE_CKPT`` when set) the CI workflow schema-validates
-afterwards.
+afterwards.  ``FLEET_SMOKE_CHAOS=1`` escalates the chaos smoke to the
+full fault menu (kill + hang + corrupted descriptor) injected from a
+deterministic :class:`repro.fleet.FaultPlan` under worker supervision.
 """
 
 from __future__ import annotations
@@ -181,6 +183,8 @@ def _prepare_fleet(
     track_performance: bool = False,
     history_mode: str = "lazy",
     churn_epochs: Optional[int] = None,
+    fault_policy=None,
+    fault_plan=None,
 ):
     """Build, bootstrap and warm a fleet into a quiet steady state.
 
@@ -210,6 +214,8 @@ def _prepare_fleet(
         executor=executor,
         track_performance=track_performance,
         history_mode=history_mode,
+        fault_policy=fault_policy,
+        fault_plan=fault_plan,
     )
     fleet.bootstrap()
     for _ in range(warmup_epochs):
@@ -1180,6 +1186,168 @@ def test_fleet_snapshot_2000_vms(tmp_path):
     print("\nfleet snapshot 2k:", json.dumps(record, indent=2))
     assert record["checkpoint_bytes"] > 0
     assert record["snapshot_seconds"] > 0
+
+
+# ----------------------------------------------------------------------
+# Fault injection and supervised recovery (the self-healing path, PR 9)
+# ----------------------------------------------------------------------
+@pytest.mark.bench_smoke
+def test_fleet_chaos_smoke():
+    """Kill a process worker mid-run under a :class:`FaultPolicy` and
+    finish bit-identical to an undisturbed serial run.  The CI
+    ``FLEET_SMOKE_CHAOS=1`` leg escalates to the full fault menu — kill,
+    hang (caught by the heartbeat deadline) and a corrupted
+    shared-memory descriptor — all injected from a deterministic
+    :class:`FaultPlan`; otherwise a single kill keeps the leg cheap."""
+    from repro.fleet import FaultPlan, FaultPolicy, WorkerFault
+
+    chaos_leg = os.environ.get("FLEET_SMOKE_CHAOS") == "1"
+    epochs = 6
+    # _prepare_fleet's warmup consumes epochs 0-2; faults target the
+    # steady-state epochs the smoke times.
+    faults = [WorkerFault(kind="kill", worker=0, epoch=4, point="mid")]
+    if chaos_leg:
+        faults += [
+            WorkerFault(kind="hang", worker=1, epoch=6, point="mid"),
+            WorkerFault(kind="corrupt_descriptor", worker=0, epoch=7),
+        ]
+    policy = FaultPolicy(
+        restarts=2,
+        resnapshot_every=2,
+        heartbeat_timeout=15.0 if chaos_leg else None,
+    )
+
+    serial = _prepare_fleet(60, num_shards=2, executor="serial")
+    try:
+        expected = [
+            _columnar_fingerprint(serial.run_epoch(_COLUMNAR))
+            for _ in range(epochs)
+        ]
+    finally:
+        serial.shutdown()
+
+    fleet = _prepare_fleet(
+        60,
+        num_shards=2,
+        executor="process",
+        max_workers=2,
+        fault_policy=policy,
+        fault_plan=FaultPlan(faults=tuple(faults)),
+    )
+    try:
+        start = time.perf_counter()
+        got = [
+            _columnar_fingerprint(fleet.run_epoch(_COLUMNAR))
+            for _ in range(epochs)
+        ]
+        run_s = time.perf_counter() - start
+        restarts = [row["restarts"] for row in fleet.worker_health()]
+    finally:
+        fleet.shutdown()
+    assert got == expected, "recovered run diverged from the serial reference"
+    assert sum(restarts) == len(faults), (
+        f"expected one restart per injected fault, got {restarts}"
+    )
+    assert leaked_segments() == [], (
+        "chaos smoke left shared-memory segments in /dev/shm"
+    )
+    record = {
+        "benchmark": "fleet_chaos_smoke",
+        "chaos_leg": chaos_leg,
+        "vms": 60,
+        "epochs": epochs,
+        "faults_injected": len(faults),
+        "fault_kinds": sorted({f.kind for f in faults}),
+        "worker_restarts": restarts,
+        "run_seconds": run_s,
+        "cpu_count": os.cpu_count(),
+        "unix_time": time.time(),
+    }
+    _merge_bench_record("fleet_chaos_smoke", record)
+    print("\nfleet chaos smoke:", json.dumps(record, indent=2))
+
+
+def test_fleet_recovery_2000_vms():
+    """Time-to-recover at 2k VMs: the wall-clock price of losing a
+    worker mid-epoch under each terminal policy.  The restart path pays
+    respawn + bounded replay (``resnapshot_every`` epochs at most) +
+    the re-run epoch; the quarantine path pays one release and then
+    runs *faster* degraded (fewer shards), which is the graceful-
+    degradation trade the record makes explicit."""
+    from repro.fleet import FaultPlan, FaultPolicy, WorkerFault
+
+    resnapshot_every = 4
+    kill_epoch = 6  # warmup is epochs 0-2, timing reps 3-5
+
+    fleet = _prepare_fleet(
+        2000,
+        num_shards=4,
+        executor="process",
+        max_workers=4,
+        fault_policy=FaultPolicy(restarts=2, resnapshot_every=resnapshot_every),
+        fault_plan=FaultPlan(
+            faults=(
+                WorkerFault(kind="kill", worker=0, epoch=kill_epoch, point="mid"),
+            )
+        ),
+    )
+    try:
+        epoch_s = _time_fleet_epoch_columnar(fleet, reps=3)
+        start = time.perf_counter()
+        fleet.run_epoch(_COLUMNAR)  # the kill epoch: detect, respawn, replay
+        recovery_s = time.perf_counter() - start
+        restarts = [row["restarts"] for row in fleet.worker_health()]
+    finally:
+        fleet.shutdown()
+    assert restarts == [1, 0, 0, 0]
+    assert leaked_segments() == [], (
+        "2k recovery benchmark left shared-memory segments in /dev/shm"
+    )
+
+    quarantined = _prepare_fleet(
+        2000,
+        num_shards=4,
+        executor="process",
+        max_workers=4,
+        fault_policy=FaultPolicy(restarts=0, on_exhaustion="quarantine"),
+        fault_plan=FaultPlan(
+            faults=(
+                WorkerFault(kind="kill", worker=3, epoch=kill_epoch, point="mid"),
+            )
+        ),
+    )
+    try:
+        _time_fleet_epoch_columnar(quarantined, reps=3)
+        start = time.perf_counter()
+        report = quarantined.run_epoch(_COLUMNAR)  # the kill epoch
+        quarantine_s = time.perf_counter() - start
+        assert report.missing_shards == ("shard3",)
+        degraded_s = _time_fleet_epoch_columnar(quarantined, reps=3)
+    finally:
+        quarantined.shutdown()
+    assert leaked_segments() == [], (
+        "2k quarantine benchmark left shared-memory segments in /dev/shm"
+    )
+
+    record = {
+        "benchmark": "fleet_recovery_2k",
+        "vms": 2000,
+        "shards": 4,
+        "executor": "process",
+        "workers": 4,
+        "epoch_seconds": epoch_s,
+        "resnapshot_every": resnapshot_every,
+        "recovery_seconds": recovery_s,
+        "recovery_overhead_x": recovery_s / epoch_s,
+        "quarantine_seconds": quarantine_s,
+        "degraded_epoch_seconds": degraded_s,
+        "cpu_count": os.cpu_count(),
+        "unix_time": time.time(),
+    }
+    _merge_bench_record("fleet_recovery_2k", record)
+    print("\nfleet recovery 2k:", json.dumps(record, indent=2))
+    assert record["recovery_seconds"] > 0
+    assert record["quarantine_seconds"] > 0
 
 
 @pytest.mark.skipif(

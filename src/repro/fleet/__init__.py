@@ -53,6 +53,7 @@ from repro.fleet.executor import (
     SerialShardExecutor,
     ThreadShardExecutor,
 )
+from repro.fleet.faults import FaultPlan, WorkerFault
 from repro.fleet.fleet import Fleet, FleetEpochReport, FleetRunSummary, FleetShard
 from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine, LifecycleStats
 from repro.fleet.region import Region, RegionalFleet, resume_fleet
@@ -65,6 +66,7 @@ from repro.fleet.scenario import (
     partition_regions,
     synthesize_datacenter,
 )
+from repro.fleet.supervisor import FaultPolicy, WorkerHealth
 from repro.fleet.timeline import (
     FleetTimeline,
     FlashCrowd,
@@ -87,6 +89,8 @@ __all__ = [
     "CheckpointError",
     "ColumnarFleetReport",
     "ColumnarShardReport",
+    "FaultPlan",
+    "FaultPolicy",
     "Fleet",
     "FleetDashboard",
     "FleetRuntime",
@@ -108,6 +112,8 @@ __all__ = [
     "ThreadShardExecutor",
     "VMArrival",
     "VMDeparture",
+    "WorkerFault",
+    "WorkerHealth",
     "DatacenterScenario",
     "InterferenceEpisode",
     "build_fleet",

@@ -123,6 +123,28 @@ def _check_meta(meta: Mapping[str, object]) -> List[str]:
     if not isinstance(created, (int, float)) or isinstance(created, bool):
         problems.append(f"created_unix: expected a timestamp, got {created!r}")
 
+    # Optional degraded-run manifest (absent in pre-supervision
+    # checkpoints): shards a quarantined worker took out of the run —
+    # they are, by construction, not in the snapshotted shard inventory.
+    missing = meta.get("missing_shards")
+    if missing is not None:
+        if not isinstance(missing, (list, tuple)) or not all(
+            isinstance(sid, str) and sid for sid in missing
+        ):
+            problems.append(
+                "missing_shards: expected a list of shard id strings"
+            )
+        elif len(set(missing)) != len(missing):
+            problems.append("missing_shards: duplicate shard ids")
+        elif shard_ids is not None:
+            overlap = sorted(set(missing) & set(shard_ids))
+            if overlap:
+                problems.append(
+                    "missing_shards: "
+                    f"{overlap} also appear in shard_ids — a shard cannot "
+                    "be both snapshotted and missing"
+                )
+
     regions = meta.get("regions")
     if kind == "regional":
         if not isinstance(regions, list) or not regions:

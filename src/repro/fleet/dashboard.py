@@ -141,9 +141,45 @@ class FleetDashboard:
                 totals[key] = totals.get(key, 0) + int(value)
         return totals
 
+    def _worker_health(self) -> List[Dict[str, object]]:
+        """The fleet's per-worker health rows (empty when unsupported).
+
+        Served via duck typing so the dashboard keeps working against
+        any :class:`~repro.fleet.runtime.FleetRuntime`, supervised or
+        not — and against a fleet too broken to answer.
+        """
+        health = getattr(self.fleet, "worker_health", None)
+        if not callable(health):
+            return []
+        try:
+            return list(health())
+        except RuntimeError:
+            return []
+
     def alerts(self) -> List[str]:
         """Current health alerts (empty when the fleet looks healthy)."""
         alerts: List[str] = []
+        workers = self._worker_health()
+        restarted = [row for row in workers if row.get("restarts", 0)]
+        if restarted:
+            total = sum(int(row["restarts"]) for row in restarted)
+            worker_ids = ", ".join(
+                str(row.get("worker", "?")) for row in restarted
+            )
+            alerts.append(
+                f"WORKER_RESTARTED: {total} restart(s) across "
+                f"worker(s) {worker_ids}"
+            )
+        quarantined = [row for row in workers if row.get("quarantined")]
+        if quarantined:
+            shard_count = sum(len(row.get("shards", ())) for row in quarantined)
+            worker_ids = ", ".join(
+                str(row.get("worker", "?")) for row in quarantined
+            )
+            alerts.append(
+                f"SHARDS_QUARANTINED: {shard_count} shard(s) excluded "
+                f"(worker(s) {worker_ids}); the run is degraded"
+            )
         if (
             self.slo_epoch_seconds is not None
             and self._epoch_seconds
@@ -224,6 +260,7 @@ class FleetDashboard:
             },
             "stats": stats,
             "lifecycle": self._lifecycle_totals(),
+            "workers": self._worker_health(),
             "per_shard": {k: dict(v) for k, v in self._last_shards.items()},
             "per_region": per_region,
             "slo": {
@@ -280,6 +317,30 @@ class FleetDashboard:
                     }
                 )
             )
+        workers = doc["workers"]
+        if workers:
+            lines.append(
+                f"{'worker':>10}  {'pid':>8}  {'restarts':>8}  "
+                f"{'beat age':>9}  {'state':>12}"
+            )
+            for row in workers:
+                worker_id = row.get("worker", "?")
+                if "region" in row:
+                    worker_id = f"{row['region']}/{worker_id}"
+                age = row.get("last_heartbeat_age_seconds")
+                state = (
+                    "quarantined"
+                    if row.get("quarantined")
+                    else "alive"
+                    if row.get("alive")
+                    else "dead"
+                )
+                lines.append(
+                    f"{str(worker_id):>10}  {str(row.get('pid', '-')):>8}  "
+                    f"{int(row.get('restarts', 0)):>8}  "
+                    f"{(f'{age:.1f}s' if age is not None else '-'):>9}  "
+                    f"{state:>12}"
+                )
         rows = doc["per_region"] if doc["per_region"] else doc["per_shard"]
         label = "region" if doc["per_region"] else "shard"
         if rows:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -45,11 +46,19 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.warning import WarningAction
+from repro.fleet.faults import FaultPlan
 from repro.fleet.shm import (
     ShmBlockReader,
     ShmBlockWriter,
     ShmEpochDescriptor,
     close_readers,
+    unlink_worker_segments,
+)
+from repro.fleet.supervisor import (
+    FaultPolicy,
+    GroupSnapshot,
+    WorkerHealth,
+    WorkerSupervisor,
 )
 from repro.hardware.batch import N_COUNTERS
 
@@ -180,6 +189,13 @@ class ColumnarFleetReport:
 
     epoch: int
     shard_reports: Dict[str, ColumnarShardReport] = field(default_factory=dict)
+    #: Shards excluded from this epoch because their worker was
+    #: quarantined (graceful degradation) — empty on a healthy fleet.
+    missing_shards: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing_shards)
 
     def observations(self) -> int:
         return sum(r.observations() for r in self.shard_reports.values())
@@ -396,10 +412,11 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _worker_init(payload: bytes) -> None:
-    shards, schedule, lifecycle = pickle.loads(payload)
+    shards, schedule, lifecycle, faults = pickle.loads(payload)
     _WORKER_STATE["shards"] = {shard.shard_id: shard for shard in shards}
     _WORKER_STATE["schedule"] = schedule
     _WORKER_STATE["lifecycle"] = lifecycle
+    _WORKER_STATE["faults"] = faults
     _WORKER_STATE["sent_names"] = {}
 
 
@@ -418,6 +435,9 @@ def _worker_run_epoch(
     shards: Dict[str, "FleetShard"] = _WORKER_STATE["shards"]
     sent_names: Dict[str, Tuple[str, ...]] = _WORKER_STATE["sent_names"]
     lifecycle = _WORKER_STATE.get("lifecycle")
+    faults: Optional[FaultPlan] = _WORKER_STATE.get("faults")
+    if faults:
+        faults.fire(epoch, "before")
     if lifecycle is not None:
         # Each worker owns its shards' lifecycle subset; churn therefore
         # happens where the state lives, epochs before the stress toggle.
@@ -434,6 +454,9 @@ def _worker_run_epoch(
             else:
                 sent_names[shard_id] = result.vm_names
         out.append((shard_id, result))
+    if faults:
+        # "mid": state advanced, results not yet shipped.
+        faults.fire(epoch, "mid")
     if report == "columnar":
         # Columnar epochs travel through shared memory: the decision
         # arrays and counter rows are written in place and only the
@@ -442,8 +465,35 @@ def _worker_run_epoch(
         if writer is None:
             writer = ShmBlockWriter(len(shards))
             _WORKER_STATE["shm_writer"] = writer
-        return writer.write(epoch, [result for _, result in out])
+        descriptor = writer.write(epoch, [result for _, result in out])
+        if faults:
+            faults.fire(epoch, "after")
+            descriptor = faults.mangle(epoch, descriptor)
+        return descriptor
+    if faults:
+        faults.fire(epoch, "after")
     return out
+
+
+def _worker_replay(steps: Sequence[Tuple[int, bool]]) -> int:
+    """Re-run epochs state-only during supervised recovery.
+
+    Mirrors :func:`_worker_run_epoch`'s state mutations exactly —
+    lifecycle events, stress schedule, then every shard's epoch with the
+    recorded ``analyze`` flag — but builds no reports and ships nothing:
+    report flattening is a pure read, so skipping it replays the missed
+    epochs bit-identically at minimum cost.  Injected faults never fire
+    during replay (the respawn payload already dropped the fired ones).
+    """
+    shards: Dict[str, "FleetShard"] = _WORKER_STATE["shards"]
+    lifecycle = _WORKER_STATE.get("lifecycle")
+    for epoch, analyze in steps:
+        if lifecycle is not None:
+            lifecycle.apply(shards, epoch)
+        apply_stress_schedule(shards, _WORKER_STATE["schedule"], epoch)
+        for shard in shards.values():
+            shard.run_epoch(analyze=analyze)
+    return len(steps)
 
 
 def _collect_from_shards(
@@ -531,6 +581,8 @@ class ProcessShardExecutor:
         max_workers: int,
         start_method: str = "spawn",
         lifecycle: Optional["LifecycleEngine"] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self._shards = shards
         self._schedule = list(schedule)
@@ -547,9 +599,27 @@ class ProcessShardExecutor:
         self._stopped = False
         self._broken = False
         self._ever_started = False
+        self._bootstrapped = False
         #: Last VM-name table received per shard (rehydrates reports
         #: whose names were elided on the wire).
         self._names_cache: Dict[str, Tuple[str, ...]] = {}
+        #: One live health record per worker group (built at spawn).
+        self._health: Optional[List[WorkerHealth]] = None
+        #: Group indices whose shards were quarantined (graceful
+        #: degradation after an exhausted restart budget).
+        self._quarantined: set = set()
+        #: Shards owned by workers that died without recovery (names the
+        #: snapshot/epoch refusal errors).
+        self._dead_shards: List[str] = []
+        self.fault_policy = fault_policy
+        #: The injected fault schedule (tests/CI chaos); falls back to
+        #: the REPRO_FLEET_FAULT_PLAN environment hook.
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        self._supervisor = (
+            WorkerSupervisor(fault_policy, self) if fault_policy is not None else None
+        )
 
     @property
     def workers(self) -> int:
@@ -558,6 +628,51 @@ class ProcessShardExecutor:
     @property
     def started(self) -> bool:
         return self._pools is not None
+
+    @property
+    def quarantined_shards(self) -> Tuple[str, ...]:
+        """Shards excluded by quarantined workers, in shard order."""
+        if not self._quarantined:
+            return ()
+        dead = {sid for group in self._quarantined for sid in self._groups[group]}
+        return tuple(sid for sid in self._shard_order if sid in dead)
+
+    def worker_health(self) -> List[Dict[str, object]]:
+        """One JSON-able health row per worker group (empty pre-spawn)."""
+        if self._health is None:
+            return []
+        return [health.as_dict() for health in self._health]
+
+    def _group_payload(
+        self,
+        index: int,
+        shards: Sequence["FleetShard"],
+        lifecycle: Optional["LifecycleEngine"],
+        fired_through: Optional[int] = None,
+    ) -> bytes:
+        """Pickle one worker group's init payload.
+
+        ``fired_through`` (a respawn) drops the group's injected faults
+        up to and including the failed epoch, so recovery replay cannot
+        re-fire a kill that already happened.
+        """
+        members = set(self._groups[index])
+        faults = None
+        if self._fault_plan is not None:
+            faults = self._fault_plan.for_worker(index)
+            if fired_through is not None:
+                faults = faults.after_epoch(fired_through)
+            if not faults:
+                faults = None
+        return pickle.dumps(
+            (
+                list(shards),
+                [s for s in self._schedule if s.shard_id in members],
+                lifecycle,
+                faults,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
 
     def _ensure_started(self) -> List[ProcessPoolExecutor]:
         if self._pools is not None:
@@ -580,17 +695,11 @@ class ProcessShardExecutor:
             )
         context = multiprocessing.get_context(self._start_method)
         pools: List[ProcessPoolExecutor] = []
-        for group in self._groups:
-            members = set(group)
-            payload = pickle.dumps(
-                (
-                    [self._shards[shard_id] for shard_id in group],
-                    [s for s in self._schedule if s.shard_id in members],
-                    self._lifecycle.subset(group)
-                    if self._lifecycle is not None
-                    else None,
-                ),
-                protocol=pickle.HIGHEST_PROTOCOL,
+        for index, group in enumerate(self._groups):
+            payload = self._group_payload(
+                index,
+                [self._shards[shard_id] for shard_id in group],
+                self._lifecycle.subset(group) if self._lifecycle is not None else None,
             )
             pool = ProcessPoolExecutor(
                 max_workers=1,
@@ -612,7 +721,33 @@ class ProcessShardExecutor:
         # Unlink the transport segments at interpreter exit even if the
         # caller never reaches shutdown() — /dev/shm must end empty.
         weakref.finalize(self, close_readers, readers)
+        # Pin each worker's pid now: a hung worker cannot answer a pid
+        # query later, and the supervisor needs a kill target.
+        self._health = []
+        for index, pool in enumerate(pools):
+            health = WorkerHealth(
+                worker=index, shard_ids=tuple(self._groups[index])
+            )
+            health.pid = pool.submit(os.getpid).result()
+            health.beat()
+            self._health.append(health)
         return pools
+
+    def _commit_pairs(
+        self,
+        pairs: Sequence[Tuple[str, ShardEpochResult]],
+        merged: Dict[str, ShardEpochResult],
+    ) -> None:
+        for shard_id, shard_result in pairs:
+            merged[shard_id] = shard_result
+            # Commit name tables as they arrive, before the ordered
+            # merge, so a later worker's failure cannot desync the
+            # elision caches.
+            if (
+                isinstance(shard_result, ColumnarShardReport)
+                and shard_result.vm_names is not None
+            ):
+                self._names_cache[shard_id] = shard_result.vm_names
 
     def run_shard_epochs(
         self, epoch: int, analyze: bool, report: str
@@ -621,61 +756,234 @@ class ProcessShardExecutor:
             raise RuntimeError(
                 "a previous fleet epoch failed mid-flight, so the worker-side "
                 "shard states are no longer in lock step; build a new Fleet"
+                + self._dead_shard_clause()
             )
         pools = self._ensure_started()
+        supervisor = self._supervisor
+        if supervisor is not None:
+            supervisor.note_epoch(epoch, analyze)
+        timeout = (
+            supervisor.policy.heartbeat_timeout if supervisor is not None else None
+        )
         merged: Dict[str, ShardEpochResult] = {}
-        futures = []
-        try:
-            # Submission inside the guard: a pool that already noticed a
-            # dead worker raises BrokenProcessPool at submit time.
-            for pool in pools:
-                futures.append(pool.submit(_worker_run_epoch, epoch, analyze, report))
-            for reader, future in zip(self._readers, futures):
-                result = future.result()
+        futures: List[Optional[object]] = [None] * len(pools)
+        failures: List[Tuple[int, BaseException]] = []
+        for index, pool in enumerate(pools):
+            if index in self._quarantined:
+                continue
+            try:
+                # A pool that already noticed a dead worker raises
+                # BrokenProcessPool at submit time.
+                futures[index] = pool.submit(_worker_run_epoch, epoch, analyze, report)
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                failures.append((index, exc))
+        for index, future in enumerate(futures):
+            if future is None:
+                continue
+            try:
+                result = future.result(timeout=timeout)
                 if isinstance(result, ShmEpochDescriptor):
                     # Columnar epoch: the payload lives in the worker's
                     # shared segments; materialise views (remapping on a
                     # regrow handshake).
-                    pairs = reader.read(result)
+                    pairs = self._readers[index].read(result)
                 else:
                     pairs = result
-                for shard_id, shard_result in pairs:
-                    merged[shard_id] = shard_result
-                    # Commit name tables as they arrive, before the
-                    # ordered merge, so a later worker's failure cannot
-                    # desync the elision caches.
-                    if (
-                        isinstance(shard_result, ColumnarShardReport)
-                        and shard_result.vm_names is not None
-                    ):
-                        self._names_cache[shard_id] = shard_result.vm_names
-        except BaseException:
-            # Some workers advanced their shards this epoch and some did
-            # not; the run cannot continue deterministically.
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                # Worker death (BrokenProcessPool), a tripped heartbeat
+                # deadline (TimeoutError) or a lost/corrupt descriptor
+                # (attach failure) all land here; the supervisor decides
+                # what survives.
+                failures.append((index, exc))
+                continue
+            self._commit_pairs(pairs, merged)
+            self._health[index].beat(epoch)
+        fatal = supervisor is None or any(
+            not isinstance(exc, Exception) for _, exc in failures
+        )
+        if failures and fatal:
+            # Unsupervised (or interrupted): some workers advanced their
+            # shards this epoch and some did not; the run cannot
+            # continue deterministically.
+            for index, _ in failures:
+                self._note_dead_group(index)
             self._broken = True
             self._drain_descriptors(futures)
-            raise
+            raise failures[0][1]
+        for index, exc in failures:
+            pairs = supervisor.recover(index, epoch, analyze, report, exc)
+            if pairs is not None:
+                self._commit_pairs(pairs, merged)
+        if supervisor is not None:
+            supervisor.after_epoch(epoch)
         return self._ordered_merge(epoch, merged)
 
+    # ------------------------------------------------------------------
+    # Supervised recovery mechanics (driven by WorkerSupervisor)
+    # ------------------------------------------------------------------
+    def _kill_worker(self, index: int) -> Optional[int]:
+        """SIGKILL a group's resident worker (hangs cannot be asked to
+        exit); returns the pid, tolerant of an already-dead process."""
+        health = self._health[index] if self._health is not None else None
+        pid = health.pid if health is not None else None
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        return pid
+
+    def _release_group(self, index: int) -> None:
+        """Tear down one group's pool, reader and leftover segments."""
+        pid = self._kill_worker(index)
+        self._pools[index].shutdown(wait=False)
+        # Replacing the reader inside the shared list keeps the
+        # interpreter-exit finalize accurate (it closes the list).
+        self._readers[index].close()
+        self._readers[index] = ShmBlockReader()
+        if pid is not None:
+            # Sweep segments the dead worker created but never announced
+            # (in-flight regrow generations, unshipped descriptors).
+            unlink_worker_segments(pid)
+
+    def _respawn_group(
+        self, index: int, snapshot: GroupSnapshot, fired_through: int
+    ) -> None:
+        """Replace a failed group's worker with one rehydrated from the
+        recovery snapshot (or the run-start template)."""
+        self._release_group(index)
+        group = self._groups[index]
+        if snapshot.blob is None:
+            shards: List["FleetShard"] = [self._shards[sid] for sid in group]
+            engine = (
+                self._lifecycle.subset(group) if self._lifecycle is not None else None
+            )
+        else:
+            shards, lifecycle_state = pickle.loads(snapshot.blob)
+            engine = None
+            if self._lifecycle is not None:
+                engine = self._lifecycle.subset(group)
+                if lifecycle_state is not None:
+                    engine.load_state(lifecycle_state)
+        payload = self._group_payload(
+            index, shards, engine, fired_through=fired_through
+        )
+        context = multiprocessing.get_context(self._start_method)
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(payload,),
+        )
+        weakref.finalize(self, pool.shutdown, wait=False)
+        if not pool.submit(_worker_ready).result():
+            pool.shutdown(wait=False)
+            raise RuntimeError("respawned fleet worker failed to initialise its shards")
+        self._pools[index] = pool
+        health = self._health[index]
+        health.pid = pool.submit(os.getpid).result()
+        health.beat()
+        if snapshot.blob is None and self._bootstrapped:
+            # The template predates the in-worker bootstrap; re-run it so
+            # replay starts from the same learned repositories.
+            pool.submit(_worker_bootstrap).result()
+
+    def _replay_group(
+        self,
+        index: int,
+        steps: Sequence[Tuple[int, bool]],
+        timeout: Optional[float],
+    ) -> None:
+        if not steps:
+            return
+        self._pools[index].submit(_worker_replay, list(steps)).result(timeout=timeout)
+
+    def _run_group_epoch(
+        self,
+        index: int,
+        epoch: int,
+        analyze: bool,
+        report: str,
+        timeout: Optional[float],
+    ) -> List[Tuple[str, ShardEpochResult]]:
+        """Run one epoch on one group (the recovery re-run)."""
+        result = self._pools[index].submit(
+            _worker_run_epoch, epoch, analyze, report
+        ).result(timeout=timeout)
+        if isinstance(result, ShmEpochDescriptor):
+            return self._readers[index].read(result)
+        return result
+
+    def _quarantine_group(self, index: int) -> None:
+        """Exclude a group's shards from the rest of the run."""
+        self._release_group(index)
+        self._quarantined.add(index)
+        health = self._health[index]
+        health.quarantined = True
+        health.alive = False
+
+    def _note_dead_group(self, index: int) -> None:
+        for shard_id in self._groups[index]:
+            if shard_id not in self._dead_shards:
+                self._dead_shards.append(shard_id)
+        if self._health is not None:
+            self._health[index].alive = False
+
+    def _mark_group_dead(self, index: int) -> None:
+        """Terminal failure: record the dead shards and break the run."""
+        self._note_dead_group(index)
+        self._broken = True
+        self._release_group(index)
+
+    def _dead_shard_clause(self) -> str:
+        if not self._dead_shards:
+            return ""
+        ordered = [sid for sid in self._shard_order if sid in set(self._dead_shards)]
+        return f" (dead worker shards: {', '.join(ordered)})"
+
+    def _fetch_group_snapshots(self) -> List[Tuple[int, Optional[bytes]]]:
+        """Per-group worker snapshots for the supervisor's resnapshot
+        cadence; a group that cannot answer yields ``None`` (its stale
+        snapshot stays in force)."""
+        out: List[Tuple[int, Optional[bytes]]] = []
+        for index, pool in enumerate(self._pools or ()):
+            if index in self._quarantined:
+                continue
+            try:
+                out.append((index, pool.submit(_worker_snapshot).result()))
+            except Exception:  # noqa: BLE001 - detected again next epoch
+                out.append((index, None))
+        return out
+
     def _drain_descriptors(self, futures: Sequence[object]) -> None:
-        """Attach surviving workers' epoch segments after a failure.
+        """Reclaim every transport segment after a mid-epoch failure.
 
         When one worker dies mid-epoch, the surviving workers may already
         have written their buffers — possibly into segments freshly
         created this epoch whose names only the undelivered descriptors
         carry.  Attaching them here puts every live segment under the
         readers' ownership, so shutdown still unlinks all of /dev/shm.
-        (A worker that dies *between* creating a segment and shipping its
-        descriptor is covered by the resource tracker at interpreter
-        exit instead.)
+        Segments whose descriptors never arrived at all (the worker died
+        between allocating a regrow generation and shipping the
+        descriptor naming it) are swept by pid afterwards.
         """
         for reader, future in zip(self._readers or (), futures):
+            if future is None:
+                continue
             try:
                 result = future.result(timeout=5.0)
                 if isinstance(result, ShmEpochDescriptor):
                     reader.read(result)
             except BaseException:
                 continue
+        attached = {
+            name
+            for reader in self._readers or ()
+            for name in reader.segment_names()
+        }
+        for health in self._health or ():
+            if health.pid is not None:
+                unlink_worker_segments(health.pid, skip=attached)
 
     def _ordered_merge(
         self, epoch: int, merged: Dict[str, ShardEpochResult]
@@ -688,7 +996,12 @@ class ProcessShardExecutor:
         marked broken and the failure names the offending shards instead
         of surfacing as a raw ``KeyError`` mid-merge.
         """
-        missing = [sid for sid in self._shard_order if sid not in merged]
+        quarantined = set(self.quarantined_shards)
+        missing = [
+            sid
+            for sid in self._shard_order
+            if sid not in merged and sid not in quarantined
+        ]
         unexpected = [sid for sid in merged if sid not in self._shards]
         if missing or unexpected:
             self._broken = True
@@ -700,6 +1013,8 @@ class ProcessShardExecutor:
             )
         out: Dict[str, ShardEpochResult] = {}
         for shard_id in self._shard_order:
+            if shard_id in quarantined:
+                continue
             result = merged[shard_id]
             if isinstance(result, ColumnarShardReport) and result.vm_names is None:
                 names = self._names_cache.get(shard_id)
@@ -719,11 +1034,14 @@ class ProcessShardExecutor:
         pools = self._ensure_started()
         for future in [pool.submit(_worker_bootstrap) for pool in pools]:
             future.result()
+        # Respawned-from-template workers must repeat the bootstrap
+        # before replay, or their repositories diverge from the run.
+        self._bootstrapped = True
 
     def worker_pids(self) -> List[int]:
         """One resident worker pid per shard group (spawning if needed)."""
-        pools = self._ensure_started()
-        return [pool.submit(os.getpid).result() for pool in pools]
+        self._ensure_started()
+        return [health.pid for health in self._health]
 
     def collect(self) -> Dict[str, Dict[str, object]]:
         """Per-shard statistics and event logs.
@@ -738,6 +1056,7 @@ class ProcessShardExecutor:
             raise RuntimeError(
                 "fleet workers are broken (a previous epoch failed "
                 "mid-flight); statistics can no longer be collected"
+                + self._dead_shard_clause()
             )
         if self._pools is None:
             if self._ever_started:
@@ -751,7 +1070,12 @@ class ProcessShardExecutor:
             return _collect_from_shards(self._shards, self._lifecycle)
         merged: Dict[str, Dict[str, object]] = {}
         try:
-            for future in [pool.submit(_worker_collect) for pool in self._pools]:
+            futures = [
+                pool.submit(_worker_collect)
+                for index, pool in enumerate(self._pools)
+                if index not in self._quarantined
+            ]
+            for future in futures:
                 merged.update(future.result())
         except BaseException:
             self._broken = True
@@ -761,28 +1085,36 @@ class ProcessShardExecutor:
     def snapshot_state(
         self,
     ) -> Optional[
-        Tuple[Dict[str, "FleetShard"], Optional[Dict[str, Dict[str, object]]]]
+        Tuple[
+            Dict[str, "FleetShard"],
+            Optional[Dict[str, Dict[str, object]]],
+            Tuple[str, ...],
+        ]
     ]:
         """The live worker-side shard objects and lifecycle state.
 
         Returns ``(shards in shard order, merged lifecycle state dict or
-        None)`` fetched from the workers, or ``None`` before any worker
-        has started — the parent's template objects *are* the current
-        state then, and the caller snapshots those locally instead of
-        cold-spawning every pool.  Worker groups own disjoint shard
-        sets, so their lifecycle states reassemble by plain per-shard
-        union.  Broken workers cannot be checkpointed (their shard
-        states are no longer in lock step), and neither can a shut-down
-        executor (the worker state is gone): both raise
-        :class:`RuntimeError`.
+        None, missing shard ids)`` fetched from the workers, or ``None``
+        before any worker has started — the parent's template objects
+        *are* the current state then, and the caller snapshots those
+        locally instead of cold-spawning every pool.  Worker groups own
+        disjoint shard sets, so their lifecycle states reassemble by
+        plain per-shard union.  Quarantined groups are skipped: their
+        shard ids come back in the third slot so the checkpoint can
+        carry an explicit ``missing_shards`` manifest.  Broken workers
+        cannot be checkpointed (their shard states are no longer in
+        lock step), and neither can a shut-down executor (the worker
+        state is gone): both raise :class:`RuntimeError`.
         """
         from repro.fleet.lifecycle import LifecycleEngine
 
         if self._broken:
             raise RuntimeError(
                 "fleet workers are broken (a previous epoch failed "
-                "mid-flight); the run cannot be checkpointed — resume "
-                "from an earlier snapshot instead"
+                "mid-flight)"
+                + self._dead_shard_clause()
+                + "; the run cannot be checkpointed — resume from the "
+                "last checkpoint instead (repro.fleet.resume_fleet)"
             )
         if self._pools is None:
             if self._ever_started:
@@ -791,12 +1123,16 @@ class ProcessShardExecutor:
                     "state was discarded — snapshot before shutdown"
                 )
             return None
+        quarantined = set(self.quarantined_shards)
         shards: Dict[str, "FleetShard"] = {}
         lifecycle_states: List[Dict[str, Dict[str, object]]] = []
         try:
-            for future in [
-                pool.submit(_worker_snapshot) for pool in self._pools
-            ]:
+            futures = [
+                pool.submit(_worker_snapshot)
+                for index, pool in enumerate(self._pools)
+                if index not in self._quarantined
+            ]
+            for future in futures:
                 group_shards, lifecycle_state = pickle.loads(future.result())
                 for shard in group_shards:
                     shards[shard.shard_id] = shard
@@ -807,7 +1143,11 @@ class ProcessShardExecutor:
             # further epochs would desync from the surviving groups.
             self._broken = True
             raise
-        missing = [sid for sid in self._shard_order if sid not in shards]
+        missing = [
+            sid
+            for sid in self._shard_order
+            if sid not in shards and sid not in quarantined
+        ]
         unexpected = [sid for sid in shards if sid not in self._shards]
         if missing or unexpected:
             self._broken = True
@@ -817,13 +1157,13 @@ class ProcessShardExecutor:
                 f"{unexpected or 'none'}); the worker states are no "
                 "longer in lock step — build a new Fleet"
             )
-        ordered = {sid: shards[sid] for sid in self._shard_order}
+        ordered = {sid: shards[sid] for sid in self._shard_order if sid in shards}
         merged = (
             LifecycleEngine.merge_states(lifecycle_states)
             if lifecycle_states
             else None
         )
-        return ordered, merged
+        return ordered, merged, self.quarantined_shards
 
     def shutdown(self) -> None:
         self._stopped = True
@@ -847,11 +1187,22 @@ def make_shard_executor(
     schedule: Sequence["ScheduledStress"],
     max_workers: int,
     lifecycle: Optional["LifecycleEngine"] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Union[SerialShardExecutor, ThreadShardExecutor, ProcessShardExecutor]:
-    """Instantiate the strategy for ``kind`` (see :data:`EXECUTOR_KINDS`)."""
+    """Instantiate the strategy for ``kind`` (see :data:`EXECUTOR_KINDS`).
+
+    ``fault_policy``/``fault_plan`` only apply to the process executor
+    (the only strategy with workers to supervise or kill).
+    """
     if kind == "process":
         return ProcessShardExecutor(
-            shards, schedule, max_workers=max_workers, lifecycle=lifecycle
+            shards,
+            schedule,
+            max_workers=max_workers,
+            lifecycle=lifecycle,
+            fault_policy=fault_policy,
+            fault_plan=fault_plan,
         )
     if kind == "thread" and max_workers > 1 and len(shards) > 1:
         return ThreadShardExecutor(

@@ -50,8 +50,10 @@ from repro.fleet.executor import (
     ProcessShardExecutor,
     make_shard_executor,
 )
+from repro.fleet.faults import FaultPlan
 from repro.fleet.lifecycle import LifecycleEngine, LifecycleStats
 from repro.fleet.runtime import FleetRuntimeBase
+from repro.fleet.supervisor import FaultPolicy
 from repro.virt.cluster import Cluster
 from repro.virt.sandbox import SandboxEnvironment
 
@@ -159,6 +161,13 @@ class FleetEpochReport:
     epoch: int
     #: Per-shard epoch reports (shard id -> report).
     shard_reports: Dict[str, EpochReport] = field(default_factory=dict)
+    #: Shards excluded this epoch by quarantined workers (graceful
+    #: degradation) — explicit, so a degraded fleet never just shrinks.
+    missing_shards: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing_shards)
 
     def observations(self) -> int:
         return sum(len(r.observations) for r in self.shard_reports.values())
@@ -218,6 +227,18 @@ class FleetRunSummary:
     action_histogram: Dict[str, int] = field(default_factory=dict)
     #: The last epoch's full report (steady-state snapshot).
     final_report: Optional[FleetEpochReport] = None
+    #: Union of the shards any epoch ran without (quarantined workers),
+    #: in first-seen order — a degraded run manifests its gaps.
+    missing_shards: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing_shards)
+
+    def _note_missing(self, missing: Sequence[str]) -> None:
+        for shard_id in missing:
+            if shard_id not in self.missing_shards:
+                self.missing_shards = self.missing_shards + (shard_id,)
 
     def accumulate(self, report: FleetEpochReport) -> None:
         """Fold one epoch report into the running totals."""
@@ -229,6 +250,7 @@ class FleetRunSummary:
             self.action_histogram[action] = (
                 self.action_histogram.get(action, 0) + count
             )
+        self._note_missing(getattr(report, "missing_shards", ()))
         self.final_report = report
 
     def extend(self, later: "FleetRunSummary") -> "FleetRunSummary":
@@ -249,6 +271,7 @@ class FleetRunSummary:
             self.action_histogram[action] = (
                 self.action_histogram.get(action, 0) + count
             )
+        self._note_missing(later.missing_shards)
         if later.final_report is not None:
             self.final_report = later.final_report
         return self
@@ -277,6 +300,7 @@ class FleetRunSummary:
             )
         out = cls(epochs=summaries[0].epochs)
         for summary in summaries:
+            out._note_missing(summary.missing_shards)
             out.observations += summary.observations
             out.analyzer_invocations += summary.analyzer_invocations
             out.confirmed_interference += summary.confirmed_interference
@@ -302,8 +326,15 @@ class FleetRunSummary:
                             "summary; partitions must be disjoint"
                         )
                     merged_shards[shard_id] = report
+            merged_missing: List[str] = []
+            for final in finals:
+                for shard_id in getattr(final, "missing_shards", ()):
+                    if shard_id not in merged_missing:
+                        merged_missing.append(shard_id)
             out.final_report = kinds.pop()(
-                epoch=final_epochs.pop(), shard_reports=merged_shards
+                epoch=final_epochs.pop(),
+                shard_reports=merged_shards,
+                missing_shards=tuple(merged_missing),
             )
         return out
 
@@ -355,6 +386,8 @@ class Fleet(FleetRuntimeBase):
         max_workers: Optional[int] = None,
         executor: Optional[str] = None,
         lifecycle: Optional["LifecycleEngine"] = None,
+        fault_policy: Optional["FaultPolicy"] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -367,6 +400,14 @@ class Fleet(FleetRuntimeBase):
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+            )
+        if (
+            fault_policy is not None or fault_plan is not None
+        ) and executor != "process":
+            raise ValueError(
+                "fault_policy/fault_plan only apply to the process executor "
+                "(serial and thread fleets have no workers to supervise); "
+                f"got executor {executor!r}"
             )
         if executor in ("thread", "process") and max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -382,6 +423,11 @@ class Fleet(FleetRuntimeBase):
         self.current_epoch = 0
         self.max_workers = max_workers
         self.executor = executor
+        #: Worker supervision (restart/quarantine) for the process
+        #: executor; ``None`` keeps PR 6's detect-and-refuse semantics.
+        self.fault_policy = fault_policy
+        #: Injected fault schedule (chaos tests / CI).
+        self.fault_plan = fault_plan
         self._strategy = None
         #: Last statistics snapshot fetched from process workers (kept
         #: so the fleet stays inspectable after :meth:`shutdown`).
@@ -421,6 +467,8 @@ class Fleet(FleetRuntimeBase):
                 self.schedule,
                 max_workers=self.max_workers or 1,
                 lifecycle=self.lifecycle,
+                fault_policy=self.fault_policy,
+                fault_plan=self.fault_plan,
             )
         return self._strategy
 
@@ -464,13 +512,18 @@ class Fleet(FleetRuntimeBase):
         )
         # Worker-side state advanced; drop the cached statistics snapshot.
         self._last_collected = None
+        missing = tuple(getattr(strategy, "quarantined_shards", ()) or ())
         if report == "full":
             out: Union[FleetEpochReport, ColumnarFleetReport] = FleetEpochReport(
-                epoch=self.current_epoch, shard_reports=shard_reports
+                epoch=self.current_epoch,
+                shard_reports=shard_reports,
+                missing_shards=missing,
             )
         else:
             out = ColumnarFleetReport(
-                epoch=self.current_epoch, shard_reports=shard_reports
+                epoch=self.current_epoch,
+                shard_reports=shard_reports,
+                missing_shards=missing,
             )
         self.current_epoch += 1
         return out
@@ -480,13 +533,20 @@ class Fleet(FleetRuntimeBase):
     # ------------------------------------------------------------------
     def _gather_state(
         self,
-    ) -> Tuple[Dict[str, FleetShard], Optional[Dict[str, Dict[str, object]]]]:
-        """The live shards (in shard order) and lifecycle state.
+    ) -> Tuple[
+        Dict[str, FleetShard],
+        Optional[Dict[str, Dict[str, object]]],
+        Tuple[str, ...],
+    ]:
+        """The live shards (in shard order), lifecycle state, and the
+        shards missing from the snapshot (quarantined workers).
 
         Serial/thread fleets own their state locally; a started process
         fleet fetches the live shard objects and lifecycle state back
         from its workers (the parent's objects are only the start-of-run
-        template then).
+        template then).  A degraded process fleet returns a *partial*
+        snapshot: the quarantined shards come back in the third slot so
+        the checkpoint can manifest them explicitly.
         """
         strategy = self._strategy
         if isinstance(strategy, ProcessShardExecutor):
@@ -496,7 +556,7 @@ class Fleet(FleetRuntimeBase):
         lifecycle_state = (
             self.lifecycle.state_dict() if self.lifecycle is not None else None
         )
-        return dict(self.shards), lifecycle_state
+        return dict(self.shards), lifecycle_state, ()
 
     def snapshot(
         self,
@@ -521,7 +581,7 @@ class Fleet(FleetRuntimeBase):
         runner's mid-cell checkpoints.  With ``path`` the checkpoint is
         also written atomically to disk.  Resume with :meth:`resume`.
         """
-        shards, lifecycle_state = self._gather_state()
+        shards, lifecycle_state, missing_shards = self._gather_state()
         payload: Dict[str, object] = {
             "shards": list(shards.values()),
             "schedule": list(self.schedule),
@@ -553,6 +613,7 @@ class Fleet(FleetRuntimeBase):
             "has_summary": summary is not None,
             "has_extra": extra is not None,
             "regions": None,
+            "missing_shards": list(missing_shards),
             "created_unix": time.time(),
         }
         checkpoint = Checkpoint(
@@ -589,6 +650,15 @@ class Fleet(FleetRuntimeBase):
                 "with RegionalFleet.resume (or repro.fleet.resume_fleet)"
             )
         state = checkpoint.state()
+        lifecycle = _rebuild_lifecycle(state)
+        missing = tuple(checkpoint.meta.get("missing_shards") or ())
+        if lifecycle is not None and missing:
+            # A degraded checkpoint carries only the surviving shards;
+            # drop the timeline events that target the quarantined ones
+            # or topology validation would (rightly) refuse them.
+            lifecycle = lifecycle.subset(
+                [shard.shard_id for shard in state["shards"]]
+            )
         fleet = cls(
             state["shards"],
             schedule=state["schedule"],
@@ -598,7 +668,7 @@ class Fleet(FleetRuntimeBase):
             executor=(
                 checkpoint.meta["executor"] if executor is None else executor
             ),
-            lifecycle=_rebuild_lifecycle(state),
+            lifecycle=lifecycle,
         )
         fleet.current_epoch = checkpoint.epoch
         return fleet
@@ -647,10 +717,11 @@ class Fleet(FleetRuntimeBase):
     def detections(self) -> List[Tuple[str, InterferenceDetectedEvent]]:
         collected = self._collected()
         if collected is not None:
+            # .get: a quarantined shard has no worker to report for it.
             return [
                 (shard_id, event)
                 for shard_id in self.shards
-                for event in collected[shard_id]["detections"]
+                for event in collected.get(shard_id, {}).get("detections", ())
             ]
         return [
             (shard_id, event)
@@ -664,7 +735,7 @@ class Fleet(FleetRuntimeBase):
             return [
                 (shard_id, event)
                 for shard_id in self.shards
-                for event in collected[shard_id]["migrations"]
+                for event in collected.get(shard_id, {}).get("migrations", ())
             ]
         return [
             (shard_id, event)
@@ -741,7 +812,7 @@ class Fleet(FleetRuntimeBase):
         collected = self._collected()
         if collected is not None:
             per_shard = {
-                shard_id: dict(collected[shard_id].get("lifecycle") or {})
+                shard_id: dict(collected.get(shard_id, {}).get("lifecycle") or {})
                 for shard_id in self.shards
             }
         else:
@@ -754,6 +825,23 @@ class Fleet(FleetRuntimeBase):
             shard_id: (stats if stats else dict(zeros))
             for shard_id, stats in per_shard.items()
         }
+
+    def worker_health(self) -> List[Dict[str, object]]:
+        """Per-worker health rows (pid, restarts, heartbeat age, ...).
+
+        Populated for a started process fleet; serial/thread fleets (and
+        process fleets before their first epoch) report no workers.
+        """
+        strategy = self._strategy
+        health = getattr(strategy, "worker_health", None)
+        if callable(health):
+            return health()
+        return []
+
+    @property
+    def quarantined_shards(self) -> Tuple[str, ...]:
+        """Shards excluded by quarantined workers (graceful degradation)."""
+        return tuple(getattr(self._strategy, "quarantined_shards", ()) or ())
 
 
 def _rebuild_lifecycle(state: Mapping[str, object]) -> Optional[LifecycleEngine]:

@@ -59,6 +59,7 @@ from repro.fleet.checkpoint import (
     CheckpointError,
 )
 from repro.fleet.executor import EXECUTOR_KINDS, ColumnarFleetReport
+from repro.fleet.faults import FaultPlan
 from repro.fleet.fleet import (
     Fleet,
     FleetEpochReport,
@@ -69,6 +70,7 @@ from repro.fleet.fleet import (
 )
 from repro.fleet.lifecycle import LifecycleEngine
 from repro.fleet.runtime import FleetRuntimeBase, RunOptions, _coerce_options
+from repro.fleet.supervisor import FaultPolicy
 
 
 @dataclass
@@ -146,6 +148,15 @@ class RegionalFleet(FleetRuntimeBase):
         topology here, then partitioned with
         :meth:`~repro.fleet.lifecycle.LifecycleEngine.subset` so each
         region's inner fleet owns exactly its shards' events.
+    fault_policy:
+        One :class:`~repro.fleet.supervisor.FaultPolicy` applied inside
+        every region's process executor — a worker failure is recovered
+        (or quarantined) *within its region*, the other regions never
+        notice.
+    fault_plans:
+        Optional per-region injected fault schedules (region id ->
+        :class:`~repro.fleet.faults.FaultPlan`); worker indices are
+        region-local, so plans are addressed per region.
     """
 
     def __init__(
@@ -155,6 +166,8 @@ class RegionalFleet(FleetRuntimeBase):
         max_workers: Optional[int] = None,
         executor: Optional[str] = None,
         lifecycle: Optional["LifecycleEngine"] = None,
+        fault_policy: Optional["FaultPolicy"] = None,
+        fault_plans: Optional[Dict[str, "FaultPlan"]] = None,
     ) -> None:
         if not regions:
             raise ValueError("a regional fleet needs at least one region")
@@ -197,7 +210,13 @@ class RegionalFleet(FleetRuntimeBase):
             lifecycle.validate(all_shards)
         self.max_workers = max_workers
         self.executor = executor
+        self.fault_policy = fault_policy
         self.current_epoch = 0
+        unknown_plans = set(fault_plans or {}) - set(region_ids)
+        if unknown_plans:
+            raise ValueError(
+                f"fault_plans name unknown regions: {sorted(unknown_plans)}"
+            )
         #: region id -> the region's inner fleet, in region insertion
         #: order (the merge order).
         self.fleets: Dict[str, Fleet] = {}
@@ -217,6 +236,8 @@ class RegionalFleet(FleetRuntimeBase):
                 max_workers=region.max_workers or max_workers,
                 executor=executor,
                 lifecycle=region_lifecycle,
+                fault_policy=fault_policy,
+                fault_plan=(fault_plans or {}).get(region.region_id),
             )
 
     # ------------------------------------------------------------------
@@ -264,16 +285,24 @@ class RegionalFleet(FleetRuntimeBase):
         if report not in ("full", "columnar"):
             raise ValueError(f"unknown report mode {report!r}")
         merged: Dict[str, object] = {}
+        missing: List[str] = []
         for fleet in self.fleets.values():
             region_report = fleet._step_epoch(analyze=analyze, report=report)
             merged.update(region_report.shard_reports)
+            # A quarantined worker degrades its own region; the merged
+            # report manifests the gap fleet-wide.
+            missing.extend(getattr(region_report, "missing_shards", ()))
         if report == "full":
             out: Union[FleetEpochReport, ColumnarFleetReport] = FleetEpochReport(
-                epoch=self.current_epoch, shard_reports=merged
+                epoch=self.current_epoch,
+                shard_reports=merged,
+                missing_shards=tuple(missing),
             )
         else:
             out = ColumnarFleetReport(
-                epoch=self.current_epoch, shard_reports=merged
+                epoch=self.current_epoch,
+                shard_reports=merged,
+                missing_shards=tuple(missing),
             )
         self.current_epoch += 1
         return out
@@ -335,11 +364,13 @@ class RegionalFleet(FleetRuntimeBase):
         shards: Dict[str, FleetShard] = {}
         lifecycle_states: List[Dict[str, Dict[str, object]]] = []
         regions_meta: List[Dict[str, object]] = []
+        missing_shards: List[str] = []
         for region_id, fleet in self.fleets.items():
-            region_shards, region_lifecycle = fleet._gather_state()
+            region_shards, region_lifecycle, region_missing = fleet._gather_state()
             shards.update(region_shards)
             if region_lifecycle is not None:
                 lifecycle_states.append(region_lifecycle)
+            missing_shards.extend(region_missing)
             regions_meta.append(
                 {
                     "region_id": region_id,
@@ -383,6 +414,7 @@ class RegionalFleet(FleetRuntimeBase):
             "has_summary": summary is not None,
             "has_extra": extra is not None,
             "regions": regions_meta,
+            "missing_shards": missing_shards,
             "created_unix": time.time(),
         }
         checkpoint = Checkpoint(
@@ -426,6 +458,12 @@ class RegionalFleet(FleetRuntimeBase):
             )
             for entry in checkpoint.meta["regions"]
         ]
+        lifecycle = _rebuild_lifecycle(state)
+        if lifecycle is not None and checkpoint.meta.get("missing_shards"):
+            # A degraded checkpoint carries only the surviving shards;
+            # drop the quarantined shards' timeline events before
+            # topology validation.
+            lifecycle = lifecycle.subset(list(shards_by_id))
         fleet = cls(
             regions,
             schedule=state["schedule"],
@@ -435,7 +473,7 @@ class RegionalFleet(FleetRuntimeBase):
             executor=(
                 checkpoint.meta["executor"] if executor is None else executor
             ),
-            lifecycle=_rebuild_lifecycle(state),
+            lifecycle=lifecycle,
         )
         fleet.current_epoch = checkpoint.epoch
         for inner in fleet.fleets.values():
@@ -494,6 +532,28 @@ class RegionalFleet(FleetRuntimeBase):
         for fleet in self.fleets.values():
             out.update(fleet.lifecycle_stats())
         return out
+
+    def worker_health(self) -> List[Dict[str, object]]:
+        """Per-worker health rows across all regions.
+
+        Each row carries a ``"region"`` key — worker indices are
+        region-local, so the region id is what makes a row unique.
+        """
+        out: List[Dict[str, object]] = []
+        for region_id, fleet in self.fleets.items():
+            for row in fleet.worker_health():
+                row = dict(row)
+                row["region"] = region_id
+                out.append(row)
+        return out
+
+    @property
+    def quarantined_shards(self) -> Tuple[str, ...]:
+        """Quarantined shards across all regions, in merge order."""
+        out: List[str] = []
+        for fleet in self.fleets.values():
+            out.extend(fleet.quarantined_shards)
+        return tuple(out)
 
 
 def resume_fleet(

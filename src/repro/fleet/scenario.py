@@ -20,9 +20,11 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import DeepDiveConfig
+from repro.fleet.faults import FaultPlan
 from repro.fleet.fleet import Fleet, FleetShard, ScheduledStress
 from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine
 from repro.fleet.region import Region, RegionalFleet
+from repro.fleet.supervisor import FaultPolicy
 from repro.fleet.timeline import ARRIVAL_WORKLOADS, FleetTimeline
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.virt.cluster import Cluster
@@ -203,6 +205,8 @@ def build_fleet(
     track_performance: bool = False,
     history_limit: Optional[int] = 64,
     history_mode: str = "lazy",
+    fault_policy: Optional["FaultPolicy"] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> Fleet:
     """Materialise a scenario into a runnable :class:`Fleet`.
 
@@ -240,6 +244,10 @@ def build_fleet(
         access; ``"eager"`` materialises every epoch immediately (the
         reference mode, bit-identical results — pinned by
         ``tests/property/test_lazy_history_equivalence.py``).
+    fault_policy / fault_plan:
+        Worker supervision and injected fault schedule for the process
+        executor (see :mod:`repro.fleet.supervisor` /
+        :mod:`repro.fleet.faults`).
 
     A scenario with a ``timeline`` gets a
     :class:`~repro.fleet.lifecycle.LifecycleEngine` attached to the
@@ -263,6 +271,8 @@ def build_fleet(
         max_workers=max_workers,
         executor=executor,
         lifecycle=lifecycle,
+        fault_policy=fault_policy,
+        fault_plan=fault_plan,
     )
 
 
@@ -431,6 +441,8 @@ def build_regional_fleet(
     track_performance: bool = False,
     history_limit: Optional[int] = 64,
     history_mode: str = "lazy",
+    fault_policy: Optional["FaultPolicy"] = None,
+    fault_plans: Optional[Dict[str, "FaultPlan"]] = None,
 ) -> RegionalFleet:
     """Materialise a scenario into a hierarchical :class:`RegionalFleet`.
 
@@ -460,4 +472,6 @@ def build_regional_fleet(
         max_workers=region_workers,
         executor=executor,
         lifecycle=lifecycle,
+        fault_policy=fault_policy,
+        fault_plans=fault_plans,
     )

@@ -37,10 +37,11 @@ name from the descriptors: :meth:`ShmBlockReader.close` (called from
 interpreter exit) closes and **unlinks** every attached segment, so no
 ``/dev/shm`` entries outlive the run even when workers were killed.  A
 worker that dies between creating a segment and shipping its descriptor
-leaves the name registered with the :mod:`multiprocessing`
-resource tracker (creation registers it; the parent's ``unlink`` is
-what normally unregisters it), so the tracker reclaims it at process
-exit — the backstop for hard crashes.
+leaves a name no descriptor ever taught the parent; because segment
+names embed the worker's pid, the executor's failure paths sweep those
+orphans with :func:`unlink_worker_segments` (the
+:mod:`multiprocessing` resource tracker remains the last-resort
+backstop at interpreter exit for crashes of the parent itself).
 """
 
 from __future__ import annotations
@@ -74,6 +75,35 @@ def _segment_name(buffer_index: int, generation: int) -> str:
         f"{SEGMENT_PREFIX}-{os.getpid()}-b{buffer_index}"
         f"-g{generation}-{secrets.token_hex(4)}"
     )
+
+
+def unlink_worker_segments(pid: int, skip: Sequence[str] = ()) -> List[str]:
+    """Unlink every transport segment a worker process left behind.
+
+    Segment names embed the creating worker's pid
+    (:func:`_segment_name`), so the parent can sweep a dead worker's
+    orphans by name alone — covering the regrow race where the worker
+    died *between* allocating a new-generation segment and the parent
+    remapping it, which previously only the resource tracker reclaimed
+    at interpreter exit.  ``skip`` protects names the parent's readers
+    already own (their unlink belongs to :meth:`ShmBlockReader.close`).
+    Unlinking only removes the ``/dev/shm`` name: existing mappings
+    (the parent's attached views, a not-yet-dead worker's buffers) stay
+    valid until their owners drop them.  Returns the unlinked names.
+    """
+    prefix = f"{SEGMENT_PREFIX}-{pid}-"
+    skipped = set(skip)
+    removed: List[str] = []
+    for name in leaked_segments():
+        if not name.startswith(prefix) or name in skipped:
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            continue
+        _release_segment(segment)
+        removed.append(name)
+    return removed
 
 
 def leaked_segments() -> List[str]:

@@ -176,6 +176,116 @@ class TestAlerts:
         assert any("stats unavailable" in alert for alert in doc["alerts"])
 
 
+def _health_row(worker, **overrides):
+    row = {
+        "worker": worker,
+        "shards": [f"shard{worker}"],
+        "pid": 4000 + worker,
+        "restarts": 0,
+        "last_heartbeat_age_seconds": 0.5,
+        "last_epoch": 3,
+        "quarantined": False,
+        "alive": True,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestWorkerHealthPanel:
+    """PR 9: the dashboard surfaces the supervisor's per-worker health
+    (pids, restarts, heartbeat age, quarantine) and raises the
+    ``WORKER_RESTARTED`` / ``SHARDS_QUARANTINED`` alerts."""
+
+    def test_live_process_fleet_populates_worker_rows(self):
+        fleet = _fleet(executor="process", max_workers=2)
+        dashboard = FleetDashboard(fleet)
+        try:
+            list(dashboard.watch(2, RunOptions(analyze=False)))
+            doc = dashboard.snapshot()
+        finally:
+            fleet.shutdown()
+        assert [row["worker"] for row in doc["workers"]] == [0, 1]
+        for row in doc["workers"]:
+            assert row["alive"] and not row["quarantined"]
+            assert row["restarts"] == 0
+            assert isinstance(row["pid"], int)
+        assert not any("WORKER" in a or "QUARANTINED" in a for a in doc["alerts"])
+        json.dumps(doc)  # the panel must stay scrape-able
+
+    def test_restarts_raise_the_worker_restarted_alert(self):
+        fleet = _fleet()
+        dashboard = FleetDashboard(fleet)
+        try:
+            fleet.worker_health = lambda: [
+                _health_row(0, restarts=2),
+                _health_row(1),
+                _health_row(2, restarts=1),
+            ]
+            alerts = dashboard.alerts()
+        finally:
+            fleet.shutdown()
+        assert alerts == [
+            "WORKER_RESTARTED: 3 restart(s) across worker(s) 0, 2"
+        ]
+
+    def test_quarantine_raises_the_shards_quarantined_alert(self):
+        fleet = _fleet()
+        dashboard = FleetDashboard(fleet)
+        try:
+            fleet.worker_health = lambda: [
+                _health_row(0),
+                _health_row(
+                    1,
+                    quarantined=True,
+                    alive=False,
+                    shards=["shard1", "shard3"],
+                ),
+            ]
+            alerts = dashboard.alerts()
+        finally:
+            fleet.shutdown()
+        assert alerts == [
+            "SHARDS_QUARANTINED: 2 shard(s) excluded (worker(s) 1); "
+            "the run is degraded"
+        ]
+
+    def test_render_shows_the_worker_panel_states(self):
+        fleet = _fleet()
+        dashboard = FleetDashboard(fleet)
+        try:
+            fleet.worker_health = lambda: [
+                _health_row(0, restarts=1),
+                _health_row(1, quarantined=True, alive=False),
+                _health_row(2, region="region1", alive=False),
+            ]
+            text = dashboard.render()
+        finally:
+            fleet.shutdown()
+        assert "worker" in text and "beat age" in text
+        assert "quarantined" in text
+        assert "region1/2" in text
+        assert "dead" in text
+        assert "ALERT: WORKER_RESTARTED" in text
+        assert "ALERT: SHARDS_QUARANTINED" in text
+
+    def test_unanswerable_health_degrades_to_an_empty_panel(self):
+        """A fleet too broken to answer health questions must not take
+        the dashboard down with it."""
+        fleet = _fleet()
+        dashboard = FleetDashboard(fleet)
+        try:
+
+            def broken():
+                raise RuntimeError("workers are gone")
+
+            fleet.worker_health = broken
+            doc = dashboard.snapshot()
+        finally:
+            fleet.shutdown()
+        assert doc["workers"] == []
+        assert not any("WORKER" in a for a in doc["alerts"])
+
+
 class TestRendering:
     def test_snapshot_is_json_serialisable(self):
         fleet = _fleet(regional=True)

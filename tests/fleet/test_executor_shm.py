@@ -27,12 +27,15 @@ from repro.fleet.executor import (
     ProcessShardExecutor,
     _shard_counter_totals,
 )
+from repro.fleet.faults import FaultPlan, WorkerFault
 from repro.fleet.shm import (
     SEGMENT_PREFIX,
     ShmBlockReader,
     ShmBlockWriter,
     leaked_segments,
+    unlink_worker_segments,
 )
+from repro.fleet.supervisor import FaultPolicy
 from repro.hardware.batch import N_COUNTERS
 
 
@@ -46,7 +49,7 @@ def _config() -> DeepDiveConfig:
     )
 
 
-def _tiny_process_fleet(max_workers=2, num_vms=16, num_shards=2):
+def _tiny_process_fleet(max_workers=2, num_vms=16, num_shards=2, **fault_kwargs):
     scenario = synthesize_datacenter(num_vms, num_shards=num_shards, seed=21)
     return build_fleet(
         scenario,
@@ -55,6 +58,7 @@ def _tiny_process_fleet(max_workers=2, num_vms=16, num_shards=2):
         mitigate=False,
         executor="process",
         max_workers=max_workers,
+        **fault_kwargs,
     )
 
 
@@ -447,4 +451,128 @@ class TestShutdownHardening:
         fleet.shutdown()
         with pytest.raises(RuntimeError, match="shut.?down"):
             fleet.snapshot()
+        assert leaked_segments() == []
+
+
+class TestOrphanSegmentSweep:
+    """PR 9's regrow-orphan fix: a worker that dies *between* allocating
+    a new-generation segment and the parent remapping it used to leave
+    that name in ``/dev/shm`` until interpreter exit (only the resource
+    tracker reclaimed it).  Segment names embed the creator's pid, so
+    the executor's failure paths now sweep them by name."""
+
+    def test_unshipped_regrow_segment_is_swept_by_pid(self):
+        writer = ShmBlockWriter(n_shards=1, slack_fraction=0.0, min_slack_rows=0)
+        reader = ShmBlockReader()
+        try:
+            small = _columnar_report("s0", 4, seed=31)
+            reader.read(writer.write(0, [small]))
+            reader.read(writer.write(1, [small]))
+            # The regrow allocates a new-generation segment for buffer
+            # 0 — and the "worker" dies before the parent reads the
+            # descriptor, so the reader never remaps onto it.
+            orphan = writer.write(2, [_columnar_report("s0", 9, seed=32)])
+            attached = reader.segment_names()
+            assert orphan.segment not in attached
+            removed = unlink_worker_segments(os.getpid(), skip=attached)
+            assert removed == [orphan.segment]
+            # The reader-owned names survived the sweep untouched.
+            assert leaked_segments() == sorted(attached)
+        finally:
+            reader.close()
+            writer.close()
+        assert leaked_segments() == []
+
+    def test_sweep_only_touches_the_given_pid(self):
+        writer = ShmBlockWriter(n_shards=1)
+        try:
+            desc = writer.write(0, [_columnar_report("s0", 3, seed=33)])
+            assert unlink_worker_segments(os.getpid() + 1) == []
+            assert desc.segment in leaked_segments()
+        finally:
+            reader = ShmBlockReader()
+            reader.read(desc)
+            reader.close()
+            writer.close()
+        assert leaked_segments() == []
+
+
+class TestUnsupervisedFaultPaths:
+    """Without a :class:`FaultPolicy` the PR 6 semantics stand — detect
+    and refuse — but the refusal must now clean up the dead worker's
+    segments immediately and name the dead shards in the errors."""
+
+    def test_kill_after_write_breaks_run_and_sweeps_segments(self):
+        fleet = _tiny_process_fleet(
+            max_workers=2,
+            fault_plan=FaultPlan(
+                faults=(WorkerFault(kind="kill", worker=0, epoch=1, point="after"),)
+            ),
+        )
+        try:
+            fleet.run_epoch(options=RunOptions(analyze=False, report="columnar"))
+            # The kill fires after the columnar buffers are written:
+            # the orphaned segments must be swept with the failure.
+            with pytest.raises(RuntimeError):
+                fleet.run_epoch(
+                    options=RunOptions(analyze=False, report="columnar")
+                )
+            with pytest.raises(RuntimeError, match="lock step"):
+                fleet.run_epoch(
+                    options=RunOptions(analyze=False, report="columnar")
+                )
+        finally:
+            fleet.shutdown()
+        assert leaked_segments() == []
+
+    def test_snapshot_error_names_dead_shards_and_resume_path(self):
+        """The broken-fleet snapshot refusal tells the operator *which*
+        shards died with the worker and how to get the run back."""
+        fleet = _tiny_process_fleet(
+            max_workers=2,
+            fault_plan=FaultPlan(
+                faults=(WorkerFault(kind="kill", worker=0, epoch=1, point="mid"),)
+            ),
+        )
+        try:
+            fleet.run_epoch(options=RunOptions(analyze=False, report="columnar"))
+            with pytest.raises(RuntimeError):
+                fleet.run_epoch(
+                    options=RunOptions(analyze=False, report="columnar")
+                )
+            with pytest.raises(RuntimeError) as excinfo:
+                fleet.snapshot()
+            message = str(excinfo.value)
+            assert "dead worker shards: shard0" in message
+            assert "resume_fleet" in message
+        finally:
+            fleet.shutdown()
+        assert leaked_segments() == []
+
+
+class TestHeartbeatHangDetection:
+    def test_hung_worker_is_killed_and_recovered(self):
+        """A worker that stops making epoch progress (here: a planned
+        hang) trips the heartbeat deadline, is SIGKILLed and recovered
+        exactly like a death — the run continues."""
+        fleet = _tiny_process_fleet(
+            max_workers=2,
+            fault_policy=FaultPolicy(restarts=1, heartbeat_timeout=3.0),
+            fault_plan=FaultPlan(
+                faults=(
+                    WorkerFault(kind="hang", worker=0, epoch=1, point="mid"),
+                )
+            ),
+        )
+        try:
+            for _ in range(3):
+                fleet.run_epoch(
+                    options=RunOptions(analyze=False, report="columnar")
+                )
+            health = fleet.worker_health()
+            assert [row["restarts"] for row in health] == [1, 0]
+            assert all(row["alive"] for row in health)
+            assert fleet.stats()["epochs"] == 3.0
+        finally:
+            fleet.shutdown()
         assert leaked_segments() == []

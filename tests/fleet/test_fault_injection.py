@@ -1,0 +1,325 @@
+"""The deterministic fault-injection harness (chaos suite).
+
+:mod:`repro.fleet.faults` is the controlled way to break a process
+fleet's own workers: a seeded :class:`FaultPlan` schedules SIGKILLs,
+hangs and shared-memory descriptor corruption/delays, injected either
+programmatically (``build_fleet(fault_plan=...)``) or through the
+``REPRO_FLEET_FAULT_PLAN`` environment hook the CI chaos leg uses.
+This module pins the harness itself (plan determinism, JSON/env
+parsing, per-worker slicing) and the supervision semantics the
+equivalence suite does not cover: descriptor faults tolerated without a
+restart, the exhausted-budget error naming the dead shards and the ways
+out, quarantine manifests flowing into degraded checkpoints, and the
+fault knobs being refused off the process executor.
+
+Recovery *equivalence* (bit-identical decisions after a mid-run kill)
+is pinned separately by
+``tests/property/test_fault_recovery_equivalence.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import DeepDiveConfig
+from repro.fleet import (
+    FaultPlan,
+    FaultPolicy,
+    RunOptions,
+    WorkerFault,
+    build_fleet,
+    build_regional_fleet,
+    synthesize_datacenter,
+)
+from repro.fleet.checkpoint import validate_checkpoint_meta
+from repro.fleet.faults import ENV_FAULT_PLAN, FAULT_KINDS, FAULT_POINTS
+from repro.fleet.shm import leaked_segments
+
+
+def _config() -> DeepDiveConfig:
+    return DeepDiveConfig(
+        profile_epochs=3,
+        bootstrap_load_levels=3,
+        bootstrap_epochs_per_level=3,
+        min_normal_behaviors=8,
+        placement_eval_epochs=3,
+    )
+
+
+def _process_fleet(fault_policy=None, fault_plan=None, max_workers=2):
+    scenario = synthesize_datacenter(16, num_shards=2, seed=29)
+    return build_fleet(
+        scenario,
+        config=_config(),
+        engine="batch",
+        mitigate=False,
+        executor="process",
+        max_workers=max_workers,
+        fault_policy=fault_policy,
+        fault_plan=fault_plan,
+    )
+
+
+def _drive(fleet, epochs):
+    for _ in range(epochs):
+        fleet.run_epoch(options=RunOptions(analyze=False, report="columnar"))
+
+
+def _kill(epoch, point="mid", worker=0):
+    return FaultPlan(
+        faults=(WorkerFault(kind="kill", worker=worker, epoch=epoch, point=point),)
+    )
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            seed=7, epochs=12, workers=4, kills=2, hangs=1, corruptions=1, delays=1
+        )
+        first = FaultPlan.generate(**kwargs)
+        second = FaultPlan.generate(**kwargs)
+        assert first == second
+        assert len(first.faults) == 5
+        by_kind = {kind: 0 for kind in FAULT_KINDS}
+        for fault in first.faults:
+            by_kind[fault.kind] += 1
+            assert 0 <= fault.worker < 4
+            assert 0 <= fault.epoch < 12
+            assert fault.point in FAULT_POINTS
+        assert by_kind == {
+            "kill": 2,
+            "hang": 1,
+            "corrupt_descriptor": 1,
+            "delay_descriptor": 1,
+        }
+
+    def test_generate_needs_room_to_schedule(self):
+        with pytest.raises(ValueError, match="at least one epoch"):
+            FaultPlan.generate(seed=1, epochs=0, workers=2)
+        with pytest.raises(ValueError, match="at least one epoch"):
+            FaultPlan.generate(seed=1, epochs=3, workers=0)
+
+    @pytest.mark.parametrize(
+        "fields,match",
+        [
+            (dict(kind="explode", worker=0, epoch=0), "unknown fault kind"),
+            (dict(kind="kill", worker=0, epoch=0, point="eventually"), "fault point"),
+            (dict(kind="kill", worker=-1, epoch=0), "worker index"),
+            (dict(kind="kill", worker=0, epoch=-2), "epoch"),
+            (dict(kind="hang", worker=0, epoch=0, seconds=0.0), "seconds"),
+        ],
+    )
+    def test_fault_validation(self, fields, match):
+        with pytest.raises(ValueError, match=match):
+            WorkerFault(**fields)
+
+
+class TestFaultPlanParsing:
+    def test_explicit_fault_list(self):
+        plan = FaultPlan.from_json(
+            json.dumps(
+                {
+                    "faults": [
+                        {"kind": "kill", "worker": 1, "epoch": 4, "point": "after"},
+                        {
+                            "kind": "delay_descriptor",
+                            "worker": 0,
+                            "epoch": 2,
+                            "seconds": 0.5,
+                        },
+                    ]
+                }
+            )
+        )
+        assert plan.faults == (
+            WorkerFault(kind="kill", worker=1, epoch=4, point="after"),
+            WorkerFault(kind="delay_descriptor", worker=0, epoch=2, seconds=0.5),
+        )
+
+    def test_seeded_generator_spec(self):
+        spec = {"seed": 3, "epochs": 5, "workers": 2, "kills": 2}
+        assert FaultPlan.from_json(json.dumps(spec)) == FaultPlan.generate(**spec)
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("[1, 2]", "JSON object"),
+            ("{}", "'faults' list or a 'seed'"),
+            ('{"faults": {"kind": "kill"}}', "'faults' list or a 'seed'"),
+        ],
+    )
+    def test_bad_specs_are_rejected(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            FaultPlan.from_json(text)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULT_PLAN, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(ENV_FAULT_PLAN, "")
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(
+            ENV_FAULT_PLAN,
+            '{"faults": [{"kind": "kill", "worker": 0, "epoch": 1}]}',
+        )
+        plan = FaultPlan.from_env()
+        assert plan is not None
+        assert plan.faults == (WorkerFault(kind="kill", worker=0, epoch=1),)
+        # An explicit mapping wins over the process environment.
+        assert FaultPlan.from_env({}) is None
+
+    def test_worker_slicing_and_replay_pruning(self):
+        plan = FaultPlan(
+            faults=(
+                WorkerFault(kind="kill", worker=0, epoch=2),
+                WorkerFault(kind="hang", worker=1, epoch=3, seconds=1.0),
+                WorkerFault(kind="kill", worker=0, epoch=6),
+            )
+        )
+        assert bool(plan)
+        assert not FaultPlan()
+        assert [f.epoch for f in plan.for_worker(0).faults] == [2, 6]
+        assert [f.worker for f in plan.for_worker(1).faults] == [1]
+        # Respawn after failing epoch 3: everything already fired (or
+        # overtaken by the failure) is dropped so replay cannot re-fire.
+        assert [f.epoch for f in plan.after_epoch(3).faults] == [6]
+
+
+class TestChaosIntegration:
+    def test_env_hook_injects_plan_into_process_fleet(self, monkeypatch):
+        """The CI chaos leg's knob: a JSON plan in the environment is
+        picked up by every process fleet built without an explicit plan,
+        and the supervisor recovers from it."""
+        monkeypatch.setenv(
+            ENV_FAULT_PLAN,
+            '{"faults": [{"kind": "kill", "worker": 0, "epoch": 1, "point": "mid"}]}',
+        )
+        fleet = _process_fleet(fault_policy=FaultPolicy(restarts=1))
+        try:
+            _drive(fleet, 3)
+            health = fleet.worker_health()
+            assert [row["restarts"] for row in health] == [1, 0]
+            assert all(row["alive"] for row in health)
+        finally:
+            fleet.shutdown()
+        assert leaked_segments() == []
+
+    def test_delay_descriptor_is_tolerated_without_restart(self):
+        """A slow worker is not a dead worker: a delayed descriptor
+        inside the heartbeat budget must not trip a restart."""
+        plan = FaultPlan(
+            faults=(
+                WorkerFault(
+                    kind="delay_descriptor", worker=0, epoch=1, seconds=0.3
+                ),
+            )
+        )
+        fleet = _process_fleet(
+            fault_policy=FaultPolicy(restarts=1, heartbeat_timeout=30.0),
+            fault_plan=plan,
+        )
+        try:
+            _drive(fleet, 3)
+            assert [row["restarts"] for row in fleet.worker_health()] == [0, 0]
+        finally:
+            fleet.shutdown()
+        assert leaked_segments() == []
+
+    def test_corrupt_descriptor_recovers_like_a_death(self):
+        """A descriptor the parent cannot attach is indistinguishable
+        from worker garbage: kill, respawn, replay, continue."""
+        plan = FaultPlan(
+            faults=(
+                WorkerFault(kind="corrupt_descriptor", worker=0, epoch=1),
+            )
+        )
+        fleet = _process_fleet(
+            fault_policy=FaultPolicy(restarts=2), fault_plan=plan
+        )
+        try:
+            _drive(fleet, 3)
+            health = fleet.worker_health()
+            assert [row["restarts"] for row in health] == [1, 0]
+            assert all(row["alive"] for row in health)
+        finally:
+            fleet.shutdown()
+        assert leaked_segments() == []
+
+    def test_exhausted_budget_raise_names_shards_and_ways_out(self):
+        fleet = _process_fleet(
+            fault_policy=FaultPolicy(restarts=0), fault_plan=_kill(1)
+        )
+        try:
+            with pytest.raises(
+                RuntimeError,
+                match=r"worker 0 \(shards: shard0\) failed at epoch 1",
+            ) as excinfo:
+                _drive(fleet, 3)
+            message = str(excinfo.value)
+            assert "restart budget (0)" in message
+            assert "resume_fleet" in message
+            assert "quarantine" in message
+            # The run is refused deterministically afterwards.
+            with pytest.raises(RuntimeError, match="lock step"):
+                _drive(fleet, 1)
+        finally:
+            fleet.shutdown()
+        assert leaked_segments() == []
+
+    def test_quarantine_manifests_flow_into_degraded_checkpoint(self, tmp_path):
+        fleet = _process_fleet(
+            fault_policy=FaultPolicy(restarts=0, on_exhaustion="quarantine"),
+            fault_plan=_kill(1, worker=1),
+        )
+        try:
+            report = fleet.run_epoch(
+                options=RunOptions(analyze=False, report="columnar")
+            )
+            assert report.missing_shards == ()
+            report = fleet.run_epoch(
+                options=RunOptions(analyze=False, report="columnar")
+            )
+            assert report.missing_shards == ("shard1",)
+            assert report.degraded
+            assert fleet.quarantined_shards == ("shard1",)
+            checkpoint = fleet.snapshot(tmp_path / "degraded.ckpt")
+            assert checkpoint.meta["missing_shards"] == ["shard1"]
+            assert list(checkpoint.meta["shard_ids"]) == ["shard0"]
+            validate_checkpoint_meta(checkpoint.meta)
+        finally:
+            fleet.shutdown()
+        # The degraded checkpoint resumes (serial) with the survivors.
+        resumed = type(fleet).resume(tmp_path / "degraded.ckpt")
+        try:
+            resumed.run_epoch(options=RunOptions(analyze=False))
+            assert list(resumed.shards) == ["shard0"]
+        finally:
+            resumed.shutdown()
+        assert leaked_segments() == []
+
+
+class TestFaultKnobValidation:
+    def test_fault_knobs_refused_off_the_process_executor(self):
+        scenario = synthesize_datacenter(16, num_shards=2, seed=29)
+        for knobs in (
+            {"fault_policy": FaultPolicy()},
+            {"fault_plan": _kill(1)},
+        ):
+            with pytest.raises(ValueError, match="process executor"):
+                build_fleet(
+                    scenario,
+                    config=_config(),
+                    mitigate=False,
+                    executor="serial",
+                    **knobs,
+                )
+
+    def test_regional_plan_for_unknown_region_rejected(self):
+        scenario = synthesize_datacenter(16, num_shards=4, seed=29)
+        with pytest.raises(ValueError, match="nowhere"):
+            build_regional_fleet(
+                scenario,
+                num_regions=2,
+                config=_config(),
+                mitigate=False,
+                fault_plans={"nowhere": _kill(1)},
+            )

@@ -50,16 +50,20 @@ to ``FLEET_SMOKE_CKPT`` when set) the CI workflow schema-validates
 afterwards.  ``FLEET_SMOKE_CHAOS=1`` escalates the chaos smoke to the
 full fault menu (kill + hang + corrupted descriptor) injected from a
 deterministic :class:`repro.fleet.FaultPlan` under worker supervision.
+``FLEET_SMOKE_TELEMETRY=1`` escalates the telemetry smoke to a
+fully-profiled process run whose Chrome trace (written to
+``FLEET_SMOKE_TRACE`` when set) and Prometheus exposition the CI
+workflow schema-validates; the **telemetry** benchmark compares the
+telemetry-off columnar hot loop against coarse-span and fully-profiled
+instrumentation and asserts the observability tax stays within the
+acceptance ceiling.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import platform
-import subprocess
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -70,10 +74,12 @@ from repro.core.config import DeepDiveConfig
 from repro.fleet import (
     InterferenceEpisode,
     RunOptions,
+    TelemetryConfig,
     build_fleet,
     churn_timeline,
     synthesize_datacenter,
 )
+from repro.fleet.benchutil import run_metadata
 from repro.fleet.shm import leaked_segments
 from repro.metrics.counters import N_COUNTERS
 from repro.metrics.store import HostCounterStore
@@ -95,41 +101,13 @@ MIN_ENGINE_SPEEDUP = 5.0
 MIN_SUBSTRATE_SPEEDUP = 5.0
 
 
-def _run_metadata() -> Dict:
-    """Provenance stamped into every benchmark record.
-
-    The perf-trajectory tooling orders and filters records by these
-    fields; without them a BENCH file is a bag of unordered numbers.
-    """
-    try:
-        git_rev = (
-            subprocess.run(
-                ["git", "rev-parse", "--short", "HEAD"],
-                cwd=REPO_ROOT,
-                capture_output=True,
-                text=True,
-                timeout=10,
-                check=True,
-            ).stdout.strip()
-            or "unknown"
-        )
-    except (OSError, subprocess.SubprocessError):
-        git_rev = "unknown"
-    return {
-        "timestamp_utc": datetime.now(timezone.utc).isoformat(
-            timespec="seconds"
-        ),
-        "git_rev": git_rev,
-        "cpu_count": os.cpu_count(),
-        "python_version": platform.python_version(),
-    }
-
-
 def _merge_bench_record(key: str, record: Dict) -> None:
     """Merge one benchmark section into ``BENCH_fleet.json``.
 
-    Every record is stamped with :func:`_run_metadata` on the way in,
-    so trajectories across commits/machines stay orderable.
+    Every record is stamped with
+    :func:`repro.fleet.benchutil.run_metadata` on the way in — the same
+    provenance envelope the telemetry exporters use — so trajectories
+    across commits/machines stay orderable.
     """
     data: Dict = {}
     if BENCH_PATH.exists():
@@ -139,7 +117,7 @@ def _merge_bench_record(key: str, record: Dict) -> None:
             data = {}
     if "benchmark" in data:  # legacy flat engine-only record
         data = {"fleet_epoch_engine": data}
-    data[key] = {**record, "run_metadata": _run_metadata()}
+    data[key] = {**record, "run_metadata": run_metadata(REPO_ROOT)}
     BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
@@ -185,6 +163,7 @@ def _prepare_fleet(
     churn_epochs: Optional[int] = None,
     fault_policy=None,
     fault_plan=None,
+    telemetry=None,
 ):
     """Build, bootstrap and warm a fleet into a quiet steady state.
 
@@ -216,6 +195,7 @@ def _prepare_fleet(
         history_mode=history_mode,
         fault_policy=fault_policy,
         fault_plan=fault_plan,
+        telemetry=telemetry,
     )
     fleet.bootstrap()
     for _ in range(warmup_epochs):
@@ -901,6 +881,243 @@ def test_fleet_process_scale_10000_vms():
             f"{record['process_1w_overhead_pct']:.1f}% exceeds the 5% "
             f"acceptance ceiling on a {os.cpu_count()}-core host"
         )
+
+
+# ----------------------------------------------------------------------
+# Telemetry overhead (the observability bus, PR 10)
+# ----------------------------------------------------------------------
+#: Acceptance ceiling for fully-profiled telemetry on the columnar hot
+#: loop (asserted on >=4-core hosts, like the executor floors).
+MAX_TELEMETRY_OVERHEAD_PCT = 3.0
+
+
+def _validate_chrome_trace(trace_path: Path, expect_worker_tracks: bool):
+    """Parse an exported trace and return the complete-event name set.
+
+    Checks the trace_event schema Perfetto loads: ``X`` events carry
+    name/ts/dur/pid/tid, coarse parent phases are present, and (on
+    process legs) worker pids appear as their own named tracks.
+    """
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    complete = [e for e in events if e.get("ph") == "X"]
+    assert complete, "trace must contain complete ('X') span events"
+    for event in complete:
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            assert field in event, f"span event missing {field!r}"
+    names = {e["name"] for e in complete}
+    assert {"epoch", "simulate", "monitor"} <= names, (
+        f"phase spans missing from trace: {sorted(names)}"
+    )
+    tracks = {
+        e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    assert "fleet parent" in tracks
+    if expect_worker_tracks:
+        # Dispatch/merge bracket the pool exchange (process executor
+        # only); the workers' deep spans land under their own pids.
+        assert {"dispatch", "merge"} <= names, (
+            f"pool-exchange spans missing from trace: {sorted(names)}"
+        )
+        assert any(t.startswith("fleet worker") for t in tracks), (
+            "worker pids must appear as their own trace tracks"
+        )
+    assert "git_rev" in trace.get("otherData", {}), (
+        "trace must carry the run_metadata provenance envelope"
+    )
+    return names
+
+
+def _validate_prometheus(text: str, min_metrics: int = 10) -> int:
+    """Every non-comment line parses as ``metric value``; returns the
+    sample count."""
+    samples = 0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        float(value)
+        assert name_part.startswith("fleet_") or name_part.startswith(
+            "dashboard_"
+        ), f"unexpected metric family: {line}"
+        samples += 1
+    assert samples >= min_metrics, (
+        f"expected >= {min_metrics} Prometheus samples, got {samples}"
+    )
+    return samples
+
+
+def _run_telemetry_comparison(
+    num_vms: int,
+    num_shards: int,
+    reps: int,
+    workers: int = 4,
+    trace_path: Optional[Path] = None,
+) -> Dict:
+    """Telemetry off vs fully profiled vs sampled on the process
+    executor's columnar hot loop (the most instrumented path: coarse
+    parent spans + per-epoch worker span batches on the shm
+    descriptors).  All three fleets must agree bit-exactly; the timing
+    rounds are interleaved so machine drift hits every mode equally."""
+    off = _prepare_fleet(
+        num_vms, num_shards, executor="process", max_workers=workers
+    )
+    on = _prepare_fleet(
+        num_vms,
+        num_shards,
+        executor="process",
+        max_workers=workers,
+        telemetry=TelemetryConfig(enabled=True, profile_every=1),
+    )
+    sampled = _prepare_fleet(
+        num_vms,
+        num_shards,
+        executor="process",
+        max_workers=workers,
+        telemetry=TelemetryConfig(enabled=True, profile_every=8),
+    )
+    try:
+        reference = _columnar_fingerprint(off.run_epoch(_COLUMNAR))
+        assert reference == _columnar_fingerprint(
+            on.run_epoch(_COLUMNAR)
+        ), "fully-profiled telemetry changed the decision columns"
+        assert reference == _columnar_fingerprint(
+            sampled.run_epoch(_COLUMNAR)
+        ), "sampled telemetry changed the decision columns"
+        off_s, on_s, sampled_s = _time_fleet_epochs_columnar(
+            [off, on, sampled], reps
+        )
+        registry = on.telemetry
+        totals = registry.span_totals()
+        # The profiled fleet really recorded the run it was timed on.
+        assert totals["epoch"]["count"] > 0
+        assert totals["simulate"]["count"] > 0
+        prometheus_samples = _validate_prometheus(
+            registry.render_prometheus()
+        )
+        if trace_path is not None:
+            registry.export_chrome_trace(trace_path)
+            _validate_chrome_trace(trace_path, expect_worker_tracks=True)
+    finally:
+        sampled.shutdown()
+        on.shutdown()
+        off.shutdown()
+    assert leaked_segments() == [], (
+        "telemetry benchmark left shared-memory segments in /dev/shm"
+    )
+    vms = off.total_vms()
+    return {
+        "benchmark": "fleet_telemetry",
+        "vms": vms,
+        "shards": num_shards,
+        "executor": "process",
+        "workers": workers,
+        "timing_reps": reps,
+        "cpu_count": os.cpu_count(),
+        "off_epoch_seconds": off_s,
+        "profiled_epoch_seconds": on_s,
+        "sampled_epoch_seconds": sampled_s,
+        # The observability tax: fully-profiled (every epoch ships
+        # worker span batches on the descriptors) and sampled
+        # (deep spans every 8th epoch) over the untimed loop.
+        # Negative values mean the noise floor, i.e. ~0%.
+        "profiled_overhead_pct": 100.0 * (on_s / off_s - 1.0),
+        "sampled_overhead_pct": 100.0 * (sampled_s / off_s - 1.0),
+        "prometheus_samples": prometheus_samples,
+        "spans_recorded": sum(t["count"] for t in totals.values()),
+        "unix_time": time.time(),
+    }
+
+
+@pytest.mark.bench_smoke
+def test_fleet_telemetry_smoke(tmp_path):
+    """A profiled fleet agrees bit-exactly with an uninstrumented one
+    and exports a valid Chrome trace + Prometheus text.  The CI
+    ``FLEET_SMOKE_TELEMETRY=1`` leg runs the profiled fleet on the
+    process executor (worker span batches riding the shm descriptors,
+    worker pids as trace tracks) and writes the trace to
+    ``FLEET_SMOKE_TRACE`` for artifact upload; otherwise a cheap serial
+    leg validates the same schemas."""
+    telemetry_leg = os.environ.get("FLEET_SMOKE_TELEMETRY") == "1"
+    executor = "process" if telemetry_leg else "serial"
+    workers = 2 if telemetry_leg else None
+
+    plain = _prepare_fleet(60, num_shards=2, executor="serial")
+    profiled = _prepare_fleet(
+        60,
+        num_shards=2,
+        executor=executor,
+        max_workers=workers,
+        telemetry=TelemetryConfig(enabled=True, profile_every=1),
+    )
+    trace_path = Path(
+        os.environ.get("FLEET_SMOKE_TRACE") or tmp_path / "smoke.trace.json"
+    )
+    try:
+        epochs = 4
+        for _ in range(epochs):
+            assert _columnar_fingerprint(
+                plain.run_epoch(_COLUMNAR)
+            ) == _columnar_fingerprint(profiled.run_epoch(_COLUMNAR)), (
+                f"profiled {executor} fleet diverges from the plain serial loop"
+            )
+        registry = profiled.telemetry
+        # _prepare_fleet's 3 warmup epochs are instrumented too.
+        assert registry.counter("epochs_total") == epochs + 3
+        registry.export_chrome_trace(trace_path)
+        names = _validate_chrome_trace(
+            trace_path, expect_worker_tracks=telemetry_leg
+        )
+        prometheus_samples = _validate_prometheus(registry.render_prometheus())
+    finally:
+        profiled.shutdown()
+        plain.shutdown()
+    if telemetry_leg:
+        assert leaked_segments() == [], (
+            "telemetry smoke run left shared-memory segments in /dev/shm"
+        )
+    record = {
+        "benchmark": "fleet_telemetry_smoke",
+        "executor": executor,
+        "vms": 60,
+        "span_kinds_traced": sorted(names),
+        "prometheus_samples": prometheus_samples,
+        "trace_bytes": trace_path.stat().st_size,
+        "cpu_count": os.cpu_count(),
+        "unix_time": time.time(),
+    }
+    _merge_bench_record("fleet_telemetry_smoke", record)
+    print("\nfleet telemetry smoke:", json.dumps(record, indent=2))
+
+
+def test_fleet_telemetry_2000_vms(tmp_path):
+    """Full per-epoch profiling must cost <= 3% of the columnar hot
+    loop at 2k VMs on the process executor (asserted on >=4-core hosts;
+    recorded everywhere with ``cpu_count``).  The profiled fleet's
+    trace and Prometheus exposition are schema-validated on the way —
+    a benchmark number never lands without its observability evidence
+    having parsed."""
+    record = _run_telemetry_comparison(
+        num_vms=2000,
+        num_shards=4,
+        reps=5,
+        trace_path=tmp_path / "fleet2k.trace.json",
+    )
+    _merge_bench_record("fleet_telemetry_2k", record)
+    print("\nfleet telemetry 2k:", json.dumps(record, indent=2))
+    assert record["prometheus_samples"] >= 10
+    if (os.cpu_count() or 1) >= 4:
+        assert record["profiled_overhead_pct"] <= MAX_TELEMETRY_OVERHEAD_PCT, (
+            "fully-profiled telemetry overhead "
+            f"{record['profiled_overhead_pct']:.1f}% exceeds the "
+            f"{MAX_TELEMETRY_OVERHEAD_PCT:.0f}% acceptance ceiling on a "
+            f"{os.cpu_count()}-core host (off "
+            f"{record['off_epoch_seconds']:.3f}s vs profiled "
+            f"{record['profiled_epoch_seconds']:.3f}s)"
+        )
+        assert record["sampled_overhead_pct"] <= MAX_TELEMETRY_OVERHEAD_PCT
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,16 @@ The service loop is the whole PR-8 surface in one place:
   ``--checkpoint-every`` epochs (run summary included), and
   ``--resume`` restarts from such a checkpoint — the continuation is
   bit-identical to a run that was never interrupted, whatever executor
-  either side used.
+  either side used;
+* with ``--telemetry`` the run is **profiled** through the fleet
+  telemetry bus (:mod:`repro.fleet.telemetry`): phase spans, the fixed
+  counter catalog and a shared registry across every layer.
+  ``--metrics-path`` rewrites a Prometheus text file on every dashboard
+  refresh (point a node-exporter textfile collector or any scraper at
+  it), and ``--trace-path`` exports the whole run as a Chrome trace on
+  shutdown — open it at https://ui.perfetto.dev.  A snapshot of a
+  profiled fleet carries its counters, so a resumed service's
+  ``fleet_*_total`` series stay monotone across the restart.
 
 Try it::
 
@@ -23,11 +32,15 @@ Try it::
         --checkpoint-path /tmp/fleet.ckpt --checkpoint-every 5
     # ctrl-C it mid-run, then:
     python examples/run_service.py --resume --checkpoint-path /tmp/fleet.ckpt
+    # profiled, scrapable, traced:
+    python examples/run_service.py --executor process --workers 2 \\
+        --telemetry --metrics-path /tmp/fleet.prom --trace-path /tmp/fleet.trace.json
 """
 
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.core.config import DeepDiveConfig
 from repro.fleet import (
@@ -36,6 +49,7 @@ from repro.fleet import (
     FleetRunSummary,
     InterferenceEpisode,
     RunOptions,
+    TelemetryConfig,
     build_fleet,
     churn_timeline,
     resume_fleet,
@@ -65,6 +79,23 @@ def parse_args() -> argparse.Namespace:
         "--json",
         action="store_true",
         help="emit one JSON dashboard document per refresh instead of text",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="profile the run through the fleet telemetry bus",
+    )
+    parser.add_argument(
+        "--metrics-path",
+        default=None,
+        help="rewrite a Prometheus text file here on every refresh "
+        "(implies --telemetry)",
+    )
+    parser.add_argument(
+        "--trace-path",
+        default=None,
+        help="export the run as a Chrome trace here on shutdown "
+        "(implies --telemetry; open in Perfetto)",
     )
     parser.add_argument("--checkpoint-path", default=None)
     parser.add_argument(
@@ -117,9 +148,19 @@ def build(args: argparse.Namespace):
         config=config,
         max_workers=args.workers,
         executor=args.executor,
+        telemetry=_telemetry_config(args),
     )
     fleet.bootstrap()
     return fleet
+
+
+def _telemetry_config(args: argparse.Namespace):
+    """``--metrics-path`` / ``--trace-path`` need the bus, so they imply
+    ``--telemetry``; ``None`` leaves the untimed run path untouched
+    (``REPRO_FLEET_PROFILE=1`` can still switch it on from outside)."""
+    if args.telemetry or args.metrics_path or args.trace_path:
+        return TelemetryConfig(enabled=True)
+    return None
 
 
 def main() -> None:
@@ -128,7 +169,9 @@ def main() -> None:
         if not args.checkpoint_path:
             sys.exit("--resume needs --checkpoint-path")
         checkpoint = Checkpoint.load(args.checkpoint_path)
-        fleet = resume_fleet(checkpoint)
+        # Without an explicit override the checkpoint's own telemetry
+        # config (and carried counter totals) revive with the fleet.
+        fleet = resume_fleet(checkpoint, telemetry=_telemetry_config(args))
         carried = checkpoint.state().get("summary")
         summary = carried if carried is not None else FleetRunSummary()
         print(
@@ -156,6 +199,11 @@ def main() -> None:
                 and done < args.epochs
             ):
                 fleet.snapshot(args.checkpoint_path, summary=summary)
+            if args.metrics_path and done % max(args.refresh, 1) == 0:
+                # Atomic rewrite: scrapers never see a torn file.
+                tmp = Path(args.metrics_path).with_suffix(".tmp")
+                tmp.write_text(dashboard.render_prometheus())
+                tmp.replace(args.metrics_path)
             if args.refresh and done % args.refresh == 0:
                 if args.json:
                     print(dashboard.to_json())
@@ -163,6 +211,9 @@ def main() -> None:
                     # Home the cursor and redraw (auto-refresh view).
                     print("\x1b[H\x1b[2J" + dashboard.render(), flush=True)
     finally:
+        if args.trace_path and fleet.telemetry is not None:
+            fleet.telemetry.export_chrome_trace(args.trace_path)
+            print(f"chrome trace written to {args.trace_path}")
         fleet.shutdown()
 
     elapsed = time.perf_counter() - started

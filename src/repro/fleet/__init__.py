@@ -26,6 +26,13 @@ snapshot/resume (``snapshot()`` / ``Fleet.resume()`` /
 :class:`FleetDashboard` renders live per-shard/per-region telemetry off
 the stream (see ``examples/run_service.py``).
 
+Observability is a first-class subsystem (:mod:`repro.fleet.telemetry`):
+``Fleet(telemetry=TelemetryConfig(...))`` (or ``REPRO_FLEET_PROFILE=1``)
+threads one :class:`TelemetryRegistry` through every layer — tracing
+spans over simulate/monitor/dispatch/merge/lifecycle/recovery, a fixed
+counter catalog, Prometheus text exposition, Chrome-trace export and a
+rotating JSONL event log — without changing a single decision.
+
 ``benchmarks/test_fleet_scale.py`` measures the batched epoch engine
 against the scalar per-VM reference loop on these fleets and records
 the speedup in ``BENCH_fleet.json``.
@@ -67,6 +74,13 @@ from repro.fleet.scenario import (
     synthesize_datacenter,
 )
 from repro.fleet.supervisor import FaultPolicy, WorkerHealth
+from repro.fleet.telemetry import (
+    COUNTER_NAMES,
+    SPAN_KINDS,
+    TelemetryConfig,
+    TelemetryRegistry,
+    resolve_telemetry,
+)
 from repro.fleet.timeline import (
     FleetTimeline,
     FlashCrowd,
@@ -105,10 +119,14 @@ __all__ = [
     "LifecycleEngine",
     "LifecycleStats",
     "LoadPhase",
+    "COUNTER_NAMES",
     "ProcessShardExecutor",
     "Region",
     "RegionalFleet",
+    "SPAN_KINDS",
     "SerialShardExecutor",
+    "TelemetryConfig",
+    "TelemetryRegistry",
     "ThreadShardExecutor",
     "VMArrival",
     "VMDeparture",
@@ -119,6 +137,7 @@ __all__ = [
     "build_fleet",
     "build_regional_fleet",
     "partition_regions",
+    "resolve_telemetry",
     "resume_fleet",
     "run_cell",
     "synthesize_datacenter",

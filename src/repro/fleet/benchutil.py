@@ -1,0 +1,61 @@
+"""Shared provenance stamping for benchmark and telemetry records.
+
+``BENCH_fleet.json`` records and exported telemetry artifacts (Chrome
+traces, JSONL event logs) are only orderable across commits and
+machines when every record carries the same provenance envelope: UTC
+timestamp, git revision, CPU count and Python version.  The helper used
+to live inside ``benchmarks/test_fleet_scale.py``; it is hoisted here so
+the bench suite and the telemetry exporters stamp records through one
+implementation instead of drifting copies.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Repository root — ``src/repro/fleet/benchutil.py`` is three levels in.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def git_revision(repo_root: Optional[Union[str, Path]] = None) -> str:
+    """The short git revision of ``repo_root`` (default: this repo).
+
+    Returns ``"unknown"`` when git is unavailable, the directory is not
+    a repository, or the lookup times out — provenance stamping must
+    never break the caller.
+    """
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=repo_root or REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def run_metadata(repo_root: Optional[Union[str, Path]] = None) -> Dict:
+    """Provenance stamped into every benchmark/telemetry record.
+
+    The perf-trajectory tooling orders and filters records by these
+    fields; without them a BENCH file is a bag of unordered numbers.
+    """
+    return {
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_rev": git_revision(repo_root),
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+    }

@@ -57,6 +57,12 @@ from repro.fleet.scenario import (
     build_regional_fleet,
     synthesize_datacenter,
 )
+from repro.fleet.telemetry import (
+    C_CELLS,
+    TelemetryConfig,
+    TelemetryRegistry,
+    resolve_telemetry,
+)
 from repro.fleet.timeline import FleetTimeline, LoadPhase, churn_timeline
 from repro.hardware.batch import N_COUNTERS
 
@@ -336,7 +342,10 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
 
 
 def _load_cell_checkpoint(
-    ckpt_path: Path, cell: CampaignCell, epochs: int
+    ckpt_path: Path,
+    cell: CampaignCell,
+    epochs: int,
+    telemetry: Optional[TelemetryRegistry] = None,
 ):
     """The cell's mid-run checkpoint, if it exists and matches.
 
@@ -375,7 +384,7 @@ def _load_cell_checkpoint(
             array = extra.get(name)
             if not isinstance(array, np.ndarray) or array.shape[0] != k:
                 raise CheckpointError(f"checkpoint array {name} is inconsistent")
-        fleet = resume_fleet(checkpoint)
+        fleet = resume_fleet(checkpoint, telemetry=telemetry)
         return fleet, extra
     except (CheckpointError, KeyError, pickle.UnpicklingError):
         ckpt_path.unlink(missing_ok=True)
@@ -388,6 +397,7 @@ def run_cell(
     campaign_dir: Union[str, Path],
     config: Optional[DeepDiveConfig] = None,
     checkpoint_every: Optional[int] = None,
+    telemetry: Union[TelemetryConfig, TelemetryRegistry, None] = None,
     _fail_after_epochs: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run one cell end to end and persist its npz + summary.
@@ -407,10 +417,19 @@ def run_cell(
     instead of restarting from epoch 0; the checkpoint is deleted once
     the cell completes.  ``_fail_after_epochs`` is a test hook that
     aborts the run after that many epochs have executed *in this call*.
+
+    ``telemetry`` instruments the cell fleet (a
+    :class:`~repro.fleet.telemetry.TelemetryConfig` builds one fresh
+    registry per cell; ``None`` defers to ``REPRO_FLEET_PROFILE``): the
+    whole cell runs inside a ``cell`` span, the registry's ``cells``
+    counter ticks, and a Perfetto-loadable ``<cell_id>.trace.json`` is
+    written next to the cell's npz.  Decision columns stay bit-identical
+    either way.
     """
     campaign_dir = Path(campaign_dir)
     campaign_dir.mkdir(parents=True, exist_ok=True)
     ckpt_path = campaign_dir / f"{cell.cell_id}.ckpt"
+    registry = resolve_telemetry(telemetry)
 
     epochs = spec.epochs
     n_actions = len(WARNING_ACTIONS)
@@ -428,7 +447,7 @@ def run_cell(
     bootstrap_seconds = 0.0
     if checkpoint_every is not None and checkpoint_every < 1:
         raise ValueError("checkpoint_every must be at least 1")
-    resumed = _load_cell_checkpoint(ckpt_path, cell, epochs)
+    resumed = _load_cell_checkpoint(ckpt_path, cell, epochs, telemetry=registry)
     if resumed is not None:
         fleet, extra = resumed
         start_epoch = fleet.current_epoch
@@ -444,6 +463,7 @@ def run_cell(
 
     executed_here = 0
     options = RunOptions(analyze=True, report="columnar")
+    t_cell = time.perf_counter()
     try:
         if fleet is None:
             scenario = spec.scenario_for(cell)
@@ -455,6 +475,7 @@ def run_cell(
                 executor=spec.executor,
                 region_workers=spec.region_workers,
                 history_limit=spec.history_limit,
+                telemetry=registry,
             )
             build_seconds = time.perf_counter() - t0
             t0 = time.perf_counter()
@@ -509,6 +530,11 @@ def run_cell(
     finally:
         if fleet is not None:
             fleet.shutdown()
+    if registry is not None:
+        registry.record_span(
+            "cell", t_cell, time.perf_counter() - t_cell, cell.index
+        )
+        registry.inc(C_CELLS)
 
     lifecycle_totals: Dict[str, int] = {}
     for shard_stats in lifecycle_stats.values():
@@ -561,6 +587,14 @@ def run_cell(
     }
     if start_epoch:
         summary["resumed_from_epoch"] = start_epoch
+    if registry is not None:
+        trace_path = campaign_dir / f"{cell.cell_id}.trace.json"
+        registry.export_chrome_trace(trace_path)
+        registry.log_event(
+            "cell_complete", cell_id=cell.cell_id, epochs=epochs
+        )
+        registry.close()
+        summary["trace"] = trace_path.name
     _atomic_write_bytes(
         campaign_dir / f"{cell.cell_id}.summary.json",
         json.dumps(summary, indent=2, sort_keys=True).encode(),
@@ -652,10 +686,16 @@ def _run_cell_task(
     campaign_dir: str,
     config: Optional[DeepDiveConfig],
     checkpoint_every: Optional[int] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Dict[str, object]:
     """Module-level cell entry point (picklable for spawned workers)."""
     return run_cell(
-        spec, cell, campaign_dir, config=config, checkpoint_every=checkpoint_every
+        spec,
+        cell,
+        campaign_dir,
+        config=config,
+        checkpoint_every=checkpoint_every,
+        telemetry=telemetry,
     )
 
 
@@ -685,6 +725,13 @@ class CampaignRunner:
         rather than rerunning interrupted cells from scratch.  A runtime
         knob, not recorded in the manifest — existing campaign
         directories accept it freely.
+    telemetry:
+        A :class:`~repro.fleet.telemetry.TelemetryConfig` applied to
+        every cell (each cell builds its own fresh registry, so each
+        leaves its own ``<cell_id>.trace.json``); ``None`` defers to
+        ``REPRO_FLEET_PROFILE``.  Like ``checkpoint_every``, a runtime
+        knob that never enters the manifest — cell results are
+        bit-identical with or without it.
     """
 
     def __init__(
@@ -694,16 +741,24 @@ class CampaignRunner:
         config: Optional[DeepDiveConfig] = None,
         cell_processes: int = 1,
         checkpoint_every: Optional[int] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if cell_processes < 1:
             raise ValueError("cell_processes must be at least 1")
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1")
+        if telemetry is not None and not isinstance(telemetry, TelemetryConfig):
+            raise TypeError(
+                "CampaignRunner telemetry must be a TelemetryConfig (each "
+                "cell builds its own registry), got "
+                f"{type(telemetry).__name__}"
+            )
         self.spec = spec
         self.campaign_dir = Path(campaign_dir)
         self.config = config
         self.cell_processes = cell_processes
         self.checkpoint_every = checkpoint_every
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def cell_complete(self, cell: CampaignCell) -> bool:
@@ -772,6 +827,7 @@ class CampaignRunner:
                         str(self.campaign_dir),
                         self.config,
                         self.checkpoint_every,
+                        self.telemetry,
                     )
                     for cell in pending
                 ]
@@ -785,6 +841,7 @@ class CampaignRunner:
                     self.campaign_dir,
                     config=self.config,
                     checkpoint_every=self.checkpoint_every,
+                    telemetry=self.telemetry,
                 )
         summaries: List[Dict[str, object]] = []
         for cell in cells:

@@ -122,15 +122,31 @@ class FleetDashboard:
         observed, and then yielded onward — so a service loop renders
         between epochs while the dashboard stays current, and abandoning
         the iterator stops the clock exactly like abandoning the stream.
+
+        A telemetry-carrying fleet is timed from its own recorded
+        ``epoch`` spans (the producer's clock) rather than this
+        consumer's wall clock, so the throughput panel excludes whatever
+        the service loop does between epochs — rendering, scrape
+        serving, sleeping.  Fleets without telemetry keep the consumer
+        wall clock.
         """
+        registry = getattr(self.fleet, "telemetry", None)
         stream = self.fleet.stream(epochs, options)
         while True:
+            seq_before = registry.epoch_span_seq if registry is not None else 0
             t0 = time.perf_counter()
             try:
                 report = next(stream)
             except StopIteration:
                 return
-            self.observe(report, epoch_seconds=time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
+            if (
+                registry is not None
+                and registry.epoch_span_seq > seq_before
+                and registry.last_epoch_duration is not None
+            ):
+                elapsed = registry.last_epoch_duration
+            self.observe(report, epoch_seconds=elapsed)
             yield report
 
     # ------------------------------------------------------------------
@@ -358,3 +374,24 @@ class FleetDashboard:
     def to_json(self) -> str:
         """:meth:`snapshot` serialised (the scrape endpoint's body)."""
         return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the fleet's telemetry registry.
+
+        Fleet-level statistics (VMs, hosts, detections, migrations, …)
+        are refreshed into the registry's gauges first, so a scrape sees
+        both the hot-loop counters/spans and the current fleet shape.
+        Returns a comment-only document when the fleet carries no
+        telemetry — a scrape endpoint stays servable either way.
+        """
+        registry = getattr(self.fleet, "telemetry", None)
+        if registry is None:
+            return "# telemetry disabled\n"
+        try:
+            for key, value in self.fleet.stats().items():
+                registry.set_gauge(key, float(value))
+        except RuntimeError:
+            pass  # a broken fleet still exposes its counters and spans
+        registry.set_gauge("dashboard_epochs_observed", self.epochs_observed)
+        registry.set_gauge("dashboard_slo_violations", self.slo_violations)
+        return registry.render_prometheus()

@@ -40,7 +40,8 @@ import signal
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -59,6 +60,12 @@ from repro.fleet.supervisor import (
     GroupSnapshot,
     WorkerHealth,
     WorkerSupervisor,
+)
+from repro.fleet.telemetry import (
+    C_DESCRIPTOR_BYTES,
+    C_SHM_REGROWS,
+    TelemetryRegistry,
+    WorkerSpanBuffer,
 )
 from repro.hardware.batch import N_COUNTERS
 
@@ -323,25 +330,39 @@ class SerialShardExecutor:
         shards: Mapping[str, "FleetShard"],
         schedule: Sequence["ScheduledStress"],
         lifecycle: Optional["LifecycleEngine"] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
     ) -> None:
         self._shards = shards
         self._schedule = schedule
         self._lifecycle = lifecycle
+        self._telemetry = telemetry
 
     def _pre_epoch(self, epoch: int) -> None:
         """Lifecycle events first (they may move or remove the very VMs
         the stress schedule addresses), then the stress schedule."""
-        if self._lifecycle is not None:
-            self._lifecycle.apply(self._shards, epoch)
-        apply_stress_schedule(self._shards, self._schedule, epoch)
+        telemetry = self._telemetry
+        deep = telemetry.deep(epoch) if telemetry is not None else None
+        if deep is None:
+            if self._lifecycle is not None:
+                self._lifecycle.apply(self._shards, epoch)
+            apply_stress_schedule(self._shards, self._schedule, epoch)
+            return
+        with deep.span("lifecycle", epoch):
+            if self._lifecycle is not None:
+                self._lifecycle.apply(self._shards, epoch)
+            apply_stress_schedule(self._shards, self._schedule, epoch)
 
     def run_shard_epochs(
         self, epoch: int, analyze: bool, report: str
     ) -> Dict[str, ShardEpochResult]:
         self._pre_epoch(epoch)
+        telemetry = self._telemetry
+        deep = telemetry.deep(epoch) if telemetry is not None else None
         out: Dict[str, ShardEpochResult] = {}
         for shard_id, shard in self._shards.items():
-            out[shard_id] = _shard_epoch(shard_id, shard, epoch, analyze, report)
+            out[shard_id] = _shard_epoch(
+                shard_id, shard, epoch, analyze, report, telemetry=deep
+            )
         return out
 
     def bootstrap(self) -> None:
@@ -368,8 +389,9 @@ class ThreadShardExecutor(SerialShardExecutor):
         schedule: Sequence["ScheduledStress"],
         max_workers: int,
         lifecycle: Optional["LifecycleEngine"] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
     ) -> None:
-        super().__init__(shards, schedule, lifecycle=lifecycle)
+        super().__init__(shards, schedule, lifecycle=lifecycle, telemetry=telemetry)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="fleet-shard"
         )
@@ -383,9 +405,13 @@ class ThreadShardExecutor(SerialShardExecutor):
         # Lifecycle + stress mutations run single-threaded before the
         # dispatch, so worker threads only ever race on disjoint shards.
         self._pre_epoch(epoch)
+        # The registry's span recording is lock-guarded, so pool threads
+        # may record per-shard spans concurrently.
+        telemetry = self._telemetry
+        deep = telemetry.deep(epoch) if telemetry is not None else None
         futures = {
             shard_id: self._pool.submit(
-                _shard_epoch, shard_id, shard, epoch, analyze, report
+                _shard_epoch, shard_id, shard, epoch, analyze, report, deep
             )
             for shard_id, shard in self._shards.items()
         }
@@ -396,9 +422,14 @@ class ThreadShardExecutor(SerialShardExecutor):
 
 
 def _shard_epoch(
-    shard_id: str, shard: "FleetShard", epoch: int, analyze: bool, report: str
+    shard_id: str,
+    shard: "FleetShard",
+    epoch: int,
+    analyze: bool,
+    report: str,
+    telemetry: Union[TelemetryRegistry, WorkerSpanBuffer, None] = None,
 ) -> ShardEpochResult:
-    epoch_report = shard.run_epoch(analyze=analyze)
+    epoch_report = shard.run_epoch(analyze=analyze, telemetry=telemetry, epoch=epoch)
     if report == "full":
         return epoch_report
     return columnar_from_report(shard_id, epoch, epoch_report, shard)
@@ -412,12 +443,20 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _worker_init(payload: bytes) -> None:
-    shards, schedule, lifecycle, faults = pickle.loads(payload)
+    shards, schedule, lifecycle, faults, telemetry = pickle.loads(payload)
     _WORKER_STATE["shards"] = {shard.shard_id: shard for shard in shards}
     _WORKER_STATE["schedule"] = schedule
     _WORKER_STATE["lifecycle"] = lifecycle
     _WORKER_STATE["faults"] = faults
     _WORKER_STATE["sent_names"] = {}
+    # ``telemetry`` is the parent's TelemetryConfig (or None): workers
+    # record deep spans into a local buffer and ship the drained tuples
+    # back on the columnar descriptor — never a registry over the pipe.
+    _WORKER_STATE["telemetry"] = (
+        WorkerSpanBuffer(telemetry.profile_every)
+        if telemetry is not None and telemetry.enabled
+        else None
+    )
 
 
 def _worker_ready() -> bool:
@@ -436,16 +475,25 @@ def _worker_run_epoch(
     sent_names: Dict[str, Tuple[str, ...]] = _WORKER_STATE["sent_names"]
     lifecycle = _WORKER_STATE.get("lifecycle")
     faults: Optional[FaultPlan] = _WORKER_STATE.get("faults")
+    buffer: Optional[WorkerSpanBuffer] = _WORKER_STATE.get("telemetry")
+    deep = buffer.deep(epoch) if buffer is not None else None
     if faults:
         faults.fire(epoch, "before")
-    if lifecycle is not None:
-        # Each worker owns its shards' lifecycle subset; churn therefore
-        # happens where the state lives, epochs before the stress toggle.
-        lifecycle.apply(shards, epoch)
-    apply_stress_schedule(shards, _WORKER_STATE["schedule"], epoch)
+    if deep is None:
+        if lifecycle is not None:
+            # Each worker owns its shards' lifecycle subset; churn
+            # therefore happens where the state lives, epochs before the
+            # stress toggle.
+            lifecycle.apply(shards, epoch)
+        apply_stress_schedule(shards, _WORKER_STATE["schedule"], epoch)
+    else:
+        with deep.span("lifecycle", epoch):
+            if lifecycle is not None:
+                lifecycle.apply(shards, epoch)
+            apply_stress_schedule(shards, _WORKER_STATE["schedule"], epoch)
     out: List[Tuple[str, ShardEpochResult]] = []
     for shard_id, shard in shards.items():
-        result = _shard_epoch(shard_id, shard, epoch, analyze, report)
+        result = _shard_epoch(shard_id, shard, epoch, analyze, report, telemetry=deep)
         if isinstance(result, ColumnarShardReport):
             # Ship the VM-name table only when it changed — steady-state
             # epochs are pure arrays on the wire.
@@ -466,12 +514,21 @@ def _worker_run_epoch(
             writer = ShmBlockWriter(len(shards))
             _WORKER_STATE["shm_writer"] = writer
         descriptor = writer.write(epoch, [result for _, result in out])
+        if buffer is not None:
+            # Worker spans ride the columnar descriptor — a few dozen
+            # bytes on sampled epochs — so the pipe stays tiny.
+            descriptor = dataclass_replace(descriptor, spans=buffer.drain())
         if faults:
             faults.fire(epoch, "after")
             descriptor = faults.mangle(epoch, descriptor)
         return descriptor
     if faults:
         faults.fire(epoch, "after")
+    if buffer is not None:
+        # Full-report epochs have no descriptor to carry spans on;
+        # discard instead of letting the buffer grow (the coarse parent
+        # spans still cover these epochs).
+        buffer.drain()
     return out
 
 
@@ -583,10 +640,12 @@ class ProcessShardExecutor:
         lifecycle: Optional["LifecycleEngine"] = None,
         fault_policy: Optional[FaultPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
     ) -> None:
         self._shards = shards
         self._schedule = list(schedule)
         self._lifecycle = lifecycle
+        self._telemetry = telemetry
         self._shard_order = list(shards)
         self._start_method = start_method
         workers = max(1, min(max_workers, len(self._shard_order)))
@@ -670,6 +729,9 @@ class ProcessShardExecutor:
                 [s for s in self._schedule if s.shard_id in members],
                 lifecycle,
                 faults,
+                # Only the config crosses the pipe; the worker builds a
+                # local WorkerSpanBuffer from it.
+                self._telemetry.config if self._telemetry is not None else None,
             ),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -768,36 +830,51 @@ class ProcessShardExecutor:
         merged: Dict[str, ShardEpochResult] = {}
         futures: List[Optional[object]] = [None] * len(pools)
         failures: List[Tuple[int, BaseException]] = []
-        for index, pool in enumerate(pools):
-            if index in self._quarantined:
-                continue
-            try:
-                # A pool that already noticed a dead worker raises
-                # BrokenProcessPool at submit time.
-                futures[index] = pool.submit(_worker_run_epoch, epoch, analyze, report)
-            except BaseException as exc:  # noqa: BLE001 - classified below
-                failures.append((index, exc))
-        for index, future in enumerate(futures):
-            if future is None:
-                continue
-            try:
-                result = future.result(timeout=timeout)
-                if isinstance(result, ShmEpochDescriptor):
-                    # Columnar epoch: the payload lives in the worker's
-                    # shared segments; materialise views (remapping on a
-                    # regrow handshake).
-                    pairs = self._readers[index].read(result)
-                else:
-                    pairs = result
-            except BaseException as exc:  # noqa: BLE001 - classified below
-                # Worker death (BrokenProcessPool), a tripped heartbeat
-                # deadline (TimeoutError) or a lost/corrupt descriptor
-                # (attach failure) all land here; the supervisor decides
-                # what survives.
-                failures.append((index, exc))
-                continue
-            self._commit_pairs(pairs, merged)
-            self._health[index].beat(epoch)
+        telemetry = self._telemetry
+        dispatch = (
+            telemetry.span("dispatch", epoch)
+            if telemetry is not None
+            else nullcontext()
+        )
+        with dispatch:
+            for index, pool in enumerate(pools):
+                if index in self._quarantined:
+                    continue
+                try:
+                    # A pool that already noticed a dead worker raises
+                    # BrokenProcessPool at submit time.
+                    futures[index] = pool.submit(
+                        _worker_run_epoch, epoch, analyze, report
+                    )
+                except BaseException as exc:  # noqa: BLE001 - classified below
+                    failures.append((index, exc))
+            for index, future in enumerate(futures):
+                if future is None:
+                    continue
+                try:
+                    result = future.result(timeout=timeout)
+                    if isinstance(result, ShmEpochDescriptor):
+                        # Columnar epoch: the payload lives in the
+                        # worker's shared segments; materialise views
+                        # (remapping on a regrow handshake).
+                        reader = self._readers[index]
+                        regrows_before = reader.regrows
+                        pairs = reader.read(result)
+                        if telemetry is not None:
+                            self._account_descriptor(
+                                telemetry, index, result, regrows_before
+                            )
+                    else:
+                        pairs = result
+                except BaseException as exc:  # noqa: BLE001 - classified below
+                    # Worker death (BrokenProcessPool), a tripped
+                    # heartbeat deadline (TimeoutError) or a lost/corrupt
+                    # descriptor (attach failure) all land here; the
+                    # supervisor decides what survives.
+                    failures.append((index, exc))
+                    continue
+                self._commit_pairs(pairs, merged)
+                self._health[index].beat(epoch)
         fatal = supervisor is None or any(
             not isinstance(exc, Exception) for _, exc in failures
         )
@@ -816,7 +893,31 @@ class ProcessShardExecutor:
                 self._commit_pairs(pairs, merged)
         if supervisor is not None:
             supervisor.after_epoch(epoch)
-        return self._ordered_merge(epoch, merged)
+        if telemetry is None:
+            return self._ordered_merge(epoch, merged)
+        with telemetry.span("merge", epoch):
+            return self._ordered_merge(epoch, merged)
+
+    def _account_descriptor(
+        self,
+        telemetry: TelemetryRegistry,
+        index: int,
+        descriptor: ShmEpochDescriptor,
+        regrows_before: int,
+    ) -> None:
+        """Fold one received descriptor into the telemetry bus: its
+        pipe cost, any regrow handshake, and the worker's spans."""
+        telemetry.inc(
+            C_DESCRIPTOR_BYTES,
+            len(pickle.dumps(descriptor, protocol=pickle.HIGHEST_PROTOCOL)),
+        )
+        regrown = self._readers[index].regrows - regrows_before
+        if regrown:
+            telemetry.inc(C_SHM_REGROWS, regrown)
+        if descriptor.spans:
+            telemetry.fold_worker_spans(
+                descriptor.spans, self._health[index].pid
+            )
 
     # ------------------------------------------------------------------
     # Supervised recovery mechanics (driven by WorkerSupervisor)
@@ -911,7 +1012,14 @@ class ProcessShardExecutor:
             _worker_run_epoch, epoch, analyze, report
         ).result(timeout=timeout)
         if isinstance(result, ShmEpochDescriptor):
-            return self._readers[index].read(result)
+            reader = self._readers[index]
+            regrows_before = reader.regrows
+            pairs = reader.read(result)
+            if self._telemetry is not None:
+                self._account_descriptor(
+                    self._telemetry, index, result, regrows_before
+                )
+            return pairs
         return result
 
     def _quarantine_group(self, index: int) -> None:
@@ -1189,11 +1297,14 @@ def make_shard_executor(
     lifecycle: Optional["LifecycleEngine"] = None,
     fault_policy: Optional[FaultPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    telemetry: Optional[TelemetryRegistry] = None,
 ) -> Union[SerialShardExecutor, ThreadShardExecutor, ProcessShardExecutor]:
     """Instantiate the strategy for ``kind`` (see :data:`EXECUTOR_KINDS`).
 
     ``fault_policy``/``fault_plan`` only apply to the process executor
-    (the only strategy with workers to supervise or kill).
+    (the only strategy with workers to supervise or kill);
+    ``telemetry`` threads the owning fleet's registry into whichever
+    strategy runs the shards.
     """
     if kind == "process":
         return ProcessShardExecutor(
@@ -1203,9 +1314,16 @@ def make_shard_executor(
             lifecycle=lifecycle,
             fault_policy=fault_policy,
             fault_plan=fault_plan,
+            telemetry=telemetry,
         )
     if kind == "thread" and max_workers > 1 and len(shards) > 1:
         return ThreadShardExecutor(
-            shards, schedule, max_workers=max_workers, lifecycle=lifecycle
+            shards,
+            schedule,
+            max_workers=max_workers,
+            lifecycle=lifecycle,
+            telemetry=telemetry,
         )
-    return SerialShardExecutor(shards, schedule, lifecycle=lifecycle)
+    return SerialShardExecutor(
+        shards, schedule, lifecycle=lifecycle, telemetry=telemetry
+    )

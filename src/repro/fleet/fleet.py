@@ -54,6 +54,12 @@ from repro.fleet.faults import FaultPlan
 from repro.fleet.lifecycle import LifecycleEngine, LifecycleStats
 from repro.fleet.runtime import FleetRuntimeBase
 from repro.fleet.supervisor import FaultPolicy
+from repro.fleet.telemetry import (
+    C_SNAPSHOTS,
+    TelemetryConfig,
+    TelemetryRegistry,
+    resolve_telemetry,
+)
 from repro.virt.cluster import Cluster
 from repro.virt.sandbox import SandboxEnvironment
 
@@ -118,7 +124,12 @@ class FleetShard:
         """Replace the steady-state loads (pushed on the next epoch)."""
         self.baseline_loads = dict(loads)
 
-    def run_epoch(self, analyze: bool = True) -> EpochReport:
+    def run_epoch(
+        self,
+        analyze: bool = True,
+        telemetry: Optional["TelemetryRegistry"] = None,
+        epoch: int = 0,
+    ) -> EpochReport:
         """Advance the shard by one epoch: simulate, then monitor.
 
         The steady-state baseline loads are pushed to the hosts and the
@@ -128,6 +139,11 @@ class FleetShard:
         changes most epochs, so only the *changed* entries are pushed —
         unchanged VMs keep their host-resident load and their last proxy
         observation, exactly as in a steady fleet.
+
+        ``telemetry`` (a registry or worker-side span buffer) records
+        ``simulate``/``monitor`` spans around the two halves; ``None``
+        — the off-sample and telemetry-off case — keeps the exact
+        untimed path.
         """
         if self.baseline_loads != self._pushed_loads:
             pushed = self._pushed_loads
@@ -141,10 +157,20 @@ class FleetShard:
                 }
             self._pushed_loads = dict(self.baseline_loads)
             if delta:
-                self.cluster.step(loads=delta)
-                return self.deepdive.run_epoch(loads=delta, analyze=analyze)
-        self.cluster.step()
-        return self.deepdive.run_epoch(analyze=analyze)
+                if telemetry is None:
+                    self.cluster.step(loads=delta)
+                    return self.deepdive.run_epoch(loads=delta, analyze=analyze)
+                with telemetry.span("simulate", epoch):
+                    self.cluster.step(loads=delta)
+                with telemetry.span("monitor", epoch):
+                    return self.deepdive.run_epoch(loads=delta, analyze=analyze)
+        if telemetry is None:
+            self.cluster.step()
+            return self.deepdive.run_epoch(analyze=analyze)
+        with telemetry.span("simulate", epoch):
+            self.cluster.step()
+        with telemetry.span("monitor", epoch):
+            return self.deepdive.run_epoch(analyze=analyze)
 
     # ------------------------------------------------------------------
     def detections(self) -> List[InterferenceDetectedEvent]:
@@ -377,6 +403,15 @@ class Fleet(FleetRuntimeBase):
         lives.  The timeline is validated against the fleet topology at
         construction; an event referencing an unknown shard or host
         raises :class:`ValueError` immediately.
+    telemetry:
+        Observability for the run: a
+        :class:`~repro.fleet.telemetry.TelemetryConfig` builds a fresh
+        :class:`~repro.fleet.telemetry.TelemetryRegistry`, an existing
+        registry is shared (regional fleets hand one bus to every inner
+        fleet), and ``None`` defers to the ``REPRO_FLEET_PROFILE``
+        environment switch (off by default).  Telemetry never changes
+        decisions — runs are bit-identical with it off, on, or sampled
+        (``tests/property/test_telemetry_equivalence.py``).
     """
 
     def __init__(
@@ -388,6 +423,7 @@ class Fleet(FleetRuntimeBase):
         lifecycle: Optional["LifecycleEngine"] = None,
         fault_policy: Optional["FaultPolicy"] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        telemetry: Union[TelemetryConfig, TelemetryRegistry, None] = None,
     ) -> None:
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -428,6 +464,9 @@ class Fleet(FleetRuntimeBase):
         self.fault_policy = fault_policy
         #: Injected fault schedule (chaos tests / CI).
         self.fault_plan = fault_plan
+        #: Live telemetry bus, or ``None`` (off) — the hot loop checks
+        #: only this one reference.
+        self.telemetry = resolve_telemetry(telemetry)
         self._strategy = None
         #: Last statistics snapshot fetched from process workers (kept
         #: so the fleet stays inspectable after :meth:`shutdown`).
@@ -469,6 +508,7 @@ class Fleet(FleetRuntimeBase):
                 lifecycle=self.lifecycle,
                 fault_policy=self.fault_policy,
                 fault_plan=self.fault_plan,
+                telemetry=self.telemetry,
             )
         return self._strategy
 
@@ -580,7 +620,29 @@ class Fleet(FleetRuntimeBase):
         an arbitrary picklable sidecar for callers like the campaign
         runner's mid-cell checkpoints.  With ``path`` the checkpoint is
         also written atomically to disk.  Resume with :meth:`resume`.
+
+        A telemetry-carrying fleet stores its counter and span totals
+        in the payload, so a resumed fleet's Prometheus counters stay
+        monotone across the restart.
         """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._snapshot_inner(path, summary=summary, extra=extra)
+        # Counted before the state capture so the checkpoint's carried
+        # totals include the snapshot producing them (resume monotone).
+        telemetry.inc(C_SNAPSHOTS)
+        with telemetry.span("snapshot", self.current_epoch):
+            checkpoint = self._snapshot_inner(path, summary=summary, extra=extra)
+        telemetry.log_event("snapshot", epoch=int(self.current_epoch))
+        return checkpoint
+
+    def _snapshot_inner(
+        self,
+        path: Optional[Union[str, Path]],
+        *,
+        summary: Optional[FleetRunSummary],
+        extra: Optional[object],
+    ) -> Checkpoint:
         shards, lifecycle_state, missing_shards = self._gather_state()
         payload: Dict[str, object] = {
             "shards": list(shards.values()),
@@ -599,6 +661,11 @@ class Fleet(FleetRuntimeBase):
             "lifecycle_state": lifecycle_state,
             "summary": summary,
             "extra": extra,
+            "telemetry": (
+                (self.telemetry.config, self.telemetry.state_dict())
+                if self.telemetry is not None
+                else None
+            ),
         }
         meta: Dict[str, object] = {
             "version": CHECKPOINT_VERSION,
@@ -612,6 +679,7 @@ class Fleet(FleetRuntimeBase):
             "has_lifecycle": self.lifecycle is not None,
             "has_summary": summary is not None,
             "has_extra": extra is not None,
+            "has_telemetry": self.telemetry is not None,
             "regions": None,
             "missing_shards": list(missing_shards),
             "created_unix": time.time(),
@@ -631,6 +699,7 @@ class Fleet(FleetRuntimeBase):
         *,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
+        telemetry: Union[TelemetryConfig, TelemetryRegistry, None] = None,
     ) -> "Fleet":
         """Rebuild a fleet from a checkpoint; it continues bit-identically.
 
@@ -640,6 +709,10 @@ class Fleet(FleetRuntimeBase):
         executor may resume under another at any worker count, and the
         equivalence contract still holds (pinned by
         ``tests/property/test_checkpoint_equivalence.py``).
+        ``telemetry`` overrides the checkpointed telemetry
+        configuration; either way the checkpoint's carried counter and
+        span totals fold into the resumed registry, so exported
+        counters continue monotonically.
         """
         checkpoint = (
             source if isinstance(source, Checkpoint) else Checkpoint.load(source)
@@ -659,6 +732,9 @@ class Fleet(FleetRuntimeBase):
             lifecycle = lifecycle.subset(
                 [shard.shard_id for shard in state["shards"]]
             )
+        telemetry_state = state.get("telemetry")
+        if telemetry is None and telemetry_state is not None:
+            telemetry = telemetry_state[0]
         fleet = cls(
             state["shards"],
             schedule=state["schedule"],
@@ -669,7 +745,10 @@ class Fleet(FleetRuntimeBase):
                 checkpoint.meta["executor"] if executor is None else executor
             ),
             lifecycle=lifecycle,
+            telemetry=telemetry,
         )
+        if fleet.telemetry is not None and telemetry_state is not None:
+            fleet.telemetry.load_state(telemetry_state[1])
         fleet.current_epoch = checkpoint.epoch
         return fleet
 
@@ -690,6 +769,8 @@ class Fleet(FleetRuntimeBase):
         """
         strategy = self._strategy
         if strategy is None:
+            if self.telemetry is not None:
+                self.telemetry.close()
             return
         if isinstance(strategy, ProcessShardExecutor):
             try:
@@ -710,6 +791,10 @@ class Fleet(FleetRuntimeBase):
         else:
             strategy.shutdown()
             self._strategy = None
+        if self.telemetry is not None:
+            # Flush the structured event log; harmless for shared
+            # registries (the stream lazily reopens on the next event).
+            self.telemetry.close()
 
     # ------------------------------------------------------------------
     # Fleet-wide statistics

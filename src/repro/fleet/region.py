@@ -71,6 +71,12 @@ from repro.fleet.fleet import (
 from repro.fleet.lifecycle import LifecycleEngine
 from repro.fleet.runtime import FleetRuntimeBase, RunOptions, _coerce_options
 from repro.fleet.supervisor import FaultPolicy
+from repro.fleet.telemetry import (
+    C_SNAPSHOTS,
+    TelemetryConfig,
+    TelemetryRegistry,
+    resolve_telemetry,
+)
 
 
 @dataclass
@@ -157,6 +163,13 @@ class RegionalFleet(FleetRuntimeBase):
         Optional per-region injected fault schedules (region id ->
         :class:`~repro.fleet.faults.FaultPlan`); worker indices are
         region-local, so plans are addressed per region.
+    telemetry:
+        Like :class:`~repro.fleet.fleet.Fleet`'s — but hierarchical
+        fleets build (or adopt) **one** registry and share it with every
+        region's inner fleet, so counters, spans and exporters describe
+        the whole hierarchy on one timeline.  Epoch spans are recorded
+        once per fleet-wide epoch (the regional ``stream``), never per
+        region.
     """
 
     def __init__(
@@ -168,6 +181,7 @@ class RegionalFleet(FleetRuntimeBase):
         lifecycle: Optional["LifecycleEngine"] = None,
         fault_policy: Optional["FaultPolicy"] = None,
         fault_plans: Optional[Dict[str, "FaultPlan"]] = None,
+        telemetry: Union[TelemetryConfig, TelemetryRegistry, None] = None,
     ) -> None:
         if not regions:
             raise ValueError("a regional fleet needs at least one region")
@@ -212,6 +226,8 @@ class RegionalFleet(FleetRuntimeBase):
         self.executor = executor
         self.fault_policy = fault_policy
         self.current_epoch = 0
+        #: One shared telemetry bus across every region (or ``None``).
+        self.telemetry = resolve_telemetry(telemetry)
         unknown_plans = set(fault_plans or {}) - set(region_ids)
         if unknown_plans:
             raise ValueError(
@@ -238,6 +254,7 @@ class RegionalFleet(FleetRuntimeBase):
                 lifecycle=region_lifecycle,
                 fault_policy=fault_policy,
                 fault_plan=(fault_plans or {}).get(region.region_id),
+                telemetry=self.telemetry,
             )
 
     # ------------------------------------------------------------------
@@ -360,7 +377,29 @@ class RegionalFleet(FleetRuntimeBase):
         merge order, which is also what a flat :meth:`Fleet.resume`
         would need, but the ``kind`` guard keeps the two resume paths
         explicit (use :func:`resume_fleet` to dispatch automatically).
+
+        Like the flat fleet's, a telemetry-carrying snapshot stores the
+        shared registry's counter and span totals so a resumed hierarchy
+        keeps its Prometheus series monotone.
         """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._snapshot_inner(path, summary=summary, extra=extra)
+        # Counted before the state capture so the checkpoint's carried
+        # totals include the snapshot producing them (resume monotone).
+        telemetry.inc(C_SNAPSHOTS)
+        with telemetry.span("snapshot", self.current_epoch):
+            checkpoint = self._snapshot_inner(path, summary=summary, extra=extra)
+        telemetry.log_event("snapshot", epoch=int(self.current_epoch))
+        return checkpoint
+
+    def _snapshot_inner(
+        self,
+        path: Optional[Union[str, Path]],
+        *,
+        summary: Optional[FleetRunSummary],
+        extra: Optional[object],
+    ) -> Checkpoint:
         shards: Dict[str, FleetShard] = {}
         lifecycle_states: List[Dict[str, Dict[str, object]]] = []
         regions_meta: List[Dict[str, object]] = []
@@ -400,6 +439,11 @@ class RegionalFleet(FleetRuntimeBase):
             "lifecycle_state": lifecycle_state,
             "summary": summary,
             "extra": extra,
+            "telemetry": (
+                (self.telemetry.config, self.telemetry.state_dict())
+                if self.telemetry is not None
+                else None
+            ),
         }
         meta: Dict[str, object] = {
             "version": CHECKPOINT_VERSION,
@@ -415,6 +459,7 @@ class RegionalFleet(FleetRuntimeBase):
             "has_extra": extra is not None,
             "regions": regions_meta,
             "missing_shards": missing_shards,
+            "has_telemetry": self.telemetry is not None,
             "created_unix": time.time(),
         }
         checkpoint = Checkpoint(
@@ -432,13 +477,17 @@ class RegionalFleet(FleetRuntimeBase):
         *,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
+        telemetry: Union[TelemetryConfig, TelemetryRegistry, None] = None,
     ) -> "RegionalFleet":
         """Rebuild the regional fleet from a checkpoint, bit-identically.
 
         The region partition (ids, shard grouping, per-region worker
         budgets) comes from the checkpoint metadata; ``executor`` /
         ``max_workers`` override the checkpointed configuration, exactly
-        like :meth:`Fleet.resume`.
+        like :meth:`Fleet.resume`.  ``telemetry`` overrides the
+        checkpointed telemetry configuration; by default a
+        telemetry-carrying checkpoint resumes with its config and
+        carried totals, keeping counters monotone across the restart.
         """
         checkpoint = (
             source if isinstance(source, Checkpoint) else Checkpoint.load(source)
@@ -464,6 +513,9 @@ class RegionalFleet(FleetRuntimeBase):
             # drop the quarantined shards' timeline events before
             # topology validation.
             lifecycle = lifecycle.subset(list(shards_by_id))
+        telemetry_state = state.get("telemetry")
+        if telemetry is None and telemetry_state is not None:
+            telemetry = telemetry_state[0]
         fleet = cls(
             regions,
             schedule=state["schedule"],
@@ -474,10 +526,13 @@ class RegionalFleet(FleetRuntimeBase):
                 checkpoint.meta["executor"] if executor is None else executor
             ),
             lifecycle=lifecycle,
+            telemetry=telemetry,
         )
         fleet.current_epoch = checkpoint.epoch
         for inner in fleet.fleets.values():
             inner.current_epoch = checkpoint.epoch
+        if fleet.telemetry is not None and telemetry_state is not None:
+            fleet.telemetry.load_state(telemetry_state[1])
         return fleet
 
     def shutdown(self) -> None:
@@ -561,6 +616,7 @@ def resume_fleet(
     *,
     executor: Optional[str] = None,
     max_workers: Optional[int] = None,
+    telemetry: Union[TelemetryConfig, TelemetryRegistry, None] = None,
 ) -> Union[Fleet, RegionalFleet]:
     """Resume whichever fleet kind a checkpoint holds.
 
@@ -575,6 +631,14 @@ def resume_fleet(
     )
     if checkpoint.kind == "regional":
         return RegionalFleet.resume(
-            checkpoint, executor=executor, max_workers=max_workers
+            checkpoint,
+            executor=executor,
+            max_workers=max_workers,
+            telemetry=telemetry,
         )
-    return Fleet.resume(checkpoint, executor=executor, max_workers=max_workers)
+    return Fleet.resume(
+        checkpoint,
+        executor=executor,
+        max_workers=max_workers,
+        telemetry=telemetry,
+    )

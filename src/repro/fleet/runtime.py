@@ -209,10 +209,21 @@ class FleetRuntimeBase:
     epoch — and inherit the whole streaming surface: ``stream`` drives
     ``_step_epoch`` per epoch, and ``run`` / ``run_epoch`` are
     reimplemented on ``stream`` (one code path, flat or regional).
+
+    ``stream`` is also where run-level telemetry lives: when the
+    subclass carries a :class:`~repro.fleet.telemetry.TelemetryRegistry`
+    (``self.telemetry``), each ``_step_epoch`` is wrapped in an
+    ``epoch`` span and the epoch / VM-epoch counters are bumped here —
+    once per fleet-wide epoch, whichever topology runs underneath (a
+    regional fleet steps its inner fleets' ``_step_epoch`` directly, so
+    nothing double-counts).
     """
 
     executor: str
     current_epoch: int
+    #: Telemetry bus, or ``None`` (off) — set by subclasses that
+    #: support instrumentation.
+    telemetry = None
 
     def _step_epoch(
         self, analyze: bool, report: str
@@ -247,11 +258,21 @@ class FleetRuntimeBase:
         options = _coerce_options(options)
 
         def _generate() -> Iterator[FleetReport]:
+            from repro.fleet.telemetry import C_EPOCHS, C_VM_EPOCHS
+
             for i in range(epochs):
-                yield self._step_epoch(
-                    analyze=options.analyze,
-                    report=_resolve_report(options, self.executor, i, epochs),
-                )
+                mode = _resolve_report(options, self.executor, i, epochs)
+                telemetry = self.telemetry
+                if telemetry is None:
+                    yield self._step_epoch(analyze=options.analyze, report=mode)
+                    continue
+                with telemetry.span("epoch", self.current_epoch):
+                    report = self._step_epoch(
+                        analyze=options.analyze, report=mode
+                    )
+                telemetry.inc(C_EPOCHS)
+                telemetry.inc(C_VM_EPOCHS, report.observations())
+                yield report
 
         return _generate()
 

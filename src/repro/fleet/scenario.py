@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.fleet.fleet import Fleet, FleetShard, ScheduledStress
 from repro.fleet.lifecycle import AdmissionPolicy, LifecycleEngine
 from repro.fleet.region import Region, RegionalFleet
 from repro.fleet.supervisor import FaultPolicy
+from repro.fleet.telemetry import TelemetryConfig, TelemetryRegistry
 from repro.fleet.timeline import ARRIVAL_WORKLOADS, FleetTimeline
 from repro.hardware.specs import MachineSpec, XEON_X5472
 from repro.virt.cluster import Cluster
@@ -207,6 +208,7 @@ def build_fleet(
     history_mode: str = "lazy",
     fault_policy: Optional["FaultPolicy"] = None,
     fault_plan: Optional["FaultPlan"] = None,
+    telemetry: Union["TelemetryConfig", "TelemetryRegistry", None] = None,
 ) -> Fleet:
     """Materialise a scenario into a runnable :class:`Fleet`.
 
@@ -248,6 +250,11 @@ def build_fleet(
         Worker supervision and injected fault schedule for the process
         executor (see :mod:`repro.fleet.supervisor` /
         :mod:`repro.fleet.faults`).
+    telemetry:
+        Fleet telemetry bus configuration (see
+        :mod:`repro.fleet.telemetry`); ``None`` defers to the
+        ``REPRO_FLEET_PROFILE`` environment switch (off by default).
+        Telemetry never changes decisions — only timings and counters.
 
     A scenario with a ``timeline`` gets a
     :class:`~repro.fleet.lifecycle.LifecycleEngine` attached to the
@@ -273,6 +280,7 @@ def build_fleet(
         lifecycle=lifecycle,
         fault_policy=fault_policy,
         fault_plan=fault_plan,
+        telemetry=telemetry,
     )
 
 
@@ -443,6 +451,7 @@ def build_regional_fleet(
     history_mode: str = "lazy",
     fault_policy: Optional["FaultPolicy"] = None,
     fault_plans: Optional[Dict[str, "FaultPlan"]] = None,
+    telemetry: Union["TelemetryConfig", "TelemetryRegistry", None] = None,
 ) -> RegionalFleet:
     """Materialise a scenario into a hierarchical :class:`RegionalFleet`.
 
@@ -474,4 +483,5 @@ def build_regional_fleet(
         lifecycle=lifecycle,
         fault_policy=fault_policy,
         fault_plans=fault_plans,
+        telemetry=telemetry,
     )

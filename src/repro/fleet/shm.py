@@ -199,6 +199,11 @@ class ShmEpochDescriptor:
 
     Names the buffer (and, after a regrow, the fresh segment) holding
     the epoch's columnar results, plus per-shard row extents.
+
+    ``spans`` carries the worker's drained telemetry spans —
+    ``(kind_code, start, duration, epoch)`` tuples from its
+    :class:`~repro.fleet.telemetry.WorkerSpanBuffer` — empty whenever
+    telemetry is off, so the descriptor stays descriptor-sized.
     """
 
     epoch: int
@@ -207,6 +212,7 @@ class ShmEpochDescriptor:
     capacity_rows: int
     n_shards: int
     slots: Tuple[ShardSlot, ...]
+    spans: Tuple[Tuple[int, float, float, int], ...] = ()
 
 
 class ShmBlockWriter:
@@ -343,6 +349,8 @@ class ShmBlockReader:
     def __init__(self) -> None:
         self._segments: Dict[int, shared_memory.SharedMemory] = {}
         self._views: Dict[int, Dict[str, np.ndarray]] = {}
+        #: Regrow handshakes served so far (telemetry reads the delta).
+        self.regrows = 0
 
     def segment_names(self) -> List[str]:
         return sorted(s.name for s in self._segments.values())
@@ -362,6 +370,7 @@ class ShmBlockReader:
                 # larger segment; drop and unlink the replaced one.
                 self._views.pop(index, None)
                 _release_segment(attached)
+                self.regrows += 1
             self._segments[index] = segment
             self._views[index] = BlockLayout(
                 descriptor.capacity_rows, descriptor.n_shards

@@ -33,8 +33,11 @@ history and replays it verbatim.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.fleet.telemetry import C_QUARANTINED, C_RECOVERIES, C_RESTARTS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fleet.executor import ProcessShardExecutor, ShardEpochResult
@@ -218,37 +221,71 @@ class WorkerSupervisor:
         executor = self._executor
         health = executor._health[group]
         health.alive = False
-        while health.restarts < self.policy.restarts:
-            health.restarts += 1
-            if self.policy.backoff:
-                time.sleep(self.policy.backoff)
-            snapshot = self._snapshots[group]
-            try:
-                executor._respawn_group(group, snapshot, fired_through=epoch)
-                steps = [(e, self._analyze[e]) for e in range(snapshot.epoch, epoch)]
-                executor._replay_group(
-                    group, steps, timeout=self.replay_timeout(len(steps))
-                )
-                pairs = executor._run_group_epoch(
-                    group, epoch, analyze, report, timeout=self.policy.heartbeat_timeout
-                )
-            except Exception as exc:  # noqa: BLE001 - retried, then surfaced
-                cause = exc
-                continue
-            health.alive = True
-            health.beat(epoch)
-            self.events.append(("WORKER_RESTARTED", group, epoch))
-            return pairs
-        shard_ids = ", ".join(executor._groups[group])
-        if self.policy.on_exhaustion == "quarantine":
-            executor._quarantine_group(group)
-            self.events.append(("SHARDS_QUARANTINED", group, epoch))
-            return None
-        executor._mark_group_dead(group)
-        raise RuntimeError(
-            f"fleet worker {group} (shards: {shard_ids}) failed at epoch "
-            f"{epoch} and its restart budget ({self.policy.restarts}) is "
-            "exhausted; the run cannot continue — resume from the last "
-            "checkpoint (repro.fleet.resume_fleet) or set "
-            "FaultPolicy(on_exhaustion='quarantine') to degrade gracefully"
-        ) from cause
+        telemetry = getattr(executor, "_telemetry", None)
+        if telemetry is not None:
+            telemetry.inc(C_RECOVERIES)
+        span = (
+            telemetry.span("recovery", epoch)
+            if telemetry is not None
+            else nullcontext()
+        )
+        with span:
+            while health.restarts < self.policy.restarts:
+                health.restarts += 1
+                if self.policy.backoff:
+                    time.sleep(self.policy.backoff)
+                snapshot = self._snapshots[group]
+                try:
+                    executor._respawn_group(group, snapshot, fired_through=epoch)
+                    steps = [
+                        (e, self._analyze[e])
+                        for e in range(snapshot.epoch, epoch)
+                    ]
+                    executor._replay_group(
+                        group, steps, timeout=self.replay_timeout(len(steps))
+                    )
+                    pairs = executor._run_group_epoch(
+                        group,
+                        epoch,
+                        analyze,
+                        report,
+                        timeout=self.policy.heartbeat_timeout,
+                    )
+                except Exception as exc:  # noqa: BLE001 - retried, then surfaced
+                    cause = exc
+                    continue
+                health.alive = True
+                health.beat(epoch)
+                self.events.append(("WORKER_RESTARTED", group, epoch))
+                if telemetry is not None:
+                    telemetry.inc(C_RESTARTS)
+                    telemetry.log_event(
+                        "worker_restarted",
+                        worker=group,
+                        epoch=epoch,
+                        restarts=health.restarts,
+                    )
+                return pairs
+            shard_ids = ", ".join(executor._groups[group])
+            if self.policy.on_exhaustion == "quarantine":
+                executor._quarantine_group(group)
+                self.events.append(("SHARDS_QUARANTINED", group, epoch))
+                if telemetry is not None:
+                    telemetry.inc(
+                        C_QUARANTINED, len(executor._groups[group])
+                    )
+                    telemetry.log_event(
+                        "shards_quarantined",
+                        worker=group,
+                        epoch=epoch,
+                        shards=list(executor._groups[group]),
+                    )
+                return None
+            executor._mark_group_dead(group)
+            raise RuntimeError(
+                f"fleet worker {group} (shards: {shard_ids}) failed at epoch "
+                f"{epoch} and its restart budget ({self.policy.restarts}) is "
+                "exhausted; the run cannot continue — resume from the last "
+                "checkpoint (repro.fleet.resume_fleet) or set "
+                "FaultPolicy(on_exhaustion='quarantine') to degrade gracefully"
+            ) from cause
